@@ -1,0 +1,28 @@
+//! # diesel-baselines — the comparison systems of the evaluation
+//!
+//! The paper compares DIESEL against two deployed systems; both are
+//! rebuilt here as calibrated timing models over `diesel-simnet`
+//! resources (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`LustreSim`] — a Lustre-like distributed file system: a central
+//!   metadata server (MDS) with a measured QPS ceiling (§6.3 reports
+//!   ~68 k QPS), object-storage servers (OSS) holding file bodies, and
+//!   the per-file open/lock/read RPC pattern that makes small random
+//!   reads slow (Figs. 9, 10c, 11a, 12, 14). `ls -lR` pays an extra
+//!   per-file RPC because sizes live on the OSS, reproducing the 170 s
+//!   row of Fig. 10c.
+//! * [`MemcachedSim`] — a Memcached + twemproxy cluster: consistent-hash
+//!   key placement ([`ring::ConsistentHashRing`]), one network RPC per
+//!   operation (libMemcached has no write batching, §6.2), per-server
+//!   thread pools, and node-failure injection that redirects misses to
+//!   the backing Lustre — the mechanism behind the Fig. 6 collapse.
+//! * [`XfsSim`] — a local-XFS-on-NVMe model for the single-node metadata
+//!   comparison of Fig. 10c.
+
+pub mod lustre;
+pub mod memcached;
+pub mod ring;
+
+pub use lustre::{LustreConfig, LustreSim, XfsSim};
+pub use memcached::{MemcachedConfig, MemcachedSim, ReadSource};
+pub use ring::ConsistentHashRing;

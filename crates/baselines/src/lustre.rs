@@ -1,0 +1,296 @@
+//! Lustre-like distributed file system timing model.
+//!
+//! Calibration anchors from the paper:
+//!
+//! * §6.3: the Lustre MDS sustains ≈ 68 k metadata QPS.
+//! * Fig. 12: 160 threads reading 4 KB files get ≈ 15.4 k files/s;
+//!   128 KB files reach ≈ 2.0 GB/s.
+//! * Fig. 9: 64 processes writing 4 KB files manage only a few thousand
+//!   creates/s (DIESEL is 366× faster at 2 M/s).
+//! * Fig. 10c: single-threaded `ls -R` of ImageNet-1K ≈ 30–40 s;
+//!   `ls -lR` ≈ 170 s because file sizes live on the OSS, costing an
+//!   extra RPC per file.
+//!
+//! The model: a central MDS [`Resource`] whose per-op service time sets
+//! the QPS ceiling, an OSS pool (k-server resource with per-request
+//! overhead + streaming bandwidth), and per-operation RPC round trips.
+
+use diesel_simnet::{Resource, SimTime};
+
+/// Tunables for [`LustreSim`].
+#[derive(Debug, Clone)]
+pub struct LustreConfig {
+    /// MDS service time per metadata op (1/68k s ≈ 14.7 µs by default).
+    pub mds_service: SimTime,
+    /// Extra MDS work for a create (journal + layout allocation): makes
+    /// small-file writes far slower than reads, per Fig. 9.
+    pub mds_create_service: SimTime,
+    /// OSS per-request overhead (RPC + disk dispatch) for data reads.
+    pub oss_request_overhead: SimTime,
+    /// Aggregate OSS streaming bandwidth (bytes/s).
+    pub oss_bytes_per_sec: f64,
+    /// OSS service width (number of concurrent requests at full speed).
+    pub oss_parallelism: usize,
+    /// Client-observed RPC round-trip floor (network + client stack).
+    pub rpc_round_trip: SimTime,
+    /// Directory entries returned per readdir RPC page.
+    pub readdir_page: usize,
+    /// Per-entry client+MDS processing cost during readdir (dcache
+    /// population, dentry marshalling) — this is what makes a
+    /// single-threaded `ls -R` of 1.28 M files take ~30 s (Fig. 10c).
+    pub readdir_per_entry: SimTime,
+    /// OSS service time for a size-only getattr (no data moved).
+    pub oss_getattr_service: SimTime,
+}
+
+impl Default for LustreConfig {
+    fn default() -> Self {
+        LustreConfig {
+            mds_service: SimTime::from_nanos(14_700),
+            mds_create_service: SimTime::from_micros(175),
+            oss_request_overhead: SimTime::from_micros(380),
+            oss_bytes_per_sec: 2.6e9,
+            oss_parallelism: 8,
+            rpc_round_trip: SimTime::from_micros(45),
+            readdir_page: 1024,
+            readdir_per_entry: SimTime::from_micros(25),
+            oss_getattr_service: SimTime::from_micros(30),
+        }
+    }
+}
+
+/// The Lustre baseline.
+#[derive(Debug)]
+pub struct LustreSim {
+    config: LustreConfig,
+    mds: Resource,
+    oss: Resource,
+}
+
+impl LustreSim {
+    /// Build with `config`.
+    pub fn new(config: LustreConfig) -> Self {
+        let oss_parallelism = config.oss_parallelism;
+        LustreSim {
+            mds: Resource::new("lustre-mds", 1),
+            oss: Resource::new("lustre-oss", oss_parallelism),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LustreConfig {
+        &self.config
+    }
+
+    /// Simulated completion time of one whole-file read issued at `now`:
+    /// open/lookup on the MDS, then the data transfer on the OSS pool.
+    pub fn read_file_at(&self, now: SimTime, size: u64) -> SimTime {
+        let meta = self.mds.acquire(now, self.config.mds_service).end + self.config.rpc_round_trip;
+        let service = self.config.oss_request_overhead
+            + SimTime::for_bytes(size, self.config.oss_bytes_per_sec);
+        self.oss.acquire(meta, service).end + self.config.rpc_round_trip
+    }
+
+    /// Simulated completion time of one small-file create+write: MDS
+    /// create (with lock/journal cost) then the OSS write.
+    pub fn write_file_at(&self, now: SimTime, size: u64) -> SimTime {
+        let meta =
+            self.mds.acquire(now, self.config.mds_create_service).end + self.config.rpc_round_trip;
+        let service = self.config.oss_request_overhead
+            + SimTime::for_bytes(size, self.config.oss_bytes_per_sec);
+        self.oss.acquire(meta, service).end + self.config.rpc_round_trip
+    }
+
+    /// One pure metadata query (e.g. getattr served from the MDS).
+    pub fn stat_at(&self, now: SimTime) -> SimTime {
+        self.mds.acquire(now, self.config.mds_service).end + self.config.rpc_round_trip
+    }
+
+    /// `readdir` of a directory with `entries` children: paged RPCs to
+    /// the MDS.
+    pub fn readdir_at(&self, now: SimTime, entries: usize) -> SimTime {
+        let pages = entries.div_ceil(self.config.readdir_page).max(1);
+        let mut t = now;
+        for _ in 0..pages {
+            t = self.mds.acquire(t, self.config.mds_service).end + self.config.rpc_round_trip;
+        }
+        // Per-entry processing happens on the client, off the MDS.
+        t + SimTime::from_nanos(entries as u64 * self.config.readdir_per_entry.as_nanos())
+    }
+
+    /// A stat that must consult the OSS for the file size (`ls -lR`,
+    /// Fig. 10c: "getting a file size will involve multiple RPC calls").
+    pub fn stat_with_size_at(&self, now: SimTime) -> SimTime {
+        let t = self.stat_at(now);
+        // Size query hits the OSS front-end; no data moves.
+        self.oss.acquire(t, self.config.oss_getattr_service).end + self.config.rpc_round_trip
+    }
+
+    /// Reset resource clocks between experiments.
+    pub fn reset(&self) {
+        self.mds.reset();
+        self.oss.reset();
+    }
+}
+
+/// A local XFS-on-NVMe model for Fig. 10c's single-node comparison.
+///
+/// Metadata is served from the in-kernel dcache/icache after first touch;
+/// costs are per-syscall, not per-RPC.
+#[derive(Debug)]
+pub struct XfsSim {
+    /// Cost of one readdir entry (getdents amortized).
+    pub per_entry: SimTime,
+    /// Cost of one stat syscall.
+    pub per_stat: SimTime,
+}
+
+impl Default for XfsSim {
+    fn default() -> Self {
+        XfsSim { per_entry: SimTime::from_nanos(2_500), per_stat: SimTime::from_nanos(3_500) }
+    }
+}
+
+impl XfsSim {
+    /// Elapsed time for `ls -R` (names only) over `files` files in
+    /// `dirs` directories.
+    pub fn ls_recursive(&self, files: u64, dirs: u64) -> SimTime {
+        SimTime::from_nanos((files + dirs) * self.per_entry.as_nanos())
+    }
+
+    /// Elapsed time for `ls -lR` (names + stat).
+    pub fn ls_recursive_with_sizes(&self, files: u64, dirs: u64) -> SimTime {
+        self.ls_recursive(files, dirs) + SimTime::from_nanos(files * self.per_stat.as_nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diesel_simnet::{run_actors, SimActor};
+
+    fn drive_reads(l: &LustreSim, clients: usize, reads_each: usize, size: u64) -> f64 {
+        let mut actors: Vec<Box<dyn FnMut(SimTime) -> Option<SimTime>>> = (0..clients)
+            .map(|_| {
+                let mut left = reads_each;
+                Box::new(move |now: SimTime| {
+                    if left == 0 {
+                        return None;
+                    }
+                    left -= 1;
+                    Some(l.read_file_at(now, size))
+                }) as Box<dyn FnMut(SimTime) -> Option<SimTime>>
+            })
+            .collect();
+        let mut refs: Vec<&mut dyn SimActor> =
+            actors.iter_mut().map(|b| b as &mut dyn SimActor).collect();
+        let report = run_actors(&mut refs);
+        (clients * reads_each) as f64 / report.makespan().as_secs_f64()
+    }
+
+    #[test]
+    fn small_random_reads_match_fig12_scale() {
+        // Fig. 12: 160 threads, 4 KB files → ≈ 15.4 k files/s.
+        let l = LustreSim::new(LustreConfig::default());
+        let fps = drive_reads(&l, 160, 100, 4 << 10);
+        assert!(
+            (10_000.0..30_000.0).contains(&fps),
+            "4 KB read throughput {fps:.0} files/s out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn large_reads_reach_gbps_bandwidth() {
+        // Fig. 12: 128 KB files → ≈ 2 GB/s.
+        let l = LustreSim::new(LustreConfig::default());
+        let fps = drive_reads(&l, 160, 50, 128 << 10);
+        let gbps = fps * (128 << 10) as f64 / 1e9;
+        assert!((1.0..3.5).contains(&gbps), "128 KB bandwidth {gbps:.2} GB/s");
+    }
+
+    #[test]
+    fn mds_qps_ceiling_holds() {
+        // Pure stats from many clients cannot exceed the MDS ceiling.
+        let l = LustreSim::new(LustreConfig::default());
+        let mut actors: Vec<Box<dyn FnMut(SimTime) -> Option<SimTime>>> = (0..64)
+            .map(|_| {
+                let mut left = 2000;
+                let l = &l;
+                Box::new(move |now: SimTime| {
+                    if left == 0 {
+                        return None;
+                    }
+                    left -= 1;
+                    Some(l.stat_at(now))
+                }) as Box<dyn FnMut(SimTime) -> Option<SimTime>>
+            })
+            .collect();
+        let mut refs: Vec<&mut dyn SimActor> =
+            actors.iter_mut().map(|b| b as &mut dyn SimActor).collect();
+        let report = run_actors(&mut refs);
+        let qps = (64.0 * 2000.0) / report.makespan().as_secs_f64();
+        assert!(qps < 70_000.0, "MDS ceiling violated: {qps:.0} QPS");
+        assert!(qps > 55_000.0, "MDS badly underutilized: {qps:.0} QPS");
+    }
+
+    #[test]
+    fn writes_are_much_slower_than_reads() {
+        let l = LustreSim::new(LustreConfig::default());
+        let read_fps = drive_reads(&l, 64, 200, 4 << 10);
+        l.reset();
+        let mut actors: Vec<Box<dyn FnMut(SimTime) -> Option<SimTime>>> = (0..64)
+            .map(|_| {
+                let mut left = 200;
+                let l = &l;
+                Box::new(move |now: SimTime| {
+                    if left == 0 {
+                        return None;
+                    }
+                    left -= 1;
+                    Some(l.write_file_at(now, 4 << 10))
+                }) as Box<dyn FnMut(SimTime) -> Option<SimTime>>
+            })
+            .collect();
+        let mut refs: Vec<&mut dyn SimActor> =
+            actors.iter_mut().map(|b| b as &mut dyn SimActor).collect();
+        let report = run_actors(&mut refs);
+        let write_fps = (64.0 * 200.0) / report.makespan().as_secs_f64();
+        assert!(
+            write_fps * 2.0 < read_fps,
+            "writes ({write_fps:.0}/s) should be far slower than reads ({read_fps:.0}/s)"
+        );
+        assert!((3_000.0..9_000.0).contains(&write_fps), "create rate {write_fps:.0}/s");
+    }
+
+    #[test]
+    fn ls_lr_pays_per_file_oss_rpc() {
+        // Fig. 10c: ls -R ≈ 30-40 s; ls -lR ≈ 170 s on 1.28 M files.
+        let l = LustreSim::new(LustreConfig::default());
+        let files = 1_281_167u64;
+        let dirs = 1000u64;
+        // ls -R: paged readdirs, single-threaded.
+        let mut t = SimTime::ZERO;
+        for _ in 0..dirs {
+            t = l.readdir_at(t, (files / dirs) as usize);
+        }
+        let ls_r = t;
+        assert!((15.0..60.0).contains(&ls_r.as_secs_f64()), "ls -R took {ls_r}");
+        // Per-file stat latency, measured on an idle system (the client
+        // is single-threaded, so each stat sees an unloaded server).
+        let fresh = LustreSim::new(LustreConfig::default());
+        let per_stat = fresh.stat_with_size_at(SimTime::ZERO).as_nanos();
+        let ls_lr = ls_r + SimTime::from_nanos(per_stat * files);
+        assert!(ls_lr.as_secs_f64() > 3.0 * ls_r.as_secs_f64(), "ls -lR {ls_lr} vs ls -R {ls_r}");
+        assert!((100.0..260.0).contains(&ls_lr.as_secs_f64()), "ls -lR took {ls_lr}");
+    }
+
+    #[test]
+    fn xfs_is_fast_but_not_instant() {
+        let x = XfsSim::default();
+        let ls = x.ls_recursive(1_281_167, 1001);
+        let lslr = x.ls_recursive_with_sizes(1_281_167, 1001);
+        assert!(ls.as_secs_f64() > 1.0 && ls.as_secs_f64() < 15.0, "{ls}");
+        assert!(lslr > ls);
+    }
+}

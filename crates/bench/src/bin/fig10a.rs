@@ -1,0 +1,72 @@
+//! Figure 10a — metadata QPS vs number of client nodes for 1/3/5
+//! DIESEL servers (no snapshot: every stat is a server RPC that the
+//! server answers from the KV cluster).
+//!
+//! Paper shape: with 1 server the curve flattens from ~2 client nodes;
+//! with 3 servers at ~7 nodes; with 5 servers it approaches the Redis
+//! cluster's measured ceiling (~0.97 M QPS).
+
+use diesel_bench::report::fmt_count;
+use diesel_bench::{run_uniform_clients, Table};
+use diesel_simnet::{Resource, SimTime};
+
+/// Per-stat client round trip (network + client stack).
+const CLIENT_RTT: SimTime = SimTime(100_000);
+/// DIESEL server: 16 worker threads, 64 µs service per metadata op
+/// (deserialize, KV query, reply) ⇒ ~250 k QPS per server.
+const SERVER_THREADS: usize = 16;
+const SERVER_SERVICE: SimTime = SimTime(64_000);
+/// The KV cluster ceiling: 16 instances, ~60 k QPS each ⇒ 0.97 M.
+const KV_INSTANCES: usize = 16;
+const KV_SERVICE: SimTime = SimTime(16_500);
+
+const THREADS_PER_NODE: usize = 16;
+const OPS: usize = 400;
+
+fn qps(servers: usize, client_nodes: usize) -> f64 {
+    let server_pool: Vec<Resource> =
+        (0..servers).map(|_| Resource::new("diesel-server", SERVER_THREADS)).collect();
+    let kv = Resource::new("kv-cluster", KV_INSTANCES);
+    let clients = client_nodes * THREADS_PER_NODE;
+    run_uniform_clients(clients, OPS, |c, i, now| {
+        // Clients spread over the servers round-robin.
+        let s = &server_pool[(c + i) % servers];
+        let at_server = s.acquire(now, SERVER_SERVICE);
+        // The server's KV query serializes on the shared cluster.
+        let kv_done = kv.acquire(at_server.start, KV_SERVICE).end;
+        kv_done.max_of(at_server.end) + CLIENT_RTT
+    })
+    .qps
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 10a: metadata QPS vs client nodes (16 threads/node)",
+        &["client nodes", "1 server", "3 servers", "5 servers"],
+    );
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for nodes in 1..=10usize {
+        let row: Vec<f64> =
+            [1usize, 3, 5].iter().map(|&s| qps(s, nodes)).collect();
+        for (i, v) in row.iter().enumerate() {
+            curves[i].push(*v);
+        }
+        table.row(&[
+            nodes.to_string(),
+            fmt_count(row[0]),
+            fmt_count(row[1]),
+            fmt_count(row[2]),
+        ]);
+    }
+    table.emit("fig10a");
+    diesel_bench::report::note(
+        "fig10a",
+        &format!(
+            "saturation points: 1 server flattens at {:.0}k QPS, 3 servers at {:.0}k, \
+             5 servers at {:.0}k (paper: Redis ceiling ~970k).",
+            curves[0].last().unwrap() / 1e3,
+            curves[1].last().unwrap() / 1e3,
+            curves[2].last().unwrap() / 1e3
+        ),
+    );
+}

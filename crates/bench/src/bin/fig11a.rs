@@ -1,0 +1,81 @@
+//! Figure 11a — 4 KB random-read QPS vs number of client nodes:
+//! DIESEL-API vs DIESEL-FUSE vs Memcached cluster vs Lustre.
+//!
+//! Paper anchors at 10 nodes (16 clients each): DIESEL-API > 1.2 M QPS,
+//! DIESEL-FUSE ≈ 0.8 M (> 60 % of API), Memcached ≈ 0.56 M, Lustre
+//! ≈ 0.04 M.
+
+use diesel_baselines::{LustreConfig, LustreSim, MemcachedConfig, MemcachedSim};
+use diesel_bench::report::fmt_count;
+use diesel_bench::{run_uniform_clients, DieselClusterModel, Table};
+use diesel_simnet::SimTime;
+
+const THREADS_PER_NODE: usize = 16;
+const OPS: usize = 250;
+const SIZE: u64 = 4 << 10;
+const UNIVERSE: usize = 40_000;
+
+fn diesel_qps(nodes: usize, fuse: bool) -> f64 {
+    let m = DieselClusterModel::new(nodes);
+    run_uniform_clients(nodes * THREADS_PER_NODE, OPS, |c, i, now| {
+        let node = c % nodes;
+        let owner = m.owner_of((c * 2_654_435_761 + i * 40_503) as u64);
+        m.read_at(now, node, owner, SIZE, fuse)
+    })
+    .qps
+}
+
+fn memcached_qps(nodes: usize) -> f64 {
+    let mc = MemcachedSim::new(MemcachedConfig { servers: 10, ..Default::default() });
+    let keys: Vec<String> = (0..UNIVERSE).map(|i| format!("k/{i}")).collect();
+    for k in &keys {
+        mc.write_at(SimTime::ZERO, k, SIZE);
+    }
+    mc.reset_clocks();
+    run_uniform_clients(nodes * THREADS_PER_NODE, OPS, |c, i, now| {
+        mc.read_at(now, &keys[(c * 48_271 + i * 16_807) % UNIVERSE], SIZE).0
+    })
+    .qps
+}
+
+fn lustre_qps(nodes: usize) -> f64 {
+    let l = LustreSim::new(LustreConfig::default());
+    run_uniform_clients(nodes * THREADS_PER_NODE, OPS, |_, _, now| l.read_file_at(now, SIZE))
+        .qps
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 11a: 4 KB random-read QPS vs client nodes (16 clients/node)",
+        &["nodes", "DIESEL-API", "DIESEL-FUSE", "Memcached", "Lustre"],
+    );
+    let mut last = (0.0, 0.0, 0.0, 0.0);
+    for nodes in [1usize, 2, 4, 6, 8, 10] {
+        let api = diesel_qps(nodes, false);
+        let fuse = diesel_qps(nodes, true);
+        let mc = memcached_qps(nodes);
+        let lu = lustre_qps(nodes);
+        last = (api, fuse, mc, lu);
+        table.row(&[
+            nodes.to_string(),
+            fmt_count(api),
+            fmt_count(fuse),
+            fmt_count(mc),
+            fmt_count(lu),
+        ]);
+    }
+    table.emit("fig11a");
+    let (api, fuse, mc, lu) = last;
+    diesel_bench::report::note(
+        "fig11a",
+        &format!(
+            "at 10 nodes — paper: API 1.2M / FUSE 0.8M / Memcached 0.56M / Lustre 0.04M; \
+             measured: API {} / FUSE {} ({:.0}% of API; paper >60%) / Memcached {} / Lustre {}.",
+            fmt_count(api),
+            fmt_count(fuse),
+            fuse / api * 100.0,
+            fmt_count(mc),
+            fmt_count(lu)
+        ),
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 12 — read bandwidth with the chunk-wise shuffle enabled, 10
+//! nodes × 16 threads, 4 KB and 128 KB files: DIESEL-API / DIESEL-FUSE
+//! vs Lustre.
+//!
+//! Paper anchors: 4 KB — Lustre 60.2 MB/s (15.4 k files/s), DIESEL-API
+//! 4317 MB/s (71.7×), DIESEL-FUSE 3483.7 MB/s (57.8×). 128 KB — Lustre
+//! 2001.8 MB/s, DIESEL-API 10095.3 MB/s (5.0×), DIESEL-FUSE
+//! 8712.5 MB/s (4.4×). The chunk-wise shuffle is what lets DIESEL serve
+//! these "random" file reads from chunk-resident cache memory.
+
+use diesel_baselines::{LustreConfig, LustreSim};
+use diesel_bench::report::fmt_count;
+use diesel_bench::{run_uniform_clients, DieselClusterModel, Table};
+
+const NODES: usize = 10;
+const CLIENTS: usize = NODES * 16;
+const OPS: usize = 300;
+
+fn diesel_bw(size: u64, fuse: bool) -> (f64, f64) {
+    let m = DieselClusterModel::new(NODES);
+    let out = run_uniform_clients(CLIENTS, OPS, |c, i, now| {
+        let node = c % NODES;
+        // Chunk-wise shuffle ⇒ the needed chunk is already resident on
+        // its owner; reads hit local or one-hop cache memory.
+        let owner = m.owner_of((c * 1_103_515_245 + i * 12_345) as u64);
+        m.read_at(now, node, owner, size, fuse)
+    });
+    (out.qps * size as f64 / 1e6, out.qps)
+}
+
+fn lustre_bw(size: u64) -> (f64, f64) {
+    let l = LustreSim::new(LustreConfig::default());
+    let out = run_uniform_clients(CLIENTS, OPS, |_, _, now| l.read_file_at(now, size));
+    (out.qps * size as f64 / 1e6, out.qps)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 12: read bandwidth with chunk-wise shuffle (10 nodes, 160 threads)",
+        &["system", "size", "MB/s", "files/s", "vs Lustre", "paper vs Lustre"],
+    );
+    for &(label, size, paper_api, paper_fuse) in
+        &[("4KB", 4u64 << 10, 71.7, 57.8), ("128KB", 128 << 10, 5.0, 4.4)]
+    {
+        let (lu_mb, lu_fps) = lustre_bw(size);
+        let (api_mb, api_fps) = diesel_bw(size, false);
+        let (fuse_mb, fuse_fps) = diesel_bw(size, true);
+        table.row(&[
+            "Lustre".into(),
+            label.into(),
+            format!("{lu_mb:.1}"),
+            fmt_count(lu_fps),
+            "1.0x".into(),
+            "1.0x".into(),
+        ]);
+        table.row(&[
+            "DIESEL-API".into(),
+            label.into(),
+            format!("{api_mb:.1}"),
+            fmt_count(api_fps),
+            format!("{:.1}x", api_mb / lu_mb),
+            format!("{paper_api:.1}x"),
+        ]);
+        table.row(&[
+            "DIESEL-FUSE".into(),
+            label.into(),
+            format!("{fuse_mb:.1}"),
+            fmt_count(fuse_fps),
+            format!("{:.1}x", fuse_mb / lu_mb),
+            format!("{paper_fuse:.1}x"),
+        ]);
+    }
+    table.emit("fig12");
+    diesel_bench::report::note(
+        "fig12",
+        "shape check: the 4 KB speedup is an order of magnitude larger than the 128 KB \
+         speedup — small random reads are where per-file RPC overhead dominates, and \
+         where converting them to chunk reads pays most.",
+    );
+}

@@ -1,0 +1,66 @@
+//! Deterministic simulated-client drivers shared by the experiment
+//! binaries.
+
+use diesel_simnet::{run_actors, SimActor, SimTime};
+
+/// Aggregate outcome of one driven workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOutcome {
+    /// Total operations completed.
+    pub ops: u64,
+    /// Simulation makespan.
+    pub makespan: SimTime,
+    /// Operations per simulated second.
+    pub qps: f64,
+}
+
+/// Drive `clients` simulated clients, each performing `ops_each`
+/// operations; `op(client, op_index, now) -> completion` computes one
+/// operation's completion time. Deterministic (least-clock-first).
+pub fn run_uniform_clients(
+    clients: usize,
+    ops_each: usize,
+    op: impl Fn(usize, usize, SimTime) -> SimTime + Sync,
+) -> ClientOutcome {
+    let mut actors: Vec<Box<dyn FnMut(SimTime) -> Option<SimTime> + '_>> = (0..clients)
+        .map(|c| {
+            let mut i = 0usize;
+            let op = &op;
+            Box::new(move |now: SimTime| {
+                if i == ops_each {
+                    return None;
+                }
+                let done = op(c, i, now);
+                i += 1;
+                Some(done)
+            }) as Box<dyn FnMut(SimTime) -> Option<SimTime> + '_>
+        })
+        .collect();
+    let mut refs: Vec<&mut dyn SimActor> =
+        actors.iter_mut().map(|b| b as &mut dyn SimActor).collect();
+    let report = run_actors(&mut refs);
+    let ops = (clients * ops_each) as u64;
+    let makespan = report.makespan();
+    let qps = if makespan == SimTime::ZERO { 0.0 } else { ops as f64 / makespan.as_secs_f64() };
+    ClientOutcome { ops, makespan, qps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_cost_ops_give_exact_qps() {
+        let out = run_uniform_clients(4, 100, |_, _, now| now + SimTime::from_millis(1));
+        assert_eq!(out.ops, 400);
+        assert_eq!(out.makespan, SimTime::from_millis(100));
+        assert!((out.qps - 4000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_clients() {
+        let out = run_uniform_clients(0, 100, |_, _, now| now);
+        assert_eq!(out.ops, 0);
+        assert_eq!(out.qps, 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Dataset partitioning: assigning chunks to the task's cache nodes.
+//!
+//! The master clients "participate in dataset partitioning" (§4.2): the
+//! sorted chunk list is dealt round-robin across physical nodes, so every
+//! node caches an equal share and any client can compute the owner of any
+//! chunk locally — no directory service, no extra hop.
+
+use std::collections::HashMap;
+
+use diesel_chunk::ChunkId;
+
+/// The chunk → node assignment for one dataset in one task.
+#[derive(Debug, Clone)]
+pub struct ChunkPartition {
+    owner: HashMap<ChunkId, usize>,
+    per_node: Vec<Vec<ChunkId>>,
+}
+
+impl ChunkPartition {
+    /// Deal `chunks` (any order; they are sorted internally so that all
+    /// peers agree) round-robin over `nodes`.
+    pub fn new(mut chunks: Vec<ChunkId>, nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        chunks.sort_unstable();
+        chunks.dedup();
+        let mut owner = HashMap::with_capacity(chunks.len());
+        let mut per_node = vec![Vec::new(); nodes];
+        for (i, c) in chunks.iter().enumerate() {
+            let node = i % nodes;
+            owner.insert(*c, node);
+            per_node[node].push(*c);
+        }
+        ChunkPartition { owner, per_node }
+    }
+
+    /// The node owning `chunk`, if it belongs to the dataset.
+    pub fn owner_of(&self, chunk: ChunkId) -> Option<usize> {
+        self.owner.get(&chunk).copied()
+    }
+
+    /// The chunks assigned to `node`.
+    pub fn chunks_of(&self, node: usize) -> &[ChunkId] {
+        &self.per_node[node]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Total number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.owner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diesel_chunk::ChunkIdGenerator;
+
+    fn chunks(n: usize) -> Vec<ChunkId> {
+        let g = ChunkIdGenerator::deterministic(1, 1, 10);
+        (0..n).map(|_| g.next_id()).collect()
+    }
+
+    #[test]
+    fn balanced_assignment() {
+        let p = ChunkPartition::new(chunks(100), 4);
+        assert_eq!(p.chunk_count(), 100);
+        for node in 0..4 {
+            assert_eq!(p.chunks_of(node).len(), 25);
+        }
+    }
+
+    #[test]
+    fn uneven_remainder_spreads_front_nodes() {
+        let p = ChunkPartition::new(chunks(10), 3);
+        let sizes: Vec<usize> = (0..3).map(|n| p.chunks_of(n).len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn owner_lookup_agrees_with_per_node_lists() {
+        let p = ChunkPartition::new(chunks(37), 5);
+        for node in 0..5 {
+            for &c in p.chunks_of(node) {
+                assert_eq!(p.owner_of(c), Some(node));
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_order_independent() {
+        let mut cs = chunks(50);
+        let p1 = ChunkPartition::new(cs.clone(), 4);
+        cs.reverse();
+        let p2 = ChunkPartition::new(cs.clone(), 4);
+        for c in &cs {
+            assert_eq!(p1.owner_of(*c), p2.owner_of(*c), "peers must agree on owners");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut cs = chunks(10);
+        cs.extend(cs.clone());
+        let p = ChunkPartition::new(cs, 2);
+        assert_eq!(p.chunk_count(), 10);
+    }
+
+    #[test]
+    fn unknown_chunk_has_no_owner() {
+        let p = ChunkPartition::new(chunks(5), 2);
+        let foreign = ChunkIdGenerator::deterministic(99, 99, 99).next_id();
+        assert_eq!(p.owner_of(foreign), None);
+    }
+}

@@ -1,0 +1,579 @@
+//! The task-grained distributed cache proper.
+//!
+//! One [`TaskCache`] exists per DLT task. It holds the task's dataset in
+//! per-node chunk caches: any client resolves a file's chunk owner from
+//! the shared [`ChunkPartition`] and fetches the file in one hop. Chunks
+//! are loaded from the backing object store *whole* — the property that
+//! makes warm-up and recovery fast (Fig. 11b).
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use diesel_chunk::{ChunkHeader, ChunkId};
+use diesel_meta::recovery::chunk_object_key;
+use diesel_meta::FileMeta;
+use diesel_store::{Bytes, ObjectStore};
+
+use crate::partition::ChunkPartition;
+use crate::topology::Topology;
+use crate::{CacheError, Result};
+
+/// When the cache pulls chunks from the backing store (§4.2 "Cache
+/// Policies").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Pull the whole partition right after registration, while the user
+    /// is still loading checkpoints — hides first-epoch latency.
+    Oneshot,
+    /// Pull each chunk on its first miss; the first epoch is slower, the
+    /// rest are fully cached.
+    OnDemand,
+}
+
+/// Cache construction parameters.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Memory budget per node for cached chunks.
+    pub capacity_bytes_per_node: u64,
+    /// Fill policy.
+    pub policy: CachePolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity_bytes_per_node: 8 << 30, policy: CachePolicy::OnDemand }
+    }
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// File reads served.
+    pub file_reads: u64,
+    /// File reads whose chunk was already resident on its owner.
+    pub chunk_hits: u64,
+    /// Chunks loaded from the backing store.
+    pub chunk_loads: u64,
+    /// Bytes loaded from the backing store.
+    pub bytes_loaded: u64,
+    /// Chunks evicted for capacity.
+    pub evictions: u64,
+}
+
+/// Result of a prefetch/recovery sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Chunks loaded.
+    pub chunks_loaded: u64,
+    /// Bytes loaded.
+    pub bytes_loaded: u64,
+}
+
+/// A file fetched through the cache, with routing info for accounting.
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    /// The file content.
+    pub data: Bytes,
+    /// Node that served it.
+    pub owner_node: usize,
+    /// Whether the chunk was already resident (false ⇒ a backing-store
+    /// chunk load happened on this access).
+    pub chunk_hit: bool,
+}
+
+#[derive(Debug)]
+struct CachedChunk {
+    bytes: Bytes,
+    header_len: u32,
+}
+
+#[derive(Debug, Default)]
+struct NodeInner {
+    chunks: HashMap<ChunkId, CachedChunk>,
+    lru: VecDeque<ChunkId>,
+    resident_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct NodeState {
+    down: AtomicBool,
+    inner: Mutex<NodeInner>,
+}
+
+/// The distributed cache of one DLT task.
+pub struct TaskCache<S> {
+    topology: Topology,
+    partition: ChunkPartition,
+    backing: Arc<S>,
+    dataset: String,
+    config: CacheConfig,
+    verify_on_load: AtomicBool,
+    nodes: Vec<NodeState>,
+    file_reads: AtomicU64,
+    chunk_hits: AtomicU64,
+    chunk_loads: AtomicU64,
+    bytes_loaded: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<S: ObjectStore> TaskCache<S> {
+    /// Build the cache for `dataset`, whose chunks are `chunks`, across
+    /// the nodes of `topology`.
+    pub fn new(
+        topology: Topology,
+        backing: Arc<S>,
+        dataset: impl Into<String>,
+        chunks: Vec<ChunkId>,
+        config: CacheConfig,
+    ) -> Self {
+        let p = topology.node_count();
+        TaskCache {
+            topology,
+            partition: ChunkPartition::new(chunks, p),
+            backing,
+            dataset: dataset.into(),
+            config,
+            verify_on_load: AtomicBool::new(false),
+            nodes: (0..p).map(|_| NodeState::default()).collect(),
+            file_reads: AtomicU64::new(0),
+            chunk_hits: AtomicU64::new(0),
+            chunk_loads: AtomicU64::new(0),
+            bytes_loaded: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Verify every per-file CRC when a chunk is loaded from the
+    /// backing store (catches storage-layer corruption at the cost of
+    /// one checksum pass per load). Off by default: the header CRC is
+    /// always checked.
+    pub fn set_verify_on_load(&self, on: bool) {
+        self.verify_on_load.store(on, Ordering::Release);
+    }
+
+    /// The task topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The chunk partition map.
+    pub fn partition(&self) -> &ChunkPartition {
+        &self.partition
+    }
+
+    /// Oneshot prefetch: load every node's partition, chunk by chunk
+    /// (call right after task registration; §4.2).
+    pub fn prefetch_all(&self) -> Result<LoadReport> {
+        let mut report = LoadReport::default();
+        for node in 0..self.nodes.len() {
+            let r = self.load_partition(node)?;
+            report.chunks_loaded += r.chunks_loaded;
+            report.bytes_loaded += r.bytes_loaded;
+        }
+        Ok(report)
+    }
+
+    /// Oneshot prefetch in the background: "the DIESEL client caches the
+    /// dataset in the background when the user loads the training models
+    /// from disk" (§4.2). Returns the worker handle; reads proceed
+    /// concurrently (misses load on demand and de-duplicate against the
+    /// prefetcher).
+    pub fn prefetch_background(self: &Arc<Self>) -> std::thread::JoinHandle<Result<LoadReport>>
+    where
+        S: 'static,
+    {
+        let me = Arc::clone(self);
+        std::thread::spawn(move || me.prefetch_all())
+    }
+
+    /// Fraction of the dataset's chunks currently resident (the "cache
+    /// hit ratio" axis of Figs. 6/11b).
+    pub fn resident_fraction(&self) -> f64 {
+        let total = self.partition.chunk_count();
+        if total == 0 {
+            return 1.0;
+        }
+        let resident: usize = self.nodes.iter().map(|n| n.inner.lock().chunks.len()).sum();
+        resident as f64 / total as f64
+    }
+
+    /// Bytes resident on one node.
+    pub fn node_resident_bytes(&self, node: usize) -> u64 {
+        self.nodes[node].inner.lock().resident_bytes
+    }
+
+    /// Kill a node: its cached chunks are gone and requests routed to it
+    /// fail until [`TaskCache::recover_node`].
+    pub fn kill_node(&self, node: usize) {
+        self.nodes[node].down.store(true, Ordering::Release);
+        let mut inner = self.nodes[node].inner.lock();
+        *inner = NodeInner::default();
+    }
+
+    /// Is `node` down?
+    pub fn is_node_down(&self, node: usize) -> bool {
+        self.nodes[node].down.load(Ordering::Acquire)
+    }
+
+    /// Bring a node back and reload its partition chunk-wise from the
+    /// backing store. Returns what was loaded (the Fig. 11b recovery
+    /// measurement).
+    pub fn recover_node(&self, node: usize) -> Result<LoadReport> {
+        self.nodes[node].down.store(false, Ordering::Release);
+        self.load_partition(node)
+    }
+
+    fn load_partition(&self, node: usize) -> Result<LoadReport> {
+        if self.is_node_down(node) {
+            return Err(CacheError::NodeDown { node });
+        }
+        let mut report = LoadReport::default();
+        for &chunk in self.partition.chunks_of(node) {
+            let (loaded, bytes) = self.ensure_chunk(node, chunk)?;
+            if loaded {
+                report.chunks_loaded += 1;
+                report.bytes_loaded += bytes;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Read a whole file through the cache.
+    pub fn get_file(&self, meta: &FileMeta) -> Result<Fetched> {
+        self.file_reads.fetch_add(1, Ordering::Relaxed);
+        let Some(owner) = self.partition.owner_of(meta.chunk) else {
+            return Err(CacheError::UnknownChunk(meta.chunk.encode()));
+        };
+        if self.is_node_down(owner) {
+            return Err(CacheError::NodeDown { node: owner });
+        }
+        // Fast path: chunk resident on its owner.
+        {
+            let inner = self.nodes[owner].inner.lock();
+            if let Some(c) = inner.chunks.get(&meta.chunk) {
+                self.chunk_hits.fetch_add(1, Ordering::Relaxed);
+                let data = slice_file(c, meta)?;
+                return Ok(Fetched { data, owner_node: owner, chunk_hit: true });
+            }
+        }
+        // Miss: load the whole chunk (any policy — Oneshot may have
+        // evicted under memory pressure), then serve.
+        self.ensure_chunk(owner, meta.chunk)?;
+        let inner = self.nodes[owner].inner.lock();
+        let c = inner
+            .chunks
+            .get(&meta.chunk)
+            .ok_or_else(|| CacheError::UnknownChunk(meta.chunk.encode()))?;
+        let data = slice_file(c, meta)?;
+        Ok(Fetched { data, owner_node: owner, chunk_hit: false })
+    }
+
+    /// Ensure `chunk` is resident on `node`; returns `(loaded now?,
+    /// chunk bytes)`.
+    fn ensure_chunk(&self, node: usize, chunk: ChunkId) -> Result<(bool, u64)> {
+        {
+            let inner = self.nodes[node].inner.lock();
+            if inner.chunks.contains_key(&chunk) {
+                return Ok((false, 0));
+            }
+        }
+        let key = chunk_object_key(&self.dataset, chunk);
+        let bytes = self
+            .backing
+            .get(&key)
+            .map_err(|e| CacheError::Backing(e.to_string()))?;
+        let header = ChunkHeader::decode(&bytes).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+        if self.verify_on_load.load(Ordering::Acquire) {
+            let reader = diesel_chunk::ChunkReader::parse(&bytes)
+                .map_err(|e| CacheError::Corrupt(e.to_string()))?;
+            let bad = reader.verify_all();
+            if !bad.is_empty() {
+                return Err(CacheError::Corrupt(format!(
+                    "chunk {chunk} holds corrupt files: {bad:?}"
+                )));
+            }
+        }
+        let size = bytes.len() as u64;
+        let mut inner = self.nodes[node].inner.lock();
+        if inner.chunks.contains_key(&chunk) {
+            return Ok((false, 0)); // raced with another client
+        }
+        // LRU eviction against the node budget.
+        while inner.resident_bytes + size > self.config.capacity_bytes_per_node {
+            let Some(victim) = inner.lru.pop_front() else { break };
+            if let Some(v) = inner.chunks.remove(&victim) {
+                inner.resident_bytes -= v.bytes.len() as u64;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.chunks.insert(chunk, CachedChunk { bytes, header_len: header.header_len });
+        inner.lru.push_back(chunk);
+        inner.resident_bytes += size;
+        drop(inner);
+        self.chunk_loads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_loaded.fetch_add(size, Ordering::Relaxed);
+        Ok((true, size))
+    }
+}
+
+fn slice_file(c: &CachedChunk, meta: &FileMeta) -> Result<Bytes> {
+    let start = c.header_len as usize + meta.offset as usize;
+    let end = start + meta.length as usize;
+    if end > c.bytes.len() {
+        return Err(CacheError::Corrupt(format!(
+            "file range {start}..{end} outside chunk of {} bytes",
+            c.bytes.len()
+        )));
+    }
+    Ok(c.bytes.slice(start..end))
+}
+
+impl<S> TaskCache<S> {
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            file_reads: self.file_reads.load(Ordering::Relaxed),
+            chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
+            chunk_loads: self.chunk_loads.load(Ordering::Relaxed),
+            bytes_loaded: self.bytes_loaded.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for TaskCache<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCache")
+            .field("dataset", &self.dataset)
+            .field("nodes", &self.nodes.len())
+            .field("chunks", &self.partition.chunk_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diesel_chunk::{ChunkBuilderConfig, ChunkIdGenerator, ChunkWriter};
+    use diesel_kv::ShardedKv;
+    use diesel_meta::MetaService;
+    use diesel_store::MemObjectStore;
+
+    /// Build a dataset of `files` files of `file_size` bytes in small
+    /// chunks; returns (store, metadata service, file metas by name).
+    fn dataset(
+        files: usize,
+        file_size: usize,
+        chunk_size: usize,
+    ) -> (Arc<MemObjectStore>, Vec<(String, FileMeta)>, Vec<ChunkId>) {
+        let store = Arc::new(MemObjectStore::new());
+        let svc = MetaService::new(Arc::new(ShardedKv::new()));
+        let ids = ChunkIdGenerator::deterministic(1, 1, 100);
+        let cfg = ChunkBuilderConfig { target_chunk_size: chunk_size, ..Default::default() };
+        let mut w = ChunkWriter::new(cfg, &ids).with_clock(|| 1);
+        for i in 0..files {
+            w.add_file(&format!("f{i:04}"), &vec![(i % 251) as u8; file_size]).unwrap();
+        }
+        for sealed in w.finish() {
+            store
+                .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes.clone()))
+                .unwrap();
+            svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
+        }
+        let snap = svc.build_snapshot("ds").unwrap();
+        let metas = snap.files.iter().map(|f| (f.path.clone(), f.meta)).collect();
+        (store, metas, snap.chunks)
+    }
+
+    fn cache(
+        store: Arc<MemObjectStore>,
+        chunks: Vec<ChunkId>,
+        nodes: usize,
+        cap: u64,
+        policy: CachePolicy,
+    ) -> TaskCache<MemObjectStore> {
+        TaskCache::new(
+            Topology::uniform(nodes, 4),
+            store,
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: cap, policy },
+        )
+    }
+
+    #[test]
+    fn oneshot_prefetch_then_all_hits() {
+        let (store, metas, chunks) = dataset(60, 200, 2048);
+        let c = cache(store, chunks.clone(), 3, 1 << 30, CachePolicy::Oneshot);
+        let report = c.prefetch_all().unwrap();
+        assert_eq!(report.chunks_loaded as usize, chunks.len());
+        assert!((c.resident_fraction() - 1.0).abs() < 1e-9);
+        for (name, meta) in &metas {
+            let f = c.get_file(meta).unwrap();
+            assert!(f.chunk_hit, "{name} should hit after prefetch");
+            assert_eq!(f.data.len(), 200);
+        }
+        let s = c.stats();
+        assert_eq!(s.file_reads, 60);
+        assert_eq!(s.chunk_hits, 60);
+        assert_eq!(s.chunk_loads as usize, chunks.len());
+    }
+
+    #[test]
+    fn on_demand_fills_during_first_epoch() {
+        let (store, metas, chunks) = dataset(40, 100, 1024);
+        let c = cache(store, chunks.clone(), 2, 1 << 30, CachePolicy::OnDemand);
+        assert_eq!(c.resident_fraction(), 0.0);
+        let mut first_epoch_misses = 0;
+        for (_, meta) in &metas {
+            if !c.get_file(meta).unwrap().chunk_hit {
+                first_epoch_misses += 1;
+            }
+        }
+        assert_eq!(first_epoch_misses as usize, chunks.len(), "one miss per chunk");
+        // Second epoch: everything hits.
+        for (_, meta) in &metas {
+            assert!(c.get_file(meta).unwrap().chunk_hit);
+        }
+        assert_eq!(c.stats().chunk_loads as usize, chunks.len());
+    }
+
+    #[test]
+    fn file_bytes_are_correct() {
+        let (store, metas, chunks) = dataset(10, 333, 4096);
+        let c = cache(store, chunks, 2, 1 << 30, CachePolicy::OnDemand);
+        for (name, meta) in &metas {
+            let i: usize = name[1..].parse().unwrap();
+            let f = c.get_file(meta).unwrap();
+            assert_eq!(f.data.as_ref(), &vec![(i % 251) as u8; 333][..], "content of {name}");
+        }
+    }
+
+    #[test]
+    fn node_failure_is_contained_and_recoverable() {
+        let (store, metas, chunks) = dataset(60, 200, 2048);
+        let c = cache(store, chunks.clone(), 3, 1 << 30, CachePolicy::Oneshot);
+        c.prefetch_all().unwrap();
+        c.kill_node(1);
+        assert!(c.is_node_down(1));
+        assert!(c.resident_fraction() < 1.0, "killed node dropped its chunks");
+
+        let mut down_errors = 0;
+        let mut served = 0;
+        for (_, meta) in &metas {
+            match c.get_file(meta) {
+                Ok(_) => served += 1,
+                Err(CacheError::NodeDown { node: 1 }) => down_errors += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(down_errors > 0, "node 1's share must fail");
+        assert!(served > 0, "other nodes keep serving (containment)");
+
+        // Chunk-wise recovery reloads exactly node 1's partition.
+        let report = c.recover_node(1).unwrap();
+        assert_eq!(report.chunks_loaded as usize, c.partition().chunks_of(1).len());
+        for (_, meta) in &metas {
+            assert!(c.get_file(meta).is_ok());
+        }
+        assert!((c.resident_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_constrained_node_evicts_lru() {
+        let (store, metas, chunks) = dataset(64, 512, 2048);
+        // Budget fits only ~2 chunks per node.
+        let c = cache(store, chunks.clone(), 2, 6000, CachePolicy::OnDemand);
+        for (_, meta) in &metas {
+            c.get_file(meta).unwrap();
+        }
+        let s = c.stats();
+        assert!(s.evictions > 0, "capacity pressure must evict");
+        for node in 0..2 {
+            assert!(c.node_resident_bytes(node) <= 6000);
+        }
+        // Reads still correct under thrashing.
+        for (_, meta) in metas.iter().take(5) {
+            assert_eq!(c.get_file(meta).unwrap().data.len(), 512);
+        }
+    }
+
+    #[test]
+    fn unknown_chunk_rejected() {
+        let (store, _, chunks) = dataset(4, 64, 4096);
+        let c = cache(store, chunks, 1, 1 << 30, CachePolicy::OnDemand);
+        let foreign = FileMeta {
+            chunk: ChunkIdGenerator::deterministic(9, 9, 9).next_id(),
+            index_in_chunk: 0,
+            offset: 0,
+            length: 1,
+            uploaded_ms: 0,
+        };
+        assert!(matches!(c.get_file(&foreign), Err(CacheError::UnknownChunk(_))));
+    }
+
+    #[test]
+    fn corrupt_meta_range_rejected() {
+        let (store, metas, chunks) = dataset(4, 64, 4096);
+        let c = cache(store, chunks, 1, 1 << 30, CachePolicy::OnDemand);
+        let mut meta = metas[0].1;
+        meta.length = 1 << 30;
+        assert!(matches!(c.get_file(&meta), Err(CacheError::Corrupt(_))));
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_chunk_load() {
+        let (store, metas, chunks) = dataset(32, 256, 1 << 20);
+        assert_eq!(chunks.len(), 1, "one big chunk expected");
+        let c = Arc::new(cache(store, chunks, 1, 1 << 30, CachePolicy::OnDemand));
+        let metas = Arc::new(metas);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                let metas = metas.clone();
+                std::thread::spawn(move || {
+                    for (_, meta) in metas.iter() {
+                        c.get_file(meta).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.stats().chunk_loads, 1, "chunk must be loaded exactly once");
+        assert_eq!(c.stats().file_reads, 8 * 32);
+    }
+
+    #[test]
+    fn background_prefetch_overlaps_with_reads() {
+        let (store, metas, chunks) = dataset(80, 300, 2048);
+        let c = Arc::new(cache(store, chunks.clone(), 2, 1 << 30, CachePolicy::Oneshot));
+        let handle = c.prefetch_background();
+        // Reads during warm-up: every one must succeed (miss ⇒ on-demand
+        // load that de-duplicates with the prefetcher).
+        for (_, meta) in &metas {
+            assert_eq!(c.get_file(meta).unwrap().data.len(), 300);
+        }
+        let report = handle.join().unwrap().unwrap();
+        // The prefetcher and readers together load each chunk exactly once.
+        assert_eq!(c.stats().chunk_loads as usize, chunks.len());
+        assert!(report.chunks_loaded as usize <= chunks.len());
+        assert!((c.resident_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_counts_bytes() {
+        let (store, _, chunks) = dataset(20, 100, 1024);
+        let total_backing: u64 = store.total_bytes();
+        let c = cache(store, chunks, 2, 1 << 30, CachePolicy::Oneshot);
+        let report = c.prefetch_all().unwrap();
+        assert_eq!(report.bytes_loaded, total_backing);
+        // Prefetch again: nothing new to load.
+        let again = c.prefetch_all().unwrap();
+        assert_eq!(again, LoadReport::default());
+    }
+}

@@ -1,0 +1,345 @@
+//! Message-passing transport between cache peers.
+//!
+//! The real DIESEL uses Apache Thrift between clients ("Peers in the
+//! task-grained distributed caching system also use Thrift to exchange
+//! data", §5). This module provides the in-process equivalent with real
+//! message passing: each master client runs a [`PeerServer`] thread that
+//! owns its chunk data and serves fetch requests arriving on a crossbeam
+//! channel; [`PeerHandle`]s are the "connections" other clients hold.
+//!
+//! The shared-memory [`TaskCache`](crate::task_cache::TaskCache) remains
+//! the fast path for single-process deployments; [`RpcCache`] composes
+//! peer servers into the same one-hop read protocol over channels, and
+//! the tests assert both give identical results.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use diesel_chunk::{ChunkHeader, ChunkId};
+use diesel_meta::recovery::chunk_object_key;
+use diesel_meta::FileMeta;
+use diesel_store::{Bytes, ObjectStore};
+
+use crate::partition::ChunkPartition;
+use crate::{CacheError, Result};
+
+/// A fetch request to a peer.
+#[derive(Debug)]
+enum Request {
+    /// Read one file out of a chunk the peer owns.
+    FetchFile {
+        /// File location.
+        meta: FileMeta,
+        /// Where to send the reply.
+        reply: Sender<Result<Bytes>>,
+    },
+    /// Fetch a whole chunk (used by recovering peers / chunk-wise reads).
+    FetchChunk {
+        /// The chunk ID.
+        chunk: ChunkId,
+        /// Where to send the reply.
+        reply: Sender<Result<Bytes>>,
+    },
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// A connection to one peer (clone per client; channels are MPMC).
+#[derive(Debug, Clone)]
+pub struct PeerHandle {
+    tx: Sender<Request>,
+}
+
+impl PeerHandle {
+    /// Fetch a file from the peer (one hop, blocking).
+    pub fn fetch_file(&self, meta: &FileMeta) -> Result<Bytes> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Request::FetchFile { meta: *meta, reply: reply_tx })
+            .map_err(|_| CacheError::NodeDown { node: usize::MAX })?;
+        reply_rx.recv().map_err(|_| CacheError::NodeDown { node: usize::MAX })?
+    }
+
+    /// Fetch a whole chunk from the peer.
+    pub fn fetch_chunk(&self, chunk: ChunkId) -> Result<Bytes> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Request::FetchChunk { chunk, reply: reply_tx })
+            .map_err(|_| CacheError::NodeDown { node: usize::MAX })?;
+        reply_rx.recv().map_err(|_| CacheError::NodeDown { node: usize::MAX })?
+    }
+}
+
+/// One master client's serving thread: owns its partition's chunks.
+pub struct PeerServer {
+    handle: PeerHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+struct PeerState<S> {
+    node: usize,
+    dataset: String,
+    backing: Arc<S>,
+    chunks: HashMap<ChunkId, (Bytes, u32)>, // bytes + header_len
+}
+
+impl<S: ObjectStore> PeerState<S> {
+    fn ensure_chunk(&mut self, chunk: ChunkId) -> Result<&(Bytes, u32)> {
+        if !self.chunks.contains_key(&chunk) {
+            let key = chunk_object_key(&self.dataset, chunk);
+            let bytes = self
+                .backing
+                .get(&key)
+                .map_err(|e| CacheError::Backing(e.to_string()))?;
+            let header =
+                ChunkHeader::decode(&bytes).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+            self.chunks.insert(chunk, (bytes, header.header_len));
+        }
+        Ok(self.chunks.get(&chunk).expect("just inserted"))
+    }
+
+    fn serve(mut self, rx: Receiver<Request>) {
+        let _ = self.node;
+        while let Ok(req) = rx.recv() {
+            match req {
+                Request::FetchFile { meta, reply } => {
+                    let out = self.ensure_chunk(meta.chunk).and_then(|(bytes, hlen)| {
+                        let start = *hlen as usize + meta.offset as usize;
+                        let end = start + meta.length as usize;
+                        if end > bytes.len() {
+                            Err(CacheError::Corrupt(format!(
+                                "range {start}..{end} outside chunk"
+                            )))
+                        } else {
+                            Ok(bytes.slice(start..end))
+                        }
+                    });
+                    let _ = reply.send(out);
+                }
+                Request::FetchChunk { chunk, reply } => {
+                    let out = self.ensure_chunk(chunk).map(|(bytes, _)| bytes.clone());
+                    let _ = reply.send(out);
+                }
+                Request::Shutdown => break,
+            }
+        }
+    }
+}
+
+impl PeerServer {
+    /// Spawn a serving thread for node `node`, loading chunks lazily
+    /// from `backing`.
+    pub fn spawn<S: ObjectStore + 'static>(
+        node: usize,
+        dataset: impl Into<String>,
+        backing: Arc<S>,
+    ) -> Self {
+        let (tx, rx) = unbounded();
+        let state =
+            PeerState { node, dataset: dataset.into(), backing, chunks: HashMap::new() };
+        let thread = std::thread::Builder::new()
+            .name(format!("diesel-peer-{node}"))
+            .spawn(move || state.serve(rx))
+            .expect("spawn peer thread");
+        PeerServer { handle: PeerHandle { tx }, thread: Some(thread) }
+    }
+
+    /// A connection handle to this peer.
+    pub fn handle(&self) -> PeerHandle {
+        self.handle.clone()
+    }
+
+    /// Stop the peer (simulating a node crash: in-flight and future
+    /// requests fail).
+    pub fn kill(&mut self) {
+        let _ = self.handle.tx.send(Request::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PeerServer {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl std::fmt::Debug for PeerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerServer").finish_non_exhaustive()
+    }
+}
+
+/// A task cache whose one-hop reads really cross threads: one
+/// [`PeerServer`] per node, clients routing via the shared partition.
+pub struct RpcCache {
+    partition: ChunkPartition,
+    peers: Vec<PeerServer>,
+}
+
+impl RpcCache {
+    /// Spawn `nodes` peer servers for `dataset`.
+    pub fn spawn<S: ObjectStore + 'static>(
+        nodes: usize,
+        dataset: &str,
+        backing: Arc<S>,
+        chunks: Vec<ChunkId>,
+    ) -> Self {
+        let partition = ChunkPartition::new(chunks, nodes);
+        let peers = (0..nodes)
+            .map(|n| PeerServer::spawn(n, dataset, backing.clone()))
+            .collect();
+        RpcCache { partition, peers }
+    }
+
+    /// The partition map (all clients share it, so owner lookup is
+    /// local — no directory hop).
+    pub fn partition(&self) -> &ChunkPartition {
+        &self.partition
+    }
+
+    /// Read a file via its owner peer (one message round trip).
+    pub fn get_file(&self, meta: &FileMeta) -> Result<Bytes> {
+        let owner = self
+            .partition
+            .owner_of(meta.chunk)
+            .ok_or_else(|| CacheError::UnknownChunk(meta.chunk.encode()))?;
+        self.peers[owner].handle().fetch_file(meta).map_err(|e| match e {
+            CacheError::NodeDown { .. } => CacheError::NodeDown { node: owner },
+            other => other,
+        })
+    }
+
+    /// Kill one node's peer server.
+    pub fn kill_node(&mut self, node: usize) {
+        self.peers[node].kill();
+    }
+}
+
+impl std::fmt::Debug for RpcCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcCache").field("nodes", &self.peers.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task_cache::{CacheConfig, CachePolicy, TaskCache};
+    use crate::topology::Topology;
+    use diesel_chunk::{ChunkBuilderConfig, ChunkIdGenerator, ChunkWriter};
+    use diesel_kv::ShardedKv;
+    use diesel_meta::MetaService;
+    use diesel_store::MemObjectStore;
+
+    fn dataset(files: usize) -> (Arc<MemObjectStore>, Vec<(String, FileMeta)>, Vec<ChunkId>) {
+        let store = Arc::new(MemObjectStore::new());
+        let svc = MetaService::new(Arc::new(ShardedKv::new()));
+        let ids = ChunkIdGenerator::deterministic(5, 5, 55);
+        let cfg = ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() };
+        let mut w = ChunkWriter::new(cfg, &ids).with_clock(|| 1);
+        for i in 0..files {
+            w.add_file(&format!("f{i:04}"), &vec![(i % 251) as u8; 300]).unwrap();
+        }
+        for sealed in w.finish() {
+            store
+                .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes.clone()))
+                .unwrap();
+            svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
+        }
+        let snap = svc.build_snapshot("ds").unwrap();
+        let metas = snap.files.iter().map(|f| (f.path.clone(), f.meta)).collect();
+        (store, metas, snap.chunks)
+    }
+
+    #[test]
+    fn rpc_reads_cross_real_threads() {
+        let (store, metas, chunks) = dataset(60);
+        let rpc = RpcCache::spawn(3, "ds", store, chunks);
+        for (name, meta) in &metas {
+            let i: usize = name[1..].parse().unwrap();
+            assert_eq!(rpc.get_file(meta).unwrap().as_ref(), &vec![(i % 251) as u8; 300][..]);
+        }
+    }
+
+    #[test]
+    fn rpc_and_shared_memory_caches_agree() {
+        let (store, metas, chunks) = dataset(50);
+        let rpc = RpcCache::spawn(2, "ds", store.clone(), chunks.clone());
+        let shm = TaskCache::new(
+            Topology::uniform(2, 2),
+            store,
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
+        );
+        for (_, meta) in &metas {
+            assert_eq!(rpc.get_file(meta).unwrap(), shm.get_file(meta).unwrap().data);
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_share_peers() {
+        let (store, metas, chunks) = dataset(80);
+        let rpc = Arc::new(RpcCache::spawn(4, "ds", store, chunks));
+        let metas = Arc::new(metas);
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let rpc = rpc.clone();
+                let metas = metas.clone();
+                std::thread::spawn(move || {
+                    for (i, (_, meta)) in metas.iter().enumerate() {
+                        if i % 8 == t {
+                            rpc.get_file(meta).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn killed_peer_fails_its_partition_only() {
+        let (store, metas, chunks) = dataset(60);
+        let mut rpc = RpcCache::spawn(3, "ds", store, chunks);
+        rpc.kill_node(1);
+        let mut down = 0;
+        let mut ok = 0;
+        for (_, meta) in &metas {
+            match rpc.get_file(meta) {
+                Ok(_) => ok += 1,
+                Err(CacheError::NodeDown { node: 1 }) => down += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(down > 0, "node 1's share must fail");
+        assert!(ok > 0, "other partitions keep serving");
+    }
+
+    #[test]
+    fn fetch_chunk_returns_parseable_chunk() {
+        let (store, _, chunks) = dataset(40);
+        let rpc = RpcCache::spawn(2, "ds", store, chunks.clone());
+        for &c in &chunks {
+            let owner = rpc.partition().owner_of(c).unwrap();
+            let bytes = rpc.peers[owner].handle().fetch_chunk(c).unwrap();
+            diesel_chunk::ChunkReader::parse(&bytes).unwrap();
+        }
+    }
+
+    #[test]
+    fn drop_shuts_peers_down_cleanly() {
+        let (store, metas, chunks) = dataset(20);
+        let handle = {
+            let rpc = RpcCache::spawn(2, "ds", store, chunks);
+            rpc.get_file(&metas[0].1).unwrap();
+            rpc.peers[0].handle()
+        }; // rpc dropped here: threads joined
+        assert!(handle.fetch_file(&metas[0].1).is_err(), "dead peer must error");
+    }
+}

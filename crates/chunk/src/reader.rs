@@ -1,0 +1,237 @@
+//! Reading files out of a sealed chunk.
+//!
+//! `ChunkReader` borrows the raw chunk bytes; file extraction is a bounds
+//! check plus a slice — no copies until the caller decides to own the data.
+
+use std::collections::HashMap;
+
+use crate::format::{ChunkHeader, FileEntry};
+use crate::{ChunkError, Result};
+
+/// A parsed, borrowed view over one chunk.
+#[derive(Debug)]
+pub struct ChunkReader<'a> {
+    header: ChunkHeader,
+    payload: &'a [u8],
+    by_name: HashMap<&'a str, usize>,
+}
+
+impl<'a> ChunkReader<'a> {
+    /// Parse a chunk buffer (`header ‖ payload`). Verifies header integrity
+    /// and that the payload is fully present.
+    pub fn parse(data: &'a [u8]) -> Result<Self> {
+        let header = ChunkHeader::decode(data)?;
+        let start = header.header_len as usize;
+        let need = start + header.payload_len as usize;
+        if data.len() < need {
+            return Err(ChunkError::Truncated { need, have: data.len() });
+        }
+        let payload = &data[start..need];
+        // Key the lookup map by name slices borrowed from `data` (the names
+        // are embedded verbatim in the header region), avoiding a self-
+        // referential struct while keeping lookups allocation-free. The
+        // file-table layout gives each name's exact position — entry i is
+        // `name_len u16 ‖ name ‖ offset u64 ‖ length u64 ‖ crc u32` — so
+        // this is one O(header) walk (a substring search here would make
+        // parse O(files × chunk_size); caught by the criterion benches).
+        let mut by_name: HashMap<&'a str, usize> = HashMap::with_capacity(header.files.len());
+        let mut pos = crate::format::FIXED_HEADER_LEN
+            + crate::bitmap::DeletionBitmap::wire_len(header.files.len());
+        for (i, f) in header.files.iter().enumerate() {
+            let name_start = pos + 2;
+            let name_end = name_start + f.name.len();
+            debug_assert!(name_end <= header.header_len as usize);
+            if let Ok(s) = std::str::from_utf8(&data[name_start..name_end]) {
+                debug_assert_eq!(s, f.name);
+                // Names are unique per chunk by construction; last-wins
+                // otherwise (matching delete-then-rewrite semantics).
+                by_name.insert(s, i);
+            }
+            pos = name_end + 20;
+        }
+        Ok(ChunkReader { header, payload, by_name })
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &ChunkHeader {
+        &self.header
+    }
+
+    /// Number of files (live + deleted).
+    pub fn file_count(&self) -> usize {
+        self.header.files.len()
+    }
+
+    /// Find a file's index by exact name, whether live or deleted.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        match self.by_name.get(name) {
+            Some(&i) => Some(i),
+            // Fallback linear scan covers the (never expected) case where a
+            // name could not be located in the raw buffer.
+            None => self.header.files.iter().position(|f| f.name == name),
+        }
+    }
+
+    /// Borrow the content of the file at `idx` without checksum
+    /// verification.
+    pub fn file_bytes(&self, idx: usize) -> Result<&'a [u8]> {
+        let f = self.header.files.get(idx).ok_or_else(|| {
+            ChunkError::NoSuchFile(format!("#{idx}"))
+        })?;
+        let start = f.offset as usize;
+        let end = start + f.length as usize;
+        if end > self.payload.len() {
+            return Err(ChunkError::CorruptEntry { file: f.name.clone() });
+        }
+        Ok(&self.payload[start..end])
+    }
+
+    /// Read a live file by name, verifying its CRC.
+    pub fn read_file(&self, name: &str) -> Result<&'a [u8]> {
+        let idx = self.find(name).ok_or_else(|| ChunkError::NoSuchFile(name.to_owned()))?;
+        if self.header.bitmap.is_deleted(idx) {
+            return Err(ChunkError::FileDeleted(name.to_owned()));
+        }
+        self.read_file_at(idx)
+    }
+
+    /// Read the file at `idx` (even if deleted), verifying its CRC.
+    pub fn read_file_at(&self, idx: usize) -> Result<&'a [u8]> {
+        let bytes = self.file_bytes(idx)?;
+        let f = &self.header.files[idx];
+        if crate::crc::crc32(bytes) != f.crc32 {
+            return Err(ChunkError::ChecksumMismatch { file: f.name.clone() });
+        }
+        Ok(bytes)
+    }
+
+    /// Read a byte range of a live file (FUSE-style partial reads).
+    pub fn read_file_range(&self, name: &str, offset: u64, len: usize) -> Result<&'a [u8]> {
+        let idx = self.find(name).ok_or_else(|| ChunkError::NoSuchFile(name.to_owned()))?;
+        if self.header.bitmap.is_deleted(idx) {
+            return Err(ChunkError::FileDeleted(name.to_owned()));
+        }
+        let whole = self.file_bytes(idx)?;
+        let start = (offset as usize).min(whole.len());
+        let end = (start + len).min(whole.len());
+        Ok(&whole[start..end])
+    }
+
+    /// Iterate `(entry, live, bytes)` over all files in payload order.
+    pub fn iter_files(&self) -> impl Iterator<Item = (&FileEntry, bool, &'a [u8])> + '_ {
+        self.header.files.iter().enumerate().map(move |(i, f)| {
+            let live = !self.header.bitmap.is_deleted(i);
+            let bytes = self.file_bytes(i).unwrap_or(&[]);
+            (f, live, bytes)
+        })
+    }
+
+    /// Verify every file checksum; returns names of corrupt files.
+    pub fn verify_all(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for (i, f) in self.header.files.iter().enumerate() {
+            match self.file_bytes(i) {
+                Ok(b) if crate::crc::crc32(b) == f.crc32 => {}
+                _ => bad.push(f.name.clone()),
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChunkBuilder;
+    use crate::id::ChunkIdGenerator;
+    use proptest::prelude::*;
+
+    fn build(files: &[(&str, &[u8])]) -> Vec<u8> {
+        let mut b = ChunkBuilder::with_default_config();
+        for (n, d) in files {
+            b.add_file(n, d).unwrap();
+        }
+        let ids = ChunkIdGenerator::deterministic(1, 1, 10);
+        b.seal(ids.next_id(), 1).1
+    }
+
+    #[test]
+    fn read_by_name_and_index() {
+        let bytes = build(&[("a", b"one"), ("b/c", b"two"), ("d", b"three")]);
+        let r = ChunkReader::parse(&bytes).unwrap();
+        assert_eq!(r.read_file("b/c").unwrap(), b"two");
+        assert_eq!(r.read_file_at(2).unwrap(), b"three");
+        assert!(matches!(r.read_file("zzz"), Err(ChunkError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn range_reads() {
+        let bytes = build(&[("f", b"0123456789")]);
+        let r = ChunkReader::parse(&bytes).unwrap();
+        assert_eq!(r.read_file_range("f", 2, 3).unwrap(), b"234");
+        assert_eq!(r.read_file_range("f", 8, 100).unwrap(), b"89");
+        assert_eq!(r.read_file_range("f", 100, 5).unwrap(), b"");
+    }
+
+    #[test]
+    fn payload_corruption_detected_by_crc() {
+        let mut bytes = build(&[("f", b"sensitive-data")]);
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x01;
+        let r = ChunkReader::parse(&bytes).unwrap();
+        assert!(matches!(r.read_file("f"), Err(ChunkError::ChecksumMismatch { .. })));
+        assert_eq!(r.verify_all(), vec!["f".to_string()]);
+    }
+
+    #[test]
+    fn truncated_payload_rejected_at_parse() {
+        let bytes = build(&[("f", b"0123456789")]);
+        assert!(matches!(
+            ChunkReader::parse(&bytes[..bytes.len() - 4]),
+            Err(ChunkError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_files_reports_live_flags() {
+        let bytes = build(&[("a", b"1"), ("b", b"2")]);
+        let r = ChunkReader::parse(&bytes).unwrap();
+        let flags: Vec<bool> = r.iter_files().map(|(_, live, _)| live).collect();
+        assert_eq!(flags, vec![true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn roundtrip_arbitrary_files(
+            files in proptest::collection::vec(
+                ("[a-z]{1,12}(/[a-z]{1,8}){0,3}", proptest::collection::vec(any::<u8>(), 0..2000)),
+                1..20
+            )
+        ) {
+            // De-duplicate names (chunk semantics assume unique names).
+            let mut seen = std::collections::HashSet::new();
+            let files: Vec<(String, Vec<u8>)> = files
+                .into_iter()
+                .filter(|(n, _)| seen.insert(n.clone()))
+                .collect();
+            let mut b = ChunkBuilder::with_default_config();
+            for (n, d) in &files {
+                b.add_file(n, d).unwrap();
+            }
+            let ids = ChunkIdGenerator::deterministic(2, 2, 20);
+            let (_, bytes) = b.seal(ids.next_id(), 5);
+            let r = ChunkReader::parse(&bytes).unwrap();
+            prop_assert!(r.verify_all().is_empty());
+            for (n, d) in &files {
+                prop_assert_eq!(r.read_file(n).unwrap(), &d[..]);
+            }
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+            // Parsing must fail gracefully on fuzz input, never panic.
+            let _ = ChunkReader::parse(&data);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! `dlcmd` — DIESEL's dataset management CLI (§5: "similar to s3cmd in
+//! Amazon S3").
+//!
+//! Datasets live as self-contained chunks in a directory-backed object
+//! store, so each invocation starts a fresh in-memory metadata database
+//! and rebuilds it by scanning chunk headers (§4.1.2) — the CLI *is* a
+//! demonstration of DIESEL's recovery-first metadata design.
+//!
+//! ```text
+//! dlcmd --store /data/diesel put   ./imagenet  imagenet-1k
+//! dlcmd --store /data/diesel ls    imagenet-1k train/cat
+//! dlcmd --store /data/diesel stat  imagenet-1k train/cat/001.jpg
+//! dlcmd --store /data/diesel cat   imagenet-1k train/cat/001.jpg > out.jpg
+//! dlcmd --store /data/diesel get   imagenet-1k ./restore
+//! dlcmd --store /data/diesel du    imagenet-1k
+//! dlcmd --store /data/diesel rm    imagenet-1k train/cat/001.jpg
+//! dlcmd --store /data/diesel purge imagenet-1k
+//! dlcmd --store /data/diesel snapshot imagenet-1k ./imagenet.snap
+//! dlcmd --store /data/diesel datasets
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use diesel_core::dlcmd;
+use diesel_core::{DieselClient, DieselServer};
+use diesel_kv::ShardedKv;
+use diesel_meta::EntryKind;
+use diesel_store::{DirObjectStore, ObjectStore};
+
+type Server = DieselServer<ShardedKv, DirObjectStore>;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dlcmd --store <dir> <command> [args]\n\
+         commands:\n  \
+           put <local-dir> <dataset>      import a directory tree\n  \
+           get <dataset> <local-dir>      export the dataset\n  \
+           ls <dataset> [path]            list a directory\n  \
+           stat <dataset> <path>          show file metadata\n  \
+           cat <dataset> <path>           print file contents to stdout\n  \
+           rm <dataset> <path>            delete a file\n  \
+           du <dataset>                   dataset usage summary\n  \
+           purge <dataset>                compact chunks with holes\n  \
+           snapshot <dataset> <out-file>  save the metadata snapshot\n  \
+           datasets                       list datasets in the store"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Cli::Usage) => usage(),
+        Err(Cli::Failed(msg)) => {
+            eprintln!("dlcmd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum Cli {
+    Usage,
+    Failed(String),
+}
+
+impl<E: std::fmt::Display> From<E> for Cli {
+    fn from(e: E) -> Self {
+        Cli::Failed(e.to_string())
+    }
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn run(args: &[String]) -> Result<(), Cli> {
+    let mut it = args.iter();
+    let mut store_dir: Option<&str> = None;
+    let mut rest: Vec<&str> = Vec::new();
+    while let Some(a) = it.next() {
+        if a == "--store" {
+            store_dir = Some(it.next().ok_or(Cli::Usage)?.as_str());
+        } else if a == "--help" || a == "-h" {
+            return Err(Cli::Usage);
+        } else {
+            rest.push(a.as_str());
+        }
+    }
+    let Some(store_dir) = store_dir else { return Err(Cli::Usage) };
+    let (cmd, rest) = rest.split_first().ok_or(Cli::Usage)?;
+
+    let store = Arc::new(DirObjectStore::open(store_dir).map_err(Cli::from)?);
+    let server: Arc<Server> = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store.clone()));
+
+    // Discover datasets from chunk keys (`<dataset>/<chunk-id>`), then
+    // rebuild the metadata database from the self-contained chunks.
+    let mut datasets: Vec<String> = store
+        .list_prefix("")
+        .into_iter()
+        .filter_map(|k| k.split_once('/').map(|(d, _)| d.to_owned()))
+        .collect();
+    datasets.sort();
+    datasets.dedup();
+    for ds in &datasets {
+        server.recover_metadata_full(ds).map_err(Cli::from)?;
+    }
+
+    match (*cmd, rest) {
+        ("datasets", []) => {
+            for ds in &datasets {
+                let (chunks, files, bytes) = dlcmd::usage(&server, ds).map_err(Cli::from)?;
+                println!("{ds}\t{chunks} chunks\t{files} files\t{bytes} bytes");
+            }
+            Ok(())
+        }
+        ("put", [local, dataset]) => {
+            let client = DieselClient::connect(server.clone(), *dataset);
+            let report = dlcmd::import_directory(&client, local).map_err(Cli::from)?;
+            println!("imported {} files / {} bytes into {dataset}", report.files, report.bytes);
+            Ok(())
+        }
+        ("get", [dataset, local]) => {
+            let client = DieselClient::connect(server.clone(), *dataset);
+            client.download_meta().map_err(Cli::from)?;
+            let n = dlcmd::export_directory(&client, local).map_err(Cli::from)?;
+            println!("exported {n} files to {local}");
+            Ok(())
+        }
+        ("ls", [dataset]) | ("ls", [dataset, _]) => {
+            let path = rest.get(1).copied().unwrap_or("");
+            for e in server.readdir(dataset, path).map_err(Cli::from)? {
+                match e.kind {
+                    EntryKind::Dir => println!("d {:>10}  {}/", "-", e.name),
+                    EntryKind::File => println!("f {:>10}  {}", e.size, e.name),
+                }
+            }
+            Ok(())
+        }
+        ("stat", [dataset, path]) => {
+            let m = server.stat(dataset, path).map_err(Cli::from)?;
+            println!("path:     {path}");
+            println!("size:     {} bytes", m.length);
+            println!("chunk:    {}", m.chunk);
+            println!("offset:   {}", m.offset);
+            println!("uploaded: {} (unix ms)", m.uploaded_ms);
+            Ok(())
+        }
+        ("cat", [dataset, path]) => {
+            let data = server.read_file(dataset, path).map_err(Cli::from)?;
+            std::io::stdout().write_all(&data).map_err(Cli::from)?;
+            Ok(())
+        }
+        ("rm", [dataset, path]) => {
+            server.delete_file(dataset, path, now_ms()).map_err(Cli::from)?;
+            println!("deleted {path} (run `purge` to reclaim space)");
+            Ok(())
+        }
+        ("du", [dataset]) => {
+            let (chunks, files, bytes) = dlcmd::usage(&server, dataset).map_err(Cli::from)?;
+            println!("{dataset}: {files} files, {bytes} bytes in {chunks} chunks");
+            println!("stored: {} bytes on disk", store.total_bytes());
+            Ok(())
+        }
+        ("purge", [dataset]) => {
+            let r = server.purge_dataset(dataset, now_ms()).map_err(Cli::from)?;
+            println!(
+                "compacted {} chunks, removed {}, reclaimed {} bytes",
+                r.chunks_compacted, r.chunks_removed, r.bytes_reclaimed
+            );
+            Ok(())
+        }
+        ("snapshot", [dataset, out]) => {
+            let snap = server.build_snapshot(dataset).map_err(Cli::from)?;
+            snap.save_to(out).map_err(Cli::from)?;
+            println!(
+                "snapshot of {dataset}: {} chunks, {} files, {} bytes -> {out}",
+                snap.chunks.len(),
+                snap.files.len(),
+                snap.encoded_size()
+            );
+            Ok(())
+        }
+        _ => Err(Cli::Usage),
+    }
+}

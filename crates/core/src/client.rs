@@ -1,0 +1,524 @@
+//! libDIESEL — the client library (paper Table 3).
+//!
+//! | paper API        | here                                  |
+//! |------------------|---------------------------------------|
+//! | `DL_connect`     | [`DieselClient::connect`]             |
+//! | `DL_put`         | [`DieselClient::put`]                 |
+//! | `DL_flush`       | [`DieselClient::flush`]               |
+//! | `DL_get`         | [`DieselClient::get`]                 |
+//! | `DL_stat`        | [`DieselClient::stat`]                |
+//! | `DL_delete`      | [`DieselClient::delete`]              |
+//! | `DL_ls`          | [`DieselClient::ls`]                  |
+//! | `DL_save_meta`   | [`DieselClient::save_meta`]           |
+//! | `DL_load_meta`   | [`DieselClient::load_meta`]           |
+//! | `DL_shuffle`     | [`DieselClient::enable_shuffle`]      |
+//! | `DL_close`       | [`DieselClient::close`]               |
+//!
+//! The client buffers written files into ≥ 4 MB chunks (write flow,
+//! Fig. 3), serves metadata from a locally loaded snapshot (the
+//! "metadata cache and interpreter"), optionally joins a task-grained
+//! distributed cache, and generates chunk-wise shuffled epoch orders.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+use diesel_cache::{CacheError, TaskCache};
+use diesel_chunk::{ChunkBuilder, ChunkBuilderConfig, ChunkIdGenerator, SealedChunk};
+use diesel_kv::KvStore;
+use diesel_meta::{DirEntry, FileMeta, MetaSnapshot, Namespace};
+use diesel_shuffle::{epoch_order, ChunkFiles, DatasetIndex, ShuffleKind, ShufflePlan};
+use diesel_store::{Bytes, ObjectStore};
+
+use crate::server::DieselServer;
+use crate::{DieselError, Result};
+
+/// Client construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Chunk aggregation settings for the write path.
+    pub chunk: ChunkBuilderConfig,
+}
+
+struct MetaState {
+    snapshot: MetaSnapshot,
+    namespace: Namespace,
+    index: DatasetIndex,
+}
+
+/// One libDIESEL client instance.
+pub struct DieselClient<K, S> {
+    server: Arc<DieselServer<K, S>>,
+    dataset: String,
+    config: ClientConfig,
+    ids: ChunkIdGenerator,
+    builder: Mutex<ChunkBuilder>,
+    meta: RwLock<Option<MetaState>>,
+    cache: RwLock<Option<Arc<TaskCache<S>>>>,
+    shuffle: RwLock<Option<ShuffleKind>>,
+    clock_ms: Box<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
+    /// `DL_connect`: open a client against a server for one dataset.
+    pub fn connect(server: Arc<DieselServer<K, S>>, dataset: impl Into<String>) -> Self {
+        Self::connect_with(server, dataset, ClientConfig::default())
+    }
+
+    /// `DL_connect` with explicit configuration.
+    pub fn connect_with(
+        server: Arc<DieselServer<K, S>>,
+        dataset: impl Into<String>,
+        config: ClientConfig,
+    ) -> Self {
+        let builder = ChunkBuilder::new(config.chunk.clone());
+        DieselClient {
+            server,
+            dataset: dataset.into(),
+            config,
+            ids: ChunkIdGenerator::new(),
+            builder: Mutex::new(builder),
+            meta: RwLock::new(None),
+            cache: RwLock::new(None),
+            shuffle: RwLock::new(None),
+            clock_ms: Box::new(|| {
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0)
+            }),
+        }
+    }
+
+    /// Deterministic identity and clock (tests / simulations).
+    pub fn with_deterministic_identity(mut self, machine_seed: u64, pid: u32, ts: u32) -> Self {
+        self.ids = ChunkIdGenerator::deterministic(machine_seed, pid, ts);
+        let fixed_ms = ts as u64 * 1000;
+        self.clock_ms = Box::new(move || fixed_ms);
+        self
+    }
+
+    /// The dataset this client works on.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The server handle.
+    pub fn server(&self) -> &Arc<DieselServer<K, S>> {
+        &self.server
+    }
+
+    // ---- write path ----
+
+    /// `DL_put`: buffer one file; ships a sealed chunk when the buffer
+    /// reaches the target chunk size.
+    pub fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        let mut b = self.builder.lock();
+        if b.would_overflow(path.len(), data.len()) {
+            let full = std::mem::replace(&mut *b, ChunkBuilder::new(self.config.chunk.clone()));
+            drop(b);
+            self.ship(full)?;
+            b = self.builder.lock();
+        }
+        b.add_file(path, data)?;
+        Ok(())
+    }
+
+    /// `DL_flush`: seal and ship any buffered files. Returns the number
+    /// of chunks shipped by this call.
+    pub fn flush(&self) -> Result<usize> {
+        let mut b = self.builder.lock();
+        if b.is_empty() {
+            return Ok(0);
+        }
+        let full = std::mem::replace(&mut *b, ChunkBuilder::new(self.config.chunk.clone()));
+        drop(b);
+        self.ship(full)?;
+        Ok(1)
+    }
+
+    fn ship(&self, builder: ChunkBuilder) -> Result<()> {
+        let (header, bytes) = builder.seal(self.ids.next_id(), (self.clock_ms)());
+        self.server.ingest_chunk(&self.dataset, &SealedChunk { header, bytes })?;
+        Ok(())
+    }
+
+    // ---- metadata ----
+
+    /// Download a fresh snapshot from the server and install it as the
+    /// local metadata cache.
+    pub fn download_meta(&self) -> Result<()> {
+        let snapshot = self.server.build_snapshot(&self.dataset)?;
+        self.install_snapshot(snapshot);
+        Ok(())
+    }
+
+    /// `DL_save_meta`: materialize the dataset snapshot to a local file.
+    pub fn save_meta(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let snapshot = self.server.build_snapshot(&self.dataset)?;
+        snapshot.save_to(path)?;
+        Ok(())
+    }
+
+    /// `DL_load_meta`: load a snapshot file and install it — after
+    /// verifying it is fresh against the server's dataset record
+    /// (§4.1.3). A stale or foreign snapshot is rejected.
+    pub fn load_meta(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let snapshot = MetaSnapshot::load_from(path)?;
+        let authority = self.server.meta().dataset_record(&self.dataset)?;
+        if !snapshot.is_fresh(&self.dataset, authority.updated_ms) {
+            return Err(DieselError::Client(format!(
+                "snapshot is stale (snapshot ts {} vs dataset ts {}); download a new one",
+                snapshot.updated_ms, authority.updated_ms
+            )));
+        }
+        self.install_snapshot(snapshot);
+        Ok(())
+    }
+
+    fn install_snapshot(&self, snapshot: MetaSnapshot) {
+        let namespace = snapshot.build_namespace();
+        let index = build_index(&snapshot);
+        *self.meta.write() = Some(MetaState { snapshot, namespace, index });
+    }
+
+    /// Is a metadata snapshot loaded?
+    pub fn has_meta(&self) -> bool {
+        self.meta.read().is_some()
+    }
+
+    /// `DL_stat`: O(1) from the local namespace when loaded, otherwise
+    /// one server round trip.
+    pub fn stat(&self, path: &str) -> Result<FileMeta> {
+        if let Some(state) = self.meta.read().as_ref() {
+            return state
+                .namespace
+                .stat(path)
+                .copied()
+                .ok_or_else(|| DieselError::Meta(diesel_meta::MetaError::NoSuchFile(path.into())));
+        }
+        self.server.stat(&self.dataset, path)
+    }
+
+    /// `DL_ls`: list a directory.
+    pub fn ls(&self, path: &str) -> Result<Vec<DirEntry>> {
+        if let Some(state) = self.meta.read().as_ref() {
+            return Ok(state.namespace.readdir(path)?);
+        }
+        self.server.readdir(&self.dataset, path)
+    }
+
+    /// All file paths in the loaded snapshot (training file lists).
+    pub fn file_list(&self) -> Result<Vec<String>> {
+        let guard = self.meta.read();
+        let state = guard
+            .as_ref()
+            .ok_or_else(|| DieselError::Client("no metadata snapshot loaded".into()))?;
+        Ok(state.snapshot.files.iter().map(|f| f.path.clone()).collect())
+    }
+
+    // ---- read path (Fig. 4) ----
+
+    /// Join a task-grained distributed cache.
+    pub fn attach_cache(&self, cache: Arc<TaskCache<S>>) {
+        *self.cache.write() = Some(cache);
+    }
+
+    /// `DL_get`: read one file. Resolution order is the read flow of
+    /// Fig. 4 — task-grained cache first (one hop), then the server
+    /// (which consults its own tiers). A cache node failure falls back
+    /// to the server path transparently.
+    pub fn get(&self, path: &str) -> Result<Bytes> {
+        let meta = self.stat(path)?;
+        if let Some(cache) = self.cache.read().as_ref() {
+            match cache.get_file(&meta) {
+                Ok(f) => return Ok(f.data),
+                Err(CacheError::NodeDown { .. }) => { /* fall through to server */ }
+                Err(CacheError::UnknownChunk(_)) => { /* stale snapshot; server path */ }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        match self.server.read_by_meta(&self.dataset, &meta) {
+            Ok(data) => Ok(data),
+            // A chunk that vanished under a snapshot-directed read means
+            // the local snapshot went stale (e.g. `DL_purge` compacted
+            // the chunk away). Retry with authoritative server-side
+            // metadata; the caller should re-download the snapshot.
+            Err(DieselError::Store(diesel_store::StoreError::NotFound(_)))
+                if self.has_meta() =>
+            {
+                self.server.read_file(&self.dataset, path)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `DL_delete`: remove a file (server-side) and drop it from the
+    /// local namespace.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        self.server.delete_file(&self.dataset, path, (self.clock_ms)())?;
+        if let Some(state) = self.meta.write().as_mut() {
+            state.namespace.remove(path);
+        }
+        Ok(())
+    }
+
+    /// Modify a file: DIESEL "supports modifying/deleting files by first
+    /// deleting the old file and then writing a new file" (§4.1.1). The
+    /// old copy becomes a deletion-bitmap hole (reclaimed by
+    /// `DL_purge`); the new copy is flushed immediately so it is
+    /// readable on return.
+    pub fn overwrite(&self, path: &str, data: &[u8]) -> Result<()> {
+        match self.delete(path) {
+            Ok(()) => {}
+            Err(DieselError::Meta(diesel_meta::MetaError::NoSuchFile(_))) => {}
+            Err(e) => return Err(e),
+        }
+        self.put(path, data)?;
+        self.flush()?;
+        if let Some(state) = self.meta.write().as_mut() {
+            // Keep the local namespace usable without a full re-download;
+            // note the snapshot object itself is now stale for freshness
+            // checks, as any mutation makes it.
+            if let Ok(meta) = self.server.stat(&self.dataset, path) {
+                state.namespace.insert(path.to_owned(), meta);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- chunk-wise shuffle (§4.3) ----
+
+    /// `DL_shuffle`: enable chunk-wise shuffle (or the baseline) for
+    /// epoch-order generation.
+    pub fn enable_shuffle(&self, kind: ShuffleKind) {
+        *self.shuffle.write() = Some(kind);
+    }
+
+    /// Generate this epoch's shuffled file list (the list the training
+    /// framework reads; FUSE users fetch it via a helper file).
+    pub fn epoch_file_list(&self, seed: u64, epoch: u64) -> Result<Vec<String>> {
+        let plan = self.epoch_plan(seed, epoch)?;
+        let guard = self.meta.read();
+        let state = guard.as_ref().expect("epoch_plan checked meta");
+        Ok(plan.items.iter().map(|&i| state.index.resolve(i).1.to_owned()).collect())
+    }
+
+    /// The raw shuffle plan (group boundaries included), for working-set
+    /// accounting and chunk-prefetch decisions.
+    pub fn epoch_plan(&self, seed: u64, epoch: u64) -> Result<ShufflePlan> {
+        let kind = (*self.shuffle.read())
+            .ok_or_else(|| DieselError::Client("call enable_shuffle first".into()))?;
+        let guard = self.meta.read();
+        let state = guard
+            .as_ref()
+            .ok_or_else(|| DieselError::Client("no metadata snapshot loaded".into()))?;
+        Ok(epoch_order(&state.index, kind, seed, epoch))
+    }
+
+    /// `DL_close`: flush outstanding writes and drop local state.
+    pub fn close(self) -> Result<()> {
+        self.flush()?;
+        Ok(())
+    }
+}
+
+fn build_index(snapshot: &MetaSnapshot) -> DatasetIndex {
+    use std::collections::HashMap;
+    let mut pos: HashMap<diesel_chunk::ChunkId, usize> = HashMap::new();
+    let mut chunks: Vec<ChunkFiles> = snapshot
+        .chunks
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            pos.insert(c, i);
+            ChunkFiles { chunk: c, chunk_bytes: 0, files: Vec::new() }
+        })
+        .collect();
+    for f in &snapshot.files {
+        if let Some(&i) = pos.get(&f.meta.chunk) {
+            chunks[i].chunk_bytes += f.meta.length;
+            chunks[i].files.push(f.path.clone());
+        }
+    }
+    DatasetIndex::new(chunks)
+}
+
+impl<K, S> std::fmt::Debug for DieselClient<K, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DieselClient").field("dataset", &self.dataset).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diesel_cache::{CacheConfig, CachePolicy, Topology};
+    use diesel_kv::ShardedKv;
+    use diesel_store::MemObjectStore;
+
+    type Server = DieselServer<ShardedKv, MemObjectStore>;
+    type Client = DieselClient<ShardedKv, MemObjectStore>;
+
+    fn server() -> Arc<Server> {
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())))
+    }
+
+    fn small_chunk_client(server: &Arc<Server>, seed: u64) -> Client {
+        let config = ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() },
+        };
+        DieselClient::connect_with(server.clone(), "ds", config)
+            .with_deterministic_identity(seed, seed as u32, 1000 + seed as u32)
+    }
+
+    fn populate(client: &Client, files: usize, size: usize) -> Vec<(String, Vec<u8>)> {
+        let mut out = Vec::new();
+        for i in 0..files {
+            let name = format!("cls{}/img{i:04}", i % 5);
+            let data = vec![(i % 251) as u8; size];
+            client.put(&name, &data).unwrap();
+            out.push((name, data));
+        }
+        client.flush().unwrap();
+        out
+    }
+
+    #[test]
+    fn put_flush_get_roundtrip() {
+        let s = server();
+        let c = small_chunk_client(&s, 1);
+        let files = populate(&c, 30, 300);
+        for (n, d) in &files {
+            assert_eq!(c.get(n).unwrap().as_ref(), &d[..], "{n}");
+        }
+        // Several chunks were auto-shipped before the final flush.
+        assert!(s.meta().chunk_ids("ds").unwrap().len() > 1);
+    }
+
+    #[test]
+    fn snapshot_workflow_save_load_fresh_and_stale() {
+        let s = server();
+        let c = small_chunk_client(&s, 2);
+        populate(&c, 10, 100);
+        let path = std::env::temp_dir().join(format!("diesel-client-snap-{}.bin", std::process::id()));
+        c.save_meta(&path).unwrap();
+        c.load_meta(&path).unwrap();
+        assert!(c.has_meta());
+        // Local (O(1)) stat and ls now work without the server.
+        assert_eq!(c.stat("cls0/img0000").unwrap().length, 100);
+        assert!(c.ls("cls1").unwrap().len() >= 1);
+        assert_eq!(c.file_list().unwrap().len(), 10);
+
+        // Mutate the dataset (with a later timestamp than the client's
+        // frozen clock): the snapshot goes stale and must be rejected on
+        // the next load.
+        s.delete_file("ds", "cls0/img0005", 9_999_999_000).unwrap();
+        let c2 = small_chunk_client(&s, 3);
+        let err = c2.load_meta(&path).unwrap_err();
+        assert!(matches!(err, DieselError::Client(_)), "stale snapshot must be rejected");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn get_without_snapshot_uses_server_metadata() {
+        let s = server();
+        let c = small_chunk_client(&s, 4);
+        populate(&c, 5, 50);
+        assert!(!c.has_meta());
+        assert_eq!(c.get("cls0/img0000").unwrap().len(), 50);
+        assert!(matches!(c.get("missing"), Err(DieselError::Meta(_))));
+    }
+
+    #[test]
+    fn delete_updates_local_namespace() {
+        let s = server();
+        let c = small_chunk_client(&s, 5);
+        populate(&c, 6, 40);
+        c.download_meta().unwrap();
+        c.delete("cls2/img0002").unwrap();
+        assert!(c.stat("cls2/img0002").is_err());
+        assert!(c.get("cls2/img0002").is_err());
+    }
+
+    #[test]
+    fn reads_through_task_cache_with_failover() {
+        let s = server();
+        let c = small_chunk_client(&s, 6);
+        let files = populate(&c, 40, 200);
+        c.download_meta().unwrap();
+
+        let chunks = s.meta().chunk_ids("ds").unwrap();
+        let cache = Arc::new(TaskCache::new(
+            Topology::uniform(2, 2),
+            s.store().clone(),
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        ));
+        cache.prefetch_all().unwrap();
+        c.attach_cache(cache.clone());
+
+        for (n, d) in &files {
+            assert_eq!(c.get(n).unwrap().as_ref(), &d[..]);
+        }
+        assert_eq!(cache.stats().file_reads, 40);
+
+        // Kill a cache node: reads transparently fall back to the server.
+        cache.kill_node(0);
+        for (n, d) in &files {
+            assert_eq!(c.get(n).unwrap().as_ref(), &d[..], "failover read of {n}");
+        }
+    }
+
+    #[test]
+    fn shuffle_epoch_lists_are_permutations() {
+        let s = server();
+        let c = small_chunk_client(&s, 7);
+        let files = populate(&c, 50, 150);
+        c.download_meta().unwrap();
+        assert!(c.epoch_plan(1, 1).is_err(), "shuffle must be enabled first");
+        c.enable_shuffle(ShuffleKind::ChunkWise { group_size: 2 });
+        let e1 = c.epoch_file_list(9, 1).unwrap();
+        let e2 = c.epoch_file_list(9, 2).unwrap();
+        assert_eq!(e1.len(), files.len());
+        assert_ne!(e1, e2);
+        let mut sorted1 = e1.clone();
+        sorted1.sort();
+        let mut expect: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+        expect.sort();
+        assert_eq!(sorted1, expect);
+        // Plan accounting: working set bounded by group size.
+        let plan = c.epoch_plan(9, 1).unwrap();
+        for set in plan.group_chunk_sets() {
+            assert!(set.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn overwrite_replaces_content_and_leaves_hole() {
+        let s = server();
+        let c = small_chunk_client(&s, 10);
+        populate(&c, 8, 100);
+        c.download_meta().unwrap();
+        c.overwrite("cls0/img0000", b"brand-new-content").unwrap();
+        assert_eq!(c.get("cls0/img0000").unwrap().as_ref(), b"brand-new-content");
+        assert_eq!(c.stat("cls0/img0000").unwrap().length, 17);
+        // The old copy is a deletion hole; purge reclaims it.
+        let report = s.purge_dataset("ds", u64::MAX).unwrap();
+        assert_eq!(report.bytes_reclaimed, 100);
+        assert_eq!(c.get("cls0/img0000").unwrap().as_ref(), b"brand-new-content");
+        // Overwriting a file that never existed behaves like put+flush.
+        c.overwrite("fresh/file", b"abc").unwrap();
+        assert_eq!(c.get("fresh/file").unwrap().as_ref(), b"abc");
+    }
+
+    #[test]
+    fn close_flushes_pending_writes() {
+        let s = server();
+        let c = small_chunk_client(&s, 8);
+        c.put("pending", b"data").unwrap();
+        c.close().unwrap();
+        let c2 = small_chunk_client(&s, 9);
+        assert_eq!(c2.get("pending").unwrap().as_ref(), b"data");
+    }
+}

@@ -1,0 +1,173 @@
+//! DLCMD — the dataset management tool (§5: "a separate command-line
+//! tool (DLCMD, similar to s3cmd in Amazon S3) is provided to write and
+//! manage the datasets in DIESEL").
+//!
+//! These functions are the tool's verbs; the `quickstart` example wires
+//! them to a binary.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use diesel_kv::KvStore;
+use diesel_store::ObjectStore;
+
+use crate::client::DieselClient;
+use crate::server::DieselServer;
+use crate::{DieselError, Result};
+
+/// Outcome of an import.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Files uploaded.
+    pub files: u64,
+    /// Bytes uploaded.
+    pub bytes: u64,
+}
+
+/// `dlcmd put -r <dir> diesel://<dataset>/` — walk a local directory
+/// tree and upload every regular file, preserving relative paths.
+pub fn import_directory<K: KvStore, S: ObjectStore>(
+    client: &DieselClient<K, S>,
+    root: impl AsRef<Path>,
+) -> Result<ImportReport> {
+    let root = root.as_ref();
+    let mut report = ImportReport::default();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| DieselError::Client(format!("read_dir {dir:?}: {e}")))?;
+        // Sort for deterministic chunk packing.
+        let mut entries: Vec<_> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.is_file() {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| DieselError::Client(e.to_string()))?
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let data = std::fs::read(&path)
+                    .map_err(|e| DieselError::Client(format!("read {path:?}: {e}")))?;
+                report.bytes += data.len() as u64;
+                report.files += 1;
+                client.put(&rel, &data)?;
+            }
+        }
+    }
+    client.flush()?;
+    Ok(report)
+}
+
+/// `dlcmd get -r diesel://<dataset>/ <dir>` — download every file of the
+/// dataset into a local directory tree.
+pub fn export_directory<K: KvStore, S: ObjectStore>(
+    client: &DieselClient<K, S>,
+    dest: impl AsRef<Path>,
+) -> Result<u64> {
+    let dest = dest.as_ref();
+    let mut count = 0;
+    for path in client.file_list()? {
+        let data = client.get(&path)?;
+        let target = dest.join(&path);
+        if let Some(parent) = target.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| DieselError::Client(format!("mkdir {parent:?}: {e}")))?;
+        }
+        std::fs::write(&target, &data)
+            .map_err(|e| DieselError::Client(format!("write {target:?}: {e}")))?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// `dlcmd purge diesel://<dataset>` — compact chunks with deletion holes.
+pub fn purge<K: KvStore, S: ObjectStore>(
+    server: &DieselServer<K, S>,
+    dataset: &str,
+    now_ms: u64,
+) -> Result<crate::server::PurgeReport> {
+    server.purge_dataset(dataset, now_ms)
+}
+
+/// `dlcmd du diesel://<dataset>` — dataset usage summary.
+pub fn usage<K: KvStore, S: ObjectStore>(
+    server: &Arc<DieselServer<K, S>>,
+    dataset: &str,
+) -> Result<(u64, u64, u64)> {
+    let rec = server.meta().dataset_record(dataset)?;
+    Ok((rec.chunk_count, rec.file_count, rec.total_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientConfig;
+    use diesel_chunk::ChunkBuilderConfig;
+    use diesel_kv::ShardedKv;
+    use diesel_store::MemObjectStore;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dlcmd-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn import_export_roundtrip() {
+        // Build a little tree on disk.
+        let src = tempdir("src");
+        std::fs::create_dir_all(src.join("a/b")).unwrap();
+        std::fs::write(src.join("top.bin"), b"top").unwrap();
+        std::fs::write(src.join("a/one.bin"), vec![1u8; 500]).unwrap();
+        std::fs::write(src.join("a/b/two.bin"), vec![2u8; 999]).unwrap();
+
+        let server = Arc::new(DieselServer::new(
+            Arc::new(ShardedKv::new()),
+            Arc::new(MemObjectStore::new()),
+        ));
+        let client = DieselClient::connect_with(
+            server.clone(),
+            "ds",
+            ClientConfig {
+                chunk: ChunkBuilderConfig { target_chunk_size: 1024, ..Default::default() },
+            },
+        )
+        .with_deterministic_identity(1, 1, 100);
+
+        let report = import_directory(&client, &src).unwrap();
+        assert_eq!(report.files, 3);
+        assert_eq!(report.bytes, 3 + 500 + 999);
+        let (chunks, files, bytes) = usage(&server, "ds").unwrap();
+        assert_eq!(files, 3);
+        assert_eq!(bytes, 1502);
+        assert!(chunks >= 2, "1 KB chunks force a split");
+
+        client.download_meta().unwrap();
+        assert_eq!(client.get("a/b/two.bin").unwrap().as_ref(), &vec![2u8; 999][..]);
+
+        let dst = tempdir("dst");
+        let n = export_directory(&client, &dst).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(std::fs::read(dst.join("top.bin")).unwrap(), b"top");
+        assert_eq!(std::fs::read(dst.join("a/one.bin")).unwrap(), vec![1u8; 500]);
+
+        let _ = std::fs::remove_dir_all(&src);
+        let _ = std::fs::remove_dir_all(&dst);
+    }
+
+    #[test]
+    fn import_missing_directory_errors() {
+        let server = Arc::new(DieselServer::new(
+            Arc::new(ShardedKv::new()),
+            Arc::new(MemObjectStore::new()),
+        ));
+        let client = DieselClient::connect(server, "ds");
+        assert!(import_directory(&client, "/definitely/not/here").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Multiple DIESEL servers over one storage deployment.
+//!
+//! Fig. 10a scales metadata throughput by running 1/3/5 DIESEL servers
+//! against the same KV cluster and object store — servers are stateless
+//! front-ends (all state lives in the KV database and the chunks), so
+//! adding one is just adding a process. [`ServerPool`] models that
+//! deployment: N [`DieselServer`]s sharing the backing stores, with
+//! round-robin client assignment.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use diesel_kv::KvStore;
+use diesel_store::ObjectStore;
+
+use crate::server::DieselServer;
+
+/// A pool of stateless DIESEL servers over shared backends.
+pub struct ServerPool<K, S> {
+    servers: Vec<Arc<DieselServer<K, S>>>,
+    next: AtomicUsize,
+}
+
+impl<K: KvStore, S: ObjectStore> ServerPool<K, S> {
+    /// Deploy `n` servers over the same KV store and object store.
+    pub fn deploy(n: usize, kv: Arc<K>, store: Arc<S>) -> Self {
+        assert!(n >= 1, "need at least one server");
+        ServerPool {
+            servers: (0..n)
+                .map(|_| Arc::new(DieselServer::new(kv.clone(), store.clone())))
+                .collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the pool is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The server a new client should connect to (round-robin, the
+    /// load-balancing a deployment would do at connect time).
+    pub fn assign(&self) -> Arc<DieselServer<K, S>> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.servers.len();
+        self.servers[i].clone()
+    }
+
+    /// A specific server (tests / targeted operations).
+    pub fn server(&self, i: usize) -> &Arc<DieselServer<K, S>> {
+        &self.servers[i]
+    }
+}
+
+impl<K, S> std::fmt::Debug for ServerPool<K, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerPool").field("servers", &self.servers.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientConfig, DieselClient};
+    use diesel_chunk::ChunkBuilderConfig;
+    use diesel_kv::ShardedKv;
+    use diesel_store::MemObjectStore;
+
+    fn pool(n: usize) -> ServerPool<ShardedKv, MemObjectStore> {
+        ServerPool::deploy(n, Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new()))
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let p = pool(3);
+        assert_eq!(p.len(), 3);
+        // Six clients spread 2-2-2 across servers (by Arc identity).
+        let mut counts = [0usize; 3];
+        for _ in 0..6 {
+            let s = p.assign();
+            for (i, srv) in (0..3).map(|i| (i, p.server(i))) {
+                if Arc::ptr_eq(&s, srv) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        assert_eq!(counts, [2, 2, 2]);
+    }
+
+    #[test]
+    fn writes_through_one_server_visible_through_all() {
+        // The servers share the KV + store, so they are interchangeable —
+        // the statelessness Fig. 10a relies on.
+        let p = pool(3);
+        let writer = DieselClient::connect_with(
+            p.assign(),
+            "ds",
+            ClientConfig {
+                chunk: ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() },
+            },
+        );
+        for i in 0..40 {
+            writer.put(&format!("f{i:02}"), &vec![i as u8; 100]).unwrap();
+        }
+        writer.flush().unwrap();
+
+        for i in 0..3 {
+            let reader = DieselClient::connect(p.server(i).clone(), "ds");
+            reader.download_meta().unwrap();
+            assert_eq!(reader.get("f07").unwrap().as_ref(), &vec![7u8; 100][..]);
+            assert_eq!(reader.file_list().unwrap().len(), 40);
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_across_servers() {
+        let p = Arc::new(pool(5));
+        let handles: Vec<_> = (0..10)
+            .map(|t| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let c = DieselClient::connect_with(
+                        p.assign(),
+                        "ds",
+                        ClientConfig {
+                            chunk: ChunkBuilderConfig {
+                                target_chunk_size: 2048,
+                                ..Default::default()
+                            },
+                        },
+                    );
+                    for i in 0..50 {
+                        c.put(&format!("t{t}/f{i}"), &vec![t as u8; 64]).unwrap();
+                    }
+                    c.flush().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let check = DieselClient::connect(p.assign(), "ds");
+        check.download_meta().unwrap();
+        assert_eq!(check.file_list().unwrap().len(), 500);
+        let rec = p.server(0).meta().dataset_record("ds").unwrap();
+        assert_eq!(rec.file_count, 500);
+    }
+}

@@ -1,0 +1,320 @@
+//! A cluster of KV instances with Redis-style slot routing and failure
+//! injection.
+//!
+//! Keys map to one of 16384 slots via CRC-16 (see [`crate::hash`]); slots
+//! are assigned to instances in contiguous ranges, exactly like Redis
+//! Cluster's default layout. The two §4.1.2 failure scenarios are exposed
+//! directly:
+//!
+//! * **(a) node failure** — [`KvCluster::fail_instance`] marks one
+//!   instance down; operations routed to it error with
+//!   [`KvError::InstanceDown`]. [`KvCluster::recover_instance`] brings it
+//!   back *empty* (its recent writes are lost), which is what the
+//!   chunk-scan recovery then repairs.
+//! * **(b) power loss** — [`KvCluster::power_loss`] clears every
+//!   instance.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::hash::{key_slot, NUM_SLOTS};
+use crate::shard::ShardedKv;
+use crate::stats::KvStatsSnapshot;
+use crate::{KvError, KvStore, Result};
+
+/// Construction parameters for [`KvCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of instances (the paper runs 16 Redis instances on 4 nodes).
+    pub instances: usize,
+    /// Lock stripes inside each instance.
+    pub shards_per_instance: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { instances: 16, shards_per_instance: ShardedKv::DEFAULT_SHARDS }
+    }
+}
+
+/// A slot-routed cluster of [`ShardedKv`] instances.
+///
+/// # Examples
+///
+/// ```
+/// use diesel_kv::{ClusterConfig, KvCluster, KvStore};
+///
+/// let cluster = KvCluster::new(ClusterConfig { instances: 4, shards_per_instance: 8 });
+/// cluster.put("f/ds/train/cat/1.jpg", vec![1, 2, 3]).unwrap();
+/// assert_eq!(cluster.get("f/ds/train/cat/1.jpg").unwrap(), Some(vec![1, 2, 3]));
+///
+/// // Kill the owning instance: its keys error, others keep working.
+/// let owner = cluster.route("f/ds/train/cat/1.jpg");
+/// cluster.fail_instance(owner);
+/// assert!(cluster.get("f/ds/train/cat/1.jpg").is_err());
+/// cluster.recover_instance(owner); // back, but empty — recovery rescans chunks
+/// assert_eq!(cluster.get("f/ds/train/cat/1.jpg").unwrap(), None);
+/// ```
+pub struct KvCluster {
+    instances: Vec<Arc<ShardedKv>>,
+    down: Vec<AtomicBool>,
+}
+
+impl std::fmt::Debug for KvCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvCluster")
+            .field("instances", &self.instances.len())
+            .field("down", &self.down_instances())
+            .finish()
+    }
+}
+
+impl KvCluster {
+    /// Build a cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.instances >= 1, "cluster needs at least one instance");
+        KvCluster {
+            instances: (0..config.instances)
+                .map(|_| Arc::new(ShardedKv::with_shards(config.shards_per_instance)))
+                .collect(),
+            down: (0..config.instances).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Which instance owns `key` (contiguous slot ranges, Redis-style).
+    pub fn route(&self, key: &str) -> usize {
+        let slot = key_slot(key) as usize;
+        (slot * self.instances.len()) / NUM_SLOTS as usize
+    }
+
+    fn instance(&self, idx: usize) -> Result<&ShardedKv> {
+        if self.down[idx].load(Ordering::Acquire) {
+            return Err(KvError::InstanceDown { instance: idx });
+        }
+        Ok(&self.instances[idx])
+    }
+
+    /// Take instance `idx` down; subsequent ops routed to it fail.
+    pub fn fail_instance(&self, idx: usize) {
+        self.down[idx].store(true, Ordering::Release);
+    }
+
+    /// Bring instance `idx` back up **empty** (its in-memory state was
+    /// lost with the node).
+    pub fn recover_instance(&self, idx: usize) {
+        self.instances[idx].clear();
+        self.down[idx].store(false, Ordering::Release);
+    }
+
+    /// Clear every instance (data-center power failure, scenario b).
+    pub fn power_loss(&self) {
+        for (i, inst) in self.instances.iter().enumerate() {
+            inst.clear();
+            self.down[i].store(false, Ordering::Release);
+        }
+    }
+
+    /// Indices of currently-down instances.
+    pub fn down_instances(&self) -> Vec<usize> {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Aggregated operation counters across instances.
+    pub fn stats(&self) -> KvStatsSnapshot {
+        let mut total = KvStatsSnapshot::default();
+        for inst in &self.instances {
+            let s = inst.stats().snapshot();
+            total.gets += s.gets;
+            total.puts += s.puts;
+            total.deletes += s.deletes;
+            total.scans += s.scans;
+        }
+        total
+    }
+
+    /// Per-instance key counts (diagnostics / balance tests).
+    pub fn key_distribution(&self) -> Vec<usize> {
+        self.instances.iter().map(|i| i.len()).collect()
+    }
+}
+
+impl KvStore for KvCluster {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        self.instance(self.route(key))?.get(key)
+    }
+
+    fn put(&self, key: &str, value: Vec<u8>) -> Result<()> {
+        self.instance(self.route(key))?.put(key, value)
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        self.instance(self.route(key))?.delete(key)
+    }
+
+    fn mput(&self, pairs: Vec<(String, Vec<u8>)>) -> Result<()> {
+        // Group by owning instance so each instance sees one batch — the
+        // cluster-level analogue of Redis pipelining.
+        let n = self.instances.len();
+        let mut grouped: Vec<Vec<(String, Vec<u8>)>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, v) in pairs {
+            grouped[self.route(&k)].push((k, v));
+        }
+        for (idx, batch) in grouped.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.instance(idx)?.mput(batch)?;
+        }
+        Ok(())
+    }
+
+    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        // A prefix scan must see every owning instance; any down instance
+        // makes the result incomplete, so surface the failure.
+        let mut out = Vec::new();
+        for idx in 0..self.instances.len() {
+            out.extend(self.instance(idx)?.pscan(prefix)?);
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    fn len(&self) -> usize {
+        self.instances.iter().map(|i| i.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> KvCluster {
+        KvCluster::new(ClusterConfig { instances: n, shards_per_instance: 8 })
+    }
+
+    #[test]
+    fn routes_are_stable_and_in_range() {
+        let c = cluster(5);
+        for i in 0..1000 {
+            let key = format!("k/{i}");
+            let r = c.route(&key);
+            assert!(r < 5);
+            assert_eq!(r, c.route(&key));
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_instances() {
+        let c = cluster(4);
+        for i in 0..10_000 {
+            c.put(&format!("file/{i}"), vec![0]).unwrap();
+        }
+        let dist = c.key_distribution();
+        assert_eq!(dist.iter().sum::<usize>(), 10_000);
+        for &d in &dist {
+            assert!(d > 1500, "instance starved: {dist:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_ops_roundtrip() {
+        let c = cluster(3);
+        c.put("x", vec![1]).unwrap();
+        assert_eq!(c.get("x").unwrap(), Some(vec![1]));
+        assert!(c.delete("x").unwrap());
+        assert_eq!(c.get("x").unwrap(), None);
+    }
+
+    #[test]
+    fn pscan_unions_instances_sorted() {
+        let c = cluster(4);
+        let mut keys: Vec<String> = (0..500).map(|i| format!("p/{i:04}")).collect();
+        for k in &keys {
+            c.put(k, vec![]).unwrap();
+        }
+        c.put("q/other", vec![]).unwrap();
+        let hits = c.pscan("p/").unwrap();
+        keys.sort();
+        assert_eq!(hits.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), keys);
+    }
+
+    #[test]
+    fn failed_instance_errors_only_its_keys() {
+        let c = cluster(4);
+        for i in 0..2000 {
+            c.put(&format!("k/{i}"), vec![]).unwrap();
+        }
+        c.fail_instance(2);
+        let mut down_errors = 0;
+        let mut ok = 0;
+        for i in 0..2000 {
+            match c.get(&format!("k/{i}")) {
+                Ok(Some(_)) => ok += 1,
+                Err(KvError::InstanceDown { instance: 2 }) => down_errors += 1,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(down_errors > 300, "instance 2 should own a fair share");
+        assert_eq!(ok + down_errors, 2000);
+        // pscan cannot complete with a down instance.
+        assert!(c.pscan("k/").is_err());
+        assert_eq!(c.down_instances(), vec![2]);
+    }
+
+    #[test]
+    fn recovery_brings_instance_back_empty() {
+        let c = cluster(2);
+        for i in 0..100 {
+            c.put(&format!("k/{i}"), vec![1]).unwrap();
+        }
+        let before = c.len();
+        c.fail_instance(1);
+        c.recover_instance(1);
+        assert!(c.down_instances().is_empty());
+        let after = c.len();
+        assert!(after < before, "recovered instance must come back empty");
+        // Writes to the recovered instance work again.
+        c.put("fresh", vec![2]).unwrap();
+        assert_eq!(c.get("fresh").unwrap(), Some(vec![2]));
+    }
+
+    #[test]
+    fn power_loss_clears_everything() {
+        let c = cluster(3);
+        for i in 0..100 {
+            c.put(&format!("k/{i}"), vec![1]).unwrap();
+        }
+        c.fail_instance(0);
+        c.power_loss();
+        assert_eq!(c.len(), 0);
+        assert!(c.down_instances().is_empty(), "power cycle restarts all instances");
+    }
+
+    #[test]
+    fn mput_batches_per_instance() {
+        let c = cluster(4);
+        let pairs: Vec<(String, Vec<u8>)> =
+            (0..1000).map(|i| (format!("b/{i}"), vec![i as u8])).collect();
+        c.mput(pairs).unwrap();
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.get("b/500").unwrap(), Some(vec![244]));
+    }
+
+    #[test]
+    fn mget_reports_misses_as_none() {
+        let c = cluster(2);
+        c.put("a", vec![1]).unwrap();
+        let got = c.mget(&["a", "missing"]).unwrap();
+        assert_eq!(got, vec![Some(vec![1]), None]);
+    }
+}

@@ -1,0 +1,133 @@
+//! # diesel-kv — distributed key-value metadata store
+//!
+//! DIESEL stores file/chunk metadata in a distributed in-memory key-value
+//! database (a Redis cluster in the paper, §4/§5). This crate provides the
+//! substitute substrate:
+//!
+//! * [`KvStore`] — the operation surface DIESEL needs: `get`, `put`,
+//!   `delete`, batched `mget`/`mput`, and `pscan` (prefix scan — the paper
+//!   translates `readdir` into `pscan hash(dir)/d ∪ pscan hash(dir)/f`).
+//! * [`ShardedKv`] — a single "instance": an in-memory store sharded
+//!   across lock-striped ordered maps, so prefix scans are range scans.
+//! * [`KvCluster`] — N instances with Redis-style slot routing
+//!   (CRC-16 of the key modulo 16384 slots, slots striped over
+//!   instances), per-instance failure injection (node kill) and whole-
+//!   cluster power-loss, mirroring the fault scenarios of §4.1.2.
+//! * [`KvStats`] — operation counters used by the benchmarks to report
+//!   QPS against the measured ceiling of the paper's Redis setup.
+//!
+//! The store is deliberately *not* persistent: the whole point of DIESEL's
+//! self-contained chunks is that this database can be lost and rebuilt.
+
+pub mod cluster;
+pub mod hash;
+pub mod shard;
+pub mod stats;
+
+pub use cluster::{ClusterConfig, KvCluster};
+pub use shard::ShardedKv;
+pub use stats::KvStats;
+
+/// Errors surfaced by KV operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The instance owning this key is down (simulated node failure).
+    InstanceDown { instance: usize },
+    /// The key does not exist. Batched calls report per-key misses as
+    /// `None` instead.
+    NotFound(String),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::InstanceDown { instance } => write!(f, "kv instance {instance} is down"),
+            KvError::NotFound(k) => write!(f, "key not found: {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, KvError>;
+
+/// The key-value operation surface used by the DIESEL metadata layer.
+///
+/// Implementations must be safe for concurrent use (`&self` methods).
+pub trait KvStore: Send + Sync {
+    /// Fetch the value for `key`, or `Ok(None)` when absent.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
+
+    /// Store `value` under `key`, overwriting any previous value.
+    fn put(&self, key: &str, value: Vec<u8>) -> Result<()>;
+
+    /// Remove `key`. Returns whether it existed.
+    fn delete(&self, key: &str) -> Result<bool>;
+
+    /// Batched get: one entry per requested key, `None` on miss.
+    fn mget(&self, keys: &[&str]) -> Result<Vec<Option<Vec<u8>>>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Batched put.
+    fn mput(&self, pairs: Vec<(String, Vec<u8>)>) -> Result<()> {
+        for (k, v) in pairs {
+            self.put(&k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Scan all keys starting with `prefix`, in lexicographic key order.
+    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>>;
+
+    /// Number of stored keys (diagnostics; O(shards)).
+    fn len(&self) -> usize;
+
+    /// True when no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// Exercise the default batched implementations through a tiny adapter.
+    struct Tiny(parking_lot::Mutex<std::collections::BTreeMap<String, Vec<u8>>>);
+
+    impl KvStore for Tiny {
+        fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+            Ok(self.0.lock().get(key).cloned())
+        }
+        fn put(&self, key: &str, value: Vec<u8>) -> Result<()> {
+            self.0.lock().insert(key.to_owned(), value);
+            Ok(())
+        }
+        fn delete(&self, key: &str) -> Result<bool> {
+            Ok(self.0.lock().remove(key).is_some())
+        }
+        fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {
+            Ok(self
+                .0
+                .lock()
+                .range(prefix.to_owned()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect())
+        }
+        fn len(&self) -> usize {
+            self.0.lock().len()
+        }
+    }
+
+    #[test]
+    fn default_mget_mput() {
+        let kv = Tiny(parking_lot::Mutex::new(Default::default()));
+        kv.mput(vec![("a".into(), vec![1]), ("b".into(), vec![2])]).unwrap();
+        let got = kv.mget(&["a", "zz", "b"]).unwrap();
+        assert_eq!(got, vec![Some(vec![1]), None, Some(vec![2])]);
+        assert!(!kv.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! One KV *instance*: a lock-striped, ordered, in-memory store.
+//!
+//! Keys are distributed over `S` shards by FNV hash; each shard is a
+//! `RwLock<BTreeMap>` so point ops contend only within a shard while
+//! prefix scans are ordered range scans unioned across shards. This
+//! mirrors one Redis process: fast point ops, support for `SCAN`-style
+//! prefix iteration, and zero durability.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+use crate::hash::fnv1a_64;
+use crate::stats::KvStats;
+use crate::{KvStore, Result};
+
+/// A single in-memory KV instance.
+#[derive(Debug)]
+pub struct ShardedKv {
+    shards: Vec<RwLock<BTreeMap<String, Vec<u8>>>>,
+    stats: KvStats,
+}
+
+impl ShardedKv {
+    /// Default shard count: enough stripes that 16-thread writers rarely
+    /// collide, without bloating scan fan-in.
+    pub const DEFAULT_SHARDS: usize = 64;
+
+    /// An empty instance with [`Self::DEFAULT_SHARDS`] stripes.
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// An empty instance with an explicit stripe count (≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedKv {
+            shards: (0..shards).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            stats: KvStats::default(),
+        }
+    }
+
+    fn shard_for(&self, key: &str) -> &RwLock<BTreeMap<String, Vec<u8>>> {
+        let idx = (fnv1a_64(key.as_bytes()) as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Operation counters for this instance.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+
+    /// Drop every key (simulated power loss / `FLUSHALL`).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().clear();
+        }
+    }
+
+    /// Remove all keys whose value fails `keep` — used by failure
+    /// injection to model partial loss of recent writes.
+    pub fn retain(&self, mut keep: impl FnMut(&str, &[u8]) -> bool) {
+        for s in &self.shards {
+            s.write().retain(|k, v| keep(k, v));
+        }
+    }
+}
+
+impl Default for ShardedKv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvStore for ShardedKv {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        self.stats.record_get();
+        Ok(self.shard_for(key).read().get(key).cloned())
+    }
+
+    fn put(&self, key: &str, value: Vec<u8>) -> Result<()> {
+        self.stats.record_put();
+        self.shard_for(key).write().insert(key.to_owned(), value);
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        self.stats.record_delete();
+        Ok(self.shard_for(key).write().remove(key).is_some())
+    }
+
+    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        self.stats.record_scan();
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let guard = s.read();
+            out.extend(
+                guard
+                    .range(prefix.to_owned()..)
+                    .take_while(|(k, _)| k.starts_with(prefix))
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn point_ops() {
+        let kv = ShardedKv::new();
+        assert_eq!(kv.get("k").unwrap(), None);
+        kv.put("k", vec![1, 2, 3]).unwrap();
+        assert_eq!(kv.get("k").unwrap(), Some(vec![1, 2, 3]));
+        kv.put("k", vec![9]).unwrap();
+        assert_eq!(kv.get("k").unwrap(), Some(vec![9]), "put overwrites");
+        assert!(kv.delete("k").unwrap());
+        assert!(!kv.delete("k").unwrap());
+        assert_eq!(kv.len(), 0);
+    }
+
+    #[test]
+    fn pscan_is_sorted_and_prefix_exact() {
+        let kv = ShardedKv::with_shards(8);
+        for k in ["a/1", "a/2", "a/10", "ab", "b/1", "a"] {
+            kv.put(k, k.as_bytes().to_vec()).unwrap();
+        }
+        let hits = kv.pscan("a/").unwrap();
+        let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a/1", "a/10", "a/2"]);
+        // Prefix "a" also matches "ab" and "a" itself.
+        assert_eq!(kv.pscan("a").unwrap().len(), 5);
+        assert_eq!(kv.pscan("zzz").unwrap(), vec![]);
+        // Empty prefix scans everything, sorted.
+        let all = kv.pscan("").unwrap();
+        assert_eq!(all.len(), 6);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn clear_and_retain() {
+        let kv = ShardedKv::new();
+        for i in 0..100 {
+            kv.put(&format!("k{i}"), vec![i as u8]).unwrap();
+        }
+        kv.retain(|_, v| v[0] % 2 == 0);
+        assert_eq!(kv.len(), 50);
+        kv.clear();
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let kv = ShardedKv::new();
+        kv.put("a", vec![]).unwrap();
+        kv.get("a").unwrap();
+        kv.get("b").unwrap();
+        kv.pscan("").unwrap();
+        kv.delete("a").unwrap();
+        let s = kv.stats().snapshot();
+        assert_eq!((s.gets, s.puts, s.deletes, s.scans), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_keys() {
+        let kv = Arc::new(ShardedKv::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let kv = kv.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        kv.put(&format!("t{t}/k{i}"), vec![t as u8]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(kv.len(), 8000);
+        for t in 0..8 {
+            assert_eq!(kv.pscan(&format!("t{t}/")).unwrap().len(), 1000);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn matches_model_btreemap(
+            ops in proptest::collection::vec(
+                (0u8..3, "[a-c]{1,4}", proptest::collection::vec(any::<u8>(), 0..4)),
+                1..200
+            ),
+            prefix in "[a-c]{0,2}",
+        ) {
+            let kv = ShardedKv::with_shards(4);
+            let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 => {
+                        kv.put(&key, val.clone()).unwrap();
+                        model.insert(key, val);
+                    }
+                    1 => {
+                        prop_assert_eq!(kv.delete(&key).unwrap(), model.remove(&key).is_some());
+                    }
+                    _ => {
+                        prop_assert_eq!(kv.get(&key).unwrap(), model.get(&key).cloned());
+                    }
+                }
+            }
+            let scanned = kv.pscan(&prefix).unwrap();
+            let expect: Vec<(String, Vec<u8>)> = model
+                .range(prefix.clone()..)
+                .take_while(|(k, _)| k.starts_with(&prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            prop_assert_eq!(scanned, expect);
+            prop_assert_eq!(kv.len(), model.len());
+        }
+    }
+}

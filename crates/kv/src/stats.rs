@@ -1,0 +1,88 @@
+//! Operation counters for KV instances.
+//!
+//! Counters are relaxed atomics: they feed throughput reports, not
+//! synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live operation counters for one instance or cluster.
+#[derive(Debug, Default)]
+pub struct KvStats {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    scans: AtomicU64,
+}
+
+/// A point-in-time copy of [`KvStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvStatsSnapshot {
+    /// Number of `get` calls (including misses).
+    pub gets: u64,
+    /// Number of `put` calls.
+    pub puts: u64,
+    /// Number of `delete` calls.
+    pub deletes: u64,
+    /// Number of `pscan` calls.
+    pub scans: u64,
+}
+
+impl KvStatsSnapshot {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.gets + self.puts + self.deletes + self.scans
+    }
+}
+
+impl KvStats {
+    pub(crate) fn record_get(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_put(&self) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> KvStatsSnapshot {
+        KvStatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.gets.store(0, Ordering::Relaxed);
+        self.puts.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.scans.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = KvStats::default();
+        s.record_get();
+        s.record_get();
+        s.record_put();
+        s.record_scan();
+        s.record_delete();
+        let snap = s.snapshot();
+        assert_eq!(snap.gets, 2);
+        assert_eq!(snap.total(), 5);
+        s.reset();
+        assert_eq!(s.snapshot().total(), 0);
+    }
+}

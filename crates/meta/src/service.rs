@@ -1,0 +1,428 @@
+//! The server-side metadata path.
+//!
+//! `MetaService` performs the metadata *processing* that the paper
+//! deliberately keeps out of the KV database (§4.1.1): extracting
+//! key-value pairs from chunk headers on ingest, translating file-system
+//! operations into KV operations, and materializing snapshots.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use diesel_chunk::{ChunkHeader, ChunkId};
+use diesel_kv::KvStore;
+
+use crate::keys;
+use crate::namespace::{DirEntry, EntryKind};
+use crate::records::{ChunkRecord, DatasetRecord, FileMeta};
+use crate::snapshot::{MetaSnapshot, SnapshotFile};
+use crate::{MetaError, Result};
+
+/// Metadata processing over a KV storage backend.
+pub struct MetaService<K> {
+    kv: Arc<K>,
+    /// Serializes read-modify-write of dataset records; chunk ingest from
+    /// many clients must not lose counter updates.
+    ds_lock: Mutex<()>,
+}
+
+impl<K: KvStore> MetaService<K> {
+    /// A service over `kv`.
+    pub fn new(kv: Arc<K>) -> Self {
+        MetaService { kv, ds_lock: Mutex::new(()) }
+    }
+
+    /// The underlying KV handle.
+    pub fn kv(&self) -> &Arc<K> {
+        &self.kv
+    }
+
+    /// Ingest one chunk's header: "the server extracts the metadata to
+    /// construct key-value pairs and writes them to the key-value
+    /// database" (Fig. 3). `chunk_size` is the full chunk length.
+    pub fn ingest_chunk(&self, dataset: &str, header: &ChunkHeader, chunk_size: u64) -> Result<()> {
+        let mut pairs: Vec<(String, Vec<u8>)> = Vec::with_capacity(2 + header.files.len() * 2);
+        let record = ChunkRecord {
+            updated_ms: header.updated_ms,
+            size: chunk_size,
+            file_count: header.files.len() as u32,
+            bitmap: header.bitmap.clone(),
+        };
+        pairs.push((keys::chunk_key(dataset, header.id), record.encode()));
+
+        let mut live_files = 0u64;
+        let mut live_bytes = 0u64;
+        for (i, f) in header.files.iter().enumerate() {
+            if header.bitmap.is_deleted(i) {
+                continue;
+            }
+            live_files += 1;
+            live_bytes += f.length;
+            let meta = FileMeta {
+                chunk: header.id,
+                index_in_chunk: i as u32,
+                offset: f.offset,
+                length: f.length,
+                uploaded_ms: header.updated_ms,
+            };
+            let enc = meta.encode();
+            pairs.push((keys::file_key(dataset, &f.name), enc.clone()));
+            let (parent, name) = keys::split_path(&f.name);
+            pairs.push((keys::dir_entry_key(dataset, parent, 'f', name), enc));
+            for (anc_parent, anc_name) in keys::ancestor_dirs(&f.name) {
+                pairs.push((keys::dir_entry_key(dataset, anc_parent, 'd', anc_name), Vec::new()));
+            }
+        }
+        self.kv.mput(pairs)?;
+
+        // Read-modify-write the dataset record under the service lock.
+        let _g = self.ds_lock.lock();
+        let ds_key = keys::dataset_key(dataset);
+        let mut rec = match self.kv.get(&ds_key)? {
+            Some(raw) => DatasetRecord::decode(&raw)?,
+            None => DatasetRecord { updated_ms: 0, chunk_count: 0, file_count: 0, total_bytes: 0 },
+        };
+        rec.updated_ms = rec.updated_ms.max(header.updated_ms);
+        rec.chunk_count += 1;
+        rec.file_count += live_files;
+        rec.total_bytes += live_bytes;
+        self.kv.put(&ds_key, rec.encode())?;
+        Ok(())
+    }
+
+    /// The dataset record (freshness authority).
+    pub fn dataset_record(&self, dataset: &str) -> Result<DatasetRecord> {
+        match self.kv.get(&keys::dataset_key(dataset))? {
+            Some(raw) => DatasetRecord::decode(&raw),
+            None => Err(MetaError::NoSuchDataset(dataset.to_owned())),
+        }
+    }
+
+    /// All dataset names.
+    pub fn list_datasets(&self) -> Result<Vec<String>> {
+        Ok(self
+            .kv
+            .pscan(keys::DATASET_PREFIX)?
+            .into_iter()
+            .map(|(k, _)| k[keys::DATASET_PREFIX.len()..].to_owned())
+            .collect())
+    }
+
+    /// Point lookup of one file's metadata ("retrieved by a single get").
+    pub fn file_meta(&self, dataset: &str, path: &str) -> Result<FileMeta> {
+        match self.kv.get(&keys::file_key(dataset, path))? {
+            Some(raw) => FileMeta::decode(&raw),
+            None => Err(MetaError::NoSuchFile(path.to_owned())),
+        }
+    }
+
+    /// Chunk record lookup.
+    pub fn chunk_record(&self, dataset: &str, id: ChunkId) -> Result<ChunkRecord> {
+        match self.kv.get(&keys::chunk_key(dataset, id))? {
+            Some(raw) => ChunkRecord::decode(&raw),
+            None => Err(MetaError::NoSuchDataset(format!("{dataset}:{id}"))),
+        }
+    }
+
+    /// All chunk IDs of a dataset, in write (ID) order.
+    pub fn chunk_ids(&self, dataset: &str) -> Result<Vec<ChunkId>> {
+        let prefix = keys::chunk_prefix(dataset);
+        let mut ids = Vec::new();
+        for (k, _) in self.kv.pscan(&prefix)? {
+            let enc = &k[prefix.len()..];
+            ids.push(ChunkId::decode(enc).map_err(|_| MetaError::BadRecord { key: k.clone() })?);
+        }
+        Ok(ids) // pscan is sorted; the encoding is order-preserving
+    }
+
+    /// `readdir`: "`pscan hash(/folderA)/d ∪ pscan hash(/folderA)/f`"
+    /// (§4.1.1).
+    pub fn readdir(&self, dataset: &str, dir: &str) -> Result<Vec<DirEntry>> {
+        let dprefix = keys::dir_scan_prefix(dataset, dir, 'd');
+        let fprefix = keys::dir_scan_prefix(dataset, dir, 'f');
+        let mut out = Vec::new();
+        for (k, _) in self.kv.pscan(&dprefix)? {
+            out.push(DirEntry {
+                name: k[dprefix.len()..].to_owned(),
+                kind: EntryKind::Dir,
+                size: 0,
+            });
+        }
+        for (k, v) in self.kv.pscan(&fprefix)? {
+            let meta = FileMeta::decode(&v)?;
+            out.push(DirEntry {
+                name: k[fprefix.len()..].to_owned(),
+                kind: EntryKind::File,
+                size: meta.length,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Delete a file: remove its records and flip its bit in the chunk
+    /// record. Returns the removed meta (the caller updates the chunk
+    /// bytes in object storage via `mark_deleted`).
+    pub fn delete_file(&self, dataset: &str, path: &str, now_ms: u64) -> Result<FileMeta> {
+        let meta = self.file_meta(dataset, path)?;
+        // Update the chunk record's bitmap.
+        let ck = keys::chunk_key(dataset, meta.chunk);
+        let mut rec = match self.kv.get(&ck)? {
+            Some(raw) => ChunkRecord::decode(&raw)?,
+            None => return Err(MetaError::BadRecord { key: ck }),
+        };
+        rec.bitmap.set_deleted(meta.index_in_chunk as usize);
+        rec.updated_ms = now_ms;
+        self.kv.put(&ck, rec.encode())?;
+        // Remove the file and dir-entry records.
+        self.kv.delete(&keys::file_key(dataset, path))?;
+        let (parent, name) = keys::split_path(path);
+        self.kv.delete(&keys::dir_entry_key(dataset, parent, 'f', name))?;
+        // Update the dataset record.
+        let _g = self.ds_lock.lock();
+        let ds_key = keys::dataset_key(dataset);
+        if let Some(raw) = self.kv.get(&ds_key)? {
+            let mut ds = DatasetRecord::decode(&raw)?;
+            ds.file_count = ds.file_count.saturating_sub(1);
+            ds.total_bytes = ds.total_bytes.saturating_sub(meta.length);
+            ds.updated_ms = now_ms;
+            self.kv.put(&ds_key, ds.encode())?;
+        }
+        Ok(meta)
+    }
+
+    /// Apply signed deltas to the dataset counters (used by compaction,
+    /// which removes a chunk's contribution before re-ingesting its
+    /// rewritten replacement).
+    pub fn adjust_dataset_counters(
+        &self,
+        dataset: &str,
+        d_chunks: i64,
+        d_files: i64,
+        d_bytes: i64,
+        now_ms: u64,
+    ) -> Result<()> {
+        let _g = self.ds_lock.lock();
+        let ds_key = keys::dataset_key(dataset);
+        let Some(raw) = self.kv.get(&ds_key)? else {
+            return Err(MetaError::NoSuchDataset(dataset.to_owned()));
+        };
+        let mut rec = DatasetRecord::decode(&raw)?;
+        rec.chunk_count = rec.chunk_count.saturating_add_signed(d_chunks);
+        rec.file_count = rec.file_count.saturating_add_signed(d_files);
+        rec.total_bytes = rec.total_bytes.saturating_add_signed(d_bytes);
+        rec.updated_ms = rec.updated_ms.max(now_ms);
+        self.kv.put(&ds_key, rec.encode())?;
+        Ok(())
+    }
+
+    /// Remove every key belonging to `dataset` (`DL_delete_dataset`).
+    /// Returns the number of deleted keys.
+    pub fn delete_dataset(&self, dataset: &str) -> Result<u64> {
+        let mut deleted = 0u64;
+        for prefix in [
+            keys::chunk_prefix(dataset),
+            keys::file_prefix(dataset),
+            format!("dir/{dataset}/"),
+        ] {
+            for (k, _) in self.kv.pscan(&prefix)? {
+                if self.kv.delete(&k)? {
+                    deleted += 1;
+                }
+            }
+        }
+        if self.kv.delete(&keys::dataset_key(dataset))? {
+            deleted += 1;
+        }
+        Ok(deleted)
+    }
+
+    /// Materialize the metadata snapshot of `dataset` (§4.1.3).
+    pub fn build_snapshot(&self, dataset: &str) -> Result<MetaSnapshot> {
+        let record = self.dataset_record(dataset)?;
+        let chunks = self.chunk_ids(dataset)?;
+        let fprefix = keys::file_prefix(dataset);
+        let mut files = Vec::new();
+        for (k, v) in self.kv.pscan(&fprefix)? {
+            files.push(SnapshotFile {
+                path: k[fprefix.len()..].to_owned(),
+                meta: FileMeta::decode(&v)?,
+            });
+        }
+        Ok(MetaSnapshot {
+            dataset: dataset.to_owned(),
+            updated_ms: record.updated_ms,
+            chunks,
+            files,
+        })
+    }
+}
+
+impl<K> std::fmt::Debug for MetaService<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaService").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diesel_chunk::{ChunkBuilder, ChunkIdGenerator};
+    use diesel_kv::ShardedKv;
+
+    fn service() -> MetaService<ShardedKv> {
+        MetaService::new(Arc::new(ShardedKv::new()))
+    }
+
+    fn make_chunk(files: &[(&str, &[u8])], ts: u32) -> (ChunkHeader, Vec<u8>) {
+        let mut b = ChunkBuilder::with_default_config();
+        for (n, d) in files {
+            b.add_file(n, d).unwrap();
+        }
+        let ids = ChunkIdGenerator::deterministic(1, 1, ts);
+        b.seal(ids.next_id(), ts as u64 * 1000)
+    }
+
+    #[test]
+    fn ingest_then_lookup() {
+        let svc = service();
+        let (h, bytes) = make_chunk(&[("train/cat/1.jpg", b"xx"), ("train/dog/2.jpg", b"yyy")], 100);
+        svc.ingest_chunk("ds", &h, bytes.len() as u64).unwrap();
+
+        let meta = svc.file_meta("ds", "train/cat/1.jpg").unwrap();
+        assert_eq!(meta.length, 2);
+        assert_eq!(meta.chunk, h.id);
+        assert!(matches!(
+            svc.file_meta("ds", "nope"),
+            Err(MetaError::NoSuchFile(_))
+        ));
+
+        let rec = svc.dataset_record("ds").unwrap();
+        assert_eq!(rec.chunk_count, 1);
+        assert_eq!(rec.file_count, 2);
+        assert_eq!(rec.total_bytes, 5);
+        assert_eq!(rec.updated_ms, 100_000);
+
+        let cr = svc.chunk_record("ds", h.id).unwrap();
+        assert_eq!(cr.file_count, 2);
+        assert_eq!(cr.size, bytes.len() as u64);
+    }
+
+    #[test]
+    fn readdir_via_pscan() {
+        let svc = service();
+        let (h, b) = make_chunk(
+            &[("train/cat/1.jpg", b"a"), ("train/cat/2.jpg", b"bb"), ("train/dog/1.jpg", b"c"), ("top.txt", b"d")],
+            5,
+        );
+        svc.ingest_chunk("ds", &h, b.len() as u64).unwrap();
+
+        let root = svc.readdir("ds", "").unwrap();
+        let names: Vec<&str> = root.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"train"));
+        assert!(names.contains(&"top.txt"));
+
+        let cat = svc.readdir("ds", "train/cat").unwrap();
+        assert_eq!(cat.len(), 2);
+        assert!(cat.iter().all(|e| e.kind == EntryKind::File));
+        assert_eq!(cat.iter().map(|e| e.size).sum::<u64>(), 3);
+
+        let train = svc.readdir("ds", "train").unwrap();
+        assert_eq!(train.iter().filter(|e| e.kind == EntryKind::Dir).count(), 2);
+    }
+
+    #[test]
+    fn multiple_chunks_accumulate_and_sort() {
+        let svc = service();
+        let ids = ChunkIdGenerator::deterministic(1, 1, 50);
+        let mut expected_ids = Vec::new();
+        for i in 0..5 {
+            let mut b = ChunkBuilder::with_default_config();
+            b.add_file(&format!("f{i}"), b"data").unwrap();
+            let (h, bytes) = b.seal(ids.next_id(), 50_000 + i);
+            expected_ids.push(h.id);
+            svc.ingest_chunk("ds", &h, bytes.len() as u64).unwrap();
+        }
+        let got = svc.chunk_ids("ds").unwrap();
+        assert_eq!(got, expected_ids, "chunk scan must be in write order");
+        assert_eq!(svc.dataset_record("ds").unwrap().chunk_count, 5);
+        assert_eq!(svc.list_datasets().unwrap(), vec!["ds"]);
+    }
+
+    #[test]
+    fn delete_file_updates_everything() {
+        let svc = service();
+        let (h, b) = make_chunk(&[("a/x", b"1234"), ("a/y", b"56")], 9);
+        svc.ingest_chunk("ds", &h, b.len() as u64).unwrap();
+
+        let meta = svc.delete_file("ds", "a/x", 99_000).unwrap();
+        assert_eq!(meta.length, 4);
+        assert!(svc.file_meta("ds", "a/x").is_err());
+        // Chunk record bitmap updated.
+        let cr = svc.chunk_record("ds", h.id).unwrap();
+        assert_eq!(cr.deleted_count(), 1);
+        assert_eq!(cr.updated_ms, 99_000);
+        // readdir no longer lists it.
+        let entries = svc.readdir("ds", "a").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "y");
+        // Dataset counters updated.
+        let ds = svc.dataset_record("ds").unwrap();
+        assert_eq!(ds.file_count, 1);
+        assert_eq!(ds.total_bytes, 2);
+        assert_eq!(ds.updated_ms, 99_000);
+    }
+
+    #[test]
+    fn snapshot_matches_service_state() {
+        let svc = service();
+        let (h, b) = make_chunk(&[("p/a", b"12"), ("p/b", b"345")], 33);
+        svc.ingest_chunk("ds", &h, b.len() as u64).unwrap();
+        let snap = svc.build_snapshot("ds").unwrap();
+        assert_eq!(snap.dataset, "ds");
+        assert_eq!(snap.chunks, vec![h.id]);
+        assert_eq!(snap.files.len(), 2);
+        assert!(snap.is_fresh("ds", svc.dataset_record("ds").unwrap().updated_ms));
+
+        // After a delete the old snapshot is stale.
+        svc.delete_file("ds", "p/a", 999_999).unwrap();
+        assert!(!snap.is_fresh("ds", svc.dataset_record("ds").unwrap().updated_ms));
+    }
+
+    #[test]
+    fn deleted_files_in_ingested_chunk_are_skipped() {
+        let svc = service();
+        let (mut h, b) = make_chunk(&[("keep", b"k"), ("gone", b"g")], 1);
+        h.bitmap.set_deleted(1);
+        svc.ingest_chunk("ds", &h, b.len() as u64).unwrap();
+        assert!(svc.file_meta("ds", "keep").is_ok());
+        assert!(svc.file_meta("ds", "gone").is_err());
+        assert_eq!(svc.dataset_record("ds").unwrap().file_count, 1);
+    }
+
+    #[test]
+    fn delete_dataset_removes_all_keys() {
+        let svc = service();
+        let (h, b) = make_chunk(&[("a/b/c", b"1"), ("a/d", b"2")], 7);
+        svc.ingest_chunk("ds", &h, b.len() as u64).unwrap();
+        let (h2, b2) = make_chunk(&[("other", b"3")], 8);
+        svc.ingest_chunk("keepme", &h2, b2.len() as u64).unwrap();
+
+        let removed = svc.delete_dataset("ds").unwrap();
+        assert!(removed >= 5, "chunk + 2 files + dir entries + ds record, got {removed}");
+        assert!(svc.dataset_record("ds").is_err());
+        assert!(svc.file_meta("ds", "a/d").is_err());
+        // Other datasets untouched.
+        assert!(svc.dataset_record("keepme").is_ok());
+        assert_eq!(svc.list_datasets().unwrap(), vec!["keepme"]);
+    }
+
+    #[test]
+    fn no_such_dataset() {
+        let svc = service();
+        assert!(matches!(
+            svc.dataset_record("ghost"),
+            Err(MetaError::NoSuchDataset(_))
+        ));
+        assert!(svc.build_snapshot("ghost").is_err());
+        assert_eq!(svc.chunk_ids("ghost").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Network cost model: per-node NICs plus a base latency.
+//!
+//! The paper's cluster uses 100 Gbps Infiniband. We model each node with
+//! an ingress and an egress NIC [`Resource`] (bandwidth pipes) and charge
+//! a fixed one-way latency per message. An RPC of `req` bytes out and
+//! `resp` bytes back crosses: sender-egress → latency → receiver-ingress,
+//! then the reverse. Contention appears when many flows share one NIC —
+//! exactly the effect that penalizes Memcached's all-to-all topology in
+//! Fig. 11a and motivates DIESEL's master-client topology (§4.2).
+
+use std::sync::Arc;
+
+use crate::resource::Resource;
+use crate::time::SimTime;
+
+/// Cluster-wide network constants.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// One-way message latency (switch + stack).
+    pub one_way_latency: SimTime,
+    /// Per-message CPU/software overhead charged to the sender (RPC
+    /// serialization, syscalls). This is what batching amortizes.
+    pub per_message_overhead: SimTime,
+    /// NIC bandwidth in bytes/second (full duplex; each direction gets
+    /// this much).
+    pub nic_bytes_per_sec: f64,
+}
+
+impl NetworkModel {
+    /// Constants approximating the paper's 100 Gbps IB fabric with a
+    /// kernel TCP-ish software stack (DIESEL uses Thrift RPC, not RDMA).
+    pub fn infiniband_100g() -> Self {
+        NetworkModel {
+            one_way_latency: SimTime::from_micros(5),
+            per_message_overhead: SimTime::from_micros(8),
+            nic_bytes_per_sec: 100.0e9 / 8.0 * 0.8, // ~10 GB/s effective
+        }
+    }
+
+    /// A slower 10 Gbps Ethernet profile (ablations).
+    pub fn ethernet_10g() -> Self {
+        NetworkModel {
+            one_way_latency: SimTime::from_micros(30),
+            per_message_overhead: SimTime::from_micros(15),
+            nic_bytes_per_sec: 10.0e9 / 8.0 * 0.8,
+        }
+    }
+}
+
+/// The pair of NIC resources belonging to one node.
+#[derive(Debug)]
+pub struct NodeNet {
+    /// Egress pipe.
+    pub tx: Resource,
+    /// Ingress pipe.
+    pub rx: Resource,
+}
+
+impl NodeNet {
+    /// Fresh NICs for one node.
+    pub fn new() -> Self {
+        NodeNet { tx: Resource::new("nic-tx", 1), rx: Resource::new("nic-rx", 1) }
+    }
+}
+
+impl Default for NodeNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The network fabric of a simulated cluster: one [`NodeNet`] per node
+/// plus the shared [`NetworkModel`] constants.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    model: NetworkModel,
+    nodes: Arc<Vec<NodeNet>>,
+}
+
+impl Fabric {
+    /// A fabric over `nodes` nodes.
+    pub fn new(model: NetworkModel, nodes: usize) -> Self {
+        Fabric { model, nodes: Arc::new((0..nodes).map(|_| NodeNet::new()).collect()) }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The model constants.
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// Simulate a one-way message of `bytes` from `src` to `dst` starting
+    /// at `now`; returns the arrival completion time.
+    ///
+    /// Loopback (src == dst) skips the NICs and wire latency but still
+    /// pays a reduced software overhead.
+    pub fn send(&self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        if src == dst {
+            return now + SimTime::from_nanos(self.model.per_message_overhead.as_nanos() / 4);
+        }
+        let after_sw = now + self.model.per_message_overhead;
+        let tx = self.nodes[src].tx.acquire_bytes(after_sw, bytes, self.model.nic_bytes_per_sec);
+        let arrive = tx.end + self.model.one_way_latency;
+        let rx = self.nodes[dst].rx.acquire_bytes(arrive, bytes, self.model.nic_bytes_per_sec);
+        rx.end
+    }
+
+    /// Simulate a request/response RPC; returns the time the response has
+    /// fully arrived back at `src`.
+    pub fn rpc(&self, now: SimTime, src: usize, dst: usize, req_bytes: u64, resp_bytes: u64) -> SimTime {
+        let at_dst = self.send(now, src, dst, req_bytes);
+        self.send(at_dst, dst, src, resp_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::new(NetworkModel::infiniband_100g(), 4)
+    }
+
+    #[test]
+    fn loopback_is_nearly_free() {
+        let f = fabric();
+        let t = f.send(SimTime::ZERO, 1, 1, 1 << 20);
+        assert!(t < SimTime::from_micros(5), "loopback took {t}");
+    }
+
+    #[test]
+    fn small_message_dominated_by_latency_and_overhead() {
+        let f = fabric();
+        let t = f.send(SimTime::ZERO, 0, 1, 100);
+        let floor = f.model().per_message_overhead + f.model().one_way_latency;
+        assert!(t >= floor);
+        assert!(t < floor + SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn large_message_dominated_by_bandwidth() {
+        let f = fabric();
+        let bytes = 1u64 << 30; // 1 GiB
+        let t = f.send(SimTime::ZERO, 0, 1, bytes);
+        let wire = 2.0 * bytes as f64 / f.model().nic_bytes_per_sec; // tx + rx pipes
+        assert!((t.as_secs_f64() - wire).abs() / wire < 0.05, "t={t}");
+    }
+
+    #[test]
+    fn rpc_is_two_messages() {
+        let f = fabric();
+        let t = f.rpc(SimTime::ZERO, 0, 1, 100, 100);
+        let one = f.send(SimTime::ZERO, 2, 3, 100);
+        assert!(t.as_nanos() >= 2 * (one.as_nanos() - 1), "t={t}, one={one}");
+    }
+
+    #[test]
+    fn shared_nic_contention_delays_flows() {
+        let f = fabric();
+        // Ten 100 MB flows out of node 0 must serialize on its egress NIC.
+        let mut ends = Vec::new();
+        for dst in 1..4 {
+            for _ in 0..4 {
+                ends.push(f.send(SimTime::ZERO, 0, dst, 100 << 20));
+            }
+        }
+        let makespan = ends.iter().max().unwrap().as_secs_f64();
+        let serial = 12.0 * (100 << 20) as f64 / f.model().nic_bytes_per_sec;
+        assert!(makespan >= serial * 0.95, "makespan {makespan} vs serial {serial}");
+    }
+
+    #[test]
+    fn distinct_senders_do_not_contend() {
+        let f = fabric();
+        let t0 = f.send(SimTime::ZERO, 0, 1, 10 << 20);
+        let t2 = f.send(SimTime::ZERO, 2, 3, 10 << 20);
+        assert_eq!(t0, t2, "disjoint node pairs must not interfere");
+    }
+}

@@ -1,0 +1,145 @@
+//! Open-loop workload driver: Poisson arrivals at a fixed offered rate.
+//!
+//! The closed-loop driver in [`crate::driver`] models N synchronous
+//! clients (the paper's MPI readers). An *open-loop* driver instead
+//! offers work at a rate independent of completions — the right model
+//! for "many tenants share the storage cluster" questions, and the one
+//! that exposes queueing collapse: at utilization ρ → 1 latency blows up
+//! even though throughput looks fine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::{Histogram, Summary};
+use crate::time::SimTime;
+
+/// Result of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Number of operations issued.
+    pub ops: u64,
+    /// Completion time of the last operation.
+    pub makespan: SimTime,
+    /// Response-time distribution (completion − arrival).
+    pub latency: Histogram,
+}
+
+impl OpenLoopReport {
+    /// Achieved throughput in ops per simulated second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == SimTime::ZERO {
+            0.0
+        } else {
+            self.ops as f64 / self.makespan.as_secs_f64()
+        }
+    }
+
+    /// Latency summary.
+    pub fn latency_summary(&self) -> Summary {
+        self.latency.summary()
+    }
+}
+
+/// Issue `ops` operations with exponential inter-arrival times at
+/// `rate_per_sec`; `op(index, arrival) -> completion` runs each one
+/// (typically acquiring shared [`Resource`](crate::resource::Resource)s).
+/// Deterministic given `seed`.
+pub fn run_open_loop(
+    rate_per_sec: f64,
+    ops: u64,
+    seed: u64,
+    mut op: impl FnMut(u64, SimTime) -> SimTime,
+) -> OpenLoopReport {
+    assert!(rate_per_sec > 0.0, "offered rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrival = SimTime::ZERO;
+    let mut latency = Histogram::new();
+    let mut makespan = SimTime::ZERO;
+    for i in 0..ops {
+        // Exponential inter-arrival: -ln(U)/λ.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        let gap = -u.ln() / rate_per_sec;
+        arrival += SimTime::from_secs_f64(gap);
+        let done = op(i, arrival);
+        assert!(done >= arrival, "op {i} completed before it arrived");
+        latency.record(done - arrival);
+        makespan = makespan.max_of(done);
+    }
+    OpenLoopReport { ops, makespan, latency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Resource;
+
+    /// Analytic M/D/1 mean wait: ρ/(2(1−ρ)) × service.
+    fn md1_mean_response(rate: f64, service_s: f64) -> f64 {
+        let rho = rate * service_s;
+        service_s + rho * service_s / (2.0 * (1.0 - rho))
+    }
+
+    #[test]
+    fn uncontended_latency_equals_service_time() {
+        let r = Resource::new("d", 1);
+        // 10 ops/s against a 1 ms server: ρ = 0.01, queueing negligible.
+        let report = run_open_loop(10.0, 2000, 1, |_, t| {
+            r.acquire(t, SimTime::from_millis(1)).end
+        });
+        let mean = report.latency_summary().mean.as_secs_f64();
+        assert!((mean - 1e-3).abs() < 2e-4, "mean {mean}");
+        let tput = report.throughput();
+        assert!((tput - 10.0).abs() < 1.0, "throughput {tput}");
+    }
+
+    #[test]
+    fn latency_matches_md1_at_moderate_load() {
+        let r = Resource::new("d", 1);
+        let service = SimTime::from_millis(1);
+        // ρ = 0.5 ⇒ mean response = 1 ms + 0.5 ms = 1.5 ms.
+        let report = run_open_loop(500.0, 50_000, 7, |_, t| r.acquire(t, service).end);
+        let mean = report.latency_summary().mean.as_secs_f64();
+        let analytic = md1_mean_response(500.0, 1e-3);
+        assert!(
+            (mean - analytic).abs() / analytic < 0.15,
+            "mean {mean:.6} vs M/D/1 {analytic:.6}"
+        );
+    }
+
+    #[test]
+    fn saturation_blows_up_latency_not_throughput() {
+        let run_at = |rate: f64| {
+            let r = Resource::new("d", 1);
+            run_open_loop(rate, 20_000, 3, |_, t| r.acquire(t, SimTime::from_millis(1)).end)
+        };
+        let light = run_at(300.0);
+        let heavy = run_at(1_300.0); // ρ = 1.3: overloaded
+        // Throughput caps at the 1000 ops/s service rate…
+        assert!(heavy.throughput() < 1_050.0);
+        assert!(heavy.throughput() > 950.0);
+        // …while latency explodes relative to the light load.
+        let l_light = light.latency_summary().mean.as_secs_f64();
+        let l_heavy = heavy.latency_summary().mean.as_secs_f64();
+        assert!(
+            l_heavy > 50.0 * l_light,
+            "overload must blow up latency: {l_light:.6} vs {l_heavy:.6}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let r = Resource::new("d", 2);
+            run_open_loop(800.0, 5_000, seed, |_, t| r.acquire(t, SimTime::from_millis(2)).end)
+                .latency_summary()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "completed before it arrived")]
+    fn time_travel_rejected() {
+        run_open_loop(10.0, 10, 1, |_, _| SimTime::ZERO);
+    }
+}

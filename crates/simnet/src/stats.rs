@@ -1,0 +1,196 @@
+//! Measurement utilities: log-bucketed latency histograms and summaries.
+
+use crate::time::SimTime;
+
+/// A histogram over durations with ~4 % relative-error log buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    // bucket i covers [floor_i, floor_{i+1}) with geometric spacing.
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+const BUCKETS_PER_DECADE: usize = 16;
+const DECADES: usize = 12; // 1ns .. 1000s
+const NBUCKETS: usize = BUCKETS_PER_DECADE * DECADES + 1;
+
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        return 0;
+    }
+    let log10 = (ns as f64).log10();
+    let idx = (log10 * BUCKETS_PER_DECADE as f64) as usize;
+    idx.min(NBUCKETS - 1)
+}
+
+fn bucket_floor(idx: usize) -> u64 {
+    10f64.powf(idx as f64 / BUCKETS_PER_DECADE as f64) as u64
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; NBUCKETS], total: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimTime) {
+        let ns = d.as_nanos();
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` (bucket floor).
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.total == 0 {
+            return SimTime::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return SimTime::from_nanos(bucket_floor(i).max(self.min_ns).min(self.max_ns));
+            }
+        }
+        SimTime::from_nanos(self.max_ns)
+    }
+
+    /// Mean, min, max and common quantiles.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.total,
+            mean: if self.total == 0 {
+                SimTime::ZERO
+            } else {
+                SimTime::from_nanos((self.sum_ns / self.total as u128) as u64)
+            },
+            min: if self.total == 0 { SimTime::ZERO } else { SimTime::from_nanos(self.min_ns) },
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            max: SimTime::from_nanos(if self.total == 0 { 0 } else { self.max_ns }),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point statistics extracted from a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: SimTime,
+    /// Minimum sample.
+    pub min: SimTime,
+    /// Median (bucket-resolution).
+    pub p50: SimTime,
+    /// 99th percentile (bucket-resolution).
+    pub p99: SimTime,
+    /// Maximum sample.
+    pub max: SimTime,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, SimTime::ZERO);
+        assert_eq!(h.quantile(0.5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_micros(42));
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, SimTime::from_micros(42));
+        assert_eq!(s.min, SimTime::from_micros(42));
+        assert_eq!(s.max, SimTime::from_micros(42));
+        // Quantiles land within the bucket (±~8 %).
+        let p50 = h.quantile(0.5).as_nanos() as f64;
+        assert!((p50 - 42_000.0).abs() / 42_000.0 < 0.1, "p50={p50}");
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_close() {
+        let mut h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimTime::from_micros(us));
+        }
+        let s = h.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p99 && s.p99 <= s.max);
+        let p50 = s.p50.as_micros() as f64;
+        let p99 = s.p99.as_micros() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.2, "p50={p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.2, "p99={p99}");
+        assert_eq!(s.mean, SimTime::from_nanos(500_500));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for i in 0..500u64 {
+            a.record(SimTime::from_nanos(i * 17 + 1));
+            both.record(SimTime::from_nanos(i * 17 + 1));
+            b.record(SimTime::from_micros(i + 1));
+            both.record(SimTime::from_micros(i + 1));
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), both.summary());
+    }
+
+    #[test]
+    fn zero_duration_counts() {
+        let mut h = Histogram::new();
+        h.record(SimTime::ZERO);
+        h.record(SimTime::ZERO);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.summary().max, SimTime::ZERO);
+    }
+}

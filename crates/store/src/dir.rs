@@ -1,0 +1,215 @@
+//! Directory-backed object store.
+//!
+//! Objects are stored as regular files under a root directory. Keys are
+//! percent-escaped so arbitrary key strings map to safe single-level file
+//! names while preserving lexicographic order for the characters DIESEL
+//! actually uses (the order-preserving chunk-ID alphabet is untouched by
+//! the escaping).
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use crate::{Bytes, ObjectStore, Result, StoreError};
+
+/// Escape a key into a file name: alphanumerics, `-`, `_`, `.` pass
+/// through; everything else becomes `%XX`. `%` itself is escaped, so the
+/// mapping is injective. Hex digits are uppercase, keeping escape
+/// sequences ordered consistently.
+fn escape_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for &b in key.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_key`].
+fn unescape_key(name: &str) -> Option<String> {
+    let bytes = name.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 3 > bytes.len() {
+                return None;
+            }
+            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// An [`ObjectStore`] persisting each object as one file in a directory.
+#[derive(Debug)]
+pub struct DirObjectStore {
+    root: PathBuf,
+}
+
+impl DirObjectStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root).map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(DirObjectStore { root })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.root.join(escape_key(key))
+    }
+
+    fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = match fs::read_dir(&self.root) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+                .filter_map(|e| unescape_key(&e.file_name().to_string_lossy()))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        keys.sort_unstable();
+        keys
+    }
+}
+
+impl ObjectStore for DirObjectStore {
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        // Write-then-rename for atomicity under concurrent readers.
+        let final_path = self.path_for(key);
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            escape_key(key)
+        ));
+        fs::write(&tmp, &value).map_err(|e| StoreError::Io(e.to_string()))?;
+        fs::rename(&tmp, &final_path).map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        match fs::read(self.path_for(key)) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound(key.to_owned()))
+            }
+            Err(e) => Err(StoreError::Io(e.to_string())),
+        }
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Bytes> {
+        let mut f = match fs::File::open(self.path_for(key)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound(key.to_owned()))
+            }
+            Err(e) => return Err(StoreError::Io(e.to_string())),
+        };
+        let size = f
+            .metadata()
+            .map_err(|e| StoreError::Io(e.to_string()))?
+            .len() as usize;
+        if offset as usize > size {
+            return Err(StoreError::BadRange { key: key.to_owned(), offset, len, size });
+        }
+        f.seek(SeekFrom::Start(offset)).map_err(|e| StoreError::Io(e.to_string()))?;
+        let take = len.min(size - offset as usize);
+        let mut buf = vec![0u8; take];
+        f.read_exact(&mut buf).map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        match fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError::Io(e.to_string())),
+        }
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.path_for(key).is_file()
+    }
+
+    fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.keys().into_iter().filter(|k| k.starts_with(prefix)).collect()
+    }
+
+    fn size_of(&self, key: &str) -> Option<usize> {
+        fs::metadata(self.path_for(key)).ok().map(|m| m.len() as usize)
+    }
+
+    fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.keys()
+            .iter()
+            .filter_map(|k| self.size_of(k))
+            .map(|s| s as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "diesel-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for key in ["plain", "with/slash", "sp ace", "uni-ø", "%percent", "a%2Fb", ""] {
+            let esc = escape_key(key);
+            assert!(!esc.contains('/'), "escaped key must be flat: {esc}");
+            assert_eq!(unescape_key(&esc).as_deref(), Some(key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_on_disk() {
+        let s = DirObjectStore::open(tmpdir("rt")).unwrap();
+        s.put("chunk/0001", Bytes::from_static(b"payload")).unwrap();
+        assert_eq!(s.get("chunk/0001").unwrap(), Bytes::from_static(b"payload"));
+        assert_eq!(s.size_of("chunk/0001"), Some(7));
+        assert_eq!(s.get_range("chunk/0001", 3, 2).unwrap(), Bytes::from_static(b"lo"));
+        assert_eq!(s.get_range("chunk/0001", 3, 100).unwrap(), Bytes::from_static(b"load"));
+        assert!(matches!(s.get_range("chunk/0001", 99, 1), Err(StoreError::BadRange { .. })));
+        assert!(s.delete("chunk/0001").unwrap());
+        assert!(matches!(s.get("chunk/0001"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn listing_is_sorted_and_prefix_filtered() {
+        let s = DirObjectStore::open(tmpdir("ls")).unwrap();
+        for k in ["b", "a/2", "a/1"] {
+            s.put(k, Bytes::new()).unwrap();
+        }
+        assert_eq!(s.list_prefix("a/"), vec!["a/1", "a/2"]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let s = DirObjectStore::open(tmpdir("ow")).unwrap();
+        s.put("k", Bytes::from_static(b"old")).unwrap();
+        s.put("k", Bytes::from_static(b"newer")).unwrap();
+        assert_eq!(s.get("k").unwrap(), Bytes::from_static(b"newer"));
+        assert_eq!(s.total_bytes(), 5);
+    }
+}

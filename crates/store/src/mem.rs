@@ -1,0 +1,144 @@
+//! In-memory object store: the reference [`ObjectStore`] implementation.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+use crate::{Bytes, ObjectStore, Result, StoreError};
+
+/// An ordered, in-memory object store.
+///
+/// Values are [`Bytes`], so `get` is a refcount bump, not a copy — large
+/// chunks flow through the caching layers without duplication.
+#[derive(Debug, Default)]
+pub struct MemObjectStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl MemObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove every object (test/diagnostic helper).
+    pub fn clear(&self) {
+        self.objects.write().clear();
+    }
+}
+
+impl ObjectStore for MemObjectStore {
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        self.objects.write().insert(key.to_owned(), value);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(key.to_owned()))
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        Ok(self.objects.write().remove(key).is_some())
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.objects.read().contains_key(key)
+    }
+
+    fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .read()
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn size_of(&self, key: &str) -> Option<usize> {
+        self.objects.read().get(key).map(|b| b.len())
+    }
+
+    fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_delete() {
+        let s = MemObjectStore::new();
+        s.put("a", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(s.get("a").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.size_of("a"), Some(5));
+        assert!(s.contains("a"));
+        assert!(s.delete("a").unwrap());
+        assert!(!s.delete("a").unwrap());
+        assert!(matches!(s.get("a"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn range_reads_clamp_to_object_end() {
+        let s = MemObjectStore::new();
+        s.put("k", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(s.get_range("k", 3, 4).unwrap(), Bytes::from_static(b"3456"));
+        assert_eq!(s.get_range("k", 8, 100).unwrap(), Bytes::from_static(b"89"));
+        assert_eq!(s.get_range("k", 10, 1).unwrap(), Bytes::new());
+        assert!(matches!(s.get_range("k", 11, 1), Err(StoreError::BadRange { .. })));
+    }
+
+    #[test]
+    fn list_prefix_sorted() {
+        let s = MemObjectStore::new();
+        for k in ["c/2", "c/1", "c/10", "d/1"] {
+            s.put(k, Bytes::new()).unwrap();
+        }
+        assert_eq!(s.list_prefix("c/"), vec!["c/1", "c/10", "c/2"]);
+        assert_eq!(s.list_prefix(""), vec!["c/1", "c/10", "c/2", "d/1"]);
+        assert!(s.list_prefix("zzz").is_empty());
+    }
+
+    #[test]
+    fn accounting() {
+        let s = MemObjectStore::new();
+        assert!(s.is_empty());
+        s.put("a", Bytes::from(vec![0u8; 100])).unwrap();
+        s.put("b", Bytes::from(vec![0u8; 50])).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_bytes(), 150);
+        s.put("a", Bytes::from(vec![0u8; 10])).unwrap(); // overwrite
+        assert_eq!(s.total_bytes(), 60);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_put_get() {
+        let s = Arc::new(MemObjectStore::new());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        s.put(&format!("t{t}/o{i}"), Bytes::from(vec![t as u8; 64])).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(s.len(), 2000);
+        assert_eq!(s.get("t3/o499").unwrap(), Bytes::from(vec![3u8; 64]));
+    }
+}

@@ -1,0 +1,345 @@
+//! The DIESEL server-side cache: a fast (SSD) tier over a slow (HDD)
+//! tier (read flow of Fig. 4).
+//!
+//! "If the server cache is enabled and the corresponding data chunks are
+//! cached in the fast object-storage, the file read requests will be sent
+//! to the fast object-store system. Otherwise the slower object-storage
+//! system will handle the requests. If a cache miss occurs on the
+//! server-side, the server will start to cache the dataset in the
+//! background."
+//!
+//! Chunk-granular promotion with LRU eviction bounded by a fast-tier
+//! capacity. Promotion here is synchronous (the simulated-time layer
+//! charges its cost separately); a `promote_prefix` helper performs the
+//! background "cache the dataset" sweep.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::{Bytes, ObjectStore, Result, StoreError};
+
+/// Read-path statistics for the tiered store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Reads served by the fast tier.
+    pub fast_hits: u64,
+    /// Reads served by the slow tier.
+    pub slow_hits: u64,
+    /// Chunks promoted into the fast tier.
+    pub promotions: u64,
+    /// Chunks evicted from the fast tier.
+    pub evictions: u64,
+}
+
+/// A two-tier object store with LRU promotion.
+pub struct TieredStore<F, S> {
+    fast: Arc<F>,
+    slow: Arc<S>,
+    fast_capacity_bytes: u64,
+    state: Mutex<LruState>,
+}
+
+#[derive(Debug, Default)]
+struct LruState {
+    /// Keys resident in the fast tier, least-recently-used first.
+    lru: VecDeque<String>,
+    resident_bytes: u64,
+    stats: TierStats,
+}
+
+impl<F: ObjectStore, S: ObjectStore> TieredStore<F, S> {
+    /// Build a tiered store; `fast_capacity_bytes` bounds the fast tier.
+    pub fn new(fast: Arc<F>, slow: Arc<S>, fast_capacity_bytes: u64) -> Self {
+        TieredStore { fast, slow, fast_capacity_bytes, state: Mutex::new(LruState::default()) }
+    }
+
+    /// Write-through put: new objects land in the slow (authoritative)
+    /// tier; the fast tier fills on read.
+    pub fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        self.slow.put(key, value)
+    }
+
+    /// Read an object, promoting it into the fast tier.
+    pub fn get(&self, key: &str) -> Result<Bytes> {
+        if let Ok(data) = self.fast.get(key) {
+            let mut st = self.state.lock();
+            touch(&mut st.lru, key);
+            st.stats.fast_hits += 1;
+            return Ok(data);
+        }
+        let data = self.slow.get(key)?;
+        {
+            let mut st = self.state.lock();
+            st.stats.slow_hits += 1;
+        }
+        self.promote(key, data.clone())?;
+        Ok(data)
+    }
+
+    /// Which tier would serve `key` right now? (`true` = fast.)
+    pub fn is_fast_resident(&self, key: &str) -> bool {
+        self.fast.contains(key)
+    }
+
+    /// Copy one object into the fast tier (evicting LRU victims as
+    /// needed). Idempotent.
+    pub fn promote(&self, key: &str, data: Bytes) -> Result<()> {
+        if self.fast.contains(key) {
+            return Ok(());
+        }
+        let size = data.len() as u64;
+        if size > self.fast_capacity_bytes {
+            return Ok(()); // cannot ever fit; serve from slow tier
+        }
+        let mut st = self.state.lock();
+        while st.resident_bytes + size > self.fast_capacity_bytes {
+            let Some(victim) = st.lru.pop_front() else { break };
+            if let Some(vsize) = self.fast.size_of(&victim) {
+                self.fast.delete(&victim)?;
+                st.resident_bytes -= vsize as u64;
+                st.stats.evictions += 1;
+            }
+        }
+        self.fast.put(key, data)?;
+        st.lru.push_back(key.to_owned());
+        st.resident_bytes += size;
+        st.stats.promotions += 1;
+        Ok(())
+    }
+
+    /// The background dataset-caching sweep: promote every slow-tier
+    /// object under `prefix` (in key order) until the fast tier is full.
+    /// Returns how many objects were promoted.
+    pub fn promote_prefix(&self, prefix: &str) -> Result<usize> {
+        let mut promoted = 0;
+        for key in self.slow.list_prefix(prefix) {
+            if self.fast.contains(&key) {
+                continue;
+            }
+            let size = self.slow.size_of(&key).unwrap_or(0) as u64;
+            {
+                let st = self.state.lock();
+                if st.resident_bytes + size > self.fast_capacity_bytes {
+                    break; // fast tier full: stop the sweep, don't thrash
+                }
+            }
+            let data = self.slow.get(&key)?;
+            self.promote(&key, data)?;
+            promoted += 1;
+        }
+        Ok(promoted)
+    }
+
+    /// Delete from both tiers.
+    pub fn delete(&self, key: &str) -> Result<bool> {
+        let mut st = self.state.lock();
+        if let Some(pos) = st.lru.iter().position(|k| k == key) {
+            st.lru.remove(pos);
+            if let Some(size) = self.fast.size_of(key) {
+                st.resident_bytes -= size as u64;
+            }
+        }
+        drop(st);
+        self.fast.delete(key)?;
+        self.slow.delete(key)
+    }
+
+    /// Read-path statistics.
+    pub fn stats(&self) -> TierStats {
+        self.state.lock().stats
+    }
+
+    /// Bytes currently resident in the fast tier.
+    pub fn fast_resident_bytes(&self) -> u64 {
+        self.state.lock().resident_bytes
+    }
+
+    /// The slow (authoritative) tier.
+    pub fn slow(&self) -> &Arc<S> {
+        &self.slow
+    }
+
+    /// The fast tier.
+    pub fn fast(&self) -> &Arc<F> {
+        &self.fast
+    }
+}
+
+fn touch(lru: &mut VecDeque<String>, key: &str) {
+    if let Some(pos) = lru.iter().position(|k| k == key) {
+        let k = lru.remove(pos).expect("position just found");
+        lru.push_back(k);
+    }
+}
+
+/// `TieredStore` is itself an [`ObjectStore`], so a `DieselServer` can
+/// run directly on top of an SSD/HDD pair (the server cache of Fig. 4):
+/// reads promote chunks into the fast tier transparently.
+impl<F: ObjectStore, S: ObjectStore> ObjectStore for TieredStore<F, S> {
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        TieredStore::put(self, key, value)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        TieredStore::get(self, key)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Bytes> {
+        // Serve ranges from whichever tier holds the object; a fast-tier
+        // range read must not force a whole-object promotion.
+        if self.fast.contains(key) {
+            let mut st = self.state.lock();
+            touch(&mut st.lru, key);
+            st.stats.fast_hits += 1;
+            drop(st);
+            return self.fast.get_range(key, offset, len);
+        }
+        let out = self.slow.get_range(key, offset, len)?;
+        self.state.lock().stats.slow_hits += 1;
+        Ok(out)
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        TieredStore::delete(self, key)
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.fast.contains(key) || self.slow.contains(key)
+    }
+
+    fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        // The slow tier is authoritative.
+        self.slow.list_prefix(prefix)
+    }
+
+    fn size_of(&self, key: &str) -> Option<usize> {
+        self.slow.size_of(key).or_else(|| self.fast.size_of(key))
+    }
+
+    fn len(&self) -> usize {
+        self.slow.len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.slow.total_bytes()
+    }
+}
+
+impl<F: ObjectStore, S: ObjectStore> std::fmt::Debug for TieredStore<F, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredStore")
+            .field("fast_capacity_bytes", &self.fast_capacity_bytes)
+            .field("resident_bytes", &self.fast_resident_bytes())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+// Propagate NotFound cleanly when the slow tier misses.
+#[allow(dead_code)]
+fn _not_found(key: &str) -> StoreError {
+    StoreError::NotFound(key.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemObjectStore;
+
+    fn tiered(cap: u64) -> TieredStore<MemObjectStore, MemObjectStore> {
+        TieredStore::new(Arc::new(MemObjectStore::new()), Arc::new(MemObjectStore::new()), cap)
+    }
+
+    #[test]
+    fn read_promotes_to_fast_tier() {
+        let t = tiered(1024);
+        t.put("a", Bytes::from(vec![1u8; 100])).unwrap();
+        assert!(!t.is_fast_resident("a"));
+        t.get("a").unwrap();
+        assert!(t.is_fast_resident("a"));
+        let s = t.stats();
+        assert_eq!((s.fast_hits, s.slow_hits, s.promotions), (0, 1, 1));
+        t.get("a").unwrap();
+        assert_eq!(t.stats().fast_hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let t = tiered(250);
+        for k in ["a", "b", "c"] {
+            t.put(k, Bytes::from(vec![0u8; 100])).unwrap();
+        }
+        t.get("a").unwrap();
+        t.get("b").unwrap();
+        assert_eq!(t.fast_resident_bytes(), 200);
+        // Touch "a" so "b" is LRU, then promote "c".
+        t.get("a").unwrap();
+        t.get("c").unwrap();
+        assert!(t.is_fast_resident("a"), "recently-used object must stay");
+        assert!(!t.is_fast_resident("b"), "LRU object must be evicted");
+        assert!(t.is_fast_resident("c"));
+        assert_eq!(t.stats().evictions, 1);
+        assert!(t.fast_resident_bytes() <= 250);
+    }
+
+    #[test]
+    fn oversized_object_never_promoted() {
+        let t = tiered(100);
+        t.put("big", Bytes::from(vec![0u8; 500])).unwrap();
+        t.get("big").unwrap();
+        assert!(!t.is_fast_resident("big"));
+        assert_eq!(t.stats().promotions, 0);
+    }
+
+    #[test]
+    fn promote_prefix_sweeps_until_full() {
+        let t = tiered(350);
+        for i in 0..10 {
+            t.put(&format!("ds/{i}"), Bytes::from(vec![0u8; 100])).unwrap();
+        }
+        t.put("other", Bytes::from(vec![0u8; 100])).unwrap();
+        let promoted = t.promote_prefix("ds/").unwrap();
+        assert_eq!(promoted, 3, "only 3 × 100 B fit in 350 B");
+        assert!(!t.is_fast_resident("other"));
+    }
+
+    #[test]
+    fn delete_removes_from_both_tiers() {
+        let t = tiered(1024);
+        t.put("a", Bytes::from(vec![0u8; 10])).unwrap();
+        t.get("a").unwrap();
+        assert!(t.delete("a").unwrap());
+        assert!(!t.is_fast_resident("a"));
+        assert!(t.get("a").is_err());
+        assert_eq!(t.fast_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn miss_errors_propagate() {
+        let t = tiered(10);
+        assert!(matches!(t.get("nope"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn object_store_impl_serves_through_tiers() {
+        let t = tiered(1 << 20);
+        let store: &dyn ObjectStore = &t;
+        store.put("k", Bytes::from(vec![5u8; 200])).unwrap();
+        assert!(store.contains("k"));
+        assert_eq!(store.size_of("k"), Some(200));
+        // Range read from the slow tier does not promote.
+        assert_eq!(store.get_range("k", 10, 5).unwrap().len(), 5);
+        assert!(!t.is_fast_resident("k"));
+        // Whole-object get promotes; subsequent range reads hit fast.
+        store.get("k").unwrap();
+        assert!(t.is_fast_resident("k"));
+        assert_eq!(store.get_range("k", 0, 4).unwrap(), Bytes::from(vec![5u8; 4]));
+        let s = t.stats();
+        assert!(s.fast_hits >= 1 && s.slow_hits >= 1);
+        assert_eq!(store.list_prefix("k"), vec!["k"]);
+        assert_eq!(store.len(), 1);
+        assert!(store.delete("k").unwrap());
+        assert!(!store.contains("k"));
+    }
+}

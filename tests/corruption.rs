@@ -1,0 +1,135 @@
+//! End-to-end corruption and transient-fault handling: DIESEL's
+//! self-contained chunks carry per-file CRC32s and a header CRC, so
+//! storage-layer bit rot is *detected*, never silently returned, and
+//! transient I/O errors surface as retriable failures.
+
+use std::sync::Arc;
+
+use diesel_dlt::cache::{CacheConfig, CachePolicy, TaskCache, Topology};
+use diesel_dlt::chunk::ChunkBuilderConfig;
+use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
+use diesel_dlt::kv::ShardedKv;
+use diesel_dlt::store::{FaultConfig, FaultyStore, MemObjectStore, ObjectStore};
+
+type Server = DieselServer<ShardedKv, MemObjectStore>;
+
+fn populated_server(files: usize) -> (Arc<Server>, Vec<String>) {
+    let server = Arc::new(DieselServer::new(
+        Arc::new(ShardedKv::new()),
+        Arc::new(MemObjectStore::new()),
+    ));
+    let client = DieselClient::connect_with(
+        server.clone(),
+        "ds",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 300);
+    let mut names = Vec::new();
+    for i in 0..files {
+        let name = format!("f{i:04}");
+        client.put(&name, &vec![(i % 251) as u8; 256]).unwrap();
+        names.push(name);
+    }
+    client.flush().unwrap();
+    (server, names)
+}
+
+#[test]
+fn cache_verify_on_load_catches_bit_rot() {
+    let (server, _) = populated_server(60);
+    let chunks = server.meta().chunk_ids("ds").unwrap();
+    // A backing store that corrupts every read.
+    let faulty = Arc::new(FaultyStore::new(
+        server.store().clone(),
+        FaultConfig { io_error_rate: 0.0, corruption_rate: 1.0, seed: 7 },
+    ));
+    let cache = TaskCache::new(
+        Topology::uniform(2, 2),
+        faulty,
+        "ds",
+        chunks,
+        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+    );
+    cache.set_verify_on_load(true);
+    // Every chunk load must detect the flip — either the header CRC or
+    // a per-file CRC fires; no corrupt payload is ever cached.
+    let err = cache.prefetch_all().unwrap_err();
+    assert!(matches!(err, diesel_dlt::cache::CacheError::Corrupt(_)), "{err}");
+    assert_eq!(cache.stats().chunk_loads, 0, "corrupt chunk must not be cached");
+}
+
+#[test]
+fn clean_store_passes_verify_on_load() {
+    let (server, names) = populated_server(60);
+    let chunks = server.meta().chunk_ids("ds").unwrap();
+    let cache = TaskCache::new(
+        Topology::uniform(2, 2),
+        server.store().clone(),
+        "ds",
+        chunks.clone(),
+        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+    );
+    cache.set_verify_on_load(true);
+    let report = cache.prefetch_all().unwrap();
+    assert_eq!(report.chunks_loaded as usize, chunks.len());
+    let snap = server.build_snapshot("ds").unwrap();
+    for f in &snap.files {
+        assert_eq!(cache.get_file(&f.meta).unwrap().data.len(), 256);
+    }
+    let _ = names;
+}
+
+#[test]
+fn transient_errors_fail_retriably_and_eventually_succeed() {
+    let (server, _) = populated_server(40);
+    let chunks = server.meta().chunk_ids("ds").unwrap();
+    let faulty = Arc::new(FaultyStore::new(
+        server.store().clone(),
+        FaultConfig { io_error_rate: 0.5, corruption_rate: 0.0, seed: 3 },
+    ));
+    let cache = TaskCache::new(
+        Topology::uniform(2, 2),
+        faulty.clone(),
+        "ds",
+        chunks.clone(),
+        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+    );
+    // Retry the prefetch until the flaky store lets every chunk through.
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match cache.prefetch_all() {
+            Ok(_) => break,
+            Err(diesel_dlt::cache::CacheError::Backing(_)) if attempts < 100 => continue,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!((cache.resident_fraction() - 1.0).abs() < 1e-9);
+    let (errors, _) = faulty.injected();
+    assert!(errors > 0, "the store really was flaky");
+    // Once cached, reads no longer touch the flaky store at all.
+    let snap = server.build_snapshot("ds").unwrap();
+    for f in &snap.files {
+        assert!(cache.get_file(&f.meta).unwrap().chunk_hit);
+    }
+}
+
+#[test]
+fn recovery_scan_detects_corrupt_headers() {
+    let (server, _) = populated_server(30);
+    // Corrupt one stored chunk's header region in place.
+    let keys = server.store().list_prefix("ds/");
+    let victim = &keys[0];
+    let mut bytes = server.store().get(victim).unwrap().to_vec();
+    bytes[20] ^= 0xff; // inside the chunk-id field, breaking the header CRC
+    server.store().put(victim, bytes.into()).unwrap();
+
+    server.meta().kv().clear();
+    let err = server.recover_metadata_full("ds").unwrap_err();
+    assert!(
+        matches!(err, diesel_dlt::core::DieselError::Meta(diesel_dlt::meta::MetaError::Chunk(_))),
+        "corrupt header must abort recovery loudly, got {err}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Persistence across "process restarts": with a directory-backed
+//! object store, chunks survive on disk; the in-memory KV database is
+//! derived state that every fresh server rebuilds by scanning them —
+//! the deployment story §4.1.2 enables.
+
+use std::sync::Arc;
+
+use diesel_dlt::chunk::ChunkBuilderConfig;
+use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
+use diesel_dlt::kv::ShardedKv;
+use diesel_dlt::store::{DirObjectStore, MemObjectStore, TieredStore};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("diesel-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn dataset_survives_server_restart_on_disk() {
+    let root = tmpdir("restart");
+    let mut expect = Vec::new();
+
+    // "Process 1": write the dataset to disk-backed storage.
+    {
+        let store = Arc::new(DirObjectStore::open(&root).unwrap());
+        let server = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store));
+        let client = DieselClient::connect_with(
+            server,
+            "ds",
+            ClientConfig {
+                chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+            },
+        )
+        .with_deterministic_identity(1, 1, 500);
+        for i in 0..80usize {
+            let name = format!("c{}/f{i:03}", i % 4);
+            let data: Vec<u8> = (0..(64 + i)).map(|j| ((i * 13 + j) % 256) as u8).collect();
+            client.put(&name, &data).unwrap();
+            expect.push((name, data));
+        }
+        client.flush().unwrap();
+        // Server process "exits": its KV state is gone with it.
+    }
+
+    // "Process 2": brand-new server, empty KV, same directory.
+    {
+        let store = Arc::new(DirObjectStore::open(&root).unwrap());
+        let server = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store));
+        assert!(server.meta().dataset_record("ds").is_err(), "fresh KV is empty");
+        let report = server.recover_metadata_full("ds").unwrap();
+        assert_eq!(report.files_recovered as usize, expect.len());
+
+        let client = DieselClient::connect(server.clone(), "ds");
+        client.download_meta().unwrap();
+        for (name, data) in &expect {
+            assert_eq!(client.get(name).unwrap().as_ref(), &data[..], "{name}");
+        }
+        // Housekeeping works against the recovered state too.
+        server.delete_file("ds", &expect[0].0, 1_000_000_000).unwrap();
+        let purge = server.purge_dataset("ds", 1_000_000_001).unwrap();
+        assert!(purge.chunks_compacted >= 1);
+        // The client's snapshot is now stale (compaction moved files to
+        // a new chunk); `get` falls back to server-side metadata, and a
+        // snapshot re-download restores the fast path.
+        assert_eq!(client.get(&expect[1].0).unwrap().as_ref(), &expect[1].1[..]);
+        client.download_meta().unwrap();
+        assert_eq!(client.get(&expect[2].0).unwrap().as_ref(), &expect[2].1[..]);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn server_runs_on_tiered_ssd_hdd_storage() {
+    // The Fig. 4 server cache: a DieselServer directly over a
+    // TieredStore (fast mem tier bounded, slow tier authoritative).
+    let fast = Arc::new(MemObjectStore::new());
+    let slow = Arc::new(MemObjectStore::new());
+    let tiered = Arc::new(TieredStore::new(fast, slow, 64 << 10));
+    let server = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), tiered.clone()));
+    let client = DieselClient::connect_with(
+        server.clone(),
+        "ds",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 8192, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(2, 2, 600);
+
+    for i in 0..60usize {
+        client.put(&format!("f{i:03}"), &vec![(i % 251) as u8; 400]).unwrap();
+    }
+    client.flush().unwrap();
+    client.download_meta().unwrap();
+
+    // Writes land in the slow (authoritative) tier only.
+    assert!(tiered.fast_resident_bytes() == 0);
+    // Whole-chunk reads (what the task cache issues) promote chunks into
+    // the fast tier; repeated reads hit it.
+    let chunks = server.meta().chunk_ids("ds").unwrap();
+    for &c in &chunks {
+        server.read_chunk("ds", c).unwrap();
+    }
+    for &c in &chunks {
+        server.read_chunk("ds", c).unwrap();
+    }
+    let stats = tiered.stats();
+    assert!(stats.promotions > 0, "chunk reads must warm the fast tier");
+    assert!(stats.fast_hits > 0, "second pass must hit the fast tier");
+    assert!(tiered.fast_resident_bytes() <= 64 << 10, "fast tier stays within budget");
+
+    // File reads through the client still return exact bytes.
+    for i in 0..60usize {
+        assert_eq!(
+            client.get(&format!("f{i:03}")).unwrap().as_ref(),
+            &vec![(i % 251) as u8; 400][..]
+        );
+    }
+    // And metadata recovery works through the tiered front as well.
+    server.meta().kv().clear();
+    let report = server.recover_metadata_full("ds").unwrap();
+    assert_eq!(report.files_recovered, 60);
+}
+
+#[test]
+fn snapshot_file_round_trips_between_processes() {
+    let root = tmpdir("snap");
+    std::fs::create_dir_all(&root).unwrap();
+    let snap_path = root.join("ds.snapshot");
+
+    let store = Arc::new(DirObjectStore::open(root.join("objects")).unwrap());
+    let server = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store));
+    let writer = DieselClient::connect(server.clone(), "ds");
+    for i in 0..30usize {
+        writer.put(&format!("f{i}"), &vec![1u8; 64]).unwrap();
+    }
+    writer.flush().unwrap();
+    writer.save_meta(&snap_path).unwrap();
+
+    // Another worker on "another node" (fresh client) loads it from the
+    // shared filesystem, as §4.1.3 recommends, and reads data without
+    // ever asking the server for metadata.
+    let reader = DieselClient::connect(server.clone(), "ds");
+    reader.load_meta(&snap_path).unwrap();
+    assert!(reader.has_meta());
+    assert_eq!(reader.ls("").unwrap().len(), 30);
+    assert_eq!(reader.get("f17").unwrap().len(), 64);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,170 @@
+//! Cross-crate property-based tests: system-level invariants under
+//! randomized workloads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use diesel_dlt::chunk::ChunkBuilderConfig;
+use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
+use diesel_dlt::kv::ShardedKv;
+use diesel_dlt::shuffle::ShuffleKind;
+use diesel_dlt::store::{MemObjectStore, ObjectStore};
+
+type Server = DieselServer<ShardedKv, MemObjectStore>;
+
+fn server() -> Arc<Server> {
+    Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())))
+}
+
+fn client(s: &Arc<Server>, chunk_size: usize) -> DieselClient<ShardedKv, MemObjectStore> {
+    DieselClient::connect_with(
+        s.clone(),
+        "prop",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: chunk_size, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 77)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever mix of files is written, every byte comes back exactly —
+    /// regardless of chunk size (i.e. of how files are packed/split).
+    #[test]
+    fn storage_is_content_faithful(
+        files in proptest::collection::btree_map(
+            "[a-z]{1,6}(/[a-z0-9]{1,6}){0,2}",
+            proptest::collection::vec(any::<u8>(), 0..1500),
+            1..40,
+        ),
+        chunk_size in 512usize..16384,
+    ) {
+        let s = server();
+        let c = client(&s, chunk_size);
+        for (name, data) in &files {
+            c.put(name, data).unwrap();
+        }
+        c.flush().unwrap();
+        c.download_meta().unwrap();
+        for (name, data) in &files {
+            let got = c.get(name).unwrap();
+            prop_assert_eq!(got.as_ref(), &data[..]);
+            prop_assert_eq!(c.stat(name).unwrap().length as usize, data.len());
+        }
+        // The dataset record's totals agree with what we wrote.
+        let rec = s.meta().dataset_record("prop").unwrap();
+        prop_assert_eq!(rec.file_count as usize, files.len());
+        prop_assert_eq!(rec.total_bytes as usize, files.values().map(Vec::len).sum::<usize>());
+    }
+
+    /// Recovery from chunks is a lossless inverse of ingestion: for any
+    /// write + delete sequence, wiping the KV and rescanning reproduces
+    /// the exact same snapshot.
+    #[test]
+    fn recovery_is_lossless(
+        files in proptest::collection::vec(
+            ("[a-m]{2,8}", proptest::collection::vec(any::<u8>(), 1..400)),
+            2..30,
+        ),
+        delete_mask in proptest::collection::vec(any::<bool>(), 2..30),
+        chunk_size in 600usize..4000,
+    ) {
+        let s = server();
+        let c = client(&s, chunk_size);
+        let mut unique: HashMap<String, Vec<u8>> = HashMap::new();
+        for (name, data) in files {
+            unique.insert(name, data);
+        }
+        for (name, data) in &unique {
+            c.put(name, data).unwrap();
+        }
+        c.flush().unwrap();
+        let names: Vec<String> = unique.keys().cloned().collect();
+        for (i, name) in names.iter().enumerate() {
+            if *delete_mask.get(i).unwrap_or(&false) && unique.len() > 1 {
+                s.delete_file("prop", name, 9_000_000).unwrap();
+            }
+        }
+        let before = s.build_snapshot("prop").unwrap();
+        s.meta().kv().clear();
+        s.recover_metadata_full("prop").unwrap();
+        let after = s.build_snapshot("prop").unwrap();
+        prop_assert_eq!(before.chunks, after.chunks);
+        prop_assert_eq!(before.files, after.files);
+    }
+
+    /// Both shuffle strategies produce exact permutations of the file
+    /// set, for any dataset shape, and chunk-wise groups never exceed
+    /// the configured chunk budget.
+    #[test]
+    fn shuffles_are_permutations_end_to_end(
+        nfiles in 1usize..120,
+        chunk_size in 400usize..3000,
+        group_size in 1usize..9,
+        epoch in 0u64..4,
+    ) {
+        let s = server();
+        let c = client(&s, chunk_size);
+        for i in 0..nfiles {
+            c.put(&format!("f{i:04}"), &vec![7u8; 100]).unwrap();
+        }
+        c.flush().unwrap();
+        c.download_meta().unwrap();
+        for kind in [ShuffleKind::DatasetShuffle, ShuffleKind::ChunkWise { group_size }] {
+            c.enable_shuffle(kind);
+            let mut order = c.epoch_file_list(9, epoch).unwrap();
+            prop_assert_eq!(order.len(), nfiles);
+            order.sort();
+            order.dedup();
+            prop_assert_eq!(order.len(), nfiles, "duplicates under {:?}", kind);
+            if let ShuffleKind::ChunkWise { group_size } = kind {
+                let plan = c.epoch_plan(9, epoch).unwrap();
+                for set in plan.group_chunk_sets() {
+                    prop_assert!(set.len() <= group_size);
+                }
+            }
+        }
+    }
+
+    /// Purging after arbitrary deletions never breaks surviving files
+    /// and never grows the store.
+    #[test]
+    fn purge_preserves_survivors(
+        nfiles in 4usize..50,
+        dels in proptest::collection::vec(0usize..50, 1..20),
+        chunk_size in 600usize..4000,
+    ) {
+        let s = server();
+        let c = client(&s, chunk_size);
+        for i in 0..nfiles {
+            c.put(&format!("f{i:03}"), &vec![(i % 251) as u8; 150]).unwrap();
+        }
+        c.flush().unwrap();
+        let mut deleted = std::collections::HashSet::new();
+        for d in dels {
+            let i = d % nfiles;
+            if deleted.insert(i) {
+                s.delete_file("prop", &format!("f{i:03}"), 8_888_888).unwrap();
+            }
+        }
+        let bytes_before = s.store().total_bytes();
+        s.purge_dataset("prop", 8_888_889).unwrap();
+        prop_assert!(s.store().total_bytes() <= bytes_before);
+        for i in 0..nfiles {
+            let name = format!("f{i:03}");
+            if deleted.contains(&i) {
+                prop_assert!(s.read_file("prop", &name).is_err());
+            } else {
+                let got = s.read_file("prop", &name).unwrap();
+                prop_assert_eq!(got.as_ref(), &vec![(i % 251) as u8; 150][..]);
+            }
+        }
+        // Dataset counters stay consistent with the surviving set.
+        let rec = s.meta().dataset_record("prop").unwrap();
+        prop_assert_eq!(rec.file_count as usize, nfiles - deleted.len());
+    }
+}

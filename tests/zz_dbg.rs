@@ -1,0 +1,38 @@
+use std::sync::Arc;
+use diesel_dlt::chunk::ChunkBuilderConfig;
+use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
+use diesel_dlt::kv::ShardedKv;
+use diesel_dlt::store::{DirObjectStore, ObjectStore};
+
+#[test]
+fn dbg() {
+    let root = std::env::temp_dir().join(format!("dbg2-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut expect = Vec::new();
+    {
+        let store = Arc::new(DirObjectStore::open(&root).unwrap());
+        let server = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store));
+        let client = DieselClient::connect_with(server, "ds",
+            ClientConfig { chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() } })
+            .with_deterministic_identity(1, 1, 500);
+        for i in 0..80usize {
+            let name = format!("c{}/f{i:03}", i % 4);
+            let data: Vec<u8> = (0..(64 + i)).map(|j| ((i * 13 + j) % 256) as u8).collect();
+            client.put(&name, &data).unwrap();
+            expect.push((name, data));
+        }
+        client.flush().unwrap();
+    }
+    let store = Arc::new(DirObjectStore::open(&root).unwrap());
+    let server = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store.clone()));
+    server.recover_metadata_full("ds").unwrap();
+    let client = DieselClient::connect(server.clone(), "ds");
+    client.download_meta().unwrap();
+    for (name, data) in &expect {
+        assert_eq!(client.get(name).unwrap().as_ref(), &data[..], "{name}");
+    }
+    eprintln!("keys before delete: {:?}", store.list_prefix("ds/").len());
+    server.delete_file("ds", &expect[0].0, 1_000_000_000).unwrap();
+    eprintln!("keys after delete: {:?}", store.list_prefix("ds/"));
+    server.purge_dataset("ds", 1_000_000_001).unwrap();
+}
