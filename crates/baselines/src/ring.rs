@@ -88,11 +88,7 @@ mod tests {
         let ring = ConsistentHashRing::new(8, 160);
         let dist = ring.load_distribution(40_000);
         for (s, share) in dist.iter().enumerate() {
-            assert!(
-                (0.06..0.20).contains(share),
-                "server {s} holds {:.1}% of keys",
-                share * 100.0
-            );
+            assert!((0.06..0.20).contains(share), "server {s} holds {:.1}% of keys", share * 100.0);
         }
         let total: f64 = dist.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);

@@ -13,10 +13,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use diesel_cache::{CacheConfig, CachePolicy, TaskCache, Topology};
 use diesel_chunk::{ChunkBuilder, ChunkBuilderConfig, ChunkIdGenerator, ChunkReader, ChunkWriter};
 use diesel_kv::{KvStore, ShardedKv};
-use diesel_store::ObjectStore;
 use diesel_meta::recovery::chunk_object_key;
 use diesel_meta::{MetaService, MetaSnapshot};
 use diesel_shuffle::{epoch_order, ChunkFiles, DatasetIndex, ShuffleKind};
+use diesel_store::ObjectStore;
 use diesel_store::{Bytes, MemObjectStore};
 
 fn bench_chunk_id(c: &mut Criterion) {

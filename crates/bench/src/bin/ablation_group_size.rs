@@ -15,7 +15,9 @@ use diesel_bench::Table;
 use diesel_cache::{CacheConfig, CachePolicy, TaskCache, Topology};
 use diesel_core::{ClientConfig, DieselClient, DieselServer};
 use diesel_kv::ShardedKv;
-use diesel_shuffle::quality::{chunk_run_fraction, epoch_correlation, mean_normalized_displacement};
+use diesel_shuffle::quality::{
+    chunk_run_fraction, epoch_correlation, mean_normalized_displacement,
+};
 use diesel_shuffle::{epoch_order, ShuffleItem, ShuffleKind};
 use diesel_store::MemObjectStore;
 
@@ -24,10 +26,8 @@ const FILE_SIZE: usize = 400;
 const CHUNK_SIZE: usize = 8 << 10;
 
 fn main() {
-    let server = Arc::new(DieselServer::new(
-        Arc::new(ShardedKv::new()),
-        Arc::new(MemObjectStore::new()),
-    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
     let client = DieselClient::connect_with(
         server.clone(),
         "ds",

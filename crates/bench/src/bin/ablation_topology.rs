@@ -42,7 +42,7 @@ fn main() {
             fmt_count(d as f64),
             fmt_count(m as f64),
             format!("{:.1}x", m as f64 / d.max(1) as f64),
-            format!("{} MiB", m * CONN_BUFFER_KB >> 10),
+            format!("{} MiB", (m * CONN_BUFFER_KB) >> 10),
             format!("{:.1} s", (m * CONN_SETUP_US) as f64 / 1e6),
         ]);
     }

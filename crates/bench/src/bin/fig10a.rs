@@ -46,17 +46,11 @@ fn main() {
     );
     let mut curves: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for nodes in 1..=10usize {
-        let row: Vec<f64> =
-            [1usize, 3, 5].iter().map(|&s| qps(s, nodes)).collect();
+        let row: Vec<f64> = [1usize, 3, 5].iter().map(|&s| qps(s, nodes)).collect();
         for (i, v) in row.iter().enumerate() {
             curves[i].push(*v);
         }
-        table.row(&[
-            nodes.to_string(),
-            fmt_count(row[0]),
-            fmt_count(row[1]),
-            fmt_count(row[2]),
-        ]);
+        table.row(&[nodes.to_string(), fmt_count(row[0]), fmt_count(row[1]), fmt_count(row[2])]);
     }
     table.emit("fig10a");
     diesel_bench::report::note(

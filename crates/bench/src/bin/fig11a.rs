@@ -40,8 +40,7 @@ fn memcached_qps(nodes: usize) -> f64 {
 
 fn lustre_qps(nodes: usize) -> f64 {
     let l = LustreSim::new(LustreConfig::default());
-    run_uniform_clients(nodes * THREADS_PER_NODE, OPS, |_, _, now| l.read_file_at(now, SIZE))
-        .qps
+    run_uniform_clients(nodes * THREADS_PER_NODE, OPS, |_, _, now| l.read_file_at(now, SIZE)).qps
 }
 
 fn main() {

@@ -42,9 +42,9 @@ fn simulate(chunk_fill: bool, start_hit_ratio: f64, seed: u64) -> Series {
     let mut chunk_loaded = vec![false; chunks];
     let mut file_loaded = vec![false; FILES];
     if start_hit_ratio > 0.0 {
-        for i in 0..FILES {
+        for (i, loaded) in file_loaded.iter_mut().enumerate() {
             if (i as f64 / FILES as f64) < start_hit_ratio {
-                file_loaded[i] = true;
+                *loaded = true;
             }
         }
     }
@@ -71,9 +71,9 @@ fn simulate(chunk_fill: bool, start_hit_ratio: f64, seed: u64) -> Series {
                     chunk_loads += 1;
                     let lo = c * FILES_PER_CHUNK;
                     let hi = ((c + 1) * FILES_PER_CHUNK).min(FILES);
-                    for ff in lo..hi {
-                        if !file_loaded[ff] {
-                            file_loaded[ff] = true;
+                    for loaded in &mut file_loaded[lo..hi] {
+                        if !*loaded {
+                            *loaded = true;
                             loaded_files += 1;
                         }
                     }
@@ -105,7 +105,11 @@ fn simulate(chunk_fill: bool, start_hit_ratio: f64, seed: u64) -> Series {
         }
     }
     Series {
-        label: if chunk_fill { "DIESEL (0%→100%, chunk-wise)" } else { "Memcached (80%→100%, file-wise)" },
+        label: if chunk_fill {
+            "DIESEL (0%→100%, chunk-wise)"
+        } else {
+            "Memcached (80%→100%, file-wise)"
+        },
         points,
         finished_at,
     }
@@ -124,11 +128,7 @@ fn main() {
         let step = (series.points.len() / 12).max(1);
         for (i, (t, bt, r)) in series.points.iter().enumerate() {
             if i % step == 0 || *r >= 1.0 {
-                table.row(&[
-                    format!("{t:.1}"),
-                    format!("{bt:.3}"),
-                    format!("{:.1}%", r * 100.0),
-                ]);
+                table.row(&[format!("{t:.1}"), format!("{bt:.3}"), format!("{:.1}%", r * 100.0)]);
             }
         }
         table.emit("fig11b");

@@ -26,10 +26,8 @@ const TRAIN_N: usize = 3000;
 const EVAL_N: usize = 600;
 
 fn run(spec: &SyntheticSpec, kind: ShuffleKind) -> Vec<(f64, f64)> {
-    let server = Arc::new(DieselServer::new(
-        Arc::new(ShardedKv::new()),
-        Arc::new(MemObjectStore::new()),
-    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
     let client = DieselClient::connect_with(
         server,
         "synth",

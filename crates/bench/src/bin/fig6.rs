@@ -22,10 +22,7 @@ const FILE_BYTES: u64 = 110 << 10;
 const UNIVERSE: usize = 60_000;
 
 fn main() {
-    let mc = MemcachedSim::new(MemcachedConfig {
-        servers: NODES,
-        ..MemcachedConfig::default()
-    });
+    let mc = MemcachedSim::new(MemcachedConfig { servers: NODES, ..MemcachedConfig::default() });
     // The fallback Lustre is the *shared* cluster filesystem: this
     // task's share of it under production load is a fraction of the
     // idle-system capacity of the other figures.

@@ -34,17 +34,14 @@ fn main() {
 
         // Lustre: one create+write per file.
         let lustre = LustreSim::new(LustreConfig::default());
-        let l =
-            run_uniform_clients(CLIENTS, OPS, |_, _, now| lustre.write_file_at(now, size)).qps;
+        let l = run_uniform_clients(CLIENTS, OPS, |_, _, now| lustre.write_file_at(now, size)).qps;
 
         rates.insert(label, (d, m, l));
     }
 
     let (d4, m4, l4) = rates["4KB"];
     let (d128, m128, l128) = rates["128KB"];
-    for (name, r4, r128) in
-        [("DIESEL", d4, d128), ("Memcached", m4, m128), ("Lustre", l4, l128)]
-    {
+    for (name, r4, r128) in [("DIESEL", d4, d128), ("Memcached", m4, m128), ("Lustre", l4, l128)] {
         table.row(&[
             name.to_string(),
             fmt_count(r4),

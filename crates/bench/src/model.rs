@@ -86,8 +86,7 @@ impl DieselClusterModel {
         let mut done = if owner_node == client_node {
             now + self.local_service
         } else {
-            let service =
-                self.master_base + SimTime::for_bytes(bytes, self.master_bytes_per_sec);
+            let service = self.master_base + SimTime::for_bytes(bytes, self.master_bytes_per_sec);
             let grant = self.masters[owner_node].acquire(now, service);
             grant.end + self.client_rtt
         };
@@ -127,11 +126,7 @@ mod tests {
             let owner = m.owner_of((client * 7919 + op * 104729) as u64);
             m.read_at(now, node, owner, 4 << 10, false)
         });
-        assert!(
-            (0.9e6..1.5e6).contains(&outcome.qps),
-            "DIESEL-API 4 KB QPS {:.0}",
-            outcome.qps
-        );
+        assert!((0.9e6..1.5e6).contains(&outcome.qps), "DIESEL-API 4 KB QPS {:.0}", outcome.qps);
     }
 
     #[test]
@@ -168,12 +163,7 @@ mod tests {
     fn writes_hit_two_million_per_second() {
         // Fig. 9: 64 processes, 4 KB files, > 2 M files/s.
         let m = DieselClusterModel::new(4);
-        let outcome =
-            run_uniform_clients(64, 2000, |_, _, now| m.write_at(now, 4 << 10));
-        assert!(
-            (1.6e6..3.0e6).contains(&outcome.qps),
-            "DIESEL 4 KB write rate {:.0}",
-            outcome.qps
-        );
+        let outcome = run_uniform_clients(64, 2000, |_, _, now| m.write_at(now, 4 << 10));
+        assert!((1.6e6..3.0e6).contains(&outcome.qps), "DIESEL 4 KB write rate {:.0}", outcome.qps);
     }
 }

@@ -32,9 +32,9 @@ pub mod topology;
 pub mod transport;
 
 pub use partition::ChunkPartition;
-pub use transport::{PeerHandle, PeerServer, RpcCache};
 pub use task_cache::{CacheConfig, CachePolicy, CacheStats, LoadReport, TaskCache};
 pub use topology::{PeerId, Topology};
+pub use transport::{NetOptions, PeerHandle, PeerRequest, PeerServer, RpcCache};
 
 /// Errors from the distributed cache.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -280,10 +280,7 @@ impl<S: ObjectStore> TaskCache<S> {
             }
         }
         let key = chunk_object_key(&self.dataset, chunk);
-        let bytes = self
-            .backing
-            .get(&key)
-            .map_err(|e| CacheError::Backing(e.to_string()))?;
+        let bytes = self.backing.get(&key).map_err(|e| CacheError::Backing(e.to_string()))?;
         let header = ChunkHeader::decode(&bytes).map_err(|e| CacheError::Corrupt(e.to_string()))?;
         if self.verify_on_load.load(Ordering::Acquire) {
             let reader = diesel_chunk::ChunkReader::parse(&bytes)

@@ -1,84 +1,91 @@
-//! Message-passing transport between cache peers.
+//! Message-passing transport between cache peers, over `diesel-net`.
 //!
 //! The real DIESEL uses Apache Thrift between clients ("Peers in the
 //! task-grained distributed caching system also use Thrift to exchange
-//! data", §5). This module provides the in-process equivalent with real
-//! message passing: each master client runs a [`PeerServer`] thread that
-//! owns its chunk data and serves fetch requests arriving on a crossbeam
-//! channel; [`PeerHandle`]s are the "connections" other clients hold.
+//! data", §5). This module provides the in-process equivalent: each
+//! master client runs a [`PeerServer`] — a `diesel-net`
+//! [`ThreadServer`] whose handler owns the node's chunk data — and
+//! [`PeerHandle`]s are the "connections" other clients hold. Deadlines,
+//! retries, fault injection and per-endpoint stats all come from
+//! `diesel-net` middleware; this module only maps transport failures to
+//! cache semantics ([`CacheError::NodeDown`] with the *correct* node id).
 //!
 //! The shared-memory [`TaskCache`](crate::task_cache::TaskCache) remains
 //! the fast path for single-process deployments; [`RpcCache`] composes
 //! peer servers into the same one-hop read protocol over channels, and
 //! the tests assert both give identical results.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use diesel_chunk::{ChunkHeader, ChunkId};
 use diesel_meta::recovery::chunk_object_key;
 use diesel_meta::FileMeta;
+use diesel_net::{
+    Channel, Clock, Endpoint, FaultChannel, FaultPolicy, Instrumented, NetStats, Retry,
+    RetryPolicy, Service, SystemClock, ThreadChannel, ThreadServer,
+};
 use diesel_store::{Bytes, ObjectStore};
 
 use crate::partition::ChunkPartition;
 use crate::{CacheError, Result};
 
 /// A fetch request to a peer.
-#[derive(Debug)]
-enum Request {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerRequest {
     /// Read one file out of a chunk the peer owns.
-    FetchFile {
-        /// File location.
-        meta: FileMeta,
-        /// Where to send the reply.
-        reply: Sender<Result<Bytes>>,
-    },
+    FetchFile(FileMeta),
     /// Fetch a whole chunk (used by recovering peers / chunk-wise reads).
-    FetchChunk {
-        /// The chunk ID.
-        chunk: ChunkId,
-        /// Where to send the reply.
-        reply: Sender<Result<Bytes>>,
-    },
-    /// Orderly shutdown.
-    Shutdown,
+    FetchChunk(ChunkId),
 }
 
+/// A peer's application-level reply (transport errors live in
+/// [`diesel_net::NetError`], below this layer).
+pub type PeerReply = Result<Bytes>;
+
 /// A connection to one peer (clone per client; channels are MPMC).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PeerHandle {
-    tx: Sender<Request>,
+    node: usize,
+    chan: Channel<PeerRequest, PeerReply>,
 }
 
 impl PeerHandle {
+    /// Wrap an arbitrary channel (possibly layered with retry, fault
+    /// injection or stats middleware) as a connection to `node`.
+    pub fn new(node: usize, chan: Channel<PeerRequest, PeerReply>) -> Self {
+        PeerHandle { node, chan }
+    }
+
+    /// The node this handle connects to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
     /// Fetch a file from the peer (one hop, blocking).
     pub fn fetch_file(&self, meta: &FileMeta) -> Result<Bytes> {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(Request::FetchFile { meta: *meta, reply: reply_tx })
-            .map_err(|_| CacheError::NodeDown { node: usize::MAX })?;
-        reply_rx.recv().map_err(|_| CacheError::NodeDown { node: usize::MAX })?
+        match self.chan.call(PeerRequest::FetchFile(*meta)) {
+            Ok(reply) => reply,
+            Err(_) => Err(CacheError::NodeDown { node: self.node }),
+        }
     }
 
     /// Fetch a whole chunk from the peer.
     pub fn fetch_chunk(&self, chunk: ChunkId) -> Result<Bytes> {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(Request::FetchChunk { chunk, reply: reply_tx })
-            .map_err(|_| CacheError::NodeDown { node: usize::MAX })?;
-        reply_rx.recv().map_err(|_| CacheError::NodeDown { node: usize::MAX })?
+        match self.chan.call(PeerRequest::FetchChunk(chunk)) {
+            Ok(reply) => reply,
+            Err(_) => Err(CacheError::NodeDown { node: self.node }),
+        }
     }
 }
 
-/// One master client's serving thread: owns its partition's chunks.
-pub struct PeerServer {
-    handle: PeerHandle,
-    thread: Option<std::thread::JoinHandle<()>>,
+impl std::fmt::Debug for PeerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerHandle").field("node", &self.node).finish_non_exhaustive()
+    }
 }
 
 struct PeerState<S> {
-    node: usize,
     dataset: String,
     backing: Arc<S>,
     chunks: HashMap<ChunkId, (Bytes, u32)>, // bytes + header_len
@@ -88,10 +95,7 @@ impl<S: ObjectStore> PeerState<S> {
     fn ensure_chunk(&mut self, chunk: ChunkId) -> Result<&(Bytes, u32)> {
         if !self.chunks.contains_key(&chunk) {
             let key = chunk_object_key(&self.dataset, chunk);
-            let bytes = self
-                .backing
-                .get(&key)
-                .map_err(|e| CacheError::Backing(e.to_string()))?;
+            let bytes = self.backing.get(&key).map_err(|e| CacheError::Backing(e.to_string()))?;
             let header =
                 ChunkHeader::decode(&bytes).map_err(|e| CacheError::Corrupt(e.to_string()))?;
             self.chunks.insert(chunk, (bytes, header.header_len));
@@ -99,32 +103,30 @@ impl<S: ObjectStore> PeerState<S> {
         Ok(self.chunks.get(&chunk).expect("just inserted"))
     }
 
-    fn serve(mut self, rx: Receiver<Request>) {
-        let _ = self.node;
-        while let Ok(req) = rx.recv() {
-            match req {
-                Request::FetchFile { meta, reply } => {
-                    let out = self.ensure_chunk(meta.chunk).and_then(|(bytes, hlen)| {
-                        let start = *hlen as usize + meta.offset as usize;
-                        let end = start + meta.length as usize;
-                        if end > bytes.len() {
-                            Err(CacheError::Corrupt(format!(
-                                "range {start}..{end} outside chunk"
-                            )))
-                        } else {
-                            Ok(bytes.slice(start..end))
-                        }
-                    });
-                    let _ = reply.send(out);
-                }
-                Request::FetchChunk { chunk, reply } => {
-                    let out = self.ensure_chunk(chunk).map(|(bytes, _)| bytes.clone());
-                    let _ = reply.send(out);
-                }
-                Request::Shutdown => break,
+    fn handle(&mut self, req: PeerRequest) -> PeerReply {
+        match req {
+            PeerRequest::FetchFile(meta) => {
+                self.ensure_chunk(meta.chunk).and_then(|(bytes, hlen)| {
+                    let start = *hlen as usize + meta.offset as usize;
+                    let end = start + meta.length as usize;
+                    if end > bytes.len() {
+                        Err(CacheError::Corrupt(format!("range {start}..{end} outside chunk")))
+                    } else {
+                        Ok(bytes.slice(start..end))
+                    }
+                })
+            }
+            PeerRequest::FetchChunk(chunk) => {
+                self.ensure_chunk(chunk).map(|(bytes, _)| bytes.clone())
             }
         }
     }
+}
+
+/// One master client's serving thread: owns its partition's chunks.
+pub struct PeerServer {
+    node: usize,
+    server: ThreadServer<PeerRequest, PeerReply>,
 }
 
 impl PeerServer {
@@ -135,40 +137,73 @@ impl PeerServer {
         dataset: impl Into<String>,
         backing: Arc<S>,
     ) -> Self {
-        let (tx, rx) = unbounded();
-        let state =
-            PeerState { node, dataset: dataset.into(), backing, chunks: HashMap::new() };
-        let thread = std::thread::Builder::new()
-            .name(format!("diesel-peer-{node}"))
-            .spawn(move || state.serve(rx))
-            .expect("spawn peer thread");
-        PeerServer { handle: PeerHandle { tx }, thread: Some(thread) }
+        let mut state = PeerState { dataset: dataset.into(), backing, chunks: HashMap::new() };
+        let server = ThreadServer::spawn(Endpoint::new("peer", node), move |req| state.handle(req));
+        PeerServer { node, server }
+    }
+
+    /// This peer's node index.
+    pub fn node(&self) -> usize {
+        self.node
     }
 
     /// A connection handle to this peer.
     pub fn handle(&self) -> PeerHandle {
-        self.handle.clone()
+        PeerHandle::new(self.node, Arc::new(self.server.channel()))
+    }
+
+    /// The raw transport channel, for callers who want to layer their
+    /// own `diesel-net` middleware before wrapping it in a
+    /// [`PeerHandle`].
+    pub fn channel(&self) -> ThreadChannel<PeerRequest, PeerReply> {
+        self.server.channel()
     }
 
     /// Stop the peer (simulating a node crash: in-flight and future
     /// requests fail).
     pub fn kill(&mut self) {
-        let _ = self.handle.tx.send(Request::Shutdown);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for PeerServer {
-    fn drop(&mut self) {
-        self.kill();
+        self.server.kill();
     }
 }
 
 impl std::fmt::Debug for PeerServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PeerServer").finish_non_exhaustive()
+        f.debug_struct("PeerServer").field("node", &self.node).finish_non_exhaustive()
+    }
+}
+
+/// Transport knobs for an [`RpcCache`]: deadline, retry schedule, clock
+/// and (for tests) a fault policy targeting one node.
+pub struct NetOptions {
+    /// Per-call reply deadline, if any.
+    pub timeout_ns: Option<u64>,
+    /// Retry schedule for timed-out calls.
+    pub retry: RetryPolicy,
+    /// Clock driving backoff, fault delays and latency measurement.
+    pub clock: Arc<dyn Clock>,
+    /// Inject faults on calls to one node: `(node, policy)`.
+    pub fault_node: Option<(usize, FaultPolicy)>,
+}
+
+impl Default for NetOptions {
+    /// No deadline, no retries, no faults, real time.
+    fn default() -> Self {
+        NetOptions {
+            timeout_ns: None,
+            retry: RetryPolicy::none(),
+            clock: Arc::new(SystemClock::new()),
+            fault_node: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for NetOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetOptions")
+            .field("timeout_ns", &self.timeout_ns)
+            .field("retry", &self.retry)
+            .field("fault_node", &self.fault_node)
+            .finish_non_exhaustive()
     }
 }
 
@@ -177,21 +212,65 @@ impl std::fmt::Debug for PeerServer {
 pub struct RpcCache {
     partition: ChunkPartition,
     peers: Vec<PeerServer>,
+    handles: Vec<PeerHandle>,
+    stats: Arc<NetStats>,
 }
 
 impl RpcCache {
-    /// Spawn `nodes` peer servers for `dataset`.
+    /// Spawn `nodes` peer servers for `dataset` with default transport
+    /// options (no deadline, no retries).
     pub fn spawn<S: ObjectStore + 'static>(
         nodes: usize,
         dataset: &str,
         backing: Arc<S>,
         chunks: Vec<ChunkId>,
     ) -> Self {
+        Self::spawn_with(nodes, dataset, backing, chunks, NetOptions::default())
+    }
+
+    /// Spawn with explicit transport options. Every peer channel is
+    /// stacked as `Retry(Instrumented(Fault?(ThreadChannel)))`, sharing
+    /// one stats cell per endpoint.
+    pub fn spawn_with<S: ObjectStore + 'static>(
+        nodes: usize,
+        dataset: &str,
+        backing: Arc<S>,
+        chunks: Vec<ChunkId>,
+        opts: NetOptions,
+    ) -> Self {
         let partition = ChunkPartition::new(chunks, nodes);
-        let peers = (0..nodes)
-            .map(|n| PeerServer::spawn(n, dataset, backing.clone()))
+        let peers: Vec<PeerServer> =
+            (0..nodes).map(|n| PeerServer::spawn(n, dataset, backing.clone())).collect();
+        let stats = Arc::new(NetStats::new());
+        let handles = peers
+            .iter()
+            .map(|peer| {
+                let mut raw = peer.channel();
+                if let Some(ns) = opts.timeout_ns {
+                    raw = raw.with_timeout_ns(ns);
+                }
+                let cell = stats.endpoint(&raw.endpoint());
+                let chan: Channel<PeerRequest, PeerReply> = match &opts.fault_node {
+                    Some((node, policy)) if *node == peer.node() => {
+                        let faulty = FaultChannel::new(raw, policy.clone(), opts.clock.clone());
+                        let measured = Instrumented::new(faulty, cell.clone(), opts.clock.clone());
+                        Arc::new(
+                            Retry::new(measured, opts.retry.clone(), opts.clock.clone())
+                                .with_stats(cell),
+                        )
+                    }
+                    _ => {
+                        let measured = Instrumented::new(raw, cell.clone(), opts.clock.clone());
+                        Arc::new(
+                            Retry::new(measured, opts.retry.clone(), opts.clock.clone())
+                                .with_stats(cell),
+                        )
+                    }
+                };
+                PeerHandle::new(peer.node(), chan)
+            })
             .collect();
-        RpcCache { partition, peers }
+        RpcCache { partition, peers, handles, stats }
     }
 
     /// The partition map (all clients share it, so owner lookup is
@@ -200,16 +279,23 @@ impl RpcCache {
         &self.partition
     }
 
+    /// Per-endpoint transport statistics (`peer@N` → counters).
+    pub fn net_stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// The instrumented connection to `node`.
+    pub fn handle(&self, node: usize) -> PeerHandle {
+        self.handles[node].clone()
+    }
+
     /// Read a file via its owner peer (one message round trip).
     pub fn get_file(&self, meta: &FileMeta) -> Result<Bytes> {
         let owner = self
             .partition
             .owner_of(meta.chunk)
             .ok_or_else(|| CacheError::UnknownChunk(meta.chunk.encode()))?;
-        self.peers[owner].handle().fetch_file(meta).map_err(|e| match e {
-            CacheError::NodeDown { .. } => CacheError::NodeDown { node: owner },
-            other => other,
-        })
+        self.handles[owner].fetch_file(meta)
     }
 
     /// Kill one node's peer server.
@@ -232,6 +318,7 @@ mod tests {
     use diesel_chunk::{ChunkBuilderConfig, ChunkIdGenerator, ChunkWriter};
     use diesel_kv::ShardedKv;
     use diesel_meta::MetaService;
+    use diesel_net::MockClock;
     use diesel_store::MemObjectStore;
 
     fn dataset(files: usize) -> (Arc<MemObjectStore>, Vec<(String, FileMeta)>, Vec<ChunkId>) {
@@ -322,12 +409,27 @@ mod tests {
     }
 
     #[test]
+    fn peer_handles_report_their_own_node_id() {
+        // Regression: handles used to lose the peer identity and report
+        // `node: usize::MAX` on any transport failure.
+        let (store, metas, chunks) = dataset(30);
+        let mut rpc = RpcCache::spawn(3, "ds", store, chunks);
+        for node in 0..3 {
+            rpc.kill_node(node);
+            let h = rpc.handle(node);
+            assert_eq!(h.node(), node);
+            assert_eq!(h.fetch_file(&metas[0].1).unwrap_err(), CacheError::NodeDown { node },);
+            assert_eq!(h.fetch_chunk(metas[0].1.chunk).unwrap_err(), CacheError::NodeDown { node },);
+        }
+    }
+
+    #[test]
     fn fetch_chunk_returns_parseable_chunk() {
         let (store, _, chunks) = dataset(40);
         let rpc = RpcCache::spawn(2, "ds", store, chunks.clone());
         for &c in &chunks {
             let owner = rpc.partition().owner_of(c).unwrap();
-            let bytes = rpc.peers[owner].handle().fetch_chunk(c).unwrap();
+            let bytes = rpc.handle(owner).fetch_chunk(c).unwrap();
             diesel_chunk::ChunkReader::parse(&bytes).unwrap();
         }
     }
@@ -338,8 +440,104 @@ mod tests {
         let handle = {
             let rpc = RpcCache::spawn(2, "ds", store, chunks);
             rpc.get_file(&metas[0].1).unwrap();
-            rpc.peers[0].handle()
+            rpc.handle(0)
         }; // rpc dropped here: threads joined
         assert!(handle.fetch_file(&metas[0].1).is_err(), "dead peer must error");
+    }
+
+    #[test]
+    fn dropped_requests_escalate_to_node_down_after_retries() {
+        // End-to-end fault path: every request to node 0 is dropped →
+        // each attempt times out on the mock clock → the retry layer
+        // makes 3 attempts → the caller sees NodeDown with the correct
+        // node id — and the per-endpoint stats recorded every attempt.
+        let (store, metas, chunks) = dataset(40);
+        let clock = Arc::new(MockClock::new());
+        let opts = NetOptions {
+            timeout_ns: Some(5_000_000),
+            retry: RetryPolicy::default(), // 3 attempts
+            clock: clock.clone(),
+            fault_node: Some((0, FaultPolicy::drops(21, 1.0, 5_000_000))),
+        };
+        let rpc = RpcCache::spawn_with(2, "ds", store, chunks, opts);
+        let (of_node0, of_node1): (Vec<_>, Vec<_>) =
+            metas.iter().partition(|(_, m)| rpc.partition().owner_of(m.chunk).unwrap() == 0);
+        assert!(!of_node0.is_empty() && !of_node1.is_empty());
+
+        // Node 0's partition fails with its own node id after retries.
+        let (_, meta) = of_node0[0];
+        assert_eq!(rpc.get_file(meta).unwrap_err(), CacheError::NodeDown { node: 0 });
+        let snap = rpc.net_stats().snapshot();
+        let s0 = snap["peer@0"];
+        assert_eq!(s0.requests, 3, "one per attempt");
+        assert_eq!(s0.errors, 3);
+        assert_eq!(s0.timeouts, 3);
+        assert_eq!(s0.retries, 2);
+
+        // Node 1 is healthy: same cache, same options, zero errors.
+        for (_, meta) in &of_node1 {
+            rpc.get_file(meta).unwrap();
+        }
+        let snap = rpc.net_stats().snapshot();
+        let s1 = snap["peer@1"];
+        assert_eq!(s1.requests, of_node1.len() as u64);
+        assert_eq!(s1.errors, 0);
+        assert_eq!(s1.retries, 0);
+    }
+
+    #[test]
+    fn transient_drops_are_hidden_by_retries_and_match_task_cache() {
+        // ~40 % of requests to node 0 are dropped, but 5 attempts make
+        // end-to-end failure vanishingly rare: the RpcCache still agrees
+        // byte-for-byte with the shared-memory TaskCache.
+        let (store, metas, chunks) = dataset(50);
+        let clock = Arc::new(MockClock::new());
+        let opts = NetOptions {
+            timeout_ns: Some(1_000_000),
+            retry: RetryPolicy { max_attempts: 5, ..Default::default() },
+            clock: clock.clone(),
+            fault_node: Some((0, FaultPolicy::drops(7, 0.4, 1_000_000))),
+        };
+        let rpc = RpcCache::spawn_with(2, "ds", store.clone(), chunks.clone(), opts);
+        let shm = TaskCache::new(
+            Topology::uniform(2, 2),
+            store,
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
+        );
+        for (_, meta) in &metas {
+            assert_eq!(rpc.get_file(meta).unwrap(), shm.get_file(meta).unwrap().data);
+        }
+        let snap = rpc.net_stats().snapshot();
+        assert!(snap["peer@0"].retries > 0, "drops must have forced retries");
+        assert_eq!(snap["peer@1"].errors, 0);
+    }
+
+    #[test]
+    fn killed_peer_and_task_cache_agree_on_failure_semantics() {
+        // Under a dead node, both caches fail that node's partition with
+        // NodeDown{node} and keep serving the rest identically.
+        let (store, metas, chunks) = dataset(60);
+        let mut rpc = RpcCache::spawn(3, "ds", store.clone(), chunks.clone());
+        let shm = TaskCache::new(
+            Topology::uniform(3, 2),
+            store,
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
+        );
+        rpc.kill_node(2);
+        shm.kill_node(2);
+        for (_, meta) in &metas {
+            match (rpc.get_file(meta), shm.get_file(meta)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b.data),
+                (Err(ea), Err(eb)) => {
+                    assert_eq!(ea, CacheError::NodeDown { node: 2 });
+                    assert_eq!(eb, CacheError::NodeDown { node: 2 });
+                }
+                (a, b) => panic!("caches disagree: rpc={a:?} shm={b:?}"),
+            }
+        }
     }
 }

@@ -15,10 +15,7 @@ pub struct DeletionBitmap {
 impl DeletionBitmap {
     /// A bitmap for `len` files, all live.
     pub fn new(len: usize) -> Self {
-        DeletionBitmap {
-            bits: vec![0u64; len.div_ceil(64)],
-            len,
-        }
+        DeletionBitmap { bits: vec![0u64; len.div_ceil(64)], len }
     }
 
     /// Number of file slots covered.
@@ -96,7 +93,7 @@ impl DeletionBitmap {
             bits.push(u64::from_le_bytes(data[i * 8..(i + 1) * 8].try_into().ok()?));
         }
         // Bits past `len` must be zero for equality/count invariants.
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = bits.last() {
                 if last >> (len % 64) != 0 {
                     return None;

@@ -25,10 +25,7 @@ pub struct ChunkBuilderConfig {
 
 impl Default for ChunkBuilderConfig {
     fn default() -> Self {
-        ChunkBuilderConfig {
-            target_chunk_size: DEFAULT_CHUNK_SIZE,
-            max_file_size: 256 << 20,
-        }
+        ChunkBuilderConfig { target_chunk_size: DEFAULT_CHUNK_SIZE, max_file_size: 256 << 20 }
     }
 }
 
@@ -314,8 +311,7 @@ mod tests {
         assert!(w.take_sealed().is_empty());
         let rest = w.finish();
         assert_eq!(rest.len(), 1);
-        let total: usize =
-            first.iter().chain(rest.iter()).map(|c| c.header.file_count()).sum();
+        let total: usize = first.iter().chain(rest.iter()).map(|c| c.header.file_count()).sum();
         assert_eq!(total, 3);
     }
 

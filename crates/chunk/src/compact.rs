@@ -69,7 +69,7 @@ pub fn compact_chunk(
 /// Rewrites only the deletion bitmap, the deleted-count field and the
 /// header CRC; payload bytes are untouched, so this is O(header).
 /// Returns `true` if the file existed and was live.
-pub fn mark_deleted(chunk: &mut Vec<u8>, name: &str) -> Result<bool> {
+pub fn mark_deleted(chunk: &mut [u8], name: &str) -> Result<bool> {
     let mut header = ChunkHeader::decode(chunk)?;
     let Some(idx) = header.files.iter().position(|f| f.name == name) else {
         return Ok(false);

@@ -189,20 +189,13 @@ impl ChunkHeader {
             let length = u64::from_le_bytes(data[pos + 8..pos + 16].try_into().unwrap());
             let crc = u32::from_le_bytes(data[pos + 16..pos + 20].try_into().unwrap());
             pos += 20;
-            if offset.checked_add(length).map_or(true, |end| end > payload_len) {
+            if offset.checked_add(length).is_none_or(|end| end > payload_len) {
                 return Err(ChunkError::CorruptEntry { file: name });
             }
             files.push(FileEntry { name, offset, length, crc32: crc });
         }
 
-        Ok(ChunkHeader {
-            id,
-            updated_ms,
-            bitmap,
-            files,
-            payload_len,
-            header_len: hlen as u32,
-        })
+        Ok(ChunkHeader { id, updated_ms, bitmap, files, payload_len, header_len: hlen as u32 })
     }
 }
 
@@ -291,10 +284,7 @@ mod tests {
         h.files[2].length = 1000; // extends past payload_len 35
         let mut buf = Vec::new();
         h.encode(&mut buf);
-        assert!(matches!(
-            ChunkHeader::decode(&buf),
-            Err(ChunkError::CorruptEntry { .. })
-        ));
+        assert!(matches!(ChunkHeader::decode(&buf), Err(ChunkError::CorruptEntry { .. })));
     }
 
     #[test]

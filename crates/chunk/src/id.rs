@@ -281,11 +281,10 @@ impl ChunkIdGenerator {
                 (ts + 1, 0)
             };
             let new = (new_ts << 24) | new_ctr;
-            match self
-                .state
-                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
-            {
-                Ok(_) => return ChunkId::new(new_ts as u32, self.machine, self.pid, new_ctr as u32),
+            match self.state.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    return ChunkId::new(new_ts as u32, self.machine, self.pid, new_ctr as u32)
+                }
                 Err(actual) => cur = actual,
             }
         }
@@ -409,8 +408,7 @@ mod tests {
     fn counter_overflow_borrows_next_second() {
         let gen = ChunkIdGenerator::deterministic(1, 1, 10);
         // Force the internal state near overflow.
-        gen.state
-            .store((10u64 << 24) | 0x00ff_fffe, Ordering::Relaxed);
+        gen.state.store((10u64 << 24) | 0x00ff_fffe, Ordering::Relaxed);
         let a = gen.next_id();
         let b = gen.next_id();
         assert_eq!(a.timestamp_secs(), 10);

@@ -75,9 +75,8 @@ impl<'a> ChunkReader<'a> {
     /// Borrow the content of the file at `idx` without checksum
     /// verification.
     pub fn file_bytes(&self, idx: usize) -> Result<&'a [u8]> {
-        let f = self.header.files.get(idx).ok_or_else(|| {
-            ChunkError::NoSuchFile(format!("#{idx}"))
-        })?;
+        let f =
+            self.header.files.get(idx).ok_or_else(|| ChunkError::NoSuchFile(format!("#{idx}")))?;
         let start = f.offset as usize;
         let end = start + f.length as usize;
         if end > self.payload.len() {

@@ -96,7 +96,8 @@ fn run(args: &[String]) -> Result<(), Cli> {
     let (cmd, rest) = rest.split_first().ok_or(Cli::Usage)?;
 
     let store = Arc::new(DirObjectStore::open(store_dir).map_err(Cli::from)?);
-    let server: Arc<Server> = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store.clone()));
+    let server: Arc<Server> =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store.clone()));
 
     // Discover datasets from chunk keys (`<dataset>/<chunk-id>`), then
     // rebuild the metadata database from the self-contained chunks.

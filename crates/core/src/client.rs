@@ -26,9 +26,11 @@ use diesel_cache::{CacheError, TaskCache};
 use diesel_chunk::{ChunkBuilder, ChunkBuilderConfig, ChunkIdGenerator, SealedChunk};
 use diesel_kv::KvStore;
 use diesel_meta::{DirEntry, FileMeta, MetaSnapshot, Namespace};
+use diesel_net::Service;
 use diesel_shuffle::{epoch_order, ChunkFiles, DatasetIndex, ShuffleKind, ShufflePlan};
 use diesel_store::{Bytes, ObjectStore};
 
+use crate::api::{ServerConn, ServerRequest, ServerResponse};
 use crate::server::DieselServer;
 use crate::{DieselError, Result};
 
@@ -46,8 +48,18 @@ struct MetaState {
 }
 
 /// One libDIESEL client instance.
+///
+/// All server traffic goes through a [`ServerConn`] — a `diesel-net`
+/// channel carrying [`ServerRequest`]s. [`connect`](Self::connect)
+/// builds a direct in-process channel (zero overhead, as before);
+/// [`connect_channel`](Self::connect_channel) accepts any channel — a
+/// thread transport, a load-balanced pool, a fault-injected test rig.
 pub struct DieselClient<K, S> {
-    server: Arc<DieselServer<K, S>>,
+    conn: ServerConn,
+    // Kept for co-located deployments so `server()` still hands out the
+    // concrete server (cache attachment, tests). Channel-connected
+    // clients have no such handle.
+    direct: Option<Arc<DieselServer<K, S>>>,
     dataset: String,
     config: ClientConfig,
     ids: ChunkIdGenerator,
@@ -58,8 +70,9 @@ pub struct DieselClient<K, S> {
     clock_ms: Box<dyn Fn() -> u64 + Send + Sync>,
 }
 
-impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
-    /// `DL_connect`: open a client against a server for one dataset.
+impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
+    /// `DL_connect`: open a client against a co-located server for one
+    /// dataset (direct in-process dispatch).
     pub fn connect(server: Arc<DieselServer<K, S>>, dataset: impl Into<String>) -> Self {
         Self::connect_with(server, dataset, ClientConfig::default())
     }
@@ -70,10 +83,37 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
         dataset: impl Into<String>,
         config: ClientConfig,
     ) -> Self {
+        let conn = server.direct_channel(0);
+        Self::build(conn, Some(server), dataset.into(), config)
+    }
+
+    /// `DL_connect` over an arbitrary `diesel-net` channel (thread
+    /// transport, server pool, instrumented/fault-injected stack).
+    pub fn connect_channel(conn: ServerConn, dataset: impl Into<String>) -> Self {
+        Self::connect_channel_with(conn, dataset, ClientConfig::default())
+    }
+
+    /// [`connect_channel`](Self::connect_channel) with explicit
+    /// configuration.
+    pub fn connect_channel_with(
+        conn: ServerConn,
+        dataset: impl Into<String>,
+        config: ClientConfig,
+    ) -> Self {
+        Self::build(conn, None, dataset.into(), config)
+    }
+
+    fn build(
+        conn: ServerConn,
+        direct: Option<Arc<DieselServer<K, S>>>,
+        dataset: String,
+        config: ClientConfig,
+    ) -> Self {
         let builder = ChunkBuilder::new(config.chunk.clone());
         DieselClient {
-            server,
-            dataset: dataset.into(),
+            conn,
+            direct,
+            dataset,
             config,
             ids: ChunkIdGenerator::new(),
             builder: Mutex::new(builder),
@@ -102,9 +142,20 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
         &self.dataset
     }
 
-    /// The server handle.
+    /// The server handle (co-located deployments only).
+    ///
+    /// # Panics
+    /// Panics for clients built with
+    /// [`connect_channel`](Self::connect_channel), which hold no direct
+    /// server reference.
     pub fn server(&self) -> &Arc<DieselServer<K, S>> {
-        &self.server
+        self.direct.as_ref().expect("client was connected over a channel, not a direct server")
+    }
+
+    /// One request over the server channel. Transport failures surface
+    /// as [`DieselError::Net`]; application errors pass through.
+    fn call(&self, req: ServerRequest) -> Result<ServerResponse> {
+        self.conn.call(req).map_err(DieselError::Net)?
     }
 
     // ---- write path ----
@@ -138,7 +189,10 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
 
     fn ship(&self, builder: ChunkBuilder) -> Result<()> {
         let (header, bytes) = builder.seal(self.ids.next_id(), (self.clock_ms)());
-        self.server.ingest_chunk(&self.dataset, &SealedChunk { header, bytes })?;
+        self.call(ServerRequest::IngestChunk {
+            dataset: self.dataset.clone(),
+            chunk: SealedChunk { header, bytes },
+        })?;
         Ok(())
     }
 
@@ -147,14 +201,18 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
     /// Download a fresh snapshot from the server and install it as the
     /// local metadata cache.
     pub fn download_meta(&self) -> Result<()> {
-        let snapshot = self.server.build_snapshot(&self.dataset)?;
+        let snapshot = self
+            .call(ServerRequest::BuildSnapshot { dataset: self.dataset.clone() })?
+            .into_snapshot()?;
         self.install_snapshot(snapshot);
         Ok(())
     }
 
     /// `DL_save_meta`: materialize the dataset snapshot to a local file.
     pub fn save_meta(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        let snapshot = self.server.build_snapshot(&self.dataset)?;
+        let snapshot = self
+            .call(ServerRequest::BuildSnapshot { dataset: self.dataset.clone() })?
+            .into_snapshot()?;
         snapshot.save_to(path)?;
         Ok(())
     }
@@ -164,7 +222,9 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
     /// (§4.1.3). A stale or foreign snapshot is rejected.
     pub fn load_meta(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
         let snapshot = MetaSnapshot::load_from(path)?;
-        let authority = self.server.meta().dataset_record(&self.dataset)?;
+        let authority = self
+            .call(ServerRequest::DatasetRecord { dataset: self.dataset.clone() })?
+            .into_record()?;
         if !snapshot.is_fresh(&self.dataset, authority.updated_ms) {
             return Err(DieselError::Client(format!(
                 "snapshot is stale (snapshot ts {} vs dataset ts {}); download a new one",
@@ -196,7 +256,8 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
                 .copied()
                 .ok_or_else(|| DieselError::Meta(diesel_meta::MetaError::NoSuchFile(path.into())));
         }
-        self.server.stat(&self.dataset, path)
+        self.call(ServerRequest::Stat { dataset: self.dataset.clone(), path: path.to_owned() })?
+            .into_meta()
     }
 
     /// `DL_ls`: list a directory.
@@ -204,7 +265,8 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
         if let Some(state) = self.meta.read().as_ref() {
             return Ok(state.namespace.readdir(path)?);
         }
-        self.server.readdir(&self.dataset, path)
+        self.call(ServerRequest::Readdir { dataset: self.dataset.clone(), dir: path.to_owned() })?
+            .into_entries()
     }
 
     /// All file paths in the loaded snapshot (training file lists).
@@ -237,16 +299,21 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
                 Err(e) => return Err(e.into()),
             }
         }
-        match self.server.read_by_meta(&self.dataset, &meta) {
+        let read = self
+            .call(ServerRequest::ReadByMeta { dataset: self.dataset.clone(), meta })
+            .and_then(ServerResponse::into_bytes);
+        match read {
             Ok(data) => Ok(data),
             // A chunk that vanished under a snapshot-directed read means
             // the local snapshot went stale (e.g. `DL_purge` compacted
             // the chunk away). Retry with authoritative server-side
             // metadata; the caller should re-download the snapshot.
-            Err(DieselError::Store(diesel_store::StoreError::NotFound(_)))
-                if self.has_meta() =>
-            {
-                self.server.read_file(&self.dataset, path)
+            Err(DieselError::Store(diesel_store::StoreError::NotFound(_))) if self.has_meta() => {
+                self.call(ServerRequest::ReadFile {
+                    dataset: self.dataset.clone(),
+                    path: path.to_owned(),
+                })?
+                .into_bytes()
             }
             Err(e) => Err(e),
         }
@@ -255,7 +322,11 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
     /// `DL_delete`: remove a file (server-side) and drop it from the
     /// local namespace.
     pub fn delete(&self, path: &str) -> Result<()> {
-        self.server.delete_file(&self.dataset, path, (self.clock_ms)())?;
+        self.call(ServerRequest::DeleteFile {
+            dataset: self.dataset.clone(),
+            path: path.to_owned(),
+            now_ms: (self.clock_ms)(),
+        })?;
         if let Some(state) = self.meta.write().as_mut() {
             state.namespace.remove(path);
         }
@@ -279,7 +350,10 @@ impl<K: KvStore, S: ObjectStore> DieselClient<K, S> {
             // Keep the local namespace usable without a full re-download;
             // note the snapshot object itself is now stale for freshness
             // checks, as any mutation makes it.
-            if let Ok(meta) = self.server.stat(&self.dataset, path) {
+            let fresh = self
+                .call(ServerRequest::Stat { dataset: self.dataset.clone(), path: path.to_owned() })
+                .and_then(ServerResponse::into_meta);
+            if let Ok(meta) = fresh {
                 state.namespace.insert(path.to_owned(), meta);
             }
         }
@@ -367,8 +441,11 @@ mod tests {
         let config = ClientConfig {
             chunk: ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() },
         };
-        DieselClient::connect_with(server.clone(), "ds", config)
-            .with_deterministic_identity(seed, seed as u32, 1000 + seed as u32)
+        DieselClient::connect_with(server.clone(), "ds", config).with_deterministic_identity(
+            seed,
+            seed as u32,
+            1000 + seed as u32,
+        )
     }
 
     fn populate(client: &Client, files: usize, size: usize) -> Vec<(String, Vec<u8>)> {
@@ -400,13 +477,14 @@ mod tests {
         let s = server();
         let c = small_chunk_client(&s, 2);
         populate(&c, 10, 100);
-        let path = std::env::temp_dir().join(format!("diesel-client-snap-{}.bin", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("diesel-client-snap-{}.bin", std::process::id()));
         c.save_meta(&path).unwrap();
         c.load_meta(&path).unwrap();
         assert!(c.has_meta());
         // Local (O(1)) stat and ls now work without the server.
         assert_eq!(c.stat("cls0/img0000").unwrap().length, 100);
-        assert!(c.ls("cls1").unwrap().len() >= 1);
+        assert!(!c.ls("cls1").unwrap().is_empty());
         assert_eq!(c.file_list().unwrap().len(), 10);
 
         // Mutate the dataset (with a later timestamp than the client's

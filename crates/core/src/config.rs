@@ -55,8 +55,7 @@ impl ConfigService {
         let mut st = self.state.lock();
         st.revision += 1;
         let rev = st.revision;
-        st.entries
-            .insert(key.to_owned(), ConfigEntry { value: value.into(), revision: rev });
+        st.entries.insert(key.to_owned(), ConfigEntry { value: value.into(), revision: rev });
         drop(st);
         self.changed.notify_all();
         rev
@@ -80,8 +79,7 @@ impl ConfigService {
         }
         st.revision += 1;
         let rev = st.revision;
-        st.entries
-            .insert(key.to_owned(), ConfigEntry { value: value.into(), revision: rev });
+        st.entries.insert(key.to_owned(), ConfigEntry { value: value.into(), revision: rev });
         drop(st);
         self.changed.notify_all();
         Ok(rev)
@@ -102,12 +100,7 @@ impl ConfigService {
     /// Block until `key` has a revision greater than `after_revision`
     /// (or the timeout passes). Returns the entry that satisfied the
     /// watch, or `None` on timeout.
-    pub fn watch(
-        &self,
-        key: &str,
-        after_revision: u64,
-        timeout: Duration,
-    ) -> Option<ConfigEntry> {
+    pub fn watch(&self, key: &str, after_revision: u64, timeout: Duration) -> Option<ConfigEntry> {
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.state.lock();
         loop {
@@ -199,9 +192,7 @@ mod tests {
         let rev0 = c.put(&keys::snapshot("ds"), "100");
         let watcher = {
             let c = c.clone();
-            std::thread::spawn(move || {
-                c.watch(&keys::snapshot("ds"), rev0, Duration::from_secs(5))
-            })
+            std::thread::spawn(move || c.watch(&keys::snapshot("ds"), rev0, Duration::from_secs(5)))
         };
         std::thread::sleep(Duration::from_millis(30));
         c.put(&keys::snapshot("ds"), "200");

@@ -26,7 +26,7 @@ pub struct ImportReport {
 
 /// `dlcmd put -r <dir> diesel://<dataset>/` — walk a local directory
 /// tree and upload every regular file, preserving relative paths.
-pub fn import_directory<K: KvStore, S: ObjectStore>(
+pub fn import_directory<K: KvStore + 'static, S: ObjectStore + 'static>(
     client: &DieselClient<K, S>,
     root: impl AsRef<Path>,
 ) -> Result<ImportReport> {
@@ -37,10 +37,7 @@ pub fn import_directory<K: KvStore, S: ObjectStore>(
         let entries = std::fs::read_dir(&dir)
             .map_err(|e| DieselError::Client(format!("read_dir {dir:?}: {e}")))?;
         // Sort for deterministic chunk packing.
-        let mut entries: Vec<_> = entries
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .collect();
+        let mut entries: Vec<_> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
         entries.sort();
         for path in entries {
             if path.is_dir() {
@@ -65,7 +62,7 @@ pub fn import_directory<K: KvStore, S: ObjectStore>(
 
 /// `dlcmd get -r diesel://<dataset>/ <dir>` — download every file of the
 /// dataset into a local directory tree.
-pub fn export_directory<K: KvStore, S: ObjectStore>(
+pub fn export_directory<K: KvStore + 'static, S: ObjectStore + 'static>(
     client: &DieselClient<K, S>,
     dest: impl AsRef<Path>,
 ) -> Result<u64> {

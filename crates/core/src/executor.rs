@@ -44,10 +44,9 @@ impl ChunkReadPlan {
 /// offset. Plans come out ordered by chunk ID, so issuing them walks the
 /// object store in key order.
 pub fn plan_chunk_reads(requests: &[FileMeta]) -> Vec<ChunkReadPlan> {
-    let mut indexed: Vec<(usize, FileMeta)> =
-        requests.iter().copied().enumerate().collect();
+    let mut indexed: Vec<(usize, FileMeta)> = requests.iter().copied().enumerate().collect();
     // Sort by (chunk, offset): one pass then split on chunk boundaries.
-    indexed.sort_by(|a, b| (a.1.chunk, a.1.offset).cmp(&(b.1.chunk, b.1.offset)));
+    indexed.sort_by_key(|a| (a.1.chunk, a.1.offset));
     let mut plans: Vec<ChunkReadPlan> = Vec::new();
     for (idx, meta) in indexed {
         match plans.last_mut() {

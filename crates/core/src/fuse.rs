@@ -72,7 +72,7 @@ pub struct FuseMount<K, S> {
     opens: AtomicU64,
 }
 
-impl<K: KvStore, S: ObjectStore> FuseMount<K, S> {
+impl<K: KvStore + 'static, S: ObjectStore + 'static> FuseMount<K, S> {
     /// Mount over `client`.
     pub fn mount(client: Arc<DieselClient<K, S>>, config: FuseConfig) -> Self {
         FuseMount {
@@ -103,13 +103,12 @@ impl<K: KvStore, S: ObjectStore> FuseMount<K, S> {
     /// `open(path)` → fd.
     pub fn open(&self, path: &str) -> Result<u64> {
         self.opens.fetch_add(1, Ordering::Relaxed);
-        self.meta_requests.fetch_add(1, Ordering::Relaxed); // lookup
-        // Fail fast on missing files, like a kernel lookup would.
+        // The lookup crossing; fail fast on missing files, like a kernel
+        // lookup would.
+        self.meta_requests.fetch_add(1, Ordering::Relaxed);
         self.client.stat(path)?;
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
-        self.open_files
-            .lock()
-            .insert(fd, OpenFile { path: path.to_owned(), content: None });
+        self.open_files.lock().insert(fd, OpenFile { path: path.to_owned(), content: None });
         Ok(fd)
     }
 
@@ -118,9 +117,8 @@ impl<K: KvStore, S: ObjectStore> FuseMount<K, S> {
         // Fetch (or reuse) the file content under the open-file entry.
         let content = {
             let mut files = self.open_files.lock();
-            let of = files
-                .get_mut(&fd)
-                .ok_or_else(|| DieselError::Client(format!("bad fd {fd}")))?;
+            let of =
+                files.get_mut(&fd).ok_or_else(|| DieselError::Client(format!("bad fd {fd}")))?;
             if of.content.is_none() {
                 let path = of.path.clone();
                 drop(files);

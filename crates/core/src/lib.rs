@@ -23,6 +23,7 @@
 //! * [`config`] — the ETCD stand-in of Fig. 2: versioned configuration
 //!   KV with compare-and-swap and blocking watches.
 
+pub mod api;
 pub mod client;
 pub mod config;
 pub mod dlcmd;
@@ -31,6 +32,7 @@ pub mod fuse;
 pub mod pool;
 pub mod server;
 
+pub use api::{ServerConn, ServerReply, ServerRequest, ServerResponse};
 pub use client::{ClientConfig, DieselClient};
 pub use config::{ConfigEntry, ConfigService};
 pub use executor::{plan_chunk_reads, ChunkReadPlan};
@@ -50,6 +52,8 @@ pub enum DieselError {
     /// Distributed-cache failure that could not be recovered by falling
     /// back to the server.
     Cache(diesel_cache::CacheError),
+    /// RPC transport failure (timeout, disconnect) talking to a server.
+    Net(diesel_net::NetError),
     /// Client misuse (e.g. reading before loading metadata).
     Client(String),
 }
@@ -61,6 +65,7 @@ impl std::fmt::Display for DieselError {
             DieselError::Store(e) => write!(f, "store: {e}"),
             DieselError::Chunk(e) => write!(f, "chunk: {e}"),
             DieselError::Cache(e) => write!(f, "cache: {e}"),
+            DieselError::Net(e) => write!(f, "net: {e}"),
             DieselError::Client(e) => write!(f, "client: {e}"),
         }
     }
@@ -86,6 +91,11 @@ impl From<diesel_chunk::ChunkError> for DieselError {
 impl From<diesel_cache::CacheError> for DieselError {
     fn from(e: diesel_cache::CacheError) -> Self {
         DieselError::Cache(e)
+    }
+}
+impl From<diesel_net::NetError> for DieselError {
+    fn from(e: diesel_net::NetError) -> Self {
+        DieselError::Net(e)
     }
 }
 

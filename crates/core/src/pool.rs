@@ -4,33 +4,43 @@
 //! against the same KV cluster and object store — servers are stateless
 //! front-ends (all state lives in the KV database and the chunks), so
 //! adding one is just adding a process. [`ServerPool`] models that
-//! deployment: N [`DieselServer`]s sharing the backing stores, with
-//! round-robin client assignment.
+//! deployment: N [`DieselServer`]s sharing the backing stores, with two
+//! load-balancing modes:
+//!
+//! * connect-time: [`assign`](ServerPool::assign) hands each new client
+//!   one server round-robin (the original behavior);
+//! * request-time: the pool itself is a `diesel-net`
+//!   [`Service`] — every request is routed round-robin across the
+//!   servers, with automatic failover past disconnected backends. Use
+//!   [`channel`](ServerPool::channel) with
+//!   [`DieselClient::connect_channel`](crate::DieselClient::connect_channel).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use diesel_kv::KvStore;
+use diesel_net::{BalancedChannel, Channel, Endpoint, Service};
 use diesel_store::ObjectStore;
 
+use crate::api::{ServerConn, ServerReply, ServerRequest};
 use crate::server::DieselServer;
 
 /// A pool of stateless DIESEL servers over shared backends.
 pub struct ServerPool<K, S> {
     servers: Vec<Arc<DieselServer<K, S>>>,
+    balance: BalancedChannel<ServerRequest, ServerReply>,
     next: AtomicUsize,
 }
 
-impl<K: KvStore, S: ObjectStore> ServerPool<K, S> {
+impl<K: KvStore + 'static, S: ObjectStore + 'static> ServerPool<K, S> {
     /// Deploy `n` servers over the same KV store and object store.
     pub fn deploy(n: usize, kv: Arc<K>, store: Arc<S>) -> Self {
         assert!(n >= 1, "need at least one server");
-        ServerPool {
-            servers: (0..n)
-                .map(|_| Arc::new(DieselServer::new(kv.clone(), store.clone())))
-                .collect(),
-            next: AtomicUsize::new(0),
-        }
+        let servers: Vec<Arc<DieselServer<K, S>>> =
+            (0..n).map(|_| Arc::new(DieselServer::new(kv.clone(), store.clone()))).collect();
+        let backends: Vec<Channel<ServerRequest, ServerReply>> =
+            servers.iter().enumerate().map(|(i, s)| s.direct_channel(i)).collect();
+        ServerPool { servers, balance: BalancedChannel::new(backends), next: AtomicUsize::new(0) }
     }
 
     /// Number of servers.
@@ -53,6 +63,24 @@ impl<K: KvStore, S: ObjectStore> ServerPool<K, S> {
     /// A specific server (tests / targeted operations).
     pub fn server(&self, i: usize) -> &Arc<DieselServer<K, S>> {
         &self.servers[i]
+    }
+
+    /// The pool as a client connection: each request load-balances
+    /// across all servers.
+    pub fn channel(self: &Arc<Self>) -> ServerConn {
+        self.clone()
+    }
+}
+
+impl<K: KvStore + 'static, S: ObjectStore + 'static> Service<ServerRequest, ServerReply>
+    for ServerPool<K, S>
+{
+    fn call(&self, req: ServerRequest) -> diesel_net::Result<ServerReply> {
+        self.balance.call(req)
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        self.balance.endpoint()
     }
 }
 
@@ -104,7 +132,7 @@ mod tests {
             },
         );
         for i in 0..40 {
-            writer.put(&format!("f{i:02}"), &vec![i as u8; 100]).unwrap();
+            writer.put(&format!("f{i:02}"), &[i as u8; 100]).unwrap();
         }
         writer.flush().unwrap();
 
@@ -134,7 +162,7 @@ mod tests {
                         },
                     );
                     for i in 0..50 {
-                        c.put(&format!("t{t}/f{i}"), &vec![t as u8; 64]).unwrap();
+                        c.put(&format!("t{t}/f{i}"), &[t as u8; 64]).unwrap();
                     }
                     c.flush().unwrap();
                 })
@@ -148,5 +176,31 @@ mod tests {
         assert_eq!(check.file_list().unwrap().len(), 500);
         let rec = p.server(0).meta().dataset_record("ds").unwrap();
         assert_eq!(rec.file_count, 500);
+    }
+
+    #[test]
+    fn pool_channel_spreads_requests_across_servers() {
+        // One client, per-request balancing: every server in the pool
+        // sees traffic from the same connection.
+        let p = Arc::new(pool(3));
+        let c: DieselClient<ShardedKv, MemObjectStore> = DieselClient::connect_channel_with(
+            p.channel(),
+            "ds",
+            ClientConfig {
+                chunk: ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() },
+            },
+        );
+        for i in 0..30 {
+            c.put(&format!("f{i:02}"), &[i as u8; 120]).unwrap();
+        }
+        c.flush().unwrap();
+        c.download_meta().unwrap();
+        for i in 0..30 {
+            assert_eq!(c.get(&format!("f{i:02}")).unwrap().as_ref(), &vec![i as u8; 120][..]);
+        }
+        assert_eq!(c.file_list().unwrap().len(), 30);
+        // Round-robin actually rotated: the balance index moved well past
+        // the pool size.
+        assert_eq!(p.balance.len(), 3);
     }
 }

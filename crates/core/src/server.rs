@@ -1,13 +1,17 @@
 //! The DIESEL server: unified data + metadata front over the object
 //! store and the KV database (Fig. 2).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use diesel_chunk::{compact_chunk, mark_deleted, ChunkId, ChunkIdGenerator, SealedChunk};
 use diesel_kv::KvStore;
-use diesel_meta::recovery::{chunk_object_key, recover_from_timestamp, recover_full, RecoveryReport};
+use diesel_meta::recovery::{
+    chunk_object_key, recover_from_timestamp, recover_full, RecoveryReport,
+};
 use diesel_meta::{DirEntry, FileMeta, MetaService, MetaSnapshot};
 use diesel_store::{Bytes, ObjectStore};
+use parking_lot::Mutex;
 
 use crate::executor::plan_chunk_reads;
 use crate::{DieselError, Result};
@@ -43,12 +47,22 @@ pub struct DieselServer<K, S> {
     meta: MetaService<K>,
     store: Arc<S>,
     ids: ChunkIdGenerator,
+    // Chunk header lengths by object key. A chunk's header length is
+    // immutable for the object's lifetime (bitmap flips rewrite bytes in
+    // place without resizing the header), so caching it removes the
+    // 4-byte probe read that used to precede every payload read.
+    header_lens: Mutex<HashMap<String, u64>>,
 }
 
 impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// Deploy a server over the given KV database and object store.
     pub fn new(kv: Arc<K>, store: Arc<S>) -> Self {
-        DieselServer { meta: MetaService::new(kv), store, ids: ChunkIdGenerator::new() }
+        DieselServer {
+            meta: MetaService::new(kv),
+            store,
+            ids: ChunkIdGenerator::new(),
+            header_lens: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Deterministic ID generation for compaction (tests/simulations).
@@ -75,7 +89,25 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         let key = chunk_object_key(dataset, chunk.header.id);
         self.store.put(&key, Bytes::from(chunk.bytes.clone()))?;
         self.meta.ingest_chunk(dataset, &chunk.header, chunk.bytes.len() as u64)?;
+        self.header_lens.lock().insert(key, chunk.header.header_len as u64);
         Ok(())
+    }
+
+    /// The header length of the chunk object at `key`, probed once and
+    /// cached (the header is a fixed prefix; its length sits at bytes
+    /// 6..10 of the encoding).
+    fn chunk_header_len(&self, key: &str) -> Result<u64> {
+        if let Some(&len) = self.header_lens.lock().get(key) {
+            return Ok(len);
+        }
+        let head = self.store.get_range(key, 6, 4)?;
+        let head: [u8; 4] = head
+            .as_ref()
+            .try_into()
+            .map_err(|_| DieselError::Client(format!("chunk object {key} truncated")))?;
+        let len = u32::from_le_bytes(head) as u64;
+        self.header_lens.lock().insert(key.to_owned(), len);
+        Ok(len)
     }
 
     // ---- read flow (Fig. 4) ----
@@ -91,13 +123,8 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     pub fn read_by_meta(&self, dataset: &str, meta: &FileMeta) -> Result<Bytes> {
         let key = chunk_object_key(dataset, meta.chunk);
         // The payload offset is relative to the chunk payload; the chunk
-        // header precedes it. Fetch the header length from the chunk
-        // record-free fast path: read the fixed header prefix.
-        let head = self.store.get_range(&key, 6, 4)?;
-        if head.len() < 4 {
-            return Err(DieselError::Client(format!("chunk object {key} truncated")));
-        }
-        let header_len = u32::from_le_bytes(head.as_ref().try_into().unwrap()) as u64;
+        // header precedes it.
+        let header_len = self.chunk_header_len(&key)?;
         let data = self.store.get_range(&key, header_len + meta.offset, meta.length as usize)?;
         Ok(data)
     }
@@ -120,11 +147,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         let mut out: Vec<Option<Bytes>> = vec![None; paths.len()];
         for plan in &plans {
             let key = chunk_object_key(dataset, plan.chunk);
-            let head = self.store.get_range(&key, 6, 4)?;
-            if head.len() < 4 {
-                return Err(DieselError::Client(format!("chunk object {key} truncated")));
-            }
-            let header_len = u32::from_le_bytes(head.as_ref().try_into().unwrap()) as u64;
+            let header_len = self.chunk_header_len(&key)?;
             // One merged read covering every requested byte in the chunk.
             let base = plan.min_offset();
             let span = plan.merged_span() as usize;
@@ -196,8 +219,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
                 .filter(|(i, _)| !old_header.bitmap.is_deleted(*i))
                 .map(|(_, f)| f.length)
                 .sum();
-            let Some((new_header, new_bytes, stats)) =
-                compact_chunk(&bytes, &self.ids, now_ms)?
+            let Some((new_header, new_bytes, stats)) = compact_chunk(&bytes, &self.ids, now_ms)?
             else {
                 continue;
             };
@@ -215,6 +237,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             // already removed at delete time; live files need re-pointing
             // to the new chunk, which re-ingest performs.
             self.store.delete(&key)?;
+            self.header_lens.lock().remove(&key);
             self.meta
                 .kv()
                 .delete(&diesel_meta::keys::chunk_key(dataset, id))
@@ -235,11 +258,13 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// `DL_delete_dataset`: drop every chunk object and metadata key.
     pub fn delete_dataset(&self, dataset: &str) -> Result<u64> {
         let mut removed = 0u64;
-        for key in self.store.list_prefix(&format!("{dataset}/")) {
+        let prefix = format!("{dataset}/");
+        for key in self.store.list_prefix(&prefix) {
             if self.store.delete(&key)? {
                 removed += 1;
             }
         }
+        self.header_lens.lock().retain(|k, _| !k.starts_with(&prefix));
         self.meta.delete_dataset(dataset)?;
         Ok(removed)
     }
@@ -299,7 +324,8 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             .cloned()
             .collect();
         stats.files_removed = (before - files.len()) as u64;
-        stats.chunks_removed = snapshot.chunks.iter().filter(|c| !current_set.contains(c)).count() as u64;
+        stats.chunks_removed =
+            snapshot.chunks.iter().filter(|c| !current_set.contains(c)).count() as u64;
         stats.chunks_rechecked = rechecked.len() as u64;
 
         // Scan new chunks from their self-contained headers.

@@ -122,9 +122,7 @@ impl Namespace {
     /// List a directory (sorted: subdirectories then files, each
     /// alphabetical — matching `ls` output grouping used in Fig. 10c).
     pub fn readdir(&self, path: &str) -> Result<Vec<DirEntry>> {
-        let node = self
-            .find_dir(path)
-            .ok_or_else(|| MetaError::NoSuchFile(path.to_owned()))?;
+        let node = self.find_dir(path).ok_or_else(|| MetaError::NoSuchFile(path.to_owned()))?;
         let mut out = Vec::with_capacity(node.subdirs.len() + node.files.len());
         for name in node.subdirs.keys() {
             out.push(DirEntry { name: name.clone(), kind: EntryKind::Dir, size: 0 });
@@ -141,9 +139,7 @@ impl Namespace {
     /// part of `ls -lR`) — with a local namespace both are O(1), which is
     /// the point of the snapshot design.
     pub fn walk(&self, path: &str, with_sizes: bool) -> Result<WalkStats> {
-        let node = self
-            .find_dir(path)
-            .ok_or_else(|| MetaError::NoSuchFile(path.to_owned()))?;
+        let node = self.find_dir(path).ok_or_else(|| MetaError::NoSuchFile(path.to_owned()))?;
         let mut stats = WalkStats::default();
         walk_in(node, with_sizes, &mut stats);
         Ok(stats)
@@ -234,11 +230,7 @@ mod tests {
             root.iter().map(|e| (e.name.as_str(), e.kind)).collect();
         assert_eq!(
             names,
-            vec![
-                ("train", EntryKind::Dir),
-                ("val", EntryKind::Dir),
-                ("README", EntryKind::File)
-            ]
+            vec![("train", EntryKind::Dir), ("val", EntryKind::Dir), ("README", EntryKind::File)]
         );
         let cat = ns.readdir("train/cat").unwrap();
         assert_eq!(cat.len(), 2);

@@ -227,7 +227,8 @@ mod tests {
 
     #[test]
     fn dataset_record_roundtrip() {
-        let r = DatasetRecord { updated_ms: 123, chunk_count: 4, file_count: 99, total_bytes: 1 << 40 };
+        let r =
+            DatasetRecord { updated_ms: 123, chunk_count: 4, file_count: 99, total_bytes: 1 << 40 };
         assert_eq!(DatasetRecord::decode(&r.encode()).unwrap(), r);
     }
 
@@ -244,7 +245,13 @@ mod tests {
 
     #[test]
     fn file_meta_roundtrip() {
-        let f = FileMeta { chunk: cid(11), index_in_chunk: 3, offset: 4096, length: 1234, uploaded_ms: 55 };
+        let f = FileMeta {
+            chunk: cid(11),
+            index_in_chunk: 3,
+            offset: 4096,
+            length: 1234,
+            uploaded_ms: 55,
+        };
         assert_eq!(FileMeta::decode(&f.encode()).unwrap(), f);
     }
 
@@ -255,7 +262,9 @@ mod tests {
         assert!(ChunkRecord::decode(&[1, 2, 3]).is_err());
         assert!(FileMeta::decode(&[1]).is_err());
         // Wrong version byte.
-        let good = FileMeta { chunk: cid(1), index_in_chunk: 0, offset: 0, length: 0, uploaded_ms: 0 }.encode();
+        let good =
+            FileMeta { chunk: cid(1), index_in_chunk: 0, offset: 0, length: 0, uploaded_ms: 0 }
+                .encode();
         let mut wrong = good.clone();
         wrong[0] = 99;
         assert!(FileMeta::decode(&wrong).is_err());

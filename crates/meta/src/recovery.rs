@@ -168,7 +168,10 @@ mod tests {
             }
             for sealed in w.finish() {
                 store
-                    .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes.clone()))
+                    .put(
+                        &chunk_object_key("ds", sealed.header.id),
+                        Bytes::from(sealed.bytes.clone()),
+                    )
                     .unwrap();
                 svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
             }
@@ -186,7 +189,8 @@ mod tests {
 
     #[test]
     fn recovery_works_against_a_cluster_after_power_loss() {
-        let cluster = Arc::new(KvCluster::new(ClusterConfig { instances: 4, shards_per_instance: 8 }));
+        let cluster =
+            Arc::new(KvCluster::new(ClusterConfig { instances: 4, shards_per_instance: 8 }));
         let svc = MetaService::new(cluster.clone());
         let store = MemObjectStore::new();
         let ids = ChunkIdGenerator::deterministic(2, 2, 77);
@@ -223,10 +227,7 @@ mod tests {
         let total: u64 = store.total_bytes();
         svc.kv().clear();
         let report = recover_full(&svc, &store, "ds").unwrap();
-        assert!(
-            report.header_bytes <= total,
-            "recovery must not read more than the dataset"
-        );
+        assert!(report.header_bytes <= total, "recovery must not read more than the dataset");
     }
 
     #[test]
@@ -234,9 +235,6 @@ mod tests {
         let (svc, store, _) = populate(70);
         store.put("ds/NOT-A-VALID-ID!!", Bytes::from_static(b"junk")).unwrap();
         svc.kv().clear();
-        assert!(matches!(
-            recover_full(&svc, &store, "ds"),
-            Err(MetaError::BadRecord { .. })
-        ));
+        assert!(matches!(recover_full(&svc, &store, "ds"), Err(MetaError::BadRecord { .. })));
     }
 }

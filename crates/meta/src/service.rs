@@ -218,11 +218,9 @@ impl<K: KvStore> MetaService<K> {
     /// Returns the number of deleted keys.
     pub fn delete_dataset(&self, dataset: &str) -> Result<u64> {
         let mut deleted = 0u64;
-        for prefix in [
-            keys::chunk_prefix(dataset),
-            keys::file_prefix(dataset),
-            format!("dir/{dataset}/"),
-        ] {
+        for prefix in
+            [keys::chunk_prefix(dataset), keys::file_prefix(dataset), format!("dir/{dataset}/")]
+        {
             for (k, _) in self.kv.pscan(&prefix)? {
                 if self.kv.delete(&k)? {
                     deleted += 1;
@@ -284,16 +282,14 @@ mod tests {
     #[test]
     fn ingest_then_lookup() {
         let svc = service();
-        let (h, bytes) = make_chunk(&[("train/cat/1.jpg", b"xx"), ("train/dog/2.jpg", b"yyy")], 100);
+        let (h, bytes) =
+            make_chunk(&[("train/cat/1.jpg", b"xx"), ("train/dog/2.jpg", b"yyy")], 100);
         svc.ingest_chunk("ds", &h, bytes.len() as u64).unwrap();
 
         let meta = svc.file_meta("ds", "train/cat/1.jpg").unwrap();
         assert_eq!(meta.length, 2);
         assert_eq!(meta.chunk, h.id);
-        assert!(matches!(
-            svc.file_meta("ds", "nope"),
-            Err(MetaError::NoSuchFile(_))
-        ));
+        assert!(matches!(svc.file_meta("ds", "nope"), Err(MetaError::NoSuchFile(_))));
 
         let rec = svc.dataset_record("ds").unwrap();
         assert_eq!(rec.chunk_count, 1);
@@ -310,7 +306,12 @@ mod tests {
     fn readdir_via_pscan() {
         let svc = service();
         let (h, b) = make_chunk(
-            &[("train/cat/1.jpg", b"a"), ("train/cat/2.jpg", b"bb"), ("train/dog/1.jpg", b"c"), ("top.txt", b"d")],
+            &[
+                ("train/cat/1.jpg", b"a"),
+                ("train/cat/2.jpg", b"bb"),
+                ("train/dog/1.jpg", b"c"),
+                ("top.txt", b"d"),
+            ],
             5,
         );
         svc.ingest_chunk("ds", &h, b.len() as u64).unwrap();
@@ -418,10 +419,7 @@ mod tests {
     #[test]
     fn no_such_dataset() {
         let svc = service();
-        assert!(matches!(
-            svc.dataset_record("ghost"),
-            Err(MetaError::NoSuchDataset(_))
-        ));
+        assert!(matches!(svc.dataset_record("ghost"), Err(MetaError::NoSuchDataset(_))));
         assert!(svc.build_snapshot("ghost").is_err());
         assert_eq!(svc.chunk_ids("ghost").unwrap(), vec![]);
     }

@@ -220,7 +220,8 @@ mod tests {
 
     #[test]
     fn empty_snapshot() {
-        let s = MetaSnapshot { dataset: "empty".into(), updated_ms: 0, chunks: vec![], files: vec![] };
+        let s =
+            MetaSnapshot { dataset: "empty".into(), updated_ms: 0, chunks: vec![], files: vec![] };
         let back = MetaSnapshot::decode(&s.encode()).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.build_namespace().file_count(), 0);

@@ -1,0 +1,91 @@
+//! In-process dispatch: the zero-overhead channel.
+//!
+//! A [`DirectChannel`] calls its handler on the caller's thread with no
+//! queueing, no copy, and no serialization — exactly the behavior of
+//! holding an `Arc<Server>` and calling methods on it, but expressed as
+//! a [`Service`](crate::Service) so the same call sites can later be
+//! pointed at a threaded, simulated, or fault-injected transport.
+
+use crate::{Endpoint, Result, Service};
+
+/// A service backed by a plain closure (or any `Fn`).
+pub struct DirectChannel<F> {
+    endpoint: Endpoint,
+    handler: F,
+}
+
+impl<F> DirectChannel<F> {
+    /// Wrap `handler` as the service behind `endpoint`.
+    pub fn new(endpoint: Endpoint, handler: F) -> Self {
+        DirectChannel { endpoint, handler }
+    }
+}
+
+impl<Req, Resp, F> Service<Req, Resp> for DirectChannel<F>
+where
+    F: Fn(Req) -> Result<Resp> + Send + Sync,
+{
+    fn call(&self, req: Req) -> Result<Resp> {
+        (self.handler)(req)
+    }
+    fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+}
+
+impl<F> std::fmt::Debug for DirectChannel<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectChannel").field("endpoint", &self.endpoint).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetError;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn calls_run_on_the_calling_thread() {
+        let tid = std::thread::current().id();
+        let chan = DirectChannel::new(Endpoint::new("local", 0), move |x: u64| {
+            assert_eq!(std::thread::current().id(), tid);
+            Ok(x * 2)
+        });
+        assert_eq!(chan.call(21).unwrap(), 42);
+    }
+
+    #[test]
+    fn handler_errors_pass_through() {
+        let ep = Endpoint::new("local", 7);
+        let chan = DirectChannel::new(ep.clone(), move |_: ()| -> Result<()> {
+            Err(NetError::Rejected { endpoint: Endpoint::new("local", 7), reason: "no".into() })
+        });
+        let err = chan.call(()).unwrap_err();
+        assert_eq!(err.endpoint(), &ep);
+    }
+
+    #[test]
+    fn shared_state_is_visible_across_clones() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let chan = Arc::new(DirectChannel::new(Endpoint::new("ctr", 0), move |_: ()| {
+            Ok(h.fetch_add(1, Ordering::SeqCst))
+        }));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = chan.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.call(()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 400);
+    }
+}

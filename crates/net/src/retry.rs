@@ -1,0 +1,185 @@
+//! Bounded retry with exponential backoff.
+//!
+//! Retries only errors where a retry can help ([`NetError::is_retryable`],
+//! i.e. timeouts — the reply may simply have been lost). Backoff waits go
+//! through the injected [`Clock`], so tests drive the schedule with a
+//! [`MockClock`](crate::MockClock) and never sleep for real.
+
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::stats::EndpointStats;
+use crate::{Endpoint, Result, Service};
+
+/// When and how much to back off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in nanoseconds.
+    pub base_backoff_ns: u64,
+    /// Multiplier applied per subsequent retry.
+    pub multiplier: u32,
+    /// Backoff ceiling, in nanoseconds.
+    pub max_backoff_ns: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, base_backoff_ns: 0, multiplier: 1, max_backoff_ns: 0 }
+    }
+
+    /// The wait before retry number `retry` (0-based), capped.
+    pub fn backoff_ns(&self, retry: u32) -> u64 {
+        let factor = (self.multiplier as u64).saturating_pow(retry);
+        self.base_backoff_ns.saturating_mul(factor).min(self.max_backoff_ns)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 3 attempts, 1 ms doubling backoff capped at 100 ms.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 1_000_000,
+            multiplier: 2,
+            max_backoff_ns: 100_000_000,
+        }
+    }
+}
+
+/// Middleware that re-issues retryable failed calls per a [`RetryPolicy`].
+pub struct Retry<S> {
+    inner: S,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    stats: Option<Arc<EndpointStats>>,
+}
+
+impl<S> Retry<S> {
+    /// Wrap `inner`; backoff waits use `clock`.
+    pub fn new(inner: S, policy: RetryPolicy, clock: Arc<dyn Clock>) -> Self {
+        Retry { inner, policy, clock, stats: None }
+    }
+
+    /// Count retry attempts into `stats`.
+    pub fn with_stats(mut self, stats: Arc<EndpointStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+}
+
+impl<Req: Clone, Resp, S: Service<Req, Resp>> Service<Req, Resp> for Retry<S> {
+    fn call(&self, req: Req) -> Result<Resp> {
+        let mut retry = 0;
+        loop {
+            match self.inner.call(req.clone()) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() && retry + 1 < self.policy.max_attempts => {
+                    if let Some(stats) = &self.stats {
+                        stats.record_retry();
+                    }
+                    self.clock.sleep_ns(self.policy.backoff_ns(retry));
+                    retry += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        self.inner.endpoint()
+    }
+}
+
+impl<S> std::fmt::Debug for Retry<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Retry").field("policy", &self.policy).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+    use crate::direct::DirectChannel;
+    use crate::NetError;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn flaky(fail_first: u32) -> (DirectChannel<impl Fn(u32) -> Result<u32>>, Arc<AtomicU32>) {
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        let chan = DirectChannel::new(Endpoint::new("flaky", 0), move |x: u32| {
+            if c.fetch_add(1, Ordering::SeqCst) < fail_first {
+                Err(NetError::Timeout { endpoint: Endpoint::new("flaky", 0), after_ns: 10 })
+            } else {
+                Ok(x)
+            }
+        });
+        (chan, calls)
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ns: 1_000,
+            multiplier: 2,
+            max_backoff_ns: 10_000,
+        };
+        assert_eq!(p.backoff_ns(0), 1_000);
+        assert_eq!(p.backoff_ns(1), 2_000);
+        assert_eq!(p.backoff_ns(2), 4_000);
+        assert_eq!(p.backoff_ns(3), 8_000);
+        assert_eq!(p.backoff_ns(4), 10_000); // capped
+        assert_eq!(p.backoff_ns(30), 10_000);
+    }
+
+    #[test]
+    fn succeeds_after_transient_timeouts() {
+        let (inner, calls) = flaky(2);
+        let clock = Arc::new(MockClock::new());
+        let stats = Arc::new(EndpointStats::new());
+        let chan =
+            Retry::new(inner, RetryPolicy::default(), clock.clone()).with_stats(stats.clone());
+        assert_eq!(chan.call(5).unwrap(), 5);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(stats.retries(), 2);
+        // Backoffs waited on the mock clock: 1 ms then 2 ms.
+        assert_eq!(clock.now_ns(), 3_000_000);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let (inner, calls) = flaky(u32::MAX);
+        let clock = Arc::new(MockClock::new());
+        let chan = Retry::new(inner, RetryPolicy::default(), clock);
+        let err = chan.call(1).unwrap_err();
+        assert!(err.is_retryable(), "final error is the last timeout");
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_immediately() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        let inner = DirectChannel::new(Endpoint::new("gone", 3), move |_: ()| -> Result<()> {
+            c.fetch_add(1, Ordering::SeqCst);
+            Err(NetError::Disconnected { endpoint: Endpoint::new("gone", 3) })
+        });
+        let clock = Arc::new(MockClock::new());
+        let chan = Retry::new(inner, RetryPolicy::default(), clock.clone());
+        assert!(!chan.call(()).unwrap_err().is_retryable());
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(clock.now_ns(), 0, "no backoff happened");
+    }
+
+    #[test]
+    fn policy_none_means_single_attempt() {
+        let (inner, calls) = flaky(u32::MAX);
+        let chan = Retry::new(inner, RetryPolicy::none(), Arc::new(MockClock::new()));
+        assert!(chan.call(1).is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+}

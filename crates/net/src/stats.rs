@@ -1,0 +1,236 @@
+//! Per-endpoint RPC statistics.
+//!
+//! Every instrumented channel feeds an [`EndpointStats`]: monotonic
+//! request/error/retry/timeout counters plus a latency histogram
+//! ([`diesel_simnet::Histogram`], ~4 % log buckets). A [`NetStats`]
+//! registry hands out one `EndpointStats` per [`Endpoint`] so a process
+//! can snapshot all its channels at once.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use diesel_simnet::{Histogram, Summary};
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::{Endpoint, NetError, Result, Service};
+
+/// Live counters for one endpoint. All methods are thread-safe.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl EndpointStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        EndpointStats::default()
+    }
+
+    /// Record one completed call (success or failure) and its latency.
+    pub fn record_call(&self, latency_ns: u64, outcome: &Result<()>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = outcome {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            if matches!(e, NetError::Timeout { .. }) {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.latency.lock().record_ns(latency_ns);
+    }
+
+    /// Record one retry attempt (called by the retry middleware).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed calls (including failed ones).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Calls that returned a transport error.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Retry attempts made on top of first attempts.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Errors that were specifically timeouts.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Consistent point-in-time copy of all counters and the latency
+    /// summary.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests(),
+            errors: self.errors(),
+            retries: self.retries(),
+            timeouts: self.timeouts(),
+            latency: self.latency.lock().summary(),
+        }
+    }
+}
+
+/// Frozen view of an [`EndpointStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed calls.
+    pub requests: u64,
+    /// Transport errors among them.
+    pub errors: u64,
+    /// Retry attempts.
+    pub retries: u64,
+    /// Timeout errors among the errors.
+    pub timeouts: u64,
+    /// Latency distribution of completed calls.
+    pub latency: Summary,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "req={} err={} retry={} timeout={} lat[{}]",
+            self.requests, self.errors, self.retries, self.timeouts, self.latency
+        )
+    }
+}
+
+/// Registry mapping endpoints to their stats; shared across channels.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    endpoints: Mutex<BTreeMap<String, Arc<EndpointStats>>>,
+}
+
+impl NetStats {
+    /// An empty registry.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// The stats cell for `endpoint`, created on first use.
+    pub fn endpoint(&self, endpoint: &Endpoint) -> Arc<EndpointStats> {
+        self.endpoints.lock().entry(endpoint.to_string()).or_default().clone()
+    }
+
+    /// Snapshot every registered endpoint, keyed by `name@node`.
+    pub fn snapshot(&self) -> BTreeMap<String, StatsSnapshot> {
+        self.endpoints.lock().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+    }
+}
+
+/// Middleware that counts and times every call through `inner`.
+pub struct Instrumented<S> {
+    inner: S,
+    stats: Arc<EndpointStats>,
+    clock: Arc<dyn Clock>,
+}
+
+impl<S> Instrumented<S> {
+    /// Wrap `inner`, feeding `stats` using `clock` for latency.
+    pub fn new(inner: S, stats: Arc<EndpointStats>, clock: Arc<dyn Clock>) -> Self {
+        Instrumented { inner, stats, clock }
+    }
+
+    /// The stats cell this wrapper feeds.
+    pub fn stats(&self) -> &Arc<EndpointStats> {
+        &self.stats
+    }
+}
+
+impl<Req, Resp, S: Service<Req, Resp>> Service<Req, Resp> for Instrumented<S> {
+    fn call(&self, req: Req) -> Result<Resp> {
+        let t0 = self.clock.now_ns();
+        let out = self.inner.call(req);
+        let latency = self.clock.now_ns().saturating_sub(t0);
+        let probe = match &out {
+            Ok(_) => Ok(()),
+            Err(e) => Err(e.clone()),
+        };
+        self.stats.record_call(latency, &probe);
+        out
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        self.inner.endpoint()
+    }
+}
+
+impl<S> std::fmt::Debug for Instrumented<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instrumented").field("stats", &self.stats).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+    use crate::direct::DirectChannel;
+
+    #[test]
+    fn counts_successes_and_errors_separately() {
+        let ep = Endpoint::new("svc", 0);
+        let inner = DirectChannel::new(ep.clone(), move |x: u64| {
+            if x.is_multiple_of(2) {
+                Ok(x)
+            } else {
+                Err(NetError::Timeout { endpoint: Endpoint::new("svc", 0), after_ns: 1 })
+            }
+        });
+        let clock = Arc::new(MockClock::new());
+        let stats = Arc::new(EndpointStats::new());
+        let chan = Instrumented::new(inner, stats.clone(), clock);
+        for x in 0..10u64 {
+            let _ = chan.call(x);
+        }
+        let s = stats.snapshot();
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.errors, 5);
+        assert_eq!(s.timeouts, 5);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.latency.count, 10);
+    }
+
+    #[test]
+    fn latency_is_measured_with_the_injected_clock() {
+        let ep = Endpoint::new("svc", 1);
+        let clock = Arc::new(MockClock::new());
+        let c2 = clock.clone();
+        let inner = DirectChannel::new(ep, move |_: ()| {
+            c2.advance(2_000_000); // handler "takes" 2 ms
+            Ok(())
+        });
+        let stats = Arc::new(EndpointStats::new());
+        let chan = Instrumented::new(inner, stats.clone(), clock);
+        chan.call(()).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.latency.max.as_millis(), 2);
+    }
+
+    #[test]
+    fn registry_reuses_cells_and_snapshots_all() {
+        let reg = NetStats::new();
+        let a1 = reg.endpoint(&Endpoint::new("peer", 0));
+        let a2 = reg.endpoint(&Endpoint::new("peer", 0));
+        let b = reg.endpoint(&Endpoint::new("peer", 1));
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert!(!Arc::ptr_eq(&a1, &b));
+        a1.record_call(10, &Ok(()));
+        b.record_retry();
+        let snap = reg.snapshot();
+        assert_eq!(snap["peer@0"].requests, 1);
+        assert_eq!(snap["peer@1"].retries, 1);
+    }
+}

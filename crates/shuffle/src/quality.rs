@@ -69,11 +69,7 @@ pub fn chunk_run_fraction(plan: &ShufflePlan) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    let same = plan
-        .items
-        .windows(2)
-        .filter(|w| w[0].chunk_index == w[1].chunk_index)
-        .count();
+    let same = plan.items.windows(2).filter(|w| w[0].chunk_index == w[1].chunk_index).count();
     same as f64 / (n - 1) as f64
 }
 

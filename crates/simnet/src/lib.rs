@@ -31,8 +31,8 @@ pub mod stats;
 pub mod time;
 
 pub use driver::{run_actors, SimActor, SimReport};
-pub use openloop::{run_open_loop, OpenLoopReport};
 pub use net::{Fabric, NetworkModel, NodeNet};
+pub use openloop::{run_open_loop, OpenLoopReport};
 pub use resource::{Grant, Resource};
 pub use stats::{Histogram, Summary};
 pub use time::SimTime;

@@ -111,7 +111,14 @@ impl Fabric {
 
     /// Simulate a request/response RPC; returns the time the response has
     /// fully arrived back at `src`.
-    pub fn rpc(&self, now: SimTime, src: usize, dst: usize, req_bytes: u64, resp_bytes: u64) -> SimTime {
+    pub fn rpc(
+        &self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) -> SimTime {
         let at_dst = self.send(now, src, dst, req_bytes);
         self.send(at_dst, dst, src, resp_bytes)
     }

@@ -83,9 +83,7 @@ mod tests {
     fn uncontended_latency_equals_service_time() {
         let r = Resource::new("d", 1);
         // 10 ops/s against a 1 ms server: ρ = 0.01, queueing negligible.
-        let report = run_open_loop(10.0, 2000, 1, |_, t| {
-            r.acquire(t, SimTime::from_millis(1)).end
-        });
+        let report = run_open_loop(10.0, 2000, 1, |_, t| r.acquire(t, SimTime::from_millis(1)).end);
         let mean = report.latency_summary().mean.as_secs_f64();
         assert!((mean - 1e-3).abs() < 2e-4, "mean {mean}");
         let tput = report.throughput();
@@ -100,10 +98,7 @@ mod tests {
         let report = run_open_loop(500.0, 50_000, 7, |_, t| r.acquire(t, service).end);
         let mean = report.latency_summary().mean.as_secs_f64();
         let analytic = md1_mean_response(500.0, 1e-3);
-        assert!(
-            (mean - analytic).abs() / analytic < 0.15,
-            "mean {mean:.6} vs M/D/1 {analytic:.6}"
-        );
+        assert!((mean - analytic).abs() / analytic < 0.15, "mean {mean:.6} vs M/D/1 {analytic:.6}");
     }
 
     #[test]
@@ -114,7 +109,7 @@ mod tests {
         };
         let light = run_at(300.0);
         let heavy = run_at(1_300.0); // ρ = 1.3: overloaded
-        // Throughput caps at the 1000 ops/s service rate…
+                                     // Throughput caps at the 1000 ops/s service rate…
         assert!(heavy.throughput() < 1_050.0);
         assert!(heavy.throughput() > 950.0);
         // …while latency explodes relative to the light load.

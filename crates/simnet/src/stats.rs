@@ -46,6 +46,11 @@ impl Histogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Record one duration given directly in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.record(SimTime::from_nanos(ns));
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total

@@ -54,7 +54,11 @@ impl SimTime {
 
     /// The larger of two times.
     pub fn max_of(self, other: SimTime) -> SimTime {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Time to move `bytes` at `bytes_per_sec` throughput.

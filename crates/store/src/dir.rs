@@ -84,11 +84,7 @@ impl ObjectStore for DirObjectStore {
     fn put(&self, key: &str, value: Bytes) -> Result<()> {
         // Write-then-rename for atomicity under concurrent readers.
         let final_path = self.path_for(key);
-        let tmp = self.root.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            escape_key(key)
-        ));
+        let tmp = self.root.join(format!(".tmp-{}-{}", std::process::id(), escape_key(key)));
         fs::write(&tmp, &value).map_err(|e| StoreError::Io(e.to_string()))?;
         fs::rename(&tmp, &final_path).map_err(|e| StoreError::Io(e.to_string()))?;
         Ok(())
@@ -112,10 +108,7 @@ impl ObjectStore for DirObjectStore {
             }
             Err(e) => return Err(StoreError::Io(e.to_string())),
         };
-        let size = f
-            .metadata()
-            .map_err(|e| StoreError::Io(e.to_string()))?
-            .len() as usize;
+        let size = f.metadata().map_err(|e| StoreError::Io(e.to_string()))?.len() as usize;
         if offset as usize > size {
             return Err(StoreError::BadRange { key: key.to_owned(), offset, len, size });
         }
@@ -151,11 +144,7 @@ impl ObjectStore for DirObjectStore {
     }
 
     fn total_bytes(&self) -> u64 {
-        self.keys()
-            .iter()
-            .filter_map(|k| self.size_of(k))
-            .map(|s| s as u64)
-            .sum()
+        self.keys().iter().filter_map(|k| self.size_of(k)).map(|s| s as u64).sum()
     }
 }
 
@@ -164,10 +153,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "diesel-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("diesel-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }

@@ -76,7 +76,7 @@ impl<S: ObjectStore> FaultyStore<S> {
             self.injected_corruptions.fetch_add(1, Ordering::Relaxed);
             let mut v = data.to_vec();
             let pos = rng.gen_range(0..v.len());
-            v[pos] ^= 1 << rng.gen_range(0..8);
+            v[pos] ^= 1u8 << rng.gen_range(0..8u32);
             return Ok(Bytes::from(v));
         }
         Ok(data)
@@ -137,7 +137,10 @@ mod tests {
     fn store(io: f64, corrupt: f64) -> FaultyStore<MemObjectStore> {
         let inner = Arc::new(MemObjectStore::new());
         inner.put("k", Bytes::from(vec![0u8; 1024])).unwrap();
-        FaultyStore::new(inner, FaultConfig { io_error_rate: io, corruption_rate: corrupt, seed: 42 })
+        FaultyStore::new(
+            inner,
+            FaultConfig { io_error_rate: io, corruption_rate: corrupt, seed: 42 },
+        )
     }
 
     #[test]

@@ -47,10 +47,9 @@ impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::NotFound(k) => write!(f, "object not found: {k:?}"),
-            StoreError::BadRange { key, offset, len, size } => write!(
-                f,
-                "range {offset}+{len} out of bounds for object {key:?} of {size} bytes"
-            ),
+            StoreError::BadRange { key, offset, len, size } => {
+                write!(f, "range {offset}+{len} out of bounds for object {key:?} of {size} bytes")
+            }
             StoreError::Io(e) => write!(f, "object store I/O error: {e}"),
         }
     }

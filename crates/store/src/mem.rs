@@ -33,11 +33,7 @@ impl ObjectStore for MemObjectStore {
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
-        self.objects
-            .read()
-            .get(key)
-            .cloned()
-            .ok_or_else(|| StoreError::NotFound(key.to_owned()))
+        self.objects.read().get(key).cloned().ok_or_else(|| StoreError::NotFound(key.to_owned()))
     }
 
     fn delete(&self, key: &str) -> Result<bool> {

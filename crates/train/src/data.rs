@@ -36,14 +36,12 @@ impl Sample {
 
     /// Deserialize.
     pub fn decode(data: &[u8]) -> Option<Sample> {
-        if data.len() < 2 || (data.len() - 2) % 4 != 0 {
+        if data.len() < 2 || !(data.len() - 2).is_multiple_of(4) {
             return None;
         }
         let label = u16::from_le_bytes(data[0..2].try_into().ok()?) as usize;
-        let features = data[2..]
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let features =
+            data[2..].chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         Some(Sample { label, features })
     }
 }
@@ -92,10 +90,8 @@ impl SyntheticSpec {
         (0..n)
             .map(|i| {
                 let label = i % self.classes;
-                let features = centers[label]
-                    .iter()
-                    .map(|&c| c + gauss(&mut rng) * self.noise)
-                    .collect();
+                let features =
+                    centers[label].iter().map(|&c| c + gauss(&mut rng) * self.noise).collect();
                 Sample { label, features }
             })
             .collect()
@@ -108,10 +104,8 @@ impl SyntheticSpec {
         (0..n)
             .map(|i| {
                 let label = (i * 7 + 3) % self.classes;
-                let features = centers[label]
-                    .iter()
-                    .map(|&c| c + gauss(&mut rng) * self.noise)
-                    .collect();
+                let features =
+                    centers[label].iter().map(|&c| c + gauss(&mut rng) * self.noise).collect();
                 Sample { label, features }
             })
             .collect()

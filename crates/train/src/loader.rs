@@ -16,7 +16,7 @@ use crate::tensor::Matrix;
 
 /// Upload a sample set as one-file-per-sample through the client
 /// (the data-preparation step of §2.1).
-pub fn upload_samples<K: KvStore, S: ObjectStore>(
+pub fn upload_samples<K: KvStore + 'static, S: ObjectStore + 'static>(
     client: &DieselClient<K, S>,
     samples: &[Sample],
 ) -> diesel_core::Result<()> {
@@ -34,7 +34,7 @@ pub struct DataLoader<K, S> {
     seed: u64,
 }
 
-impl<K: KvStore, S: ObjectStore> DataLoader<K, S> {
+impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
     /// Build a loader. The client must have a snapshot loaded and a
     /// shuffle strategy enabled.
     pub fn new(client: Arc<DieselClient<K, S>>, batch_size: usize, seed: u64) -> Self {
@@ -55,9 +55,8 @@ impl<K: KvStore, S: ObjectStore> DataLoader<K, S> {
             let mut samples = Vec::with_capacity(chunk.len());
             for path in chunk {
                 let bytes = self.client.get(path)?;
-                let sample = Sample::decode(&bytes).ok_or_else(|| {
-                    DieselError::Client(format!("undecodable sample {path}"))
-                })?;
+                let sample = Sample::decode(&bytes)
+                    .ok_or_else(|| DieselError::Client(format!("undecodable sample {path}")))?;
                 samples.push(sample);
             }
             let refs: Vec<&Sample> = samples.iter().collect();
@@ -74,9 +73,7 @@ impl<K: KvStore, S: ObjectStore> DataLoader<K, S> {
 
 impl<K, S> std::fmt::Debug for DataLoader<K, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DataLoader")
-            .field("batch_size", &self.batch_size)
-            .finish_non_exhaustive()
+        f.debug_struct("DataLoader").field("batch_size", &self.batch_size).finish_non_exhaustive()
     }
 }
 

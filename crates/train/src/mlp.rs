@@ -167,11 +167,7 @@ mod tests {
     use super::*;
 
     fn xor_batch() -> (Matrix, Vec<usize>) {
-        let x = Matrix {
-            rows: 4,
-            cols: 2,
-            data: vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-        };
+        let x = Matrix { rows: 4, cols: 2, data: vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0] };
         (x, vec![0, 1, 1, 0])
     }
 

@@ -23,7 +23,15 @@ pub struct Adam {
 impl Adam {
     /// Standard Adam with the usual defaults (β₁ 0.9, β₂ 0.999, ε 1e-8).
     pub fn new(lr: f32, params: usize) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; params], v: vec![0.0; params] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; params],
+            v: vec![0.0; params],
+        }
     }
 
     /// Custom betas.
@@ -101,11 +109,7 @@ mod tests {
             let mut adam = Adam::new(0.01, 1);
             let mut x = [0.0f32];
             adam.step(&mut x, &[scale]);
-            assert!(
-                (x[0].abs() - 0.01).abs() < 1e-4,
-                "first step {} at grad scale {scale}",
-                x[0]
-            );
+            assert!((x[0].abs() - 0.01).abs() < 1e-4, "first step {} at grad scale {scale}", x[0]);
         }
     }
 

@@ -59,7 +59,7 @@ pub fn topk_accuracy(model: &Mlp, samples: &[Sample], k: usize) -> f64 {
 /// Train `model` for `config.epochs` epochs, reading data through the
 /// loader (and therefore through DIESEL with whatever shuffle strategy
 /// the client has enabled). Returns per-epoch metrics.
-pub fn train<K: KvStore, S: ObjectStore>(
+pub fn train<K: KvStore + 'static, S: ObjectStore + 'static>(
     model: &mut Mlp,
     loader: &DataLoader<K, S>,
     eval: &[Sample],
@@ -120,7 +120,13 @@ mod tests {
         client.enable_shuffle(kind);
         let loader = DataLoader::new(Arc::new(client), 32, 99);
         let mut model = Mlp::new(
-            MlpConfig { input_dim: spec.dim, hidden: vec![48], classes: spec.classes, lr: 0.08, momentum: 0.9 },
+            MlpConfig {
+                input_dim: spec.dim,
+                hidden: vec![48],
+                classes: spec.classes,
+                lr: 0.08,
+                momentum: 0.9,
+            },
             7,
         );
         train(&mut model, &loader, &eval_set, &TrainConfig { epochs, topk: (1, 5) }).unwrap()
@@ -146,10 +152,7 @@ mod tests {
         let cw = run(ShuffleKind::ChunkWise { group_size: 4 }, 8);
         let b = base.last().unwrap().top1;
         let c = cw.last().unwrap().top1;
-        assert!(
-            (b - c).abs() < 0.08,
-            "chunk-wise top-1 {c:.3} deviates from baseline {b:.3}"
-        );
+        assert!((b - c).abs() < 0.08, "chunk-wise top-1 {c:.3} deviates from baseline {b:.3}");
     }
 
     #[test]
@@ -159,8 +162,8 @@ mod tests {
             1,
         );
         assert_eq!(topk_accuracy(&model, &[], 1), 0.0);
-        let samples = SyntheticSpec { dim: 4, classes: 3, separation: 1.0, noise: 0.5, seed: 5 }
-            .generate(30);
+        let samples =
+            SyntheticSpec { dim: 4, classes: 3, separation: 1.0, noise: 0.5, seed: 5 }.generate(30);
         let a1 = topk_accuracy(&model, &samples, 1);
         let a3 = topk_accuracy(&model, &samples, 3);
         assert!(a1 <= a3);

@@ -23,10 +23,8 @@ fn main() {
     let train_set = spec.generate(4000);
     let eval_set = spec.generate_eval(800);
 
-    let server = Arc::new(DieselServer::new(
-        Arc::new(ShardedKv::new()),
-        Arc::new(MemObjectStore::new()),
-    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
     let client = DieselClient::connect_with(
         server.clone(),
         "synth-imagenet",

@@ -36,9 +36,7 @@ fn main() {
     .with_deterministic_identity(1, 1, 1_000);
 
     for i in 0..300 {
-        client
-            .put(&format!("cls{}/img{i:04}.bin", i % 6), &vec![(i % 251) as u8; 256])
-            .unwrap();
+        client.put(&format!("cls{}/img{i:04}.bin", i % 6), &vec![(i % 251) as u8; 256]).unwrap();
     }
     client.flush().unwrap();
     let total_keys = kv.len();
@@ -106,11 +104,6 @@ fn main() {
 
 fn count_reachable(server: &DieselServer<KvCluster, MemObjectStore>) -> usize {
     (0..300)
-        .filter(|i| {
-            server
-                .meta()
-                .file_meta("ds", &format!("cls{}/img{i:04}.bin", i % 6))
-                .is_ok()
-        })
+        .filter(|i| server.meta().file_meta("ds", &format!("cls{}/img{i:04}.bin", i % 6)).is_ok())
         .count()
 }

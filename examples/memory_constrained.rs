@@ -25,10 +25,8 @@ const FILE_SIZE: usize = 512;
 const CHUNK_SIZE: usize = 16 << 10; // ~31 files per chunk
 
 fn run(kind: ShuffleKind, label: &str) -> (u64, u64) {
-    let server = Arc::new(DieselServer::new(
-        Arc::new(ShardedKv::new()),
-        Arc::new(MemObjectStore::new()),
-    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
     let client = DieselClient::connect_with(
         server.clone(),
         "big",
@@ -84,10 +82,8 @@ fn main() {
         "dataset: {FILES} files x {FILE_SIZE} B in ~{chunks} chunks; cache holds ~15% of it\n"
     );
     let (full_loads, full_bytes) = run(ShuffleKind::DatasetShuffle, "dataset shuffle (baseline)");
-    let (cw_loads, cw_bytes) = run(
-        ShuffleKind::ChunkWise { group_size: 4 },
-        "chunk-wise shuffle (g=4)",
-    );
+    let (cw_loads, cw_bytes) =
+        run(ShuffleKind::ChunkWise { group_size: 4 }, "chunk-wise shuffle (g=4)");
     let amplification = full_bytes as f64 / cw_bytes as f64;
     println!(
         "\nchunk-wise shuffle cut backing-store traffic by {amplification:.1}x \

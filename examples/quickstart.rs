@@ -30,10 +30,8 @@ fn main() {
     // 2. Deploy the DIESEL server over a KV metadata store and an object
     //    store (in production: Redis cluster + Ceph/Lustre; here the
     //    in-memory substrates).
-    let server = Arc::new(DieselServer::new(
-        Arc::new(ShardedKv::new()),
-        Arc::new(MemObjectStore::new()),
-    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
 
     // 3. DLCMD: import the directory (files are packed into >=4 MB
     //    chunks client-side — 120 small files become a couple of chunk
@@ -68,7 +66,10 @@ fn main() {
     assert!(body.starts_with(b"dog-image-0"));
 
     // ...and through the FUSE facade, the way PyTorch/TensorFlow would.
-    let fuse = FuseMount::mount(Arc::new(DieselClient::connect(server.clone(), "pets")), FuseConfig::default());
+    let fuse = FuseMount::mount(
+        Arc::new(DieselClient::connect(server.clone(), "pets")),
+        FuseConfig::default(),
+    );
     fuse.client().download_meta().unwrap();
     let fd = fuse.open("train/fox/img039.jpg").unwrap();
     let first = fuse.read(fd, 0, 13).unwrap();

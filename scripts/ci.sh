@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verification (ROADMAP.md) + formatting + lints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -11,6 +11,8 @@
 //!   on top ([`meta`]),
 //! * shared object storage with calibrated device models ([`store`]),
 //! * the task-grained distributed cache ([`cache`]),
+//! * a typed RPC layer with timeouts, retries, fault injection and
+//!   per-endpoint stats, carrying all inter-node traffic ([`net`]),
 //! * the chunk-wise shuffle ([`shuffle`]),
 //! * the DIESEL server + libDIESEL client + FUSE facade ([`core`]),
 //! * baselines (Lustre-like FS, Memcached cluster) ([`baselines`]),
@@ -54,6 +56,7 @@ pub use diesel_chunk as chunk;
 pub use diesel_core as core;
 pub use diesel_kv as kv;
 pub use diesel_meta as meta;
+pub use diesel_net as net;
 pub use diesel_shuffle as shuffle;
 pub use diesel_simnet as simnet;
 pub use diesel_store as store;

@@ -34,10 +34,7 @@ fn parallel_writers_then_parallel_readers() {
                     pool.assign(),
                     "stress",
                     ClientConfig {
-                        chunk: ChunkBuilderConfig {
-                            target_chunk_size: 4096,
-                            ..Default::default()
-                        },
+                        chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
                     },
                 );
                 for i in 0..FILES_EACH {
@@ -78,10 +75,8 @@ fn parallel_writers_then_parallel_readers() {
 
 #[test]
 fn readers_race_deleters_without_torn_results() {
-    let server = Arc::new(DieselServer::new(
-        Arc::new(ShardedKv::new()),
-        Arc::new(MemObjectStore::new()),
-    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
     let writer = DieselClient::connect_with(
         server.clone(),
         "race",
@@ -160,10 +155,8 @@ fn snapshot_downloads_race_ingest_safely() {
     // Snapshots taken while writes are in flight must be internally
     // consistent: every file they list must be readable at the listed
     // location, even if the snapshot is already stale.
-    let server = Arc::new(DieselServer::new(
-        Arc::new(ShardedKv::new()),
-        Arc::new(MemObjectStore::new()),
-    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
     let stop = Arc::new(AtomicBool::new(false));
     let ingester = {
         let server = server.clone();

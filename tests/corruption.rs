@@ -14,10 +14,8 @@ use diesel_dlt::store::{FaultConfig, FaultyStore, MemObjectStore, ObjectStore};
 type Server = DieselServer<ShardedKv, MemObjectStore>;
 
 fn populated_server(files: usize) -> (Arc<Server>, Vec<String>) {
-    let server = Arc::new(DieselServer::new(
-        Arc::new(ShardedKv::new()),
-        Arc::new(MemObjectStore::new()),
-    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
     let client = DieselClient::connect_with(
         server.clone(),
         "ds",

@@ -18,7 +18,11 @@ fn small_chunk_server() -> Arc<Server> {
     Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())))
 }
 
-fn client(server: &Arc<Server>, dataset: &str, chunk_size: usize) -> DieselClient<ShardedKv, MemObjectStore> {
+fn client(
+    server: &Arc<Server>,
+    dataset: &str,
+    chunk_size: usize,
+) -> DieselClient<ShardedKv, MemObjectStore> {
     DieselClient::connect_with(
         server.clone(),
         dataset,
@@ -69,7 +73,7 @@ fn merged_server_reads_match_api_reads() {
     let mut names = Vec::new();
     for i in 0..120usize {
         let name = format!("f{i:03}");
-        c.put(&name, &vec![(i % 251) as u8; 100]).unwrap();
+        c.put(&name, &[(i % 251) as u8; 100]).unwrap();
         names.push(name);
     }
     c.flush().unwrap();
@@ -85,7 +89,7 @@ fn fuse_and_api_agree_through_cache_and_shuffle() {
     let server = small_chunk_server();
     let c = client(&server, "ds", 4096);
     for i in 0..150usize {
-        c.put(&format!("d{}/f{i:04}", i % 3), &vec![(i % 256) as u8; 200]).unwrap();
+        c.put(&format!("d{}/f{i:04}", i % 3), &[(i % 256) as u8; 200]).unwrap();
     }
     c.flush().unwrap();
     c.download_meta().unwrap();
@@ -140,7 +144,13 @@ fn training_through_full_stack_converges() {
 
     let loader = DataLoader::new(Arc::new(c), 32, 5);
     let mut model = Mlp::new(
-        MlpConfig { input_dim: spec.dim, hidden: vec![48], classes: spec.classes, lr: 0.08, momentum: 0.9 },
+        MlpConfig {
+            input_dim: spec.dim,
+            hidden: vec![48],
+            classes: spec.classes,
+            lr: 0.08,
+            momentum: 0.9,
+        },
         3,
     );
     let metrics =
@@ -163,7 +173,7 @@ fn kv_cluster_backend_works_end_to_end() {
         },
     );
     for i in 0..300usize {
-        c.put(&format!("p{}/f{i}", i % 5), &vec![i as u8; 64]).unwrap();
+        c.put(&format!("p{}/f{i}", i % 5), &[i as u8; 64]).unwrap();
     }
     c.flush().unwrap();
     // Keys must actually spread across instances.

@@ -30,7 +30,7 @@ fn populate(server: &Arc<ClusterServer>, files: usize) -> Vec<String> {
     let mut names = Vec::new();
     for i in 0..files {
         let name = format!("c{}/f{i:05}", i % 4);
-        c.put(&name, &vec![(i % 251) as u8; 200]).unwrap();
+        c.put(&name, &[(i % 251) as u8; 200]).unwrap();
         names.push(name);
     }
     c.flush().unwrap();
@@ -93,10 +93,7 @@ fn reads_continue_during_kv_instance_outage_with_snapshot() {
         assert!(client.stat(n).is_ok());
     }
     // Server-side metadata lookups, by contrast, partially fail.
-    let failures = names
-        .iter()
-        .filter(|n| server.meta().file_meta("ds", n).is_err())
-        .count();
+    let failures = names.iter().filter(|n| server.meta().file_meta("ds", n).is_err()).count();
     assert!(failures > 0, "some server-side lookups should hit the dead instances");
 }
 
@@ -204,7 +201,7 @@ fn partial_timestamp_recovery_leaves_old_chunks_untouched() {
         )
         .with_deterministic_identity(gen as u64 + 1, gen + 1, ts);
         for i in 0..40 {
-            c.put(&format!("g{gen}/f{i:03}"), &vec![gen as u8; 128]).unwrap();
+            c.put(&format!("g{gen}/f{i:03}"), &[gen as u8; 128]).unwrap();
         }
         c.flush().unwrap();
     }

@@ -132,7 +132,7 @@ fn snapshot_file_round_trips_between_processes() {
     let server = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store));
     let writer = DieselClient::connect(server.clone(), "ds");
     for i in 0..30usize {
-        writer.put(&format!("f{i}"), &vec![1u8; 64]).unwrap();
+        writer.put(&format!("f{i}"), &[1u8; 64]).unwrap();
     }
     writer.flush().unwrap();
     writer.save_meta(&snap_path).unwrap();
