@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this stub keeps the
+//! workspace's benches compiling and runnable: `cargo bench` executes
+//! each closure `sample_size` times and prints the mean wall time per
+//! iteration. There is no statistical analysis, warm-up, or HTML report
+//! — the numbers are indicative, not publishable.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Measures one benchmark's closure.
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = f();
+            self.total_ns += start.elapsed().as_nanos();
+            std::hint::black_box(out);
+        }
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Benchmark driver; one per `criterion_group!` config.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Iterations per benchmark (criterion's "samples", flattened).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { iters: self.sample_size, total_ns: 0 };
+        f(&mut b);
+        let mean = if b.iters == 0 { 0.0 } else { b.total_ns as f64 / b.iters as f64 };
+        println!("bench {id:<50} {:>12}/iter ({} iters)", human_ns(mean), b.iters);
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+
+    /// Finalize (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Units for reported throughput. Recorded but not currently printed.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { full: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration throughput (stub: ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run `name` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.parent.run_one(&full, &mut f);
+        self
+    }
+
+    /// Run a parameterized benchmark with `input` passed by reference.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        self.parent.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group: either `criterion_group!(name, fn_a, fn_b)`
+/// or the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bump(c: &mut Criterion) {
+        let mut n = 0u64;
+        c.bench_function("bump", |b| b.iter(|| n += 1));
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn groups_and_functions_run_their_closures() {
+        let mut c = Criterion::default().sample_size(3);
+        bump(&mut c);
+        let mut ran = 0;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(10));
+        g.bench_function("f", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("p", 4), &4u32, |b, &x| {
+            b.iter(|| ran += x as usize)
+        });
+        g.finish();
+        assert!(ran >= 3 + 3 * 4);
+    }
+
+    criterion_group!(simple, bump);
+    criterion_group!(name = long_form; config = Criterion::default().sample_size(2); targets = bump);
+
+    #[test]
+    fn macros_expand_to_runnable_fns() {
+        simple();
+        long_form();
+    }
+}

@@ -1,0 +1,501 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the slice of proptest it uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, `any::<T>()` for
+//! primitives, integer ranges as strategies, regex-string strategies
+//! (the small subset of regex syntax the tests use), tuples, and
+//! `proptest::collection::{vec, btree_map}`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - No shrinking: a failing case fails with the generated inputs
+//!   reported by the assertion message, but is not minimized.
+//! - Deterministic: the RNG seed is derived from the test's module path
+//!   and name, so every run explores the same cases. That is a feature
+//!   here — the workspace's determinism rule (R2) bans ambient entropy.
+//! - `prop_assert!`/`prop_assert_eq!` are plain `assert!`/`assert_eq!`.
+
+use std::marker::PhantomData;
+
+pub mod test_runner {
+    //! Test-run configuration (a tiny shadow of proptest's).
+
+    /// How many cases each `proptest!` test runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Deterministic generator backing all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[lo, hi)` as i128 arithmetic (covers all int widths).
+    pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u128;
+        let raw = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        lo + (raw % span) as i128
+    }
+}
+
+/// Seed helper used by the `proptest!` expansion: FNV-1a over the test name.
+#[doc(hidden)]
+pub fn __rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::from_seed(h)
+}
+
+/// A value generator. Unlike real proptest there is no shrinking tree;
+/// `generate` just produces one value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a canonical "anything" strategy (primitives only).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u8>()`, `any::<bool>()`, ...
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.in_range(self.start as i128, self.end as i128) as $t
+            }
+        }
+    )*}
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    }
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+// ---------------------------------------------------------------------------
+// Regex-string strategies: `"[a-z]{1,6}(/[a-z0-9]{1,6}){0,2}"` etc.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Vec<Piece>>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+fn parse_seq(chars: &[char], mut i: usize, stop_at_close: bool) -> (Vec<Vec<Piece>>, usize) {
+    let mut alts: Vec<Vec<Piece>> = vec![Vec::new()];
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ')' if stop_at_close => return (alts, i),
+            '|' => {
+                alts.push(Vec::new());
+                i += 1;
+            }
+            '(' => {
+                let (inner, end) = parse_seq(chars, i + 1, true);
+                assert!(end < chars.len() && chars[end] == ')', "unclosed group in regex strategy");
+                i = end + 1;
+                let (min, max, ni) = parse_quant(chars, i);
+                i = ni;
+                alts.last_mut().expect("alts non-empty").push(Piece {
+                    node: Node::Group(inner),
+                    min,
+                    max,
+                });
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unclosed class in regex strategy");
+                i += 1; // skip ']'
+                let (min, max, ni) = parse_quant(chars, i);
+                i = ni;
+                alts.last_mut().expect("alts non-empty").push(Piece {
+                    node: Node::Class(ranges),
+                    min,
+                    max,
+                });
+            }
+            _ => {
+                let lit = if c == '\\' {
+                    i += 1;
+                    assert!(i < chars.len(), "dangling escape in regex strategy");
+                    chars[i]
+                } else {
+                    c
+                };
+                i += 1;
+                let (min, max, ni) = parse_quant(chars, i);
+                i = ni;
+                alts.last_mut().expect("alts non-empty").push(Piece {
+                    node: Node::Lit(lit),
+                    min,
+                    max,
+                });
+            }
+        }
+    }
+    (alts, i)
+}
+
+fn parse_quant(chars: &[char], i: usize) -> (u32, u32, usize) {
+    if i >= chars.len() {
+        return (1, 1, i);
+    }
+    match chars[i] {
+        '?' => (0, 1, i + 1),
+        '*' => (0, 8, i + 1),
+        '+' => (1, 8, i + 1),
+        '{' => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .expect("unclosed {} quantifier in regex strategy");
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn gen_alts(alts: &[Vec<Piece>], rng: &mut TestRng, out: &mut String) {
+    let pick = rng.below(alts.len() as u64) as usize;
+    for piece in &alts[pick] {
+        let reps = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+        for _ in 0..reps {
+            match &piece.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let total: u64 = ranges.iter().map(|(a, b)| *b as u64 - *a as u64 + 1).sum();
+                    let mut k = rng.below(total);
+                    for (a, b) in ranges {
+                        let span = *b as u64 - *a as u64 + 1;
+                        if k < span {
+                            out.push(char::from_u32(*a as u32 + k as u32).expect("class range"));
+                            break;
+                        }
+                        k -= span;
+                    }
+                }
+                Node::Group(inner) => gen_alts(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let (alts, end) = parse_seq(&chars, 0, false);
+        debug_assert_eq!(end, chars.len());
+        let mut out = String::new();
+        gen_alts(&alts, rng, &mut out);
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_map`.
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of values from `elem`, with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.in_range(self.size.start as i128, self.size.end as i128) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        val: V,
+        size: Range<usize>,
+    }
+
+    /// A map with roughly `size` entries (possibly fewer when the key
+    /// strategy's space is too small to supply distinct keys).
+    pub fn btree_map<K, V>(key: K, val: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, val, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.in_range(self.size.start as i128, self.size.end as i128) as usize;
+            let mut map = BTreeMap::new();
+            let mut tries = 0usize;
+            while map.len() < n && tries < n * 10 + 100 {
+                map.insert(self.key.generate(rng), self.val.generate(rng));
+                tries += 1;
+            }
+            map
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+}
+
+/// Assert inside a `proptest!` body (no shrinking, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::__rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::__rng_for("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+
+            let p = Strategy::generate(&"[a-z]{1,6}(/[a-z0-9]{1,6}){0,2}", &mut rng);
+            for (i, seg) in p.split('/').enumerate() {
+                assert!(!seg.is_empty() && seg.len() <= 6, "{p:?}");
+                if i == 0 {
+                    assert!(seg.chars().all(|c| c.is_ascii_lowercase()), "{p:?}");
+                } else {
+                    assert!(seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+                }
+            }
+            assert!(p.split('/').count() <= 3, "{p:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_generates_and_loops(
+            x in 0usize..10,
+            v in crate::collection::vec(any::<u8>(), 0..5),
+            (a, b) in (any::<bool>(), 1u32..3),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(a, a);
+            prop_assert!((1..3).contains(&b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn btree_map_respects_value_strategy(
+            m in crate::collection::btree_map("[a-z]{1,8}", 5u8..7, 0..20),
+        ) {
+            for (k, v) in &m {
+                prop_assert!(!k.is_empty() && *k.as_bytes().first().unwrap() >= b'a');
+                prop_assert!((5..7).contains(v));
+            }
+        }
+    }
+}

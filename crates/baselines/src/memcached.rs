@@ -15,7 +15,7 @@
 //! * **Node failure ⇒ misses** — a dead server's key range misses and
 //!   the read falls back to the backing store (Fig. 6).
 
-use parking_lot::RwLock;
+use diesel_util::RwLock;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 

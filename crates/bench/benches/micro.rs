@@ -153,7 +153,7 @@ fn bench_cache_hit(c: &mut Criterion) {
     let cfg = ChunkBuilderConfig { target_chunk_size: 4 << 20, ..Default::default() };
     let mut w = ChunkWriter::new(cfg, &ids).with_clock(|| 1);
     for i in 0..5_000 {
-        w.add_file(&format!("f{i:05}"), &vec![1u8; 4096]).unwrap();
+        w.add_file(&format!("f{i:05}"), &[1u8; 4096]).unwrap();
     }
     for sealed in w.finish() {
         store

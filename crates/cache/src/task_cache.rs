@@ -6,7 +6,7 @@
 //! are loaded from the backing object store *whole* — the property that
 //! makes warm-up and recovery fast (Fig. 11b).
 
-use parking_lot::Mutex;
+use diesel_util::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

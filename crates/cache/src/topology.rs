@@ -35,7 +35,8 @@ impl Topology {
     /// Build from an explicit client list (ranks must be unique).
     pub fn from_clients(clients: Vec<PeerId>) -> Self {
         assert!(!clients.is_empty(), "a task needs at least one client");
-        let max_node = clients.iter().map(|c| c.node).max().unwrap();
+        // Non-empty is asserted above, so the fold has a base case.
+        let max_node = clients.iter().map(|c| c.node).fold(0, usize::max);
         let mut masters = vec![usize::MAX; max_node + 1];
         for c in &clients {
             if c.rank < masters[c.node] {

@@ -93,14 +93,17 @@ struct PeerState<S> {
 
 impl<S: ObjectStore> PeerState<S> {
     fn ensure_chunk(&mut self, chunk: ChunkId) -> Result<&(Bytes, u32)> {
-        if !self.chunks.contains_key(&chunk) {
-            let key = chunk_object_key(&self.dataset, chunk);
-            let bytes = self.backing.get(&key).map_err(|e| CacheError::Backing(e.to_string()))?;
-            let header =
-                ChunkHeader::decode(&bytes).map_err(|e| CacheError::Corrupt(e.to_string()))?;
-            self.chunks.insert(chunk, (bytes, header.header_len));
+        match self.chunks.entry(chunk) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let key = chunk_object_key(&self.dataset, chunk);
+                let bytes =
+                    self.backing.get(&key).map_err(|er| CacheError::Backing(er.to_string()))?;
+                let header = ChunkHeader::decode(&bytes)
+                    .map_err(|er| CacheError::Corrupt(er.to_string()))?;
+                Ok(e.insert((bytes, header.header_len)))
+            }
         }
-        Ok(self.chunks.get(&chunk).expect("just inserted"))
     }
 
     fn handle(&mut self, req: PeerRequest) -> PeerReply {
@@ -328,7 +331,7 @@ mod tests {
         let cfg = ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() };
         let mut w = ChunkWriter::new(cfg, &ids).with_clock(|| 1);
         for i in 0..files {
-            w.add_file(&format!("f{i:04}"), &vec![(i % 251) as u8; 300]).unwrap();
+            w.add_file(&format!("f{i:04}"), &[(i % 251) as u8; 300]).unwrap();
         }
         for sealed in w.finish() {
             store

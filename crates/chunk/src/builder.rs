@@ -5,6 +5,8 @@
 //! [`ChunkWriter`] streams an arbitrary sequence of files into a sequence
 //! of chunks, minting IDs from a [`ChunkIdGenerator`].
 
+use diesel_util::Clock;
+
 use crate::bitmap::DeletionBitmap;
 use crate::crc::crc32;
 use crate::format::{ChunkHeader, FileEntry};
@@ -168,17 +170,26 @@ impl<'a> std::fmt::Debug for ChunkWriter<'a> {
 }
 
 impl<'a> ChunkWriter<'a> {
-    /// A writer minting IDs from `ids`, stamping chunks with wall-clock ms.
+    /// A writer minting IDs from `ids`, stamping chunks with wall-clock ms
+    /// read from a [`diesel_util::SystemClock`].
     pub fn new(config: ChunkBuilderConfig, ids: &'a ChunkIdGenerator) -> Self {
+        let clock = diesel_util::SystemClock::new();
+        Self::with_clock_fn(config, ids, move || clock.epoch_ms())
+    }
+
+    /// A writer stamping chunks from an explicit timestamp source (the
+    /// determinism seam, rule R2): pass a closure over a shared
+    /// [`Clock`](diesel_util::Clock) so rebuilt datasets carry identical
+    /// timestamps.
+    pub fn with_clock_fn(
+        config: ChunkBuilderConfig,
+        ids: &'a ChunkIdGenerator,
+        clock_ms: impl Fn() -> u64 + Send + 'a,
+    ) -> Self {
         ChunkWriter {
             config: config.clone(),
             ids,
-            clock_ms: Box::new(|| {
-                std::time::SystemTime::now()
-                    .duration_since(std::time::UNIX_EPOCH)
-                    .map(|d| d.as_millis() as u64)
-                    .unwrap_or(0)
-            }),
+            clock_ms: Box::new(clock_ms),
             current: ChunkBuilder::new(config),
             sealed: Vec::new(),
         }
@@ -274,7 +285,7 @@ mod tests {
         let cfg = ChunkBuilderConfig { target_chunk_size: 1024, ..Default::default() };
         let mut w = ChunkWriter::new(cfg, &ids).with_clock(|| 1);
         w.add_file("small", b"abc").unwrap();
-        w.add_file("big", &vec![7u8; 10_000]).unwrap();
+        w.add_file("big", &[7u8; 10_000]).unwrap();
         w.add_file("small2", b"xyz").unwrap();
         let chunks = w.finish();
         assert_eq!(chunks.len(), 3);
@@ -313,6 +324,36 @@ mod tests {
         assert_eq!(rest.len(), 1);
         let total: usize = first.iter().chain(rest.iter()).map(|c| c.header.file_count()).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn same_mock_clock_builds_identical_chunk_ids() {
+        // §4.1.2: recovery scans order chunks by the timestamp embedded
+        // in the ID, so a rebuild driven by the same clock must
+        // reproduce IDs — and therefore whole chunks — bit for bit.
+        let build = || {
+            let clock = std::sync::Arc::new(diesel_util::MockClock::at_epoch_ms(1_600_000_000_000));
+            let ids = ChunkIdGenerator::with_clock(
+                crate::id::MachineId::from_seed(7),
+                4242,
+                clock.clone(),
+            );
+            let cfg = ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() };
+            let mut w = ChunkWriter::with_clock_fn(cfg, &ids, move || clock.epoch_ms());
+            for i in 0..10u8 {
+                let data = vec![i; 700];
+                w.add_file(&format!("f{i}"), &data).unwrap();
+            }
+            w.finish()
+        };
+        let (a, b) = (build(), build());
+        assert!(a.len() >= 3, "several chunks sealed: {}", a.len());
+        let ids_a: Vec<ChunkId> = a.iter().map(|c| c.header.id).collect();
+        let ids_b: Vec<ChunkId> = b.iter().map(|c| c.header.id).collect();
+        assert_eq!(ids_a, ids_b, "chunk IDs must be reproducible");
+        let bytes_a: Vec<&[u8]> = a.iter().map(|c| c.bytes.as_slice()).collect();
+        let bytes_b: Vec<&[u8]> = b.iter().map(|c| c.bytes.as_slice()).collect();
+        assert_eq!(bytes_a, bytes_b, "entire chunks must be byte-identical");
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub const FORMAT_VERSION: u16 = 1;
 /// Byte offset of the fixed part described above.
 pub const FIXED_HEADER_LEN: usize = 54;
 
+/// Byte offset of the file table within an encoded header: the fixed
+/// header followed by the deletion bitmap for `file_count` files. Other
+/// modules use this instead of touching the layout constants directly
+/// (format-hygiene rule R4).
+pub fn file_table_offset(file_count: usize) -> usize {
+    FIXED_HEADER_LEN + crate::bitmap::DeletionBitmap::wire_len(file_count)
+}
+
 /// Metadata of one file stored inside a chunk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileEntry {
@@ -89,9 +97,7 @@ impl ChunkHeader {
 
     /// Serialized wire length of a header with these files.
     pub fn wire_len(files: &[FileEntry]) -> usize {
-        FIXED_HEADER_LEN
-            + DeletionBitmap::wire_len(files.len())
-            + files.iter().map(FileEntry::wire_len).sum::<usize>()
+        file_table_offset(files.len()) + files.iter().map(FileEntry::wire_len).sum::<usize>()
     }
 
     /// Encode this header into `out` (which should be empty). `header_len`
@@ -126,24 +132,32 @@ impl ChunkHeader {
     /// its header bytes). Verifies magic, version, structural bounds, the
     /// header CRC and the bitmap/deleted-count consistency.
     pub fn decode(data: &[u8]) -> Result<ChunkHeader> {
+        // Fixed-width read at `at`. Every offset below is pre-checked
+        // against the lengths, but a typed error beats a panic if that
+        // invariant ever slips (panic-freedom rule R1).
+        fn fixed<const N: usize>(data: &[u8], at: usize) -> Result<[u8; N]> {
+            data.get(at..at + N)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(ChunkError::Truncated { need: at + N, have: data.len() })
+        }
         if data.len() < FIXED_HEADER_LEN {
             return Err(ChunkError::Truncated { need: FIXED_HEADER_LEN, have: data.len() });
         }
         if data[0..4] != CHUNK_MAGIC {
             return Err(ChunkError::BadMagic);
         }
-        let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
+        let version = u16::from_le_bytes(fixed(data, 4)?);
         if version > FORMAT_VERSION {
             return Err(ChunkError::UnsupportedVersion(version));
         }
-        let hlen = u32::from_le_bytes(data[6..10].try_into().unwrap()) as usize;
+        let hlen = u32::from_le_bytes(fixed(data, 6)?) as usize;
         if hlen < FIXED_HEADER_LEN {
             return Err(ChunkError::Truncated { need: FIXED_HEADER_LEN, have: hlen });
         }
         if data.len() < hlen {
             return Err(ChunkError::Truncated { need: hlen, have: data.len() });
         }
-        let stored_crc = u32::from_le_bytes(data[10..14].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(fixed(data, 10)?);
         // Recompute with the CRC field zeroed.
         let mut hasher = crate::crc::Hasher::new();
         hasher.update(&data[0..10]);
@@ -153,11 +167,11 @@ impl ChunkHeader {
             return Err(ChunkError::HeaderChecksumMismatch);
         }
 
-        let id = ChunkId(data[14..30].try_into().unwrap());
-        let updated_ms = u64::from_le_bytes(data[30..38].try_into().unwrap());
-        let file_count = u32::from_le_bytes(data[38..42].try_into().unwrap()) as usize;
-        let deleted_count = u32::from_le_bytes(data[42..46].try_into().unwrap()) as usize;
-        let payload_len = u64::from_le_bytes(data[46..54].try_into().unwrap());
+        let id = ChunkId(fixed(data, 14)?);
+        let updated_ms = u64::from_le_bytes(fixed(data, 30)?);
+        let file_count = u32::from_le_bytes(fixed(data, 38)?) as usize;
+        let deleted_count = u32::from_le_bytes(fixed(data, 42)?) as usize;
+        let payload_len = u64::from_le_bytes(fixed(data, 46)?);
 
         let bm_len = DeletionBitmap::wire_len(file_count);
         let mut pos = FIXED_HEADER_LEN;
@@ -176,7 +190,7 @@ impl ChunkHeader {
             if hlen < pos + 2 {
                 return Err(ChunkError::Truncated { need: pos + 2, have: hlen });
             }
-            let nlen = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+            let nlen = u16::from_le_bytes(fixed(data, pos)?) as usize;
             pos += 2;
             if hlen < pos + nlen + 20 {
                 return Err(ChunkError::Truncated { need: pos + nlen + 20, have: hlen });
@@ -185,9 +199,9 @@ impl ChunkHeader {
                 .map_err(|_| ChunkError::BadFileName)?
                 .to_owned();
             pos += nlen;
-            let offset = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
-            let length = u64::from_le_bytes(data[pos + 8..pos + 16].try_into().unwrap());
-            let crc = u32::from_le_bytes(data[pos + 16..pos + 20].try_into().unwrap());
+            let offset = u64::from_le_bytes(fixed(data, pos)?);
+            let length = u64::from_le_bytes(fixed(data, pos + 8)?);
+            let crc = u32::from_le_bytes(fixed(data, pos + 16)?);
             pos += 20;
             if offset.checked_add(length).is_none_or(|end| end > payload_len) {
                 return Err(ChunkError::CorruptEntry { file: name });

@@ -25,6 +25,9 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use diesel_util::{Clock, MockClock, SystemClock};
 
 use crate::ChunkError;
 
@@ -79,12 +82,14 @@ impl ChunkId {
 
     /// Creation timestamp in seconds (big-endian bytes 0–3).
     pub fn timestamp_secs(&self) -> u32 {
-        u32::from_be_bytes(self.0[0..4].try_into().unwrap())
+        let [t0, t1, t2, t3, ..] = self.0;
+        u32::from_be_bytes([t0, t1, t2, t3])
     }
 
     /// Machine identifier (bytes 4–9).
     pub fn machine(&self) -> MachineId {
-        MachineId(self.0[4..10].try_into().unwrap())
+        let [_, _, _, _, m0, m1, m2, m3, m4, m5, ..] = self.0;
+        MachineId([m0, m1, m2, m3, m4, m5])
     }
 
     /// Process id (bytes 10–12, 24-bit).
@@ -203,16 +208,26 @@ fn decode_sort64(s: &str) -> crate::Result<[u8; 16]> {
 /// The 24-bit counter lets each process mint ~16.7 M unique IDs per second
 /// (paper §4.1.2). The counter is a single atomic; generation is lock-free
 /// and safe to share across threads.
-#[derive(Debug)]
 pub struct ChunkIdGenerator {
     machine: MachineId,
     pid: u32,
     /// Packs (timestamp_secs << 24 | counter) so that a compare-exchange can
     /// atomically roll the counter over into the next second.
     state: AtomicU64,
-    /// When `Some`, the generator uses this fixed clock instead of the wall
-    /// clock — used by simulations for reproducibility.
-    fixed_clock: Option<u32>,
+    /// Timestamp source. Production generators use [`SystemClock`];
+    /// tests and simulations inject a mock so two builds of the same
+    /// dataset mint identical IDs (recovery-scan ordering, §4.1.2).
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for ChunkIdGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChunkIdGenerator")
+            .field("machine", &self.machine)
+            .field("pid", &self.pid)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ChunkIdGenerator {
@@ -235,30 +250,28 @@ impl ChunkIdGenerator {
     /// A generator with an explicit machine identity and pid (pid is
     /// truncated to 24 bits, as in the on-disk format).
     pub fn with_identity(machine: MachineId, pid: u32) -> Self {
-        ChunkIdGenerator {
-            machine,
-            pid: pid & 0x00ff_ffff,
-            state: AtomicU64::new(0),
-            fixed_clock: None,
-        }
+        Self::with_clock(machine, pid, Arc::new(SystemClock::new()))
+    }
+
+    /// A generator taking timestamps from an explicit [`Clock`].
+    ///
+    /// This is the determinism seam (rule R2): with a shared `MockClock`
+    /// two generators with the same identity mint identical ID
+    /// sequences, which is what makes chunk builds reproducible.
+    pub fn with_clock(machine: MachineId, pid: u32, clock: Arc<dyn Clock>) -> Self {
+        ChunkIdGenerator { machine, pid: pid & 0x00ff_ffff, state: AtomicU64::new(0), clock }
     }
 
     /// A deterministic generator whose timestamp field is frozen at
     /// `timestamp_secs`. Useful for tests and simulations.
     pub fn deterministic(machine_seed: u64, pid: u32, timestamp_secs: u32) -> Self {
-        let mut g = Self::with_identity(MachineId::from_seed(machine_seed), pid);
-        g.fixed_clock = Some(timestamp_secs);
-        g
+        // A mock clock that is never advanced reads a constant time.
+        let clock = Arc::new(MockClock::at_epoch_ms(timestamp_secs as u64 * 1000));
+        Self::with_clock(MachineId::from_seed(machine_seed), pid, clock)
     }
 
     fn now_secs(&self) -> u32 {
-        if let Some(t) = self.fixed_clock {
-            return t;
-        }
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs() as u32)
-            .unwrap_or(0)
+        (self.clock.epoch_ms() / 1000) as u32
     }
 
     /// Mint the next unique chunk ID.

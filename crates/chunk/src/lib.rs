@@ -34,6 +34,7 @@ pub mod reader;
 pub use bitmap::DeletionBitmap;
 pub use builder::{ChunkBuilder, ChunkBuilderConfig, ChunkWriter, SealedChunk};
 pub use compact::{compact_chunk, mark_deleted, CompactionStats};
+// diesel-lint: allow(R4) crate-root re-export: external header tools name the constants via here
 pub use format::{ChunkHeader, FileEntry, CHUNK_MAGIC, FORMAT_VERSION};
 pub use id::{ChunkId, ChunkIdGenerator, MachineId};
 pub use reader::ChunkReader;

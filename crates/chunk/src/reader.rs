@@ -35,8 +35,7 @@ impl<'a> ChunkReader<'a> {
         // this is one O(header) walk (a substring search here would make
         // parse O(files × chunk_size); caught by the criterion benches).
         let mut by_name: HashMap<&'a str, usize> = HashMap::with_capacity(header.files.len());
-        let mut pos = crate::format::FIXED_HEADER_LEN
-            + crate::bitmap::DeletionBitmap::wire_len(header.files.len());
+        let mut pos = crate::format::file_table_offset(header.files.len());
         for (i, f) in header.files.iter().enumerate() {
             let name_start = pos + 2;
             let name_end = name_start + f.name.len();

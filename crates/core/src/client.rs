@@ -19,7 +19,7 @@
 //! "metadata cache and interpreter"), optionally joins a task-grained
 //! distributed cache, and generates chunk-wise shuffled epoch orders.
 
-use parking_lot::{Mutex, RwLock};
+use diesel_util::{Clock, Mutex, RwLock};
 use std::sync::Arc;
 
 use diesel_cache::{CacheError, TaskCache};
@@ -120,12 +120,10 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
             meta: RwLock::new(None),
             cache: RwLock::new(None),
             shuffle: RwLock::new(None),
-            clock_ms: Box::new(|| {
-                std::time::SystemTime::now()
-                    .duration_since(std::time::UNIX_EPOCH)
-                    .map(|d| d.as_millis() as u64)
-                    .unwrap_or(0)
-            }),
+            clock_ms: {
+                let clock = diesel_util::SystemClock::new();
+                Box::new(move || clock.epoch_ms())
+            },
         }
     }
 
@@ -149,6 +147,7 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
     /// [`connect_channel`](Self::connect_channel), which hold no direct
     /// server reference.
     pub fn server(&self) -> &Arc<DieselServer<K, S>> {
+        // diesel-lint: allow(R1) documented panic: direct-only accessor, misuse is a caller bug
         self.direct.as_ref().expect("client was connected over a channel, not a direct server")
     }
 
@@ -373,7 +372,8 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
     pub fn epoch_file_list(&self, seed: u64, epoch: u64) -> Result<Vec<String>> {
         let plan = self.epoch_plan(seed, epoch)?;
         let guard = self.meta.read();
-        let state = guard.as_ref().expect("epoch_plan checked meta");
+        let state =
+            guard.as_ref().ok_or_else(|| DieselError::Client("metadata not downloaded".into()))?;
         Ok(plan.items.iter().map(|&i| state.index.resolve(i).1.to_owned()).collect())
     }
 

@@ -7,8 +7,9 @@
 //! configuration changes, e.g. a new metadata snapshot being announced).
 //! [`ConfigService`] provides exactly that, in-process.
 
-use parking_lot::{Condvar, Mutex};
+use diesel_util::{Clock, Condvar, Mutex, SystemClock};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A configuration entry with its revision.
@@ -28,16 +29,31 @@ struct State {
 }
 
 /// An in-process etcd stand-in: versioned KV + CAS + watch.
-#[derive(Debug, Default)]
+///
+/// Deadlines are measured on an injected [`Clock`], so watch timeouts
+/// are testable with a `MockClock`: a watcher's one-hour timeout
+/// expires the moment a test advances virtual time by an hour, without
+/// the test sleeping.
 pub struct ConfigService {
     state: Mutex<State>,
     changed: Condvar,
+    clock: Arc<dyn Clock>,
 }
 
+/// How long each individual condvar wait may block in real time. The
+/// watch deadline itself is virtual (clock-based); this quantum only
+/// bounds how stale a virtual-clock reading can get between wakeups.
+const WATCH_QUANTUM: Duration = Duration::from_millis(5);
+
 impl ConfigService {
-    /// An empty service.
+    /// An empty service on the system clock.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_clock(Arc::new(SystemClock::new()))
+    }
+
+    /// An empty service measuring watch deadlines on `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        ConfigService { state: Mutex::new(State::default()), changed: Condvar::new(), clock }
     }
 
     /// Current global revision.
@@ -98,26 +114,24 @@ impl ConfigService {
     }
 
     /// Block until `key` has a revision greater than `after_revision`
-    /// (or the timeout passes). Returns the entry that satisfied the
-    /// watch, or `None` on timeout.
+    /// (or the timeout passes on this service's [`Clock`]). Returns the
+    /// entry that satisfied the watch, or `None` on timeout.
     pub fn watch(&self, key: &str, after_revision: u64, timeout: Duration) -> Option<ConfigEntry> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline_ns = self.clock.now_ns().saturating_add(timeout.as_nanos() as u64);
         let mut st = self.state.lock();
         loop {
+            // Entry check precedes the deadline check so a write landing
+            // exactly at the deadline is still observed.
             if let Some(e) = st.entries.get(key) {
                 if e.revision > after_revision {
                     return Some(e.clone());
                 }
             }
-            let now = std::time::Instant::now();
-            if now >= deadline {
+            if self.clock.now_ns() >= deadline_ns {
                 return None;
             }
-            if self.changed.wait_until(&mut st, deadline).timed_out() {
-                // Re-check once after timeout: a write may have landed
-                // exactly at the deadline.
-                return st.entries.get(key).filter(|e| e.revision > after_revision).cloned();
-            }
+            let (guard, _timed_out) = self.changed.wait_timeout(st, WATCH_QUANTUM);
+            st = guard;
         }
     }
 
@@ -150,10 +164,26 @@ pub mod keys {
     }
 }
 
+impl Default for ConfigService {
+    fn default() -> Self {
+        ConfigService::new()
+    }
+}
+
+impl std::fmt::Debug for ConfigService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("ConfigService")
+            .field("revision", &st.revision)
+            .field("entries", &st.entries.len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use diesel_util::MockClock;
 
     #[test]
     fn put_get_delete_with_revisions() {
@@ -208,6 +238,37 @@ mod tests {
         assert!(c.watch("k", rev, Duration::from_millis(40)).is_none());
         // Watching from before the current revision returns immediately.
         assert!(c.watch("k", rev - 1, Duration::from_millis(1)).is_some());
+    }
+
+    #[test]
+    fn watch_deadline_is_virtual_with_a_mock_clock() {
+        let clock = Arc::new(MockClock::new());
+        let c = Arc::new(ConfigService::with_clock(clock.clone()));
+        c.put("k", "v");
+        let rev = c.get("k").unwrap().revision;
+        // A one-hour watch on virtual time: no wall-clock sleep, the
+        // watcher returns once the mock clock crosses the deadline.
+        let watcher = {
+            let c = c.clone();
+            std::thread::spawn(move || c.watch("k", rev, Duration::from_secs(3600)))
+        };
+        clock.advance(3600 * 1_000_000_000 + 1);
+        assert!(watcher.join().unwrap().is_none(), "virtual deadline must expire");
+    }
+
+    #[test]
+    fn watch_on_a_mock_clock_still_wakes_on_write() {
+        let clock = Arc::new(MockClock::new());
+        let c = Arc::new(ConfigService::with_clock(clock));
+        let rev0 = c.put("k", "old");
+        let watcher = {
+            let c = c.clone();
+            std::thread::spawn(move || c.watch("k", rev0, Duration::from_secs(3600)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        c.put("k", "new");
+        let seen = watcher.join().unwrap().expect("watch must fire without clock advance");
+        assert_eq!(seen.value, "new");
     }
 
     #[test]

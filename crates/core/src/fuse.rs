@@ -17,7 +17,7 @@
 //! FUSE users retrieve the chunk-wise epoch order (§5 "DIESEL provides
 //! helper functions to let the user read the generated file list").
 
-use parking_lot::Mutex;
+use diesel_util::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -119,18 +119,19 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> FuseMount<K, S> {
             let mut files = self.open_files.lock();
             let of =
                 files.get_mut(&fd).ok_or_else(|| DieselError::Client(format!("bad fd {fd}")))?;
-            if of.content.is_none() {
-                let path = of.path.clone();
-                drop(files);
-                let data = self.client.get(&path)?;
-                let mut files = self.open_files.lock();
-                let of = files
-                    .get_mut(&fd)
-                    .ok_or_else(|| DieselError::Client(format!("fd {fd} closed mid-read")))?;
-                of.content = Some(data);
-                of.content.clone().unwrap()
-            } else {
-                of.content.clone().unwrap()
+            match &of.content {
+                Some(cached) => cached.clone(),
+                None => {
+                    let path = of.path.clone();
+                    drop(files);
+                    let data = self.client.get(&path)?;
+                    let mut files = self.open_files.lock();
+                    let of = files
+                        .get_mut(&fd)
+                        .ok_or_else(|| DieselError::Client(format!("fd {fd} closed mid-read")))?;
+                    of.content = Some(data.clone());
+                    data
+                }
             }
         };
         let start = (offset as usize).min(content.len());

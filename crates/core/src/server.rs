@@ -11,7 +11,7 @@ use diesel_meta::recovery::{
 };
 use diesel_meta::{DirEntry, FileMeta, MetaService, MetaSnapshot};
 use diesel_store::{Bytes, ObjectStore};
-use parking_lot::Mutex;
+use diesel_util::Mutex;
 
 use crate::executor::plan_chunk_reads;
 use crate::{DieselError, Result};
@@ -163,10 +163,14 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
                 out[*idx] = Some(merged.slice(start..end));
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|b| b.expect("every request satisfied by exactly one plan"))
-            .collect())
+        out.into_iter()
+            .enumerate()
+            .map(|(idx, b)| {
+                b.ok_or_else(|| {
+                    DieselError::Client(format!("request {idx} not covered by any read plan"))
+                })
+            })
+            .collect()
     }
 
     // ---- metadata passthrough ----

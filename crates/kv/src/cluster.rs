@@ -161,6 +161,16 @@ impl KvStore for KvCluster {
         self.instance(self.route(key))?.delete(key)
     }
 
+    fn update(
+        &self,
+        key: &str,
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Option<Vec<u8>>,
+    ) -> Result<()> {
+        // The owning instance applies `f` under its shard lock, so the
+        // update is atomic cluster-wide (each key has one owner).
+        self.instance(self.route(key))?.update(key, f)
+    }
+
     fn mput(&self, pairs: Vec<(String, Vec<u8>)>) -> Result<()> {
         // Group by owning instance so each instance sees one batch — the
         // cluster-level analogue of Redis pipelining.

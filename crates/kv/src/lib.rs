@@ -78,6 +78,29 @@ pub trait KvStore: Send + Sync {
         Ok(())
     }
 
+    /// Atomically read-modify-write one key: `f` receives the current
+    /// value (`None` when absent) and returns the replacement (`None`
+    /// deletes the key). Implementations run `f` under the key's lock so
+    /// concurrent updaters — including other front-end servers sharing
+    /// the store — never lose writes (Redis would do this with a Lua
+    /// script or `MULTI`/`EXEC`).
+    ///
+    /// The default implementation is a get-then-put and is *not* atomic;
+    /// any store reachable from more than one thread must override it.
+    fn update(
+        &self,
+        key: &str,
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Option<Vec<u8>>,
+    ) -> Result<()> {
+        match f(self.get(key)?) {
+            Some(v) => self.put(key, v),
+            None => {
+                self.delete(key)?;
+                Ok(())
+            }
+        }
+    }
+
     /// Scan all keys starting with `prefix`, in lexicographic key order.
     fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>>;
 
@@ -95,7 +118,7 @@ mod trait_tests {
     use super::*;
 
     /// Exercise the default batched implementations through a tiny adapter.
-    struct Tiny(parking_lot::Mutex<std::collections::BTreeMap<String, Vec<u8>>>);
+    struct Tiny(diesel_util::Mutex<std::collections::BTreeMap<String, Vec<u8>>>);
 
     impl KvStore for Tiny {
         fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
@@ -124,7 +147,7 @@ mod trait_tests {
 
     #[test]
     fn default_mget_mput() {
-        let kv = Tiny(parking_lot::Mutex::new(Default::default()));
+        let kv = Tiny(diesel_util::Mutex::new(Default::default()));
         kv.mput(vec![("a".into(), vec![1]), ("b".into(), vec![2])]).unwrap();
         let got = kv.mget(&["a", "zz", "b"]).unwrap();
         assert_eq!(got, vec![Some(vec![1]), None, Some(vec![2])]);

@@ -6,7 +6,7 @@
 //! mirrors one Redis process: fast point ops, support for `SCAN`-style
 //! prefix iteration, and zero durability.
 
-use parking_lot::RwLock;
+use diesel_util::RwLock;
 use std::collections::BTreeMap;
 
 use crate::hash::fnv1a_64;
@@ -86,6 +86,24 @@ impl KvStore for ShardedKv {
     fn delete(&self, key: &str) -> Result<bool> {
         self.stats.record_delete();
         Ok(self.shard_for(key).write().remove(key).is_some())
+    }
+
+    fn update(
+        &self,
+        key: &str,
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Option<Vec<u8>>,
+    ) -> Result<()> {
+        self.stats.record_put();
+        let mut shard = self.shard_for(key).write();
+        match f(shard.get(key).cloned()) {
+            Some(v) => {
+                shard.insert(key.to_owned(), v);
+            }
+            None => {
+                shard.remove(key);
+            }
+        }
+        Ok(())
     }
 
     fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {

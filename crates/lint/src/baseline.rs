@@ -1,0 +1,192 @@
+//! Baseline handling: carry pre-existing findings so adoption is
+//! incremental, while guaranteeing the debt only ever shrinks.
+//!
+//! The file is line-oriented — `<rule> <path> <count>` — keyed by
+//! (rule, file) rather than by line number, so unrelated edits that
+//! shift lines don't invalidate it. Semantics:
+//!
+//! * a file with *at most* the baselined count of findings for a rule
+//!   passes (fixing some but not all sites never breaks CI);
+//! * one finding *more* than the baseline reports every site in that
+//!   file, so the regression is visible in full;
+//! * `--baseline-check` additionally fails when an entry allows more
+//!   findings than remain — the ratchet: once debt is paid, the
+//!   baseline must be tightened (`--write-baseline`) so it can't grow
+//!   back silently.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Finding, Rule};
+
+/// Allowed finding counts, keyed by (rule, workspace-relative path).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(Rule, String), usize>,
+}
+
+/// A malformed baseline line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line in the baseline file.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Parse the `<rule> <path> <count>` lines of a baseline file.
+    /// `#` comments and blank lines are ignored.
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| ParseError { line: i + 1, message };
+            let mut parts = line.split_whitespace();
+            let rule = parts
+                .next()
+                .and_then(Rule::parse)
+                .ok_or_else(|| err(format!("expected a rule code, got {line:?}")))?;
+            let path = parts.next().ok_or_else(|| err("missing path".to_owned()))?.to_owned();
+            let count: usize = parts
+                .next()
+                .and_then(|c| c.parse().ok())
+                .filter(|&c| c > 0)
+                .ok_or_else(|| err("missing or non-positive count".to_owned()))?;
+            if parts.next().is_some() {
+                return Err(err("trailing tokens".to_owned()));
+            }
+            if entries.insert((rule, path.clone()), count).is_some() {
+                return Err(err(format!("duplicate entry for {} {}", rule.code(), path)));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Build the baseline that exactly covers `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for f in findings {
+            *entries.entry((f.rule, f.path.clone())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Number of entries (one per rule × file).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize in the format [`parse`](Baseline::parse) reads.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "# diesel-lint baseline: pre-existing findings carried per (rule, file).\n\
+             # Regenerate with `cargo run -p diesel-lint -- --workspace --write-baseline <path>`;\n\
+             # CI runs --baseline-check, so this file may only ever shrink.\n",
+        );
+        for ((rule, path), count) in &self.entries {
+            s.push_str(&format!("{} {} {}\n", rule.code(), path, count));
+        }
+        s
+    }
+
+    /// Drop findings covered by the baseline. Groups within their
+    /// allowance disappear entirely; groups that exceed it are reported
+    /// in full.
+    pub fn filter(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        let current = Baseline::from_findings(&findings);
+        findings
+            .into_iter()
+            .filter(|f| {
+                let key = (f.rule, f.path.clone());
+                let have = current.entries.get(&key).copied().unwrap_or(0);
+                let allowed = self.entries.get(&key).copied().unwrap_or(0);
+                have > allowed
+            })
+            .collect()
+    }
+
+    /// The ratchet: entries whose allowance exceeds the findings that
+    /// remain. Each is a `(rule, path, allowed, actual)` that should be
+    /// tightened out of the baseline.
+    pub fn stale_entries(&self, findings: &[Finding]) -> Vec<(Rule, String, usize, usize)> {
+        let current = Baseline::from_findings(findings);
+        self.entries
+            .iter()
+            .filter_map(|((rule, path), &allowed)| {
+                let actual = current.entries.get(&(*rule, path.clone())).copied().unwrap_or(0);
+                (actual < allowed).then(|| (*rule, path.clone(), allowed, actual))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, line: usize) -> Finding {
+        Finding { rule, path: path.to_owned(), line, message: "m".to_owned() }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = Baseline::from_findings(&[
+            finding(Rule::R1, "a.rs", 1),
+            finding(Rule::R1, "a.rs", 2),
+            finding(Rule::R4, "b.rs", 9),
+        ]);
+        let b2 = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, b2);
+        assert_eq!(b2.len(), 2);
+    }
+
+    #[test]
+    fn within_allowance_is_silent_over_allowance_reports_all() {
+        let base = Baseline::parse("R1 a.rs 2\n").unwrap();
+        let two = vec![finding(Rule::R1, "a.rs", 1), finding(Rule::R1, "a.rs", 5)];
+        assert!(base.filter(two.clone()).is_empty());
+        let mut three = two;
+        three.push(finding(Rule::R1, "a.rs", 7));
+        assert_eq!(base.filter(three).len(), 3, "a regression surfaces every site");
+    }
+
+    #[test]
+    fn other_rules_and_files_unaffected() {
+        let base = Baseline::parse("R1 a.rs 1\n").unwrap();
+        let f = vec![finding(Rule::R2, "a.rs", 1), finding(Rule::R1, "b.rs", 1)];
+        assert_eq!(base.filter(f).len(), 2);
+    }
+
+    #[test]
+    fn stale_entries_drive_the_ratchet() {
+        let base = Baseline::parse("R1 a.rs 3\nR2 b.rs 1\n").unwrap();
+        let f = vec![finding(Rule::R1, "a.rs", 1), finding(Rule::R2, "b.rs", 2)];
+        let stale = base.stale_entries(&f);
+        assert_eq!(stale, vec![(Rule::R1, "a.rs".to_owned(), 3, 1)]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("R9 a.rs 1\n").is_err());
+        assert!(Baseline::parse("R1 a.rs 0\n").is_err());
+        assert!(Baseline::parse("R1 a.rs\n").is_err());
+        assert!(Baseline::parse("R1 a.rs 1 extra\n").is_err());
+        assert!(Baseline::parse("R1 a.rs 1\nR1 a.rs 2\n").is_err());
+        assert!(Baseline::parse("# comment\n\nR1 a.rs 1\n").is_ok());
+    }
+}

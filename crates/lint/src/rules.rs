@@ -1,0 +1,281 @@
+//! The R1–R4 passes. Each pass walks the scrubbed source of one file
+//! and emits findings; target/test exemptions and suppressions are
+//! applied by the caller in `lib.rs`.
+
+use crate::{Finding, Rule};
+
+/// Crates whose library code must be panic-free (R1).
+pub const R1_CRATES: &[&str] = &["core", "cache", "meta", "kv", "net", "store", "chunk"];
+
+/// Modules allowed to read real time or entropy (R2): the one clock
+/// implementation and its `diesel_net::clock` re-export shim.
+pub const R2_EXEMPT: &[&str] = &["crates/util/src/clock.rs", "crates/net/src/clock.rs"];
+
+/// The only module allowed to reference chunk on-disk constants (R4).
+pub const R4_HOME: &str = "crates/chunk/src/format.rs";
+
+/// Calls that read wall-clock time or ambient entropy.
+const R2_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng", "from_entropy"];
+
+/// Chunk on-disk format constants.
+const R4_TOKENS: &[&str] = &["CHUNK_MAGIC", "FORMAT_VERSION", "FIXED_HEADER_LEN"];
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Whole-token occurrences of `token` in `code`, as 1-based lines.
+fn token_lines(code: &str, token: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let t0 = token.as_bytes()[0];
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        from = at + token.len();
+        let before_ok = at == 0 || !is_ident(b[at - 1]) && b[at - 1] != b'.' || t0 == b'.';
+        let end = at + token.len();
+        let after_ok = end >= b.len() || !is_ident(b[end]);
+        if before_ok && after_ok {
+            out.push(1 + code[..at].matches('\n').count());
+        }
+    }
+    out
+}
+
+/// R1 panic-freedom: `unwrap`/`expect`/panicking macros/slice indexing.
+pub fn r1_panic(code: &str, out: &mut Vec<Finding>) {
+    for (token, what) in [
+        (".unwrap()", "unwrap() panics on the error path"),
+        (".expect(", "expect() panics on the error path"),
+        ("panic!(", "explicit panic"),
+        ("unimplemented!(", "unimplemented!() panics"),
+        ("todo!(", "todo!() panics"),
+    ] {
+        for line in token_lines(code, token) {
+            out.push(Finding::new(Rule::R1, line, format!("{what}; return a typed error")));
+        }
+    }
+    slice_index(code, out);
+}
+
+/// Flag `expr[...]` indexing: a `[` directly preceded by an identifier
+/// character, `)` or `]`. Misses nothing a formatted tree produces and
+/// skips array types (`[u8; 4]`), attributes (`#[…]`), macros (`vec![`)
+/// and slice patterns (`let [a, b] = …`).
+fn slice_index(code: &str, out: &mut Vec<Finding>) {
+    let b = code.as_bytes();
+    let mut line = 1usize;
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            line += 1;
+            continue;
+        }
+        if c != b'[' || i == 0 {
+            continue;
+        }
+        let p = b[i - 1];
+        if is_ident(p) || p == b')' || p == b']' {
+            out.push(Finding::new(
+                Rule::R1,
+                line,
+                "slice/array indexing panics out of bounds; use get() or a checked pattern"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// R2 determinism: raw time/entropy reads.
+pub fn r2_determinism(code: &str, out: &mut Vec<Finding>) {
+    for token in R2_TOKENS {
+        for line in token_lines(code, token) {
+            out.push(Finding::new(
+                Rule::R2,
+                line,
+                format!("{token} bypasses the injectable Clock/seeded RNG"),
+            ));
+        }
+    }
+}
+
+/// R3 lock discipline: a blocking RPC (`.call(`) or simulated sleep
+/// (`sleep_ns(`) made while a `let`-bound lock guard is live in the
+/// enclosing scope. Brace-depth approximation of guard lifetimes: a
+/// guard dies when its block closes or when `drop(guard)` names it.
+pub fn r3_lock_discipline(code: &str, out: &mut Vec<Finding>) {
+    struct Guard {
+        name: String,
+        depth: usize,
+    }
+    let b = code.as_bytes();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                i += 1;
+            }
+            b'l' if code[i..].starts_with("let ") && (i == 0 || !is_ident(b[i - 1])) => {
+                // `let [mut] NAME = …lock()/.read()/.write();`
+                let stmt_end = code[i..].find(';').map(|p| i + p).unwrap_or(b.len());
+                let stmt = &code[i..stmt_end];
+                if let Some(name) = guard_binding(stmt) {
+                    guards.push(Guard { name, depth });
+                }
+                i += 4;
+            }
+            b'd' if code[i..].starts_with("drop(") && (i == 0 || !is_ident(b[i - 1])) => {
+                let arg_start = i + 5;
+                let arg_end = code[arg_start..].find(')').map(|p| arg_start + p).unwrap_or(b.len());
+                let arg = code[arg_start..arg_end].trim();
+                guards.retain(|g| g.name != arg);
+                i += 5;
+            }
+            b'.' if code[i..].starts_with(".call(") => {
+                if let Some(g) = guards.last() {
+                    out.push(Finding::new(
+                        Rule::R3,
+                        line,
+                        format!("blocking RPC .call() while lock guard `{}` is held", g.name),
+                    ));
+                }
+                i += 6;
+            }
+            b's' if code[i..].starts_with("sleep_ns(") && (i == 0 || !is_ident(b[i - 1])) => {
+                if let Some(g) = guards.last() {
+                    out.push(Finding::new(
+                        Rule::R3,
+                        line,
+                        format!("sleep_ns() while lock guard `{}` is held", g.name),
+                    ));
+                }
+                i += 9;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// If `stmt` (a `let …` statement without its `;`) binds a lock guard,
+/// return the bound name. Only nullary `.lock()`, `.read()`, `.write()`
+/// receivers count — `file.read(&mut buf)` takes arguments and doesn't
+/// match.
+fn guard_binding(stmt: &str) -> Option<String> {
+    let eq = stmt.find('=')?;
+    let rhs = &stmt[eq + 1..];
+    if rhs.trim_start().starts_with('*') {
+        return None; // `let x = *m.lock();` copies the value out; no guard lives
+    }
+    if rhs.contains('{') || rhs.contains("let ") {
+        // `let x = { let g = m.lock(); … }` — the statement slice crossed
+        // into a nested block; any guard in there is scoped to it.
+        return None;
+    }
+    if !(rhs.contains(".lock()") || rhs.contains(".read()") || rhs.contains(".write()")) {
+        return None;
+    }
+    // Guard must be the final value of the RHS, not a temporary inside a
+    // longer chain (`map.lock().len()` yields usize, not a guard).
+    let rhs_trim = rhs.trim_end();
+    if !(rhs_trim.ends_with(".lock()")
+        || rhs_trim.ends_with(".read()")
+        || rhs_trim.ends_with(".write()"))
+    {
+        return None;
+    }
+    let mut lhs = stmt[..eq].trim_start_matches("let ").trim();
+    if let Some(rest) = lhs.strip_prefix("mut ") {
+        lhs = rest;
+    }
+    // Skip pattern/type bindings; a plain identifier is the common case.
+    let name: String = lhs.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if name.is_empty() || lhs.starts_with('(') || lhs.starts_with('[') {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// R4 format hygiene: on-disk constants referenced outside
+/// `chunk::format`.
+pub fn r4_format_hygiene(code: &str, out: &mut Vec<Finding>) {
+    for token in R4_TOKENS {
+        for line in token_lines(code, token) {
+            out.push(Finding::new(
+                Rule::R4,
+                line,
+                format!("{token} is a chunk on-disk constant; only chunk::format may use it"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: fn(&str, &mut Vec<Finding>), code: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        f(code, &mut out);
+        out
+    }
+
+    #[test]
+    fn r1_catches_unwrap_and_indexing() {
+        let hits = run(r1_panic, "let a = x.unwrap();\nlet b = v[0];\nlet t: [u8; 4] = y;\n");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 2);
+    }
+
+    #[test]
+    fn r1_skips_patterns_attrs_and_macros() {
+        let hits = run(r1_panic, "#[derive(Debug)]\nlet [a, b] = pair;\nlet v = vec![1, 2];\n");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn r2_catches_raw_time() {
+        let hits = run(r2_determinism, "let t = Instant::now();\nstd::time::SystemTime::now();\n");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn r3_flags_call_under_guard() {
+        let src = "fn f() {\n  let g = m.lock();\n  chan.call(req);\n}\n";
+        let hits = run(r3_lock_discipline, src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn r3_guard_dropped_before_call_is_fine() {
+        for src in [
+            "fn f() {\n  let g = m.lock();\n  drop(g);\n  chan.call(req);\n}\n",
+            "fn f() {\n  { let g = m.lock(); }\n  chan.call(req);\n}\n",
+            "fn f() {\n  let n = m.lock().len();\n  chan.call(req);\n}\n",
+            "fn f() {\n  let v = *m.lock();\n  chan.call(req);\n}\n",
+        ] {
+            assert!(run(r3_lock_discipline, src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn r4_flags_constants() {
+        let hits = run(r4_format_hygiene, "if magic != CHUNK_MAGIC { }\n");
+        assert_eq!(hits.len(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: idiomatic panic-free, deterministic serving-crate code — the
+// negative case every rule must stay silent on.
+
+pub fn checked(x: Option<u8>, v: &[u8]) -> Result<u8, String> {
+    let a = x.ok_or_else(|| "missing".to_owned())?;
+    let b = v.first().copied().unwrap_or_default();
+    // Tokens inside strings and comments must not fire: unwrap() panic!(
+    let s = "Instant::now() CHUNK_MAGIC v[0] .call() while m.lock()";
+    let [hi, lo, ..] = [a, b, 0, 0]; // slice patterns are not indexing
+    let arr: [u8; 2] = [hi, lo]; // array types/literals are not indexing
+    let n = arr.len() + s.len();
+    Ok(n as u8)
+}
+
+pub fn guard_dropped_before_call(m: &std::sync::Mutex<u8>, f: impl Fn(u8) -> u8) -> u8 {
+    let held = *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    f(held)
+}

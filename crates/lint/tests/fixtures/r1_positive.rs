@@ -1,0 +1,32 @@
+// Fixture: every R1 panic-freedom violation class. Scanned by the
+// integration tests as if it lived at crates/core/src/fixture.rs; never
+// compiled.
+
+pub fn violations(x: Option<u8>, v: &[u8]) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("boom");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    let c = v[0];
+    a + b + c
+}
+
+pub fn stubbed() {
+    unimplemented!("later")
+}
+
+pub fn planned() {
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely; none of these count.
+    fn fine() {
+        None::<u8>.unwrap();
+        let v = vec![1];
+        let _ = v[0];
+        panic!("tests assert by panicking");
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: R2 determinism violations — raw time and ambient entropy.
+
+pub fn stamps() -> (u64, u64) {
+    let a = std::time::Instant::now().elapsed().as_nanos() as u64;
+    let b = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or_default();
+    (a, b)
+}
+
+pub fn entropy() {
+    let mut rng = rand::thread_rng();
+    let seeded = rand::rngs::StdRng::from_entropy();
+    let _ = (rng, seeded);
+}

@@ -1,0 +1,27 @@
+// Fixture: R3 lock-discipline violations — blocking while holding a
+// lock guard.
+
+pub fn rpc_under_guard(table: &Mutex<Table>, chan: &Channel) -> Reply {
+    let guard = table.lock();
+    chan.call(guard.request()) // blocks every other locker
+}
+
+pub fn sleep_under_read_guard(state: &RwLock<State>, clock: &dyn Clock) {
+    let snapshot = state.read();
+    clock.sleep_ns(snapshot.backoff_ns);
+}
+
+pub fn fine_after_drop(table: &Mutex<Table>, chan: &Channel) -> Reply {
+    let guard = table.lock();
+    let req = guard.request();
+    drop(guard);
+    chan.call(req)
+}
+
+pub fn fine_in_inner_scope(table: &Mutex<Table>, chan: &Channel) -> Reply {
+    let req = {
+        let guard = table.lock();
+        guard.request()
+    };
+    chan.call(req)
+}

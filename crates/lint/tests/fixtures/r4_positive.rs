@@ -1,0 +1,14 @@
+// Fixture: R4 format-hygiene violations — on-disk constants referenced
+// outside chunk::format.
+
+pub fn sniff(data: &[u8]) -> bool {
+    data.starts_with(&CHUNK_MAGIC)
+}
+
+pub fn version_ok(v: u16) -> bool {
+    v <= FORMAT_VERSION
+}
+
+pub fn header_end() -> usize {
+    FIXED_HEADER_LEN
+}

@@ -1,0 +1,19 @@
+// Fixture: suppression directives — justified ones silence a finding,
+// reason-free ones are themselves reported.
+
+pub fn justified(v: &[u8], pairs: &[(u8, u8)]) -> u8 {
+    // diesel-lint: allow(R1) index bounded by the is_empty check above
+    let first = if v.is_empty() { 0 } else { v[0] };
+    let second = pairs[0].1; // diesel-lint: allow(R1) caller guarantees non-empty
+    first + second
+}
+
+pub fn unjustified(v: &[u8]) -> u8 {
+    // diesel-lint: allow(R1)
+    v[0]
+}
+
+pub fn wrong_rule(v: &[u8]) -> u8 {
+    // diesel-lint: allow(R2) this reason is for the wrong rule
+    v[0]
+}

@@ -35,10 +35,10 @@ impl<'a> Cursor<'a> {
         self.take(1).map(|s| s[0])
     }
     pub(crate) fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        self.take(4).and_then(|s| s.try_into().ok()).map(u32::from_le_bytes)
     }
     pub(crate) fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        self.take(8).and_then(|s| s.try_into().ok()).map(u64::from_le_bytes)
     }
     pub(crate) fn string(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
@@ -46,7 +46,7 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).ok()
     }
     pub(crate) fn chunk_id(&mut self) -> Option<ChunkId> {
-        self.take(16).map(|s| ChunkId(s.try_into().unwrap()))
+        self.take(16).and_then(|s| s.try_into().ok()).map(ChunkId)
     }
     pub(crate) fn remaining(&self) -> usize {
         self.data.len() - self.pos

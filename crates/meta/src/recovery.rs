@@ -122,7 +122,7 @@ mod tests {
         let mut names = Vec::new();
         for i in 0..40 {
             let name = format!("cls{}/img{i:03}.bin", i % 4);
-            w.add_file(&name, &vec![i as u8; 300]).unwrap();
+            w.add_file(&name, &[i as u8; 300]).unwrap();
             names.push(name);
         }
         for sealed in w.finish() {
@@ -164,7 +164,7 @@ mod tests {
             let cfg = ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() };
             let mut w = ChunkWriter::new(cfg, &ids).with_clock(move || ts as u64);
             for i in 0..10 {
-                w.add_file(&format!("t{ts}/f{i}"), &vec![0u8; 256]).unwrap();
+                w.add_file(&format!("t{ts}/f{i}"), &[0u8; 256]).unwrap();
             }
             for sealed in w.finish() {
                 store
@@ -197,7 +197,7 @@ mod tests {
         let cfg = ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() };
         let mut w = ChunkWriter::new(cfg, &ids).with_clock(|| 77_000);
         for i in 0..30 {
-            w.add_file(&format!("f/{i}"), &vec![1u8; 200]).unwrap();
+            w.add_file(&format!("f/{i}"), &[1u8; 200]).unwrap();
         }
         for sealed in w.finish() {
             store

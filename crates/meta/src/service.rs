@@ -5,7 +5,6 @@
 //! key-value pairs from chunk headers on ingest, translating file-system
 //! operations into KV operations, and materializing snapshots.
 
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 use diesel_chunk::{ChunkHeader, ChunkId};
@@ -18,17 +17,19 @@ use crate::snapshot::{MetaSnapshot, SnapshotFile};
 use crate::{MetaError, Result};
 
 /// Metadata processing over a KV storage backend.
+///
+/// Dataset and chunk record counters are maintained with
+/// [`KvStore::update`] — an atomic read-modify-write *in the store* —
+/// because pooled front-end servers share one KV cluster, so no lock
+/// local to a single service instance could serialize them.
 pub struct MetaService<K> {
     kv: Arc<K>,
-    /// Serializes read-modify-write of dataset records; chunk ingest from
-    /// many clients must not lose counter updates.
-    ds_lock: Mutex<()>,
 }
 
 impl<K: KvStore> MetaService<K> {
     /// A service over `kv`.
     pub fn new(kv: Arc<K>) -> Self {
-        MetaService { kv, ds_lock: Mutex::new(()) }
+        MetaService { kv }
     }
 
     /// The underlying KV handle.
@@ -74,19 +75,33 @@ impl<K: KvStore> MetaService<K> {
         }
         self.kv.mput(pairs)?;
 
-        // Read-modify-write the dataset record under the service lock.
-        let _g = self.ds_lock.lock();
-        let ds_key = keys::dataset_key(dataset);
-        let mut rec = match self.kv.get(&ds_key)? {
-            Some(raw) => DatasetRecord::decode(&raw)?,
-            None => DatasetRecord { updated_ms: 0, chunk_count: 0, file_count: 0, total_bytes: 0 },
-        };
-        rec.updated_ms = rec.updated_ms.max(header.updated_ms);
-        rec.chunk_count += 1;
-        rec.file_count += live_files;
-        rec.total_bytes += live_bytes;
-        self.kv.put(&ds_key, rec.encode())?;
-        Ok(())
+        // Fold this chunk's contribution into the dataset record with an
+        // atomic store-side update (concurrent ingest through *other*
+        // pool servers races on the same record).
+        let mut decode_err = None;
+        self.kv.update(&keys::dataset_key(dataset), &mut |cur| {
+            let mut rec = match cur {
+                Some(raw) => match DatasetRecord::decode(&raw) {
+                    Ok(rec) => rec,
+                    Err(e) => {
+                        decode_err = Some(e);
+                        return Some(raw); // leave the record untouched
+                    }
+                },
+                None => {
+                    DatasetRecord { updated_ms: 0, chunk_count: 0, file_count: 0, total_bytes: 0 }
+                }
+            };
+            rec.updated_ms = rec.updated_ms.max(header.updated_ms);
+            rec.chunk_count += 1;
+            rec.file_count += live_files;
+            rec.total_bytes += live_bytes;
+            Some(rec.encode())
+        })?;
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// The dataset record (freshness authority).
@@ -163,30 +178,57 @@ impl<K: KvStore> MetaService<K> {
     /// bytes in object storage via `mark_deleted`).
     pub fn delete_file(&self, dataset: &str, path: &str, now_ms: u64) -> Result<FileMeta> {
         let meta = self.file_meta(dataset, path)?;
-        // Update the chunk record's bitmap.
+        // Flip the file's bit in the chunk record (atomically — deleters
+        // of sibling files in the same chunk race on the bitmap).
         let ck = keys::chunk_key(dataset, meta.chunk);
-        let mut rec = match self.kv.get(&ck)? {
-            Some(raw) => ChunkRecord::decode(&raw)?,
-            None => return Err(MetaError::BadRecord { key: ck }),
-        };
-        rec.bitmap.set_deleted(meta.index_in_chunk as usize);
-        rec.updated_ms = now_ms;
-        self.kv.put(&ck, rec.encode())?;
+        let mut found = false;
+        let mut decode_err = None;
+        self.kv.update(&ck, &mut |cur| {
+            let raw = cur?;
+            match ChunkRecord::decode(&raw) {
+                Ok(mut rec) => {
+                    found = true;
+                    rec.bitmap.set_deleted(meta.index_in_chunk as usize);
+                    rec.updated_ms = now_ms;
+                    Some(rec.encode())
+                }
+                Err(e) => {
+                    decode_err = Some(e);
+                    Some(raw)
+                }
+            }
+        })?;
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+        if !found {
+            return Err(MetaError::BadRecord { key: ck });
+        }
         // Remove the file and dir-entry records.
         self.kv.delete(&keys::file_key(dataset, path))?;
         let (parent, name) = keys::split_path(path);
         self.kv.delete(&keys::dir_entry_key(dataset, parent, 'f', name))?;
-        // Update the dataset record.
-        let _g = self.ds_lock.lock();
-        let ds_key = keys::dataset_key(dataset);
-        if let Some(raw) = self.kv.get(&ds_key)? {
-            let mut ds = DatasetRecord::decode(&raw)?;
-            ds.file_count = ds.file_count.saturating_sub(1);
-            ds.total_bytes = ds.total_bytes.saturating_sub(meta.length);
-            ds.updated_ms = now_ms;
-            self.kv.put(&ds_key, ds.encode())?;
+        // Subtract the file from the dataset counters.
+        let mut decode_err = None;
+        self.kv.update(&keys::dataset_key(dataset), &mut |cur| {
+            let raw = cur?;
+            match DatasetRecord::decode(&raw) {
+                Ok(mut ds) => {
+                    ds.file_count = ds.file_count.saturating_sub(1);
+                    ds.total_bytes = ds.total_bytes.saturating_sub(meta.length);
+                    ds.updated_ms = now_ms;
+                    Some(ds.encode())
+                }
+                Err(e) => {
+                    decode_err = Some(e);
+                    Some(raw)
+                }
+            }
+        })?;
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(meta),
         }
-        Ok(meta)
     }
 
     /// Apply signed deltas to the dataset counters (used by compaction,
@@ -200,17 +242,31 @@ impl<K: KvStore> MetaService<K> {
         d_bytes: i64,
         now_ms: u64,
     ) -> Result<()> {
-        let _g = self.ds_lock.lock();
-        let ds_key = keys::dataset_key(dataset);
-        let Some(raw) = self.kv.get(&ds_key)? else {
+        let mut found = false;
+        let mut decode_err = None;
+        self.kv.update(&keys::dataset_key(dataset), &mut |cur| {
+            let raw = cur?;
+            match DatasetRecord::decode(&raw) {
+                Ok(mut rec) => {
+                    found = true;
+                    rec.chunk_count = rec.chunk_count.saturating_add_signed(d_chunks);
+                    rec.file_count = rec.file_count.saturating_add_signed(d_files);
+                    rec.total_bytes = rec.total_bytes.saturating_add_signed(d_bytes);
+                    rec.updated_ms = rec.updated_ms.max(now_ms);
+                    Some(rec.encode())
+                }
+                Err(e) => {
+                    decode_err = Some(e);
+                    Some(raw)
+                }
+            }
+        })?;
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+        if !found {
             return Err(MetaError::NoSuchDataset(dataset.to_owned()));
-        };
-        let mut rec = DatasetRecord::decode(&raw)?;
-        rec.chunk_count = rec.chunk_count.saturating_add_signed(d_chunks);
-        rec.file_count = rec.file_count.saturating_add_signed(d_files);
-        rec.total_bytes = rec.total_bytes.saturating_add_signed(d_bytes);
-        rec.updated_ms = rec.updated_ms.max(now_ms);
-        self.kv.put(&ds_key, rec.encode())?;
+        }
         Ok(())
     }
 

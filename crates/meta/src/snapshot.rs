@@ -75,11 +75,13 @@ impl MetaSnapshot {
         if data.len() < 10 || data[0..4] != SNAPSHOT_MAGIC {
             return Err(fail("bad magic"));
         }
-        let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
+        let version =
+            u16::from_le_bytes(data[4..6].try_into().map_err(|_| fail("truncated header"))?);
         if version > SNAPSHOT_VERSION {
             return Err(fail("unsupported version"));
         }
-        let stored_crc = u32::from_le_bytes(data[6..10].try_into().unwrap());
+        let stored_crc =
+            u32::from_le_bytes(data[6..10].try_into().map_err(|_| fail("truncated header"))?);
         let mut hasher = diesel_chunk::crc::Hasher::new();
         hasher.update(&data[0..6]);
         hasher.update(&[0u8; 4]);

@@ -49,14 +49,14 @@ impl<Req: Clone, Resp> Service<Req, Resp> for BalancedChannel<Req, Resp> {
     fn call(&self, req: Req) -> Result<Resp> {
         let n = self.backends.len();
         let start = self.next.fetch_add(1, Ordering::Relaxed);
-        let mut last = None;
+        let mut last = NetError::Disconnected { endpoint: self.endpoint() };
         for i in 0..n {
             match self.backends[(start + i) % n].call(req.clone()) {
-                Err(e @ NetError::Disconnected { .. }) => last = Some(e),
+                Err(e @ NetError::Disconnected { .. }) => last = e,
                 other => return other,
             }
         }
-        Err(last.expect("loop ran at least once"))
+        Err(last)
     }
 
     fn endpoint(&self) -> Endpoint {

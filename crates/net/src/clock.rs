@@ -1,98 +1,9 @@
-//! Injectable time source for backoff and latency measurement.
+//! Injectable time source, re-exported from `diesel-util`.
 //!
-//! Retry backoff must be testable without wall-clock sleeps, so every
-//! component that waits or timestamps takes an `Arc<dyn Clock>`.
-//! Production code uses [`SystemClock`]; tests use [`MockClock`], where
-//! `sleep_ns` simply advances the reading.
+//! The [`Clock`] trait originally lived here; it moved down to
+//! [`diesel_util::clock`] so crates below the RPC layer (notably
+//! `diesel-chunk`, whose chunk IDs embed wall-clock timestamps) can take
+//! an `Arc<dyn Clock>` without depending on networking. This module
+//! keeps the `diesel_net::clock::*` paths working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
-
-/// A monotonic nanosecond clock that can also block.
-pub trait Clock: Send + Sync {
-    /// Nanoseconds since an arbitrary (per-clock) origin.
-    fn now_ns(&self) -> u64;
-    /// Wait for `ns` nanoseconds (or pretend to).
-    fn sleep_ns(&self, ns: u64);
-}
-
-/// Real time: `Instant`-backed readings, `thread::sleep` waits.
-#[derive(Debug)]
-pub struct SystemClock {
-    origin: Instant,
-}
-
-impl SystemClock {
-    /// A clock whose origin is "now".
-    pub fn new() -> Self {
-        SystemClock { origin: Instant::now() }
-    }
-}
-
-impl Default for SystemClock {
-    fn default() -> Self {
-        SystemClock::new()
-    }
-}
-
-impl Clock for SystemClock {
-    fn now_ns(&self) -> u64 {
-        self.origin.elapsed().as_nanos() as u64
-    }
-    fn sleep_ns(&self, ns: u64) {
-        std::thread::sleep(Duration::from_nanos(ns));
-    }
-}
-
-/// Virtual time for tests: starts at zero, advances only on demand.
-///
-/// `sleep_ns` advances the clock instead of blocking, so retry/backoff
-/// schedules can be asserted exactly and instantly.
-#[derive(Debug, Default)]
-pub struct MockClock {
-    now: AtomicU64,
-}
-
-impl MockClock {
-    /// A clock reading zero.
-    pub fn new() -> Self {
-        MockClock { now: AtomicU64::new(0) }
-    }
-
-    /// Move the clock forward by `ns`.
-    pub fn advance(&self, ns: u64) {
-        self.now.fetch_add(ns, Ordering::SeqCst);
-    }
-}
-
-impl Clock for MockClock {
-    fn now_ns(&self) -> u64 {
-        self.now.load(Ordering::SeqCst)
-    }
-    fn sleep_ns(&self, ns: u64) {
-        self.advance(ns);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn mock_clock_advances_on_sleep() {
-        let c = MockClock::new();
-        assert_eq!(c.now_ns(), 0);
-        c.sleep_ns(250);
-        c.advance(50);
-        assert_eq!(c.now_ns(), 300);
-    }
-
-    #[test]
-    fn system_clock_is_monotonic() {
-        let c = SystemClock::new();
-        let a = c.now_ns();
-        c.sleep_ns(1_000_000);
-        let b = c.now_ns();
-        assert!(b >= a + 1_000_000, "a={a} b={b}");
-    }
-}
+pub use diesel_util::clock::{Clock, MockClock, SystemClock};

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use diesel_util::Mutex;
 
 use crate::clock::Clock;
 use crate::{Endpoint, NetError, Result, Service};

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use diesel_simnet::{Histogram, Resource, SimTime, Summary};
-use parking_lot::Mutex;
+use diesel_util::Mutex;
 
 use crate::{Endpoint, Result, Service};
 

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use diesel_simnet::{Histogram, Summary};
-use parking_lot::Mutex;
+use diesel_util::Mutex;
 
 use crate::clock::Clock;
 use crate::{Endpoint, NetError, Result, Service};

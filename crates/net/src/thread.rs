@@ -1,21 +1,19 @@
 //! Serving-thread transport: one thread owns the state, callers send
-//! requests over a crossbeam channel and block on a per-call reply
-//! channel.
+//! requests over an mpsc channel and block on a per-call reply channel.
 //!
 //! This generalizes the `PeerServer`/`PeerHandle` pair that used to live
 //! in `diesel-cache`: the request enum, reply-sender plumbing, shutdown
 //! message, and deadline handling are all here, so transports only
 //! provide a handler closure.
 
+use std::sync::mpsc::{channel, sync_channel, RecvTimeoutError, Sender, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 
 use crate::{Endpoint, NetError, Result, Service};
 
 enum Msg<Req, Resp> {
-    Call { req: Req, reply: Sender<Resp> },
+    Call { req: Req, reply: SyncSender<Resp> },
     Shutdown,
 }
 
@@ -40,7 +38,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> ThreadServer<Req, Resp> {
     where
         H: FnMut(Req) -> Resp + Send + 'static,
     {
-        let (tx, rx) = unbounded::<Msg<Req, Resp>>();
+        let (tx, rx) = channel::<Msg<Req, Resp>>();
         let thread = std::thread::Builder::new()
             .name(format!("diesel-net-{endpoint}"))
             .spawn(move || {
@@ -54,8 +52,11 @@ impl<Req: Send + 'static, Resp: Send + 'static> ThreadServer<Req, Resp> {
                     }
                 }
             })
-            .expect("spawn rpc serving thread");
-        ThreadServer { endpoint, tx, thread: Some(thread) }
+            // Spawn failure (OS thread exhaustion) leaves the channel
+            // disconnected, so callers observe NetError::Disconnected
+            // instead of the transport panicking.
+            .ok();
+        ThreadServer { endpoint, tx, thread }
     }
 
     /// A new caller-side channel to this server, with no deadline.
@@ -128,7 +129,7 @@ impl<Req, Resp> Clone for ThreadChannel<Req, Resp> {
 
 impl<Req: Send, Resp: Send> Service<Req, Resp> for ThreadChannel<Req, Resp> {
     fn call(&self, req: Req) -> Result<Resp> {
-        let (rtx, rrx) = bounded::<Resp>(1);
+        let (rtx, rrx) = sync_channel::<Resp>(1);
         self.tx
             .send(Msg::Call { req, reply: rtx })
             .map_err(|_| NetError::Disconnected { endpoint: self.endpoint.clone() })?;

@@ -11,7 +11,7 @@
 //! internally synchronized, so resources can be shared by both the
 //! deterministic event-loop driver and real-thread drivers.
 
-use parking_lot::Mutex;
+use diesel_util::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -8,7 +8,7 @@
 //!   put/get, range get, delete, and *sorted* key listing (chunk IDs are
 //!   sortable; recovery scans them in order).
 //! * [`MemObjectStore`] — in-memory reference implementation
-//!   ([`bytes::Bytes`] values, cheap clones).
+//!   ([`Bytes`] values, cheap clones).
 //! * [`DirObjectStore`] — directory-backed implementation, used by the
 //!   examples to persist datasets on local disk.
 //! * [`DeviceModel`] + [`TimedStore`] — analytic device cost model
@@ -25,7 +25,7 @@ pub mod mem;
 pub mod model;
 pub mod tiered;
 
-pub use bytes::Bytes;
+pub use diesel_util::Bytes;
 pub use dir::DirObjectStore;
 pub use faulty::{FaultConfig, FaultyStore};
 pub use mem::MemObjectStore;

@@ -1,6 +1,6 @@
 //! In-memory object store: the reference [`ObjectStore`] implementation.
 
-use parking_lot::RwLock;
+use diesel_util::RwLock;
 use std::collections::BTreeMap;
 
 use crate::{Bytes, ObjectStore, Result, StoreError};

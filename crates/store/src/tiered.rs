@@ -13,7 +13,7 @@
 //! charges its cost separately); a `promote_prefix` helper performs the
 //! background "cache the dataset" sweep.
 
-use parking_lot::Mutex;
+use diesel_util::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -168,8 +168,9 @@ impl<F: ObjectStore, S: ObjectStore> TieredStore<F, S> {
 
 fn touch(lru: &mut VecDeque<String>, key: &str) {
     if let Some(pos) = lru.iter().position(|k| k == key) {
-        let k = lru.remove(pos).expect("position just found");
-        lru.push_back(k);
+        if let Some(k) = lru.remove(pos) {
+            lru.push_back(k);
+        }
     }
 }
 

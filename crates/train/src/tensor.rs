@@ -1,11 +1,12 @@
-//! Minimal dense `f32` matrices with rayon-parallel GEMM.
+//! Minimal dense `f32` matrices with thread-parallel GEMM.
 //!
 //! Just enough linear algebra for an MLP: matmul in the three layouts a
 //! backward pass needs, bias broadcast, and elementwise helpers. Row
-//! parallelism via rayon follows the hpc-parallel guide's idiom: the
-//! outer loop becomes `par_chunks_mut` over output rows.
+//! parallelism follows the hpc-parallel guide's idiom: the outer loop
+//! becomes [`par_chunks_mut`] over output rows (scoped threads from
+//! `diesel-util`, one contiguous run of rows per worker).
 
-use rayon::prelude::*;
+use diesel_util::par_chunks_mut;
 
 /// A row-major `rows × cols` matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +51,7 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        out.data.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+        par_chunks_mut(&mut out.data, n, |i, orow| {
             let arow = &self.data[i * k..(i + 1) * k];
             for (p, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
@@ -71,7 +72,7 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(k, n);
         // Parallelize over output rows (columns of self).
-        out.data.par_chunks_mut(n).enumerate().for_each(|(p, orow)| {
+        par_chunks_mut(&mut out.data, n, |p, orow| {
             for i in 0..m {
                 let a = self.data[i * k + p];
                 if a == 0.0 {
@@ -91,7 +92,7 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        out.data.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+        par_chunks_mut(&mut out.data, n, |i, orow| {
             let arow = &self.data[i * k..(i + 1) * k];
             for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &other.data[j * k..(j + 1) * k];

@@ -1,0 +1,206 @@
+//! [`Bytes`]: a cheaply-cloneable, sliceable, immutable byte buffer.
+//!
+//! Stand-in for the `bytes` crate's `Bytes` with the semantics DIESEL
+//! relies on: cloning and slicing share one allocation, so handing a
+//! cached chunk to N readers or carving file payloads out of a sealed
+//! chunk copies pointers, not data.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer; `clone` and
+/// [`slice`](Bytes::slice) are O(1) and share the allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation shared with anything).
+    pub fn new() -> Self {
+        Bytes { data: Arc::from([] as [u8; 0]), start: 0, end: 0 }
+    }
+
+    /// A buffer over static data (copied once into the shared allocation).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(data), start: 0, end: data.len() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-buffer sharing this buffer's allocation. Panics if the
+    /// range is out of bounds (same contract as the `bytes` crate).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of range for {}", self.len());
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: Arc::from(v), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b, [1u8, 2, 3][..]);
+        assert_eq!(b.as_ref(), &[1, 2, 3]);
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::default().is_empty());
+        assert_eq!(Bytes::from_static(b"abc"), Bytes::from(b"abc".to_vec()));
+        assert_eq!(Bytes::from(String::from("xy")).as_slice(), b"xy");
+        assert_eq!((1u8..4).collect::<Bytes>(), Bytes::from(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn slicing_shares_the_allocation() {
+        let b = Bytes::from((0u8..100).collect::<Vec<_>>());
+        let mid = b.slice(10..20);
+        assert_eq!(mid.as_slice(), (10u8..20).collect::<Vec<_>>().as_slice());
+        // Sub-slicing a slice composes offsets.
+        let inner = mid.slice(2..=4);
+        assert_eq!(inner.as_slice(), &[12, 13, 14]);
+        assert_eq!(b.slice(..).len(), 100);
+        assert_eq!(b.slice(95..).as_slice(), &[95, 96, 97, 98, 99]);
+        // Same backing allocation for all of them.
+        assert!(Arc::ptr_eq(&b.data, &inner.data));
+        let c = b.clone();
+        assert!(Arc::ptr_eq(&b.data, &c.data));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_panics() {
+        let _ = Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn hash_and_debug() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Bytes::from(vec![1, 2]));
+        assert!(set.contains(&Bytes::from(vec![1, 2])));
+        assert_eq!(format!("{:?}", Bytes::from(vec![0; 5])), "Bytes(5 bytes)");
+    }
+}

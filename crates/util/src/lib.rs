@@ -1,0 +1,30 @@
+//! `diesel-util`: the workspace's bottom layer.
+//!
+//! Every other crate builds on these four pieces:
+//!
+//! - [`sync`] — `Mutex`/`RwLock`/`Condvar` wrappers that recover from
+//!   poisoning instead of unwrapping, plus the free-function
+//!   [`lock_or_recover`] family for code holding raw std locks. This is
+//!   what makes panic-freedom rule R1 enforceable: the only blessed way
+//!   to acquire a lock never panics.
+//! - [`clock`] — the injectable [`Clock`] trait ([`SystemClock`] /
+//!   [`MockClock`]). This module is the single place in the tree allowed
+//!   to read `Instant::now`/`SystemTime::now` (determinism rule R2);
+//!   everything else takes an `Arc<dyn Clock>`.
+//! - [`bytes`] — [`Bytes`], a cheaply-cloneable, sliceable, immutable
+//!   byte buffer (stand-in for the `bytes` crate).
+//! - [`parallel`] — [`par_chunks_mut`], scoped-thread data parallelism
+//!   over mutable chunks (stand-in for rayon's `par_chunks_mut`).
+
+pub mod bytes;
+pub mod clock;
+pub mod parallel;
+pub mod sync;
+
+pub use bytes::Bytes;
+pub use clock::{Clock, MockClock, SystemClock};
+pub use parallel::par_chunks_mut;
+pub use sync::{
+    lock_or_recover, read_or_recover, write_or_recover, Condvar, Mutex, MutexGuard, RwLock,
+    RwLockReadGuard, RwLockWriteGuard,
+};

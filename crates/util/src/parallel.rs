@@ -1,0 +1,97 @@
+//! Scoped-thread data parallelism (stand-in for rayon's `par_chunks_mut`).
+//!
+//! [`par_chunks_mut`] splits a mutable slice into fixed-size chunks and
+//! processes them on `std::thread::scope` workers. Chunk indices are
+//! global and the callback sees exactly the chunks `chunks_mut` would
+//! produce, so results are identical to the serial loop regardless of
+//! worker count — only wall time changes.
+
+use std::num::NonZeroUsize;
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Apply `f(chunk_index, chunk)` to every `size`-sized chunk of `data`
+/// (last chunk may be shorter), fanning out across threads.
+///
+/// Panics if `size` is zero (same contract as `chunks_mut`).
+pub fn par_chunks_mut<T, F>(data: &mut [T], size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(size > 0, "par_chunks_mut: chunk size must be non-zero");
+    let n_chunks = data.len().div_ceil(size);
+    let workers = worker_count().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Give each worker a contiguous run of whole chunks.
+    let chunks_per_worker = n_chunks.div_ceil(workers);
+    let stride = chunks_per_worker * size;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = stride.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let first_index = base;
+            scope.spawn(move || {
+                for (i, chunk) in head.chunks_mut(size).enumerate() {
+                    f(first_index + i, chunk);
+                }
+            });
+            base += chunks_per_worker;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_serial_loop() {
+        for len in [0usize, 1, 7, 64, 1000, 1003] {
+            for size in [1usize, 3, 64, 2000] {
+                let mut par: Vec<u64> = (0..len as u64).collect();
+                let mut ser = par.clone();
+                par_chunks_mut(&mut par, size, |i, c| {
+                    for v in c.iter_mut() {
+                        *v = v.wrapping_mul(31).wrapping_add(i as u64);
+                    }
+                });
+                for (i, c) in ser.chunks_mut(size).enumerate() {
+                    for v in c.iter_mut() {
+                        *v = v.wrapping_mul(31).wrapping_add(i as u64);
+                    }
+                }
+                assert_eq!(par, ser, "len={len} size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_indices_are_global_and_complete() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut data = vec![0u8; 257];
+        let seen = AtomicU64::new(0);
+        par_chunks_mut(&mut data, 16, |i, chunk| {
+            assert!(chunk.len() == 16 || (i == 16 && chunk.len() == 1));
+            seen.fetch_or(1 << i, Ordering::SeqCst);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), (1 << 17) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunk_size_panics() {
+        par_chunks_mut(&mut [1u8, 2], 0, |_, _| {});
+    }
+}

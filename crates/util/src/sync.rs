@@ -1,0 +1,256 @@
+//! Poison-recovering synchronization primitives.
+//!
+//! A panic while holding a std lock poisons it, and every later
+//! `.lock().unwrap()` turns one bug into a cascade of panics across
+//! unrelated threads — exactly what a storage server must not do. These
+//! wrappers take the other position: the data may be mid-update, but
+//! DIESEL's lock-protected state is always structurally valid (maps,
+//! queues, counters), so recovering the guard and continuing is strictly
+//! better than crashing the process.
+//!
+//! Lint rule R1 (see DESIGN.md "Static invariants") bans `unwrap` —
+//! including the lock-unwrap idiom — in library crates; these types and
+//! the [`lock_or_recover`] helpers are the blessed replacement.
+
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard type returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard type returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// Acquire a raw `std::sync::Mutex`, recovering the guard if a previous
+/// holder panicked.
+pub fn lock_or_recover<T: ?Sized>(m: &std::sync::Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a raw `std::sync::RwLock` for reading, recovering on poison.
+pub fn read_or_recover<T: ?Sized>(l: &std::sync::RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a raw `std::sync::RwLock` for writing, recovering on poison.
+pub fn write_or_recover<T: ?Sized>(l: &std::sync::RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A mutex whose `lock` never panics: poisoning is recovered via
+/// [`lock_or_recover`].
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the data (recovering on poison).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is held.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        lock_or_recover(&self.inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Mutex").field(&&*self.lock()).finish()
+    }
+}
+
+/// A reader-writer lock whose acquisitions never panic.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A new unlocked rwlock.
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Consume the lock, returning the data (recovering on poison).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        read_or_recover(&self.inner)
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        write_or_recover(&self.inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("RwLock").field(&&*self.read()).finish()
+    }
+}
+
+/// A condition variable paired with [`Mutex`], recovering on poison.
+///
+/// The wait APIs take and return the guard by value (std semantics);
+/// `wait_timeout` reports whether the wait timed out.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Block until notified. Spurious wakeups are possible; callers loop
+    /// on their predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until notified or `dur` elapses. Returns the reacquired
+    /// guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, res) =
+            self.inner.wait_timeout(guard, dur).unwrap_or_else(PoisonError::into_inner);
+        (guard, res.timed_out())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic_and_debug() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(format!("{m:?}"), "Mutex(42)");
+        let mut m = m;
+        *m.get_mut() += 1;
+        assert_eq!(m.into_inner(), 43);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(format!("{l:?}"), "RwLock([1, 2, 3])");
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_instead_of_panicking() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // A plain std mutex would now fail; the wrapper recovers.
+        assert_eq!(*m.lock(), 7);
+        *m.lock() = 8;
+        assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn poisoned_rwlock_recovers() {
+        let l = Arc::new(RwLock::new(String::from("ok")));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(&*l.read(), "ok");
+    }
+
+    #[test]
+    fn raw_lock_helpers_recover() {
+        let m = Arc::new(std::sync::Mutex::new(1));
+        let l = Arc::new(std::sync::RwLock::new(2));
+        let (m2, l2) = (m.clone(), l.clone());
+        let _ = std::thread::spawn(move || {
+            let _a = lock_or_recover(&m2);
+            let _b = write_or_recover(&l2);
+            panic!("poison both");
+        })
+        .join();
+        assert_eq!(*lock_or_recover(&m), 1);
+        assert_eq!(*read_or_recover(&l), 2);
+        *write_or_recover(&l) = 3;
+        assert_eq!(*read_or_recover(&l), 3);
+    }
+
+    #[test]
+    fn condvar_wakes_and_times_out() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                done = cv.wait(done);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+
+        let (m, cv) = &*pair;
+        let g = m.lock();
+        let (_g, timed_out) = cv.wait_timeout(g, Duration::from_millis(5));
+        assert!(timed_out);
+    }
+}

@@ -15,4 +15,9 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== diesel-lint =="
+# Fails on any non-baselined R1–R4 finding; --baseline-check enforces the
+# ratchet (lint-baseline.txt may only ever shrink).
+cargo run -q -p diesel-lint --offline -- --workspace --baseline lint-baseline.txt --baseline-check
+
 echo "CI gate passed."

@@ -27,7 +27,7 @@ fn populated_server(files: usize) -> (Arc<Server>, Vec<String>) {
     let mut names = Vec::new();
     for i in 0..files {
         let name = format!("f{i:04}");
-        client.put(&name, &vec![(i % 251) as u8; 256]).unwrap();
+        client.put(&name, &[(i % 251) as u8; 256]).unwrap();
         names.push(name);
     }
     client.flush().unwrap();

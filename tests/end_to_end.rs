@@ -190,7 +190,7 @@ fn dataset_lifecycle_put_delete_purge_recover() {
     let server = small_chunk_server();
     let c = client(&server, "ds", 2048);
     for i in 0..60usize {
-        c.put(&format!("f{i:02}"), &vec![i as u8; 300]).unwrap();
+        c.put(&format!("f{i:02}"), &[i as u8; 300]).unwrap();
     }
     c.flush().unwrap();
 

@@ -88,7 +88,7 @@ fn server_runs_on_tiered_ssd_hdd_storage() {
     .with_deterministic_identity(2, 2, 600);
 
     for i in 0..60usize {
-        client.put(&format!("f{i:03}"), &vec![(i % 251) as u8; 400]).unwrap();
+        client.put(&format!("f{i:03}"), &[(i % 251) as u8; 400]).unwrap();
     }
     client.flush().unwrap();
     client.download_meta().unwrap();

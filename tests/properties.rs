@@ -110,7 +110,7 @@ proptest! {
         let s = server();
         let c = client(&s, chunk_size);
         for i in 0..nfiles {
-            c.put(&format!("f{i:04}"), &vec![7u8; 100]).unwrap();
+            c.put(&format!("f{i:04}"), &[7u8; 100]).unwrap();
         }
         c.flush().unwrap();
         c.download_meta().unwrap();
@@ -141,7 +141,7 @@ proptest! {
         let s = server();
         let c = client(&s, chunk_size);
         for i in 0..nfiles {
-            c.put(&format!("f{i:03}"), &vec![(i % 251) as u8; 150]).unwrap();
+            c.put(&format!("f{i:03}"), &[(i % 251) as u8; 150]).unwrap();
         }
         c.flush().unwrap();
         let mut deleted = std::collections::HashSet::new();
@@ -160,7 +160,7 @@ proptest! {
                 prop_assert!(s.read_file("prop", &name).is_err());
             } else {
                 let got = s.read_file("prop", &name).unwrap();
-                prop_assert_eq!(got.as_ref(), &vec![(i % 251) as u8; 150][..]);
+                prop_assert_eq!(got.as_ref(), &[(i % 251) as u8; 150][..]);
             }
         }
         // Dataset counters stay consistent with the surviving set.
