@@ -116,7 +116,7 @@ fn main() {
         for path in &order {
             client.get(path).unwrap();
         }
-        let loads = cache.stats().chunk_loads;
+        let loads = cache.metrics().chunk_loads();
 
         table.row(&[
             label,

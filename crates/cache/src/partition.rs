@@ -28,7 +28,9 @@ impl ChunkPartition {
         for (i, c) in chunks.iter().enumerate() {
             let node = i % nodes;
             owner.insert(*c, node);
-            per_node[node].push(*c);
+            if let Some(list) = per_node.get_mut(node) {
+                list.push(*c);
+            }
         }
         ChunkPartition { owner, per_node }
     }
@@ -38,9 +40,9 @@ impl ChunkPartition {
         self.owner.get(&chunk).copied()
     }
 
-    /// The chunks assigned to `node`.
+    /// The chunks assigned to `node` (empty for out-of-range nodes).
     pub fn chunks_of(&self, node: usize) -> &[ChunkId] {
-        &self.per_node[node]
+        self.per_node.get(node).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of nodes.

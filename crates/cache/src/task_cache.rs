@@ -5,10 +5,16 @@
 //! the shared [`ChunkPartition`] and fetches the file in one hop. Chunks
 //! are loaded from the backing object store *whole* — the property that
 //! makes warm-up and recovery fast (Fig. 11b).
+//!
+//! Counters live in a `diesel-obs` registry under `cache.*`; related
+//! updates (a read and its hit, a load and its bytes) go through
+//! [`diesel_obs::Registry::batch`] so a snapshot never shows one without
+//! the other.
 
+use diesel_obs::{Counter, Registry, RegistrySnapshot};
 use diesel_util::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use diesel_chunk::{ChunkHeader, ChunkId};
@@ -47,19 +53,61 @@ impl Default for CacheConfig {
     }
 }
 
-/// Aggregate cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
+/// Handles into the registry for the cache's `cache.*` counters.
+#[derive(Debug, Clone)]
+pub struct CacheMetrics {
+    file_reads: Counter,
+    chunk_hits: Counter,
+    chunk_loads: Counter,
+    bytes_loaded: Counter,
+    evictions: Counter,
+    recoveries: Counter,
+}
+
+impl CacheMetrics {
+    /// Register the cache counters (`cache.file_reads`,
+    /// `cache.chunk_hits`, `cache.chunk_loads`, `cache.bytes_loaded`,
+    /// `cache.evictions`, `cache.recoveries`) in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        CacheMetrics {
+            file_reads: registry.counter("cache.file_reads", &[]),
+            chunk_hits: registry.counter("cache.chunk_hits", &[]),
+            chunk_loads: registry.counter("cache.chunk_loads", &[]),
+            bytes_loaded: registry.counter("cache.bytes_loaded", &[]),
+            evictions: registry.counter("cache.evictions", &[]),
+            recoveries: registry.counter("cache.recoveries", &[]),
+        }
+    }
+
     /// File reads served.
-    pub file_reads: u64,
+    pub fn file_reads(&self) -> u64 {
+        self.file_reads.get()
+    }
+
     /// File reads whose chunk was already resident on its owner.
-    pub chunk_hits: u64,
+    pub fn chunk_hits(&self) -> u64 {
+        self.chunk_hits.get()
+    }
+
     /// Chunks loaded from the backing store.
-    pub chunk_loads: u64,
+    pub fn chunk_loads(&self) -> u64 {
+        self.chunk_loads.get()
+    }
+
     /// Bytes loaded from the backing store.
-    pub bytes_loaded: u64,
+    pub fn bytes_loaded(&self) -> u64 {
+        self.bytes_loaded.get()
+    }
+
     /// Chunks evicted for capacity.
-    pub evictions: u64,
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Node recoveries completed (Fig. 11b sweeps).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.get()
+    }
 }
 
 /// Result of a prefetch/recovery sweep.
@@ -111,16 +159,13 @@ pub struct TaskCache<S> {
     config: CacheConfig,
     verify_on_load: AtomicBool,
     nodes: Vec<NodeState>,
-    file_reads: AtomicU64,
-    chunk_hits: AtomicU64,
-    chunk_loads: AtomicU64,
-    bytes_loaded: AtomicU64,
-    evictions: AtomicU64,
+    registry: Arc<Registry>,
+    metrics: CacheMetrics,
 }
 
 impl<S: ObjectStore> TaskCache<S> {
     /// Build the cache for `dataset`, whose chunks are `chunks`, across
-    /// the nodes of `topology`.
+    /// the nodes of `topology`, with a private registry.
     pub fn new(
         topology: Topology,
         backing: Arc<S>,
@@ -128,7 +173,27 @@ impl<S: ObjectStore> TaskCache<S> {
         chunks: Vec<ChunkId>,
         config: CacheConfig,
     ) -> Self {
+        Self::with_registry(
+            topology,
+            backing,
+            dataset,
+            chunks,
+            config,
+            Arc::new(Registry::default()),
+        )
+    }
+
+    /// Build the cache with its counters in a shared `registry`.
+    pub fn with_registry(
+        topology: Topology,
+        backing: Arc<S>,
+        dataset: impl Into<String>,
+        chunks: Vec<ChunkId>,
+        config: CacheConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         let p = topology.node_count();
+        let metrics = CacheMetrics::new(&registry);
         TaskCache {
             topology,
             partition: ChunkPartition::new(chunks, p),
@@ -137,11 +202,8 @@ impl<S: ObjectStore> TaskCache<S> {
             config,
             verify_on_load: AtomicBool::new(false),
             nodes: (0..p).map(|_| NodeState::default()).collect(),
-            file_reads: AtomicU64::new(0),
-            chunk_hits: AtomicU64::new(0),
-            chunk_loads: AtomicU64::new(0),
-            bytes_loaded: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            registry,
+            metrics,
         }
     }
 
@@ -199,30 +261,44 @@ impl<S: ObjectStore> TaskCache<S> {
         resident as f64 / total as f64
     }
 
-    /// Bytes resident on one node.
+    /// The node state for `node`, or a `NodeDown` error when no such
+    /// node exists in the topology.
+    fn node(&self, node: usize) -> Result<&NodeState> {
+        self.nodes.get(node).ok_or(CacheError::NodeDown { node })
+    }
+
+    /// Bytes resident on one node (0 for out-of-range nodes).
     pub fn node_resident_bytes(&self, node: usize) -> u64 {
-        self.nodes[node].inner.lock().resident_bytes
+        self.nodes.get(node).map(|n| n.inner.lock().resident_bytes).unwrap_or(0)
     }
 
     /// Kill a node: its cached chunks are gone and requests routed to it
     /// fail until [`TaskCache::recover_node`].
     pub fn kill_node(&self, node: usize) {
-        self.nodes[node].down.store(true, Ordering::Release);
-        let mut inner = self.nodes[node].inner.lock();
-        *inner = NodeInner::default();
+        if let Some(st) = self.nodes.get(node) {
+            st.down.store(true, Ordering::Release);
+            *st.inner.lock() = NodeInner::default();
+            self.registry.event("cache.kill_node", &[("node", &node.to_string())]);
+        }
     }
 
     /// Is `node` down?
     pub fn is_node_down(&self, node: usize) -> bool {
-        self.nodes[node].down.load(Ordering::Acquire)
+        self.nodes.get(node).is_some_and(|n| n.down.load(Ordering::Acquire))
     }
 
     /// Bring a node back and reload its partition chunk-wise from the
     /// backing store. Returns what was loaded (the Fig. 11b recovery
     /// measurement).
     pub fn recover_node(&self, node: usize) -> Result<LoadReport> {
-        self.nodes[node].down.store(false, Ordering::Release);
-        self.load_partition(node)
+        self.node(node)?.down.store(false, Ordering::Release);
+        let report = self.load_partition(node)?;
+        self.metrics.recoveries.inc();
+        self.registry.event(
+            "cache.recover_node",
+            &[("node", &node.to_string()), ("chunks", &report.chunks_loaded.to_string())],
+        );
+        Ok(report)
     }
 
     fn load_partition(&self, node: usize) -> Result<LoadReport> {
@@ -242,26 +318,32 @@ impl<S: ObjectStore> TaskCache<S> {
 
     /// Read a whole file through the cache.
     pub fn get_file(&self, meta: &FileMeta) -> Result<Fetched> {
-        self.file_reads.fetch_add(1, Ordering::Relaxed);
         let Some(owner) = self.partition.owner_of(meta.chunk) else {
+            self.metrics.file_reads.inc();
             return Err(CacheError::UnknownChunk(meta.chunk.encode()));
         };
         if self.is_node_down(owner) {
+            self.metrics.file_reads.inc();
             return Err(CacheError::NodeDown { node: owner });
         }
-        // Fast path: chunk resident on its owner.
+        // Fast path: chunk resident on its owner. The read and its hit
+        // are one batch so a snapshot never sees hits > reads.
         {
-            let inner = self.nodes[owner].inner.lock();
+            let inner = self.node(owner)?.inner.lock();
             if let Some(c) = inner.chunks.get(&meta.chunk) {
-                self.chunk_hits.fetch_add(1, Ordering::Relaxed);
+                self.registry.batch(|| {
+                    self.metrics.file_reads.inc();
+                    self.metrics.chunk_hits.inc();
+                });
                 let data = slice_file(c, meta)?;
                 return Ok(Fetched { data, owner_node: owner, chunk_hit: true });
             }
         }
         // Miss: load the whole chunk (any policy — Oneshot may have
         // evicted under memory pressure), then serve.
+        self.metrics.file_reads.inc();
         self.ensure_chunk(owner, meta.chunk)?;
-        let inner = self.nodes[owner].inner.lock();
+        let inner = self.node(owner)?.inner.lock();
         let c = inner
             .chunks
             .get(&meta.chunk)
@@ -274,7 +356,7 @@ impl<S: ObjectStore> TaskCache<S> {
     /// chunk bytes)`.
     fn ensure_chunk(&self, node: usize, chunk: ChunkId) -> Result<(bool, u64)> {
         {
-            let inner = self.nodes[node].inner.lock();
+            let inner = self.node(node)?.inner.lock();
             if inner.chunks.contains_key(&chunk) {
                 return Ok((false, 0));
             }
@@ -293,7 +375,7 @@ impl<S: ObjectStore> TaskCache<S> {
             }
         }
         let size = bytes.len() as u64;
-        let mut inner = self.nodes[node].inner.lock();
+        let mut inner = self.node(node)?.inner.lock();
         if inner.chunks.contains_key(&chunk) {
             return Ok((false, 0)); // raced with another client
         }
@@ -302,15 +384,20 @@ impl<S: ObjectStore> TaskCache<S> {
             let Some(victim) = inner.lru.pop_front() else { break };
             if let Some(v) = inner.chunks.remove(&victim) {
                 inner.resident_bytes -= v.bytes.len() as u64;
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.metrics.evictions.inc();
             }
         }
         inner.chunks.insert(chunk, CachedChunk { bytes, header_len: header.header_len });
         inner.lru.push_back(chunk);
         inner.resident_bytes += size;
         drop(inner);
-        self.chunk_loads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_loaded.fetch_add(size, Ordering::Relaxed);
+        // A load and its bytes are one batch: a snapshot never shows a
+        // chunk counted without its bytes (the tearing the old
+        // `CacheStats::snapshot` allowed).
+        self.registry.batch(|| {
+            self.metrics.chunk_loads.inc();
+            self.metrics.bytes_loaded.add(size);
+        });
         Ok((true, size))
     }
 }
@@ -328,15 +415,19 @@ fn slice_file(c: &CachedChunk, meta: &FileMeta) -> Result<Bytes> {
 }
 
 impl<S> TaskCache<S> {
-    /// Statistics snapshot.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            file_reads: self.file_reads.load(Ordering::Relaxed),
-            chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
-            chunk_loads: self.chunk_loads.load(Ordering::Relaxed),
-            bytes_loaded: self.bytes_loaded.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+    /// Counter handles (cheap reads of individual metrics).
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
+    }
+
+    /// The registry holding this cache's counters and events.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A consistent point-in-time snapshot of every `cache.*` metric.
+    pub fn stats(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
     }
 }
 
@@ -346,7 +437,8 @@ impl<S> std::fmt::Debug for TaskCache<S> {
             .field("dataset", &self.dataset)
             .field("nodes", &self.nodes.len())
             .field("chunks", &self.partition.chunk_count())
-            .field("stats", &self.stats())
+            .field("file_reads", &self.metrics.file_reads())
+            .field("chunk_loads", &self.metrics.chunk_loads())
             .finish()
     }
 }
@@ -413,10 +505,10 @@ mod tests {
             assert!(f.chunk_hit, "{name} should hit after prefetch");
             assert_eq!(f.data.len(), 200);
         }
-        let s = c.stats();
-        assert_eq!(s.file_reads, 60);
-        assert_eq!(s.chunk_hits, 60);
-        assert_eq!(s.chunk_loads as usize, chunks.len());
+        let snap = c.stats();
+        assert_eq!(snap.counter("cache.file_reads"), 60);
+        assert_eq!(snap.counter("cache.chunk_hits"), 60);
+        assert_eq!(snap.counter("cache.chunk_loads") as usize, chunks.len());
     }
 
     #[test]
@@ -435,7 +527,7 @@ mod tests {
         for (_, meta) in &metas {
             assert!(c.get_file(meta).unwrap().chunk_hit);
         }
-        assert_eq!(c.stats().chunk_loads as usize, chunks.len());
+        assert_eq!(c.metrics().chunk_loads() as usize, chunks.len());
     }
 
     #[test]
@@ -487,8 +579,7 @@ mod tests {
         for (_, meta) in &metas {
             c.get_file(meta).unwrap();
         }
-        let s = c.stats();
-        assert!(s.evictions > 0, "capacity pressure must evict");
+        assert!(c.metrics().evictions() > 0, "capacity pressure must evict");
         for node in 0..2 {
             assert!(c.node_resident_bytes(node) <= 6000);
         }
@@ -541,8 +632,8 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(c.stats().chunk_loads, 1, "chunk must be loaded exactly once");
-        assert_eq!(c.stats().file_reads, 8 * 32);
+        assert_eq!(c.metrics().chunk_loads(), 1, "chunk must be loaded exactly once");
+        assert_eq!(c.metrics().file_reads(), 8 * 32);
     }
 
     #[test]
@@ -557,9 +648,28 @@ mod tests {
         }
         let report = handle.join().unwrap().unwrap();
         // The prefetcher and readers together load each chunk exactly once.
-        assert_eq!(c.stats().chunk_loads as usize, chunks.len());
+        assert_eq!(c.metrics().chunk_loads() as usize, chunks.len());
         assert!(report.chunks_loaded as usize <= chunks.len());
         assert!((c.resident_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_batches_loads_with_bytes_and_logs_recovery() {
+        let (store, metas, chunks) = dataset(30, 200, 2048);
+        let c = cache(store, chunks, 2, 1 << 30, CachePolicy::OnDemand);
+        for (_, meta) in &metas {
+            c.get_file(meta).unwrap();
+        }
+        let snap = c.stats();
+        assert!(snap.counter("cache.chunk_hits") <= snap.counter("cache.file_reads"));
+        assert!(snap.counter("cache.chunk_loads") > 0);
+        assert!(snap.counter("cache.bytes_loaded") > 0);
+        c.kill_node(0);
+        c.recover_node(0).unwrap();
+        let snap = c.stats();
+        assert_eq!(snap.counter("cache.recoveries"), 1);
+        let scopes: Vec<&str> = snap.events.iter().map(|e| e.scope.as_str()).collect();
+        assert_eq!(scopes, vec!["cache.kill_node", "cache.recover_node"]);
     }
 
     #[test]

@@ -39,8 +39,8 @@ impl Topology {
         let max_node = clients.iter().map(|c| c.node).fold(0, usize::max);
         let mut masters = vec![usize::MAX; max_node + 1];
         for c in &clients {
-            if c.rank < masters[c.node] {
-                masters[c.node] = c.rank;
+            if let Some(m) = masters.get_mut(c.node) {
+                *m = (*m).min(c.rank);
             }
         }
         assert!(
@@ -65,14 +65,15 @@ impl Topology {
         &self.clients
     }
 
-    /// The master client's rank on `node` (the smallest rank there).
+    /// The master client's rank on `node` (the smallest rank there;
+    /// `usize::MAX` for out-of-range nodes).
     pub fn master_of(&self, node: usize) -> usize {
-        self.masters[node]
+        self.masters.get(node).copied().unwrap_or(usize::MAX)
     }
 
     /// Is `client` a master?
     pub fn is_master(&self, client: PeerId) -> bool {
-        self.masters[client.node] == client.rank
+        self.masters.get(client.node) == Some(&client.rank)
     }
 
     /// Connection count under DIESEL's master-client scheme: every

@@ -22,9 +22,10 @@ use diesel_chunk::{ChunkHeader, ChunkId};
 use diesel_meta::recovery::chunk_object_key;
 use diesel_meta::FileMeta;
 use diesel_net::{
-    Channel, Clock, Endpoint, FaultChannel, FaultPolicy, Instrumented, NetStats, Retry,
+    Channel, Clock, Endpoint, EndpointMetrics, FaultChannel, FaultPolicy, Instrumented, Retry,
     RetryPolicy, Service, SystemClock, ThreadChannel, ThreadServer,
 };
+use diesel_obs::Registry;
 use diesel_store::{Bytes, ObjectStore};
 
 use crate::partition::ChunkPartition;
@@ -216,7 +217,7 @@ pub struct RpcCache {
     partition: ChunkPartition,
     peers: Vec<PeerServer>,
     handles: Vec<PeerHandle>,
-    stats: Arc<NetStats>,
+    registry: Arc<Registry>,
 }
 
 impl RpcCache {
@@ -233,7 +234,7 @@ impl RpcCache {
 
     /// Spawn with explicit transport options. Every peer channel is
     /// stacked as `Retry(Instrumented(Fault?(ThreadChannel)))`, sharing
-    /// one stats cell per endpoint.
+    /// one registry with per-endpoint metric labels.
     pub fn spawn_with<S: ObjectStore + 'static>(
         nodes: usize,
         dataset: &str,
@@ -244,7 +245,7 @@ impl RpcCache {
         let partition = ChunkPartition::new(chunks, nodes);
         let peers: Vec<PeerServer> =
             (0..nodes).map(|n| PeerServer::spawn(n, dataset, backing.clone())).collect();
-        let stats = Arc::new(NetStats::new());
+        let registry = Arc::new(Registry::new(opts.clock.clone()));
         let handles = peers
             .iter()
             .map(|peer| {
@@ -252,28 +253,29 @@ impl RpcCache {
                 if let Some(ns) = opts.timeout_ns {
                     raw = raw.with_timeout_ns(ns);
                 }
-                let cell = stats.endpoint(&raw.endpoint());
+                let metrics = EndpointMetrics::new(&registry, &raw.endpoint());
                 let chan: Channel<PeerRequest, PeerReply> = match &opts.fault_node {
                     Some((node, policy)) if *node == peer.node() => {
                         let faulty = FaultChannel::new(raw, policy.clone(), opts.clock.clone());
-                        let measured = Instrumented::new(faulty, cell.clone(), opts.clock.clone());
+                        let measured =
+                            Instrumented::new(faulty, metrics.clone(), opts.clock.clone());
                         Arc::new(
                             Retry::new(measured, opts.retry.clone(), opts.clock.clone())
-                                .with_stats(cell),
+                                .with_metrics(metrics),
                         )
                     }
                     _ => {
-                        let measured = Instrumented::new(raw, cell.clone(), opts.clock.clone());
+                        let measured = Instrumented::new(raw, metrics.clone(), opts.clock.clone());
                         Arc::new(
                             Retry::new(measured, opts.retry.clone(), opts.clock.clone())
-                                .with_stats(cell),
+                                .with_metrics(metrics),
                         )
                     }
                 };
                 PeerHandle::new(peer.node(), chan)
             })
             .collect();
-        RpcCache { partition, peers, handles, stats }
+        RpcCache { partition, peers, handles, registry }
     }
 
     /// The partition map (all clients share it, so owner lookup is
@@ -282,14 +284,16 @@ impl RpcCache {
         &self.partition
     }
 
-    /// Per-endpoint transport statistics (`peer@N` → counters).
-    pub fn net_stats(&self) -> &Arc<NetStats> {
-        &self.stats
+    /// The registry holding per-endpoint transport metrics
+    /// (`net.requests{endpoint=peer@N}` and friends).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
-    /// The instrumented connection to `node`.
-    pub fn handle(&self, node: usize) -> PeerHandle {
-        self.handles[node].clone()
+    /// The instrumented connection to `node`, or a `NodeDown` error for
+    /// out-of-range nodes.
+    pub fn handle(&self, node: usize) -> Result<PeerHandle> {
+        self.handles.get(node).cloned().ok_or(CacheError::NodeDown { node })
     }
 
     /// Read a file via its owner peer (one message round trip).
@@ -298,12 +302,14 @@ impl RpcCache {
             .partition
             .owner_of(meta.chunk)
             .ok_or_else(|| CacheError::UnknownChunk(meta.chunk.encode()))?;
-        self.handles[owner].fetch_file(meta)
+        self.handle(owner)?.fetch_file(meta)
     }
 
     /// Kill one node's peer server.
     pub fn kill_node(&mut self, node: usize) {
-        self.peers[node].kill();
+        if let Some(peer) = self.peers.get_mut(node) {
+            peer.kill();
+        }
     }
 }
 
@@ -419,7 +425,7 @@ mod tests {
         let mut rpc = RpcCache::spawn(3, "ds", store, chunks);
         for node in 0..3 {
             rpc.kill_node(node);
-            let h = rpc.handle(node);
+            let h = rpc.handle(node).unwrap();
             assert_eq!(h.node(), node);
             assert_eq!(h.fetch_file(&metas[0].1).unwrap_err(), CacheError::NodeDown { node },);
             assert_eq!(h.fetch_chunk(metas[0].1.chunk).unwrap_err(), CacheError::NodeDown { node },);
@@ -432,7 +438,7 @@ mod tests {
         let rpc = RpcCache::spawn(2, "ds", store, chunks.clone());
         for &c in &chunks {
             let owner = rpc.partition().owner_of(c).unwrap();
-            let bytes = rpc.handle(owner).fetch_chunk(c).unwrap();
+            let bytes = rpc.handle(owner).unwrap().fetch_chunk(c).unwrap();
             diesel_chunk::ChunkReader::parse(&bytes).unwrap();
         }
     }
@@ -443,7 +449,7 @@ mod tests {
         let handle = {
             let rpc = RpcCache::spawn(2, "ds", store, chunks);
             rpc.get_file(&metas[0].1).unwrap();
-            rpc.handle(0)
+            rpc.handle(0).unwrap()
         }; // rpc dropped here: threads joined
         assert!(handle.fetch_file(&metas[0].1).is_err(), "dead peer must error");
     }
@@ -470,22 +476,20 @@ mod tests {
         // Node 0's partition fails with its own node id after retries.
         let (_, meta) = of_node0[0];
         assert_eq!(rpc.get_file(meta).unwrap_err(), CacheError::NodeDown { node: 0 });
-        let snap = rpc.net_stats().snapshot();
-        let s0 = snap["peer@0"];
-        assert_eq!(s0.requests, 3, "one per attempt");
-        assert_eq!(s0.errors, 3);
-        assert_eq!(s0.timeouts, 3);
-        assert_eq!(s0.retries, 2);
+        let snap = rpc.registry().snapshot();
+        assert_eq!(snap.counter("net.requests{endpoint=peer@0}"), 3, "one per attempt");
+        assert_eq!(snap.counter("net.errors{endpoint=peer@0}"), 3);
+        assert_eq!(snap.counter("net.timeouts{endpoint=peer@0}"), 3);
+        assert_eq!(snap.counter("net.retries{endpoint=peer@0}"), 2);
 
         // Node 1 is healthy: same cache, same options, zero errors.
         for (_, meta) in &of_node1 {
             rpc.get_file(meta).unwrap();
         }
-        let snap = rpc.net_stats().snapshot();
-        let s1 = snap["peer@1"];
-        assert_eq!(s1.requests, of_node1.len() as u64);
-        assert_eq!(s1.errors, 0);
-        assert_eq!(s1.retries, 0);
+        let snap = rpc.registry().snapshot();
+        assert_eq!(snap.counter("net.requests{endpoint=peer@1}"), of_node1.len() as u64);
+        assert_eq!(snap.counter("net.errors{endpoint=peer@1}"), 0);
+        assert_eq!(snap.counter("net.retries{endpoint=peer@1}"), 0);
     }
 
     #[test]
@@ -512,9 +516,9 @@ mod tests {
         for (_, meta) in &metas {
             assert_eq!(rpc.get_file(meta).unwrap(), shm.get_file(meta).unwrap().data);
         }
-        let snap = rpc.net_stats().snapshot();
-        assert!(snap["peer@0"].retries > 0, "drops must have forced retries");
-        assert_eq!(snap["peer@1"].errors, 0);
+        let snap = rpc.registry().snapshot();
+        assert!(snap.counter("net.retries{endpoint=peer@0}") > 0, "drops must have forced retries");
+        assert_eq!(snap.counter("net.errors{endpoint=peer@1}"), 0);
     }
 
     #[test]

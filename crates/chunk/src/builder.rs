@@ -179,7 +179,7 @@ impl<'a> ChunkWriter<'a> {
 
     /// A writer stamping chunks from an explicit timestamp source (the
     /// determinism seam, rule R2): pass a closure over a shared
-    /// [`Clock`](diesel_util::Clock) so rebuilt datasets carry identical
+    /// [`Clock`] so rebuilt datasets carry identical
     /// timestamps.
     pub fn with_clock_fn(
         config: ChunkBuilderConfig,

@@ -16,6 +16,7 @@ use diesel_chunk::{ChunkId, SealedChunk};
 use diesel_kv::KvStore;
 use diesel_meta::{DatasetRecord, DirEntry, FileMeta, MetaSnapshot};
 use diesel_net::{Channel, DirectChannel, Endpoint};
+use diesel_obs::RegistrySnapshot;
 use diesel_store::{Bytes, ObjectStore};
 
 use crate::server::{DieselServer, PurgeReport};
@@ -104,6 +105,9 @@ pub enum ServerRequest {
         /// Dataset.
         dataset: String,
     },
+    /// A point-in-time snapshot of the server's metric registry, merged
+    /// with its KV and store backends (remote observability).
+    Stats,
 }
 
 /// A successful server reply; variants mirror [`ServerRequest`].
@@ -127,6 +131,8 @@ pub enum ServerResponse {
     Purge(PurgeReport),
     /// Number of objects removed.
     Removed(u64),
+    /// A metric-registry snapshot.
+    Stats(RegistrySnapshot),
 }
 
 /// Application-level outcome of one request. Transport failures live in
@@ -204,6 +210,14 @@ impl ServerResponse {
             other => Err(unexpected("a removal count", &other)),
         }
     }
+
+    /// Unwrap [`ServerResponse::Stats`].
+    pub fn into_stats(self) -> Result<RegistrySnapshot> {
+        match self {
+            ServerResponse::Stats(s) => Ok(s),
+            other => Err(unexpected("a stats snapshot", &other)),
+        }
+    }
 }
 
 impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
@@ -247,6 +261,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             ServerRequest::DeleteDataset { dataset } => {
                 self.delete_dataset(&dataset).map(ServerResponse::Removed)
             }
+            ServerRequest::Stats => Ok(ServerResponse::Stats(self.stats_snapshot())),
         }
     }
 
@@ -358,6 +373,10 @@ mod tests {
                 .len(),
             2
         );
+        let stats = conn.call(ServerRequest::Stats).unwrap().unwrap().into_stats().unwrap();
+        assert!(stats.counter("server.file_reads") >= 2, "reads counted: {stats:?}");
+        assert_eq!(stats.counter("server.chunks_ingested"), 1);
+        assert!(stats.sum_counter("kv.puts") > 0, "kv backend metrics merged in");
         conn.call(ServerRequest::DeleteFile { dataset: ds(), path: "a".into(), now_ms: 2_000 })
             .unwrap()
             .unwrap();

@@ -17,6 +17,7 @@
 //! dlcmd --store /data/diesel purge imagenet-1k
 //! dlcmd --store /data/diesel snapshot imagenet-1k ./imagenet.snap
 //! dlcmd --store /data/diesel datasets
+//! dlcmd --store /data/diesel stats
 //! ```
 
 use std::io::Write;
@@ -24,7 +25,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use diesel_core::dlcmd;
-use diesel_core::{DieselClient, DieselServer};
+use diesel_core::{DieselClient, DieselServer, ServerRequest};
 use diesel_kv::ShardedKv;
 use diesel_meta::EntryKind;
 use diesel_store::{DirObjectStore, ObjectStore};
@@ -44,7 +45,8 @@ fn usage() -> ExitCode {
            du <dataset>                   dataset usage summary\n  \
            purge <dataset>                compact chunks with holes\n  \
            snapshot <dataset> <out-file>  save the metadata snapshot\n  \
-           datasets                       list datasets in the store"
+           datasets                       list datasets in the store\n  \
+           stats                          dump server observability metrics"
     );
     ExitCode::from(2)
 }
@@ -174,6 +176,15 @@ fn run(args: &[String]) -> Result<(), Cli> {
                 "compacted {} chunks, removed {}, reclaimed {} bytes",
                 r.chunks_compacted, r.chunks_removed, r.bytes_reclaimed
             );
+            Ok(())
+        }
+        ("stats", []) => {
+            // Go through the wire request rather than reading the
+            // registry directly: this is exactly what a remote
+            // `ServerRequest::Stats` sees, with KV/store backend metrics
+            // merged into one consistent snapshot.
+            let snap = server.handle(ServerRequest::Stats).map_err(Cli::from)?.into_stats()?;
+            print!("{}", snap.render());
             Ok(())
         }
         ("snapshot", [dataset, out]) => {

@@ -539,7 +539,7 @@ mod tests {
         for (n, d) in &files {
             assert_eq!(c.get(n).unwrap().as_ref(), &d[..]);
         }
-        assert_eq!(cache.stats().file_reads, 40);
+        assert_eq!(cache.metrics().file_reads(), 40);
 
         // Kill a cache node: reads transparently fall back to the server.
         cache.kill_node(0);

@@ -70,6 +70,27 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> ServerPool<K, S> {
     pub fn channel(self: &Arc<Self>) -> ServerConn {
         self.clone()
     }
+
+    /// One merged observability snapshot for the whole deployment: every
+    /// front-end's own `server.*` counters summed together, plus the
+    /// *shared* KV and store backends counted exactly once (merging each
+    /// server's [`DieselServer::stats_snapshot`] would multiply the
+    /// backend counters by the pool size).
+    pub fn stats(&self) -> diesel_obs::RegistrySnapshot {
+        let mut merged = diesel_obs::RegistrySnapshot::default();
+        for s in &self.servers {
+            merged.merge(&s.own_snapshot());
+        }
+        if let Some(first) = self.servers.first() {
+            if let Some(kv) = first.meta().kv().obs_snapshot() {
+                merged.merge(&kv);
+            }
+            if let Some(store) = first.store().obs_snapshot() {
+                merged.merge(&store);
+            }
+        }
+        merged
+    }
 }
 
 impl<K: KvStore + 'static, S: ObjectStore + 'static> Service<ServerRequest, ServerReply>
@@ -176,6 +197,52 @@ mod tests {
         assert_eq!(check.file_list().unwrap().len(), 500);
         let rec = p.server(0).meta().dataset_record("ds").unwrap();
         assert_eq!(rec.file_count, 500);
+    }
+
+    #[test]
+    fn stats_request_per_server_and_pool_aggregation() {
+        // Three front-ends over one backend: each server's own executor
+        // counters are disjoint, every `ServerRequest::Stats` reply merges
+        // the shared KV exactly once, and the pool-level aggregate sums
+        // the front-ends without multiplying the backend.
+        let p = pool(3);
+        let writer = DieselClient::connect_with(
+            p.server(0).clone(),
+            "ds",
+            ClientConfig {
+                chunk: ChunkBuilderConfig { target_chunk_size: 2048, ..Default::default() },
+            },
+        );
+        for i in 0..12 {
+            writer.put(&format!("f{i:02}"), &[i as u8; 100]).unwrap();
+        }
+        writer.flush().unwrap();
+
+        // Server i serves i+1 file reads — distinct per-node counters.
+        for i in 0..3 {
+            let reader = DieselClient::connect(p.server(i).clone(), "ds");
+            reader.download_meta().unwrap();
+            for j in 0..=i {
+                reader.get(&format!("f{j:02}")).unwrap();
+            }
+        }
+        for i in 0..3u64 {
+            let own = p.server(i as usize).own_snapshot();
+            assert_eq!(own.counter("server.file_reads"), i + 1, "server {i} front-end counter");
+        }
+
+        // The wire endpoint on each server reports its own front-end
+        // counters plus the shared backend, merged into one snapshot.
+        let via_rpc =
+            p.server(1).handle(crate::api::ServerRequest::Stats).unwrap().into_stats().unwrap();
+        assert_eq!(via_rpc.counter("server.file_reads"), 2);
+        let backend_puts = via_rpc.sum_counter("kv.puts");
+        assert!(backend_puts > 0, "shared KV metrics ride along in the reply");
+
+        // Pool aggregate: front-end counters sum, backend counted once.
+        let agg = p.stats();
+        assert_eq!(agg.counter("server.file_reads"), 1 + 2 + 3);
+        assert_eq!(agg.sum_counter("kv.puts"), backend_puts, "backend must not be multiplied");
     }
 
     #[test]

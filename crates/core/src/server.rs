@@ -10,26 +10,12 @@ use diesel_meta::recovery::{
     chunk_object_key, recover_from_timestamp, recover_full, RecoveryReport,
 };
 use diesel_meta::{DirEntry, FileMeta, MetaService, MetaSnapshot};
+use diesel_obs::{Counter, Registry, RegistrySnapshot};
 use diesel_store::{Bytes, ObjectStore};
 use diesel_util::Mutex;
 
 use crate::executor::plan_chunk_reads;
 use crate::{DieselError, Result};
-
-/// Delta statistics from an incremental snapshot refresh.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RefreshStats {
-    /// Chunks newly scanned.
-    pub chunks_added: u64,
-    /// Chunks that vanished since the snapshot.
-    pub chunks_removed: u64,
-    /// Surviving chunks whose deletion bitmap was re-applied.
-    pub chunks_rechecked: u64,
-    /// Files added from new chunks.
-    pub files_added: u64,
-    /// Files dropped (vanished chunks + newly deleted).
-    pub files_removed: u64,
-}
 
 /// Statistics of a purge (`DL_purge`) sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +28,45 @@ pub struct PurgeReport {
     pub bytes_reclaimed: u64,
 }
 
+/// Per-server executor counters, registered under `server.*`.
+struct Metrics {
+    chunks_ingested: Counter,
+    file_reads: Counter,
+    chunks_fetched: Counter,
+    merged_reads: Counter,
+    merged_requests: Counter,
+    purge_chunks_compacted: Counter,
+    purge_chunks_removed: Counter,
+    purge_bytes_reclaimed: Counter,
+    refreshes: Counter,
+    refresh_chunks_added: Counter,
+    refresh_chunks_removed: Counter,
+    refresh_chunks_rechecked: Counter,
+    refresh_files_added: Counter,
+    refresh_files_removed: Counter,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Self {
+        Metrics {
+            chunks_ingested: registry.counter("server.chunks_ingested", &[]),
+            file_reads: registry.counter("server.file_reads", &[]),
+            chunks_fetched: registry.counter("server.chunks_fetched", &[]),
+            merged_reads: registry.counter("server.merged_reads", &[]),
+            merged_requests: registry.counter("server.merged_requests", &[]),
+            purge_chunks_compacted: registry.counter("server.purge.chunks_compacted", &[]),
+            purge_chunks_removed: registry.counter("server.purge.chunks_removed", &[]),
+            purge_bytes_reclaimed: registry.counter("server.purge.bytes_reclaimed", &[]),
+            refreshes: registry.counter("server.refreshes", &[]),
+            refresh_chunks_added: registry.counter("server.refresh.chunks_added", &[]),
+            refresh_chunks_removed: registry.counter("server.refresh.chunks_removed", &[]),
+            refresh_chunks_rechecked: registry.counter("server.refresh.chunks_rechecked", &[]),
+            refresh_files_added: registry.counter("server.refresh.files_added", &[]),
+            refresh_files_removed: registry.counter("server.refresh.files_removed", &[]),
+        }
+    }
+}
+
 /// The DIESEL server.
 pub struct DieselServer<K, S> {
     meta: MetaService<K>,
@@ -52,16 +77,27 @@ pub struct DieselServer<K, S> {
     // place without resizing the header), so caching it removes the
     // 4-byte probe read that used to precede every payload read.
     header_lens: Mutex<HashMap<String, u64>>,
+    registry: Arc<Registry>,
+    metrics: Metrics,
 }
 
 impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
-    /// Deploy a server over the given KV database and object store.
+    /// Deploy a server over the given KV database and object store, with
+    /// a private metrics registry.
     pub fn new(kv: Arc<K>, store: Arc<S>) -> Self {
+        Self::with_registry(kv, store, Arc::new(Registry::default()))
+    }
+
+    /// Deploy a server whose `server.*` counters land in `registry`.
+    pub fn with_registry(kv: Arc<K>, store: Arc<S>, registry: Arc<Registry>) -> Self {
+        let metrics = Metrics::new(&registry);
         DieselServer {
             meta: MetaService::new(kv),
             store,
             ids: ChunkIdGenerator::new(),
             header_lens: Mutex::new(HashMap::new()),
+            registry,
+            metrics,
         }
     }
 
@@ -81,6 +117,33 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         &self.store
     }
 
+    /// The registry holding this server's `server.*` counters.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A snapshot of this server's *own* metrics only — what a
+    /// [`ServerPool`](crate::ServerPool) merges per front-end so shared
+    /// backends are not double counted.
+    pub fn own_snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The full observability picture through this server: its own
+    /// `server.*` counters merged with the KV database's `kv.*` and the
+    /// object store's `store.*` metrics, when those layers keep
+    /// registries. Served remotely as `ServerRequest::Stats`.
+    pub fn stats_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = self.registry.snapshot();
+        if let Some(kv) = self.meta.kv().obs_snapshot() {
+            snap.merge(&kv);
+        }
+        if let Some(store) = self.store.obs_snapshot() {
+            snap.merge(&store);
+        }
+        snap
+    }
+
     // ---- write flow (Fig. 3) ----
 
     /// Receive one sealed chunk from a client: persist the chunk bytes
@@ -90,6 +153,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         self.store.put(&key, Bytes::from(chunk.bytes.clone()))?;
         self.meta.ingest_chunk(dataset, &chunk.header, chunk.bytes.len() as u64)?;
         self.header_lens.lock().insert(key, chunk.header.header_len as u64);
+        self.metrics.chunks_ingested.inc();
         Ok(())
     }
 
@@ -121,6 +185,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// Read one file when the caller already holds its metadata (clients
     /// with a snapshot skip the server-side lookup entirely).
     pub fn read_by_meta(&self, dataset: &str, meta: &FileMeta) -> Result<Bytes> {
+        self.metrics.file_reads.inc();
         let key = chunk_object_key(dataset, meta.chunk);
         // The payload offset is relative to the chunk payload; the chunk
         // header precedes it.
@@ -132,6 +197,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// Read a whole chunk (what the task-grained cache and the chunk-wise
     /// shuffle issue).
     pub fn read_chunk(&self, dataset: &str, chunk: ChunkId) -> Result<Bytes> {
+        self.metrics.chunks_fetched.inc();
         Ok(self.store.get(&chunk_object_key(dataset, chunk))?)
     }
 
@@ -139,6 +205,12 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// merged into one ranged read per chunk (Fig. 2). Results come back
     /// in the original request order.
     pub fn read_files_merged(&self, dataset: &str, paths: &[&str]) -> Result<Vec<Bytes>> {
+        // One batch: a merged read is never visible without its request
+        // count, so `merged_requests / merged_reads` is a sound average.
+        self.registry.batch(|| {
+            self.metrics.merged_reads.inc();
+            self.metrics.merged_requests.add(paths.len() as u64);
+        });
         let metas: Vec<FileMeta> = paths
             .iter()
             .map(|p| self.meta.file_meta(dataset, p))
@@ -256,6 +328,11 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             self.meta.ingest_chunk(dataset, &new_header, new_bytes.len() as u64)?;
             report.chunks_compacted += 1;
         }
+        self.registry.batch(|| {
+            self.metrics.purge_chunks_compacted.add(report.chunks_compacted);
+            self.metrics.purge_chunks_removed.add(report.chunks_removed);
+            self.metrics.purge_bytes_reclaimed.add(report.bytes_reclaimed);
+        });
         Ok(report)
     }
 
@@ -284,17 +361,16 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     ///   re-checked against their deletion bitmaps.
     ///
     /// Returns the refreshed snapshot — byte-equivalent in content to a
-    /// freshly built one — plus delta statistics.
-    pub fn refresh_snapshot(
-        &self,
-        snapshot: &MetaSnapshot,
-    ) -> Result<(MetaSnapshot, RefreshStats)> {
+    /// freshly built one. Delta statistics land in the server's
+    /// `server.refresh.*` counters (one atomic batch per refresh).
+    pub fn refresh_snapshot(&self, snapshot: &MetaSnapshot) -> Result<MetaSnapshot> {
         let dataset = snapshot.dataset.as_str();
         let record = self.meta.dataset_record(dataset)?;
-        let mut stats = RefreshStats::default();
         if snapshot.is_fresh(dataset, record.updated_ms) {
-            return Ok((snapshot.clone(), stats));
+            return Ok(snapshot.clone());
         }
+        let mut chunks_added = 0u64;
+        let mut files_added = 0u64;
         let current: Vec<ChunkId> = self.meta.chunk_ids(dataset)?;
         let current_set: std::collections::HashSet<ChunkId> = current.iter().copied().collect();
         let old_set: std::collections::HashSet<ChunkId> = snapshot.chunks.iter().copied().collect();
@@ -327,24 +403,24 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             })
             .cloned()
             .collect();
-        stats.files_removed = (before - files.len()) as u64;
-        stats.chunks_removed =
+        let files_removed = (before - files.len()) as u64;
+        let chunks_removed =
             snapshot.chunks.iter().filter(|c| !current_set.contains(c)).count() as u64;
-        stats.chunks_rechecked = rechecked.len() as u64;
+        let chunks_rechecked = rechecked.len() as u64;
 
         // Scan new chunks from their self-contained headers.
         for &id in &current {
             if old_set.contains(&id) {
                 continue;
             }
-            stats.chunks_added += 1;
+            chunks_added += 1;
             let bytes = self.store.get(&chunk_object_key(dataset, id))?;
             let header = diesel_chunk::ChunkHeader::decode(&bytes)?;
             for (i, f) in header.files.iter().enumerate() {
                 if header.bitmap.is_deleted(i) {
                     continue;
                 }
-                stats.files_added += 1;
+                files_added += 1;
                 files.push(diesel_meta::snapshot::SnapshotFile {
                     path: f.name.clone(),
                     meta: FileMeta {
@@ -358,15 +434,20 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             }
         }
         files.sort_by(|a, b| a.path.cmp(&b.path));
-        Ok((
-            MetaSnapshot {
-                dataset: dataset.to_owned(),
-                updated_ms: record.updated_ms,
-                chunks: current,
-                files,
-            },
-            stats,
-        ))
+        self.registry.batch(|| {
+            self.metrics.refreshes.inc();
+            self.metrics.refresh_chunks_added.add(chunks_added);
+            self.metrics.refresh_chunks_removed.add(chunks_removed);
+            self.metrics.refresh_chunks_rechecked.add(chunks_rechecked);
+            self.metrics.refresh_files_added.add(files_added);
+            self.metrics.refresh_files_removed.add(files_removed);
+        });
+        Ok(MetaSnapshot {
+            dataset: dataset.to_owned(),
+            updated_ms: record.updated_ms,
+            chunks: current,
+            files,
+        })
     }
 
     // ---- fault recovery (§4.1.2) ----
@@ -547,10 +628,10 @@ mod tests {
         ingest_files(&s, "ds", &refs, 2048);
         let snap0 = s.build_snapshot("ds").unwrap();
 
-        // Fresh snapshot: refresh is a no-op.
-        let (same, stats) = s.refresh_snapshot(&snap0).unwrap();
+        // Fresh snapshot: refresh is a no-op and counts nothing.
+        let same = s.refresh_snapshot(&snap0).unwrap();
         assert_eq!(same, snap0);
-        assert_eq!(stats, RefreshStats::default());
+        assert_eq!(s.own_snapshot().counter("server.refreshes"), 0);
 
         // Mutate: delete two files, write new ones, purge (rewrites a
         // chunk under a fresh ID).
@@ -563,7 +644,7 @@ mod tests {
         s.ingest_chunk("ds", &SealedChunk { header: h, bytes }).unwrap();
         s.purge_dataset("ds", 5_000_003).unwrap();
 
-        let (refreshed, stats) = s.refresh_snapshot(&snap0).unwrap();
+        let refreshed = s.refresh_snapshot(&snap0).unwrap();
         let mut full = s.build_snapshot("ds").unwrap();
         full.files.sort_by(|a, b| a.path.cmp(&b.path));
         let mut refreshed_sorted = refreshed.clone();
@@ -571,8 +652,10 @@ mod tests {
         assert_eq!(refreshed_sorted.files, full.files);
         assert_eq!(refreshed.chunks, full.chunks);
         assert_eq!(refreshed.updated_ms, full.updated_ms);
-        assert!(stats.chunks_added >= 1, "new chunk + compacted chunk: {stats:?}");
-        assert!(stats.files_removed >= 2, "{stats:?}");
+        let stats = s.own_snapshot();
+        assert_eq!(stats.counter("server.refreshes"), 1);
+        assert!(stats.counter("server.refresh.chunks_added") >= 1, "new + compacted chunk");
+        assert!(stats.counter("server.refresh.files_removed") >= 2);
         // The refreshed snapshot passes the freshness check.
         let rec = s.meta().dataset_record("ds").unwrap();
         assert!(refreshed.is_fresh("ds", rec.updated_ms));
@@ -589,10 +672,11 @@ mod tests {
         ingest_files(&s, "ds", &refs, 1 << 20); // one chunk
         let snap0 = s.build_snapshot("ds").unwrap();
         s.delete_file("ds", &files[2].0, 7_000_000).unwrap();
-        let (refreshed, stats) = s.refresh_snapshot(&snap0).unwrap();
-        assert_eq!(stats.chunks_added, 0);
-        assert_eq!(stats.chunks_rechecked, 1);
-        assert_eq!(stats.files_removed, 1);
+        let refreshed = s.refresh_snapshot(&snap0).unwrap();
+        let stats = s.own_snapshot();
+        assert_eq!(stats.counter("server.refresh.chunks_added"), 0);
+        assert_eq!(stats.counter("server.refresh.chunks_rechecked"), 1);
+        assert_eq!(stats.counter("server.refresh.files_removed"), 1);
         assert!(refreshed.files.iter().all(|f| f.path != files[2].0));
         assert_eq!(refreshed.files.len(), 5);
     }

@@ -17,10 +17,17 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use diesel_obs::{Gauge, Registry, RegistrySnapshot};
+
 use crate::hash::{key_slot, NUM_SLOTS};
 use crate::shard::ShardedKv;
-use crate::stats::KvStatsSnapshot;
 use crate::{KvError, KvStore, Result};
+
+/// Measured per-instance ceiling of the paper's Redis deployment
+/// (§6.2: 16 instances saturate at ~0.97 M QPS ⇒ ~60 k each). Snapshot
+/// readers divide observed op rates by `kv.qps_ceiling` to report
+/// saturation.
+pub const PAPER_QPS_PER_INSTANCE: u64 = 60_000;
 
 /// Construction parameters for [`KvCluster`].
 #[derive(Debug, Clone)]
@@ -58,6 +65,8 @@ impl Default for ClusterConfig {
 pub struct KvCluster {
     instances: Vec<Arc<ShardedKv>>,
     down: Vec<AtomicBool>,
+    registry: Arc<Registry>,
+    instances_down: Gauge,
 }
 
 impl std::fmt::Debug for KvCluster {
@@ -70,15 +79,40 @@ impl std::fmt::Debug for KvCluster {
 }
 
 impl KvCluster {
-    /// Build a cluster.
+    /// Build a cluster with its own metric registry.
     pub fn new(config: ClusterConfig) -> Self {
+        Self::with_registry(config, Arc::new(Registry::default()))
+    }
+
+    /// Build a cluster recording into `registry`: every instance gets
+    /// `kv.*{instance=N}` cells, and the cluster publishes its size and
+    /// QPS ceiling as gauges.
+    pub fn with_registry(config: ClusterConfig, registry: Arc<Registry>) -> Self {
         assert!(config.instances >= 1, "cluster needs at least one instance");
+        let instances = (0..config.instances)
+            .map(|i| {
+                let label = i.to_string();
+                Arc::new(ShardedKv::with_registry(
+                    config.shards_per_instance,
+                    registry.clone(),
+                    &[("instance", label.as_str())],
+                ))
+            })
+            .collect();
+        registry.gauge("kv.instances", &[]).set(config.instances as u64);
+        registry.gauge("kv.qps_ceiling", &[]).set(config.instances as u64 * PAPER_QPS_PER_INSTANCE);
+        let instances_down = registry.gauge("kv.instances_down", &[]);
         KvCluster {
-            instances: (0..config.instances)
-                .map(|_| Arc::new(ShardedKv::with_shards(config.shards_per_instance)))
-                .collect(),
+            instances,
             down: (0..config.instances).map(|_| AtomicBool::new(false)).collect(),
+            registry,
+            instances_down,
         }
+    }
+
+    /// The registry every instance records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Number of instances.
@@ -101,22 +135,31 @@ impl KvCluster {
 
     /// Take instance `idx` down; subsequent ops routed to it fail.
     pub fn fail_instance(&self, idx: usize) {
-        self.down[idx].store(true, Ordering::Release);
+        if !self.down[idx].swap(true, Ordering::Release) {
+            self.instances_down.add(1);
+            self.registry.event("kv.fail_instance", &[("instance", &idx.to_string())]);
+        }
     }
 
     /// Bring instance `idx` back up **empty** (its in-memory state was
     /// lost with the node).
     pub fn recover_instance(&self, idx: usize) {
         self.instances[idx].clear();
-        self.down[idx].store(false, Ordering::Release);
+        if self.down[idx].swap(false, Ordering::Release) {
+            self.instances_down.sub(1);
+        }
+        self.registry.event("kv.recover_instance", &[("instance", &idx.to_string())]);
     }
 
     /// Clear every instance (data-center power failure, scenario b).
     pub fn power_loss(&self) {
         for (i, inst) in self.instances.iter().enumerate() {
             inst.clear();
-            self.down[i].store(false, Ordering::Release);
+            if self.down[i].swap(false, Ordering::Release) {
+                self.instances_down.sub(1);
+            }
         }
+        self.registry.event("kv.power_loss", &[]);
     }
 
     /// Indices of currently-down instances.
@@ -129,17 +172,10 @@ impl KvCluster {
             .collect()
     }
 
-    /// Aggregated operation counters across instances.
-    pub fn stats(&self) -> KvStatsSnapshot {
-        let mut total = KvStatsSnapshot::default();
-        for inst in &self.instances {
-            let s = inst.stats().snapshot();
-            total.gets += s.gets;
-            total.puts += s.puts;
-            total.deletes += s.deletes;
-            total.scans += s.scans;
-        }
-        total
+    /// Total operations across instances (sums the per-instance
+    /// `kv.*{instance=N}` cells).
+    pub fn ops_total(&self) -> u64 {
+        self.instances.iter().map(|i| i.metrics().total()).sum()
     }
 
     /// Per-instance key counts (diagnostics / balance tests).
@@ -201,6 +237,12 @@ impl KvStore for KvCluster {
 
     fn len(&self) -> usize {
         self.instances.iter().map(|i| i.len()).sum()
+    }
+
+    fn obs_snapshot(&self) -> Option<RegistrySnapshot> {
+        // Every instance records into the cluster's shared registry, so
+        // one snapshot covers them all (no double counting).
+        Some(self.registry.snapshot())
     }
 }
 
@@ -318,6 +360,39 @@ mod tests {
         c.mput(pairs).unwrap();
         assert_eq!(c.len(), 1000);
         assert_eq!(c.get("b/500").unwrap(), Some(vec![244]));
+    }
+
+    #[test]
+    fn metrics_are_labelled_per_instance_in_one_registry() {
+        let c = cluster(4);
+        for i in 0..1000 {
+            c.put(&format!("m/{i}"), vec![]).unwrap();
+            c.get(&format!("m/{i}")).unwrap();
+        }
+        let snap = c.obs_snapshot().expect("cluster exposes its registry");
+        assert_eq!(snap.sum_counter("kv.puts"), 1000);
+        assert_eq!(snap.sum_counter("kv.gets"), 1000);
+        // Each instance owns a share of the keyspace, so each has its
+        // own labelled cell with a non-trivial count.
+        for i in 0..4 {
+            assert!(snap.counter(&format!("kv.puts{{instance={i}}}")) > 100, "{:?}", snap.counters);
+        }
+        assert_eq!(snap.gauge("kv.instances"), 4);
+        assert_eq!(snap.gauge("kv.qps_ceiling"), 4 * PAPER_QPS_PER_INSTANCE);
+        assert_eq!(c.ops_total(), 2000);
+    }
+
+    #[test]
+    fn failure_injection_moves_the_down_gauge_and_logs_events() {
+        let c = cluster(3);
+        c.fail_instance(1);
+        c.fail_instance(1); // idempotent: gauge must not double-count
+        assert_eq!(c.registry().snapshot().gauge("kv.instances_down"), 1);
+        c.recover_instance(1);
+        let snap = c.obs_snapshot().expect("registry");
+        assert_eq!(snap.gauge("kv.instances_down"), 0);
+        let scopes: Vec<&str> = snap.events.iter().map(|e| e.scope.as_str()).collect();
+        assert_eq!(scopes, vec!["kv.fail_instance", "kv.recover_instance"]);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //!   (CRC-16 of the key modulo 16384 slots, slots striped over
 //!   instances), per-instance failure injection (node kill) and whole-
 //!   cluster power-loss, mirroring the fault scenarios of §4.1.2.
-//! * [`KvStats`] — operation counters used by the benchmarks to report
-//!   QPS against the measured ceiling of the paper's Redis setup.
+//! * [`KvMetrics`] — operation-counter handles into a shared
+//!   `diesel-obs` registry, used by the benchmarks to report QPS
+//!   against the measured ceiling of the paper's Redis setup.
 //!
 //! The store is deliberately *not* persistent: the whole point of DIESEL's
 //! self-contained chunks is that this database can be lost and rebuilt.
@@ -26,7 +27,7 @@ pub mod stats;
 
 pub use cluster::{ClusterConfig, KvCluster};
 pub use shard::ShardedKv;
-pub use stats::KvStats;
+pub use stats::KvMetrics;
 
 /// Errors surfaced by KV operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +111,13 @@ pub trait KvStore: Send + Sync {
     /// True when no keys are stored.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A snapshot of this store's metric registry, when it keeps one.
+    /// Front-end servers merge it into their own snapshot so one read
+    /// shows the whole pipeline.
+    fn obs_snapshot(&self) -> Option<diesel_obs::RegistrySnapshot> {
+        None
     }
 }
 

@@ -6,18 +6,22 @@
 //! mirrors one Redis process: fast point ops, support for `SCAN`-style
 //! prefix iteration, and zero durability.
 
-use diesel_util::RwLock;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use diesel_obs::{Registry, RegistrySnapshot};
+use diesel_util::RwLock;
 
 use crate::hash::fnv1a_64;
-use crate::stats::KvStats;
+use crate::stats::KvMetrics;
 use crate::{KvStore, Result};
 
 /// A single in-memory KV instance.
 #[derive(Debug)]
 pub struct ShardedKv {
     shards: Vec<RwLock<BTreeMap<String, Vec<u8>>>>,
-    stats: KvStats,
+    registry: Arc<Registry>,
+    metrics: KvMetrics,
 }
 
 impl ShardedKv {
@@ -30,12 +34,22 @@ impl ShardedKv {
         Self::with_shards(Self::DEFAULT_SHARDS)
     }
 
-    /// An empty instance with an explicit stripe count (≥ 1).
+    /// An empty instance with an explicit stripe count (≥ 1) and its own
+    /// metric registry.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_registry(shards, Arc::new(Registry::default()), &[])
+    }
+
+    /// An empty instance recording into a shared `registry`, its metric
+    /// cells dimensioned by `labels` (how [`crate::KvCluster`] gives
+    /// each instance an `{instance=N}` identity in one registry).
+    pub fn with_registry(shards: usize, registry: Arc<Registry>, labels: &[(&str, &str)]) -> Self {
         assert!(shards >= 1, "need at least one shard");
+        let metrics = KvMetrics::new(&registry, labels);
         ShardedKv {
             shards: (0..shards).map(|_| RwLock::new(BTreeMap::new())).collect(),
-            stats: KvStats::default(),
+            registry,
+            metrics,
         }
     }
 
@@ -44,9 +58,14 @@ impl ShardedKv {
         &self.shards[idx]
     }
 
-    /// Operation counters for this instance.
-    pub fn stats(&self) -> &KvStats {
-        &self.stats
+    /// Operation-counter handles for this instance.
+    pub fn metrics(&self) -> &KvMetrics {
+        &self.metrics
+    }
+
+    /// The registry this instance records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Drop every key (simulated power loss / `FLUSHALL`).
@@ -73,18 +92,18 @@ impl Default for ShardedKv {
 
 impl KvStore for ShardedKv {
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
-        self.stats.record_get();
+        self.metrics.record_get();
         Ok(self.shard_for(key).read().get(key).cloned())
     }
 
     fn put(&self, key: &str, value: Vec<u8>) -> Result<()> {
-        self.stats.record_put();
+        self.metrics.record_put();
         self.shard_for(key).write().insert(key.to_owned(), value);
         Ok(())
     }
 
     fn delete(&self, key: &str) -> Result<bool> {
-        self.stats.record_delete();
+        self.metrics.record_delete();
         Ok(self.shard_for(key).write().remove(key).is_some())
     }
 
@@ -93,7 +112,7 @@ impl KvStore for ShardedKv {
         key: &str,
         f: &mut dyn FnMut(Option<Vec<u8>>) -> Option<Vec<u8>>,
     ) -> Result<()> {
-        self.stats.record_put();
+        self.metrics.record_put();
         let mut shard = self.shard_for(key).write();
         match f(shard.get(key).cloned()) {
             Some(v) => {
@@ -107,7 +126,7 @@ impl KvStore for ShardedKv {
     }
 
     fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {
-        self.stats.record_scan();
+        self.metrics.record_scan();
         let mut out = Vec::new();
         for s in &self.shards {
             let guard = s.read();
@@ -124,6 +143,10 @@ impl KvStore for ShardedKv {
 
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn obs_snapshot(&self) -> Option<RegistrySnapshot> {
+        Some(self.registry.snapshot())
     }
 }
 
@@ -184,8 +207,11 @@ mod tests {
         kv.get("b").unwrap();
         kv.pscan("").unwrap();
         kv.delete("a").unwrap();
-        let s = kv.stats().snapshot();
-        assert_eq!((s.gets, s.puts, s.deletes, s.scans), (2, 1, 1, 1));
+        let m = kv.metrics();
+        assert_eq!((m.gets(), m.puts(), m.deletes(), m.scans()), (2, 1, 1, 1));
+        let snap = kv.obs_snapshot().expect("sharded kv exposes its registry");
+        assert_eq!(snap.counter("kv.gets"), 2);
+        assert_eq!(snap.counter("kv.puts"), 1);
     }
 
     #[test]

@@ -1,88 +1,92 @@
-//! Operation counters for KV instances.
+//! Operation metrics for KV instances, backed by `diesel-obs`.
 //!
-//! Counters are relaxed atomics: they feed throughput reports, not
-//! synchronization.
+//! Counters are registry cells updated with relaxed atomics: they feed
+//! throughput reports, not synchronization. Inside a [`crate::KvCluster`]
+//! every instance shares one registry and rides an `{instance=N}` label,
+//! so a single snapshot shows both the per-instance spread and (via
+//! [`diesel_obs::RegistrySnapshot::sum_counter`]) cluster totals.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use diesel_obs::{Counter, Registry};
 
-/// Live operation counters for one instance or cluster.
-#[derive(Debug, Default)]
-pub struct KvStats {
-    gets: AtomicU64,
-    puts: AtomicU64,
-    deletes: AtomicU64,
-    scans: AtomicU64,
+/// Counter handles for one KV instance (`kv.gets` … `kv.scans`).
+/// Cheap to clone; clones share the registry cells.
+#[derive(Clone, Debug)]
+pub struct KvMetrics {
+    gets: Counter,
+    puts: Counter,
+    deletes: Counter,
+    scans: Counter,
 }
 
-/// A point-in-time copy of [`KvStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct KvStatsSnapshot {
-    /// Number of `get` calls (including misses).
-    pub gets: u64,
-    /// Number of `put` calls.
-    pub puts: u64,
-    /// Number of `delete` calls.
-    pub deletes: u64,
-    /// Number of `pscan` calls.
-    pub scans: u64,
-}
-
-impl KvStatsSnapshot {
-    /// Total operations.
-    pub fn total(&self) -> u64 {
-        self.gets + self.puts + self.deletes + self.scans
-    }
-}
-
-impl KvStats {
-    pub(crate) fn record_get(&self) {
-        self.gets.fetch_add(1, Ordering::Relaxed);
-    }
-    pub(crate) fn record_put(&self) {
-        self.puts.fetch_add(1, Ordering::Relaxed);
-    }
-    pub(crate) fn record_delete(&self) {
-        self.deletes.fetch_add(1, Ordering::Relaxed);
-    }
-    pub(crate) fn record_scan(&self) {
-        self.scans.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Copy the counters.
-    pub fn snapshot(&self) -> KvStatsSnapshot {
-        KvStatsSnapshot {
-            gets: self.gets.load(Ordering::Relaxed),
-            puts: self.puts.load(Ordering::Relaxed),
-            deletes: self.deletes.load(Ordering::Relaxed),
-            scans: self.scans.load(Ordering::Relaxed),
+impl KvMetrics {
+    /// Handles in `registry`, dimensioned by `labels` (e.g.
+    /// `[("instance", "3")]` inside a cluster).
+    pub fn new(registry: &Registry, labels: &[(&str, &str)]) -> Self {
+        KvMetrics {
+            gets: registry.counter("kv.gets", labels),
+            puts: registry.counter("kv.puts", labels),
+            deletes: registry.counter("kv.deletes", labels),
+            scans: registry.counter("kv.scans", labels),
         }
     }
 
-    /// Zero all counters.
-    pub fn reset(&self) {
-        self.gets.store(0, Ordering::Relaxed);
-        self.puts.store(0, Ordering::Relaxed);
-        self.deletes.store(0, Ordering::Relaxed);
-        self.scans.store(0, Ordering::Relaxed);
+    pub(crate) fn record_get(&self) {
+        self.gets.inc();
+    }
+    pub(crate) fn record_put(&self) {
+        self.puts.inc();
+    }
+    pub(crate) fn record_delete(&self) {
+        self.deletes.inc();
+    }
+    pub(crate) fn record_scan(&self) {
+        self.scans.inc();
+    }
+
+    /// Number of `get` calls (including misses).
+    pub fn gets(&self) -> u64 {
+        self.gets.get()
+    }
+
+    /// Number of `put`/`update` calls.
+    pub fn puts(&self) -> u64 {
+        self.puts.get()
+    }
+
+    /// Number of `delete` calls.
+    pub fn deletes(&self) -> u64 {
+        self.deletes.get()
+    }
+
+    /// Number of `pscan` calls.
+    pub fn scans(&self) -> u64 {
+        self.scans.get()
+    }
+
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.gets() + self.puts() + self.deletes() + self.scans()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
-    fn snapshot_and_reset() {
-        let s = KvStats::default();
-        s.record_get();
-        s.record_get();
-        s.record_put();
-        s.record_scan();
-        s.record_delete();
-        let snap = s.snapshot();
-        assert_eq!(snap.gets, 2);
-        assert_eq!(snap.total(), 5);
-        s.reset();
-        assert_eq!(s.snapshot().total(), 0);
+    fn records_flow_into_the_registry() {
+        let reg = Registry::new(Arc::new(diesel_util::MockClock::new()));
+        let m = KvMetrics::new(&reg, &[("instance", "0")]);
+        m.record_get();
+        m.record_get();
+        m.record_put();
+        m.record_scan();
+        m.record_delete();
+        assert_eq!(m.gets(), 2);
+        assert_eq!(m.total(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("kv.gets{instance=0}"), 2);
+        assert_eq!(snap.sum_counter("kv.puts"), 1);
     }
 }

@@ -5,7 +5,7 @@
 use crate::{Finding, Rule};
 
 /// Crates whose library code must be panic-free (R1).
-pub const R1_CRATES: &[&str] = &["core", "cache", "meta", "kv", "net", "store", "chunk"];
+pub const R1_CRATES: &[&str] = &["core", "cache", "meta", "kv", "net", "store", "chunk", "obs"];
 
 /// Modules allowed to read real time or entropy (R2): the one clock
 /// implementation and its `diesel_net::clock` re-export shim.

@@ -3,7 +3,7 @@
 //! A [`DirectChannel`] calls its handler on the caller's thread with no
 //! queueing, no copy, and no serialization — exactly the behavior of
 //! holding an `Arc<Server>` and calling methods on it, but expressed as
-//! a [`Service`](crate::Service) so the same call sites can later be
+//! a [`Service`] so the same call sites can later be
 //! pointed at a threaded, simulated, or fault-injected transport.
 
 use crate::{Endpoint, Result, Service};

@@ -26,9 +26,9 @@
 //! - [`FaultChannel`] — seeded fault injection (drop → timeout, delay,
 //!   reject, permanent disconnect) for exercising failure paths
 //!   deterministically.
-//! - [`Instrumented`] + [`EndpointStats`] — per-endpoint request/error/
-//!   retry/timeout counters and a latency histogram
-//!   ([`diesel_simnet::Histogram`]).
+//! - [`Instrumented`] + [`EndpointMetrics`] — per-endpoint request/
+//!   error/retry/timeout counters and a latency histogram, living in a
+//!   shared [`diesel_obs::Registry`] for one-snapshot observability.
 //! - [`BalancedChannel`] — round-robin load balancing over N backends
 //!   with failover past disconnected ones.
 
@@ -47,7 +47,7 @@ pub use direct::DirectChannel;
 pub use fault::{FaultChannel, FaultPolicy};
 pub use retry::{Retry, RetryPolicy};
 pub use sim::SimCostChannel;
-pub use stats::{EndpointStats, Instrumented, NetStats, StatsSnapshot};
+pub use stats::{EndpointMetrics, Instrumented};
 pub use thread::{ThreadChannel, ThreadServer};
 
 use std::sync::Arc;

@@ -1,6 +1,6 @@
 //! Bounded retry with exponential backoff.
 //!
-//! Retries only errors where a retry can help ([`NetError::is_retryable`],
+//! Retries only errors where a retry can help ([`crate::NetError::is_retryable`],
 //! i.e. timeouts — the reply may simply have been lost). Backoff waits go
 //! through the injected [`Clock`], so tests drive the schedule with a
 //! [`MockClock`](crate::MockClock) and never sleep for real.
@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use crate::clock::Clock;
-use crate::stats::EndpointStats;
+use crate::stats::EndpointMetrics;
 use crate::{Endpoint, Result, Service};
 
 /// When and how much to back off.
@@ -54,18 +54,19 @@ pub struct Retry<S> {
     inner: S,
     policy: RetryPolicy,
     clock: Arc<dyn Clock>,
-    stats: Option<Arc<EndpointStats>>,
+    metrics: Option<EndpointMetrics>,
 }
 
 impl<S> Retry<S> {
     /// Wrap `inner`; backoff waits use `clock`.
     pub fn new(inner: S, policy: RetryPolicy, clock: Arc<dyn Clock>) -> Self {
-        Retry { inner, policy, clock, stats: None }
+        Retry { inner, policy, clock, metrics: None }
     }
 
-    /// Count retry attempts into `stats`.
-    pub fn with_stats(mut self, stats: Arc<EndpointStats>) -> Self {
-        self.stats = Some(stats);
+    /// Count retry attempts into `metrics` (the endpoint's registry
+    /// cells).
+    pub fn with_metrics(mut self, metrics: EndpointMetrics) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -77,8 +78,8 @@ impl<Req: Clone, Resp, S: Service<Req, Resp>> Service<Req, Resp> for Retry<S> {
             match self.inner.call(req.clone()) {
                 Ok(resp) => return Ok(resp),
                 Err(e) if e.is_retryable() && retry + 1 < self.policy.max_attempts => {
-                    if let Some(stats) = &self.stats {
-                        stats.record_retry();
+                    if let Some(metrics) = &self.metrics {
+                        metrics.record_retry();
                     }
                     self.clock.sleep_ns(self.policy.backoff_ns(retry));
                     retry += 1;
@@ -140,12 +141,13 @@ mod tests {
     fn succeeds_after_transient_timeouts() {
         let (inner, calls) = flaky(2);
         let clock = Arc::new(MockClock::new());
-        let stats = Arc::new(EndpointStats::new());
+        let reg = diesel_obs::Registry::new(clock.clone());
+        let metrics = EndpointMetrics::new(&reg, &Endpoint::new("flaky", 0));
         let chan =
-            Retry::new(inner, RetryPolicy::default(), clock.clone()).with_stats(stats.clone());
+            Retry::new(inner, RetryPolicy::default(), clock.clone()).with_metrics(metrics.clone());
         assert_eq!(chan.call(5).unwrap(), 5);
         assert_eq!(calls.load(Ordering::SeqCst), 3);
-        assert_eq!(stats.retries(), 2);
+        assert_eq!(metrics.retries(), 2);
         // Backoffs waited on the mock clock: 1 ms then 2 ms.
         assert_eq!(clock.now_ns(), 3_000_000);
     }

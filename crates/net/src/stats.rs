@@ -1,151 +1,110 @@
-//! Per-endpoint RPC statistics.
+//! Per-endpoint RPC metrics, backed by the `diesel-obs` registry.
 //!
-//! Every instrumented channel feeds an [`EndpointStats`]: monotonic
-//! request/error/retry/timeout counters plus a latency histogram
-//! ([`diesel_simnet::Histogram`], ~4 % log buckets). A [`NetStats`]
-//! registry hands out one `EndpointStats` per [`Endpoint`] so a process
-//! can snapshot all its channels at once.
+//! Every instrumented channel feeds an [`EndpointMetrics`]: a bundle of
+//! handles into a shared [`Registry`] — monotonic request/error/retry/
+//! timeout counters plus a latency histogram (~4 % log buckets), all
+//! labelled `{endpoint=name@node}`. Snapshot the registry to see every
+//! channel of a process at once; merge snapshots to aggregate across
+//! processes.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use diesel_simnet::{Histogram, Summary};
-use diesel_util::Mutex;
+use diesel_obs::{Counter, HistogramHandle, Registry, Summary};
 
 use crate::clock::Clock;
 use crate::{Endpoint, NetError, Result, Service};
 
-/// Live counters for one endpoint. All methods are thread-safe.
-#[derive(Debug, Default)]
-pub struct EndpointStats {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    retries: AtomicU64,
-    timeouts: AtomicU64,
-    latency: Mutex<Histogram>,
+/// Metric handles for one endpoint. Cheap to clone; clones share the
+/// registry cells.
+#[derive(Clone, Debug)]
+pub struct EndpointMetrics {
+    requests: Counter,
+    errors: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    latency: HistogramHandle,
 }
 
-impl EndpointStats {
-    /// Fresh, all-zero stats.
-    pub fn new() -> Self {
-        EndpointStats::default()
+impl EndpointMetrics {
+    /// The handles for `endpoint` inside `registry`, created on first
+    /// use. Requesting the same endpoint twice yields the same cells.
+    pub fn new(registry: &Registry, endpoint: &Endpoint) -> Self {
+        let ep = endpoint.to_string();
+        let labels = [("endpoint", ep.as_str())];
+        EndpointMetrics {
+            requests: registry.counter("net.requests", &labels),
+            errors: registry.counter("net.errors", &labels),
+            retries: registry.counter("net.retries", &labels),
+            timeouts: registry.counter("net.timeouts", &labels),
+            latency: registry.histogram("net.latency", &labels),
+        }
+    }
+
+    /// The full metric id `metric{endpoint=…}` — how these cells appear
+    /// in a [`diesel_obs::RegistrySnapshot`].
+    pub fn id(metric: &str, endpoint: &Endpoint) -> String {
+        format!("{metric}{{endpoint={endpoint}}}")
     }
 
     /// Record one completed call (success or failure) and its latency.
     pub fn record_call(&self, latency_ns: u64, outcome: &Result<()>) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         if let Err(e) = outcome {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.errors.inc();
             if matches!(e, NetError::Timeout { .. }) {
-                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.timeouts.inc();
             }
         }
-        self.latency.lock().record_ns(latency_ns);
+        self.latency.record_ns(latency_ns);
     }
 
     /// Record one retry attempt (called by the retry middleware).
     pub fn record_retry(&self) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.retries.inc();
     }
 
     /// Completed calls (including failed ones).
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Calls that returned a transport error.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.errors.get()
     }
 
     /// Retry attempts made on top of first attempts.
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.retries.get()
     }
 
     /// Errors that were specifically timeouts.
     pub fn timeouts(&self) -> u64 {
-        self.timeouts.load(Ordering::Relaxed)
+        self.timeouts.get()
     }
 
-    /// Consistent point-in-time copy of all counters and the latency
-    /// summary.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            requests: self.requests(),
-            errors: self.errors(),
-            retries: self.retries(),
-            timeouts: self.timeouts(),
-            latency: self.latency.lock().summary(),
-        }
-    }
-}
-
-/// Frozen view of an [`EndpointStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    /// Completed calls.
-    pub requests: u64,
-    /// Transport errors among them.
-    pub errors: u64,
-    /// Retry attempts.
-    pub retries: u64,
-    /// Timeout errors among the errors.
-    pub timeouts: u64,
-    /// Latency distribution of completed calls.
-    pub latency: Summary,
-}
-
-impl std::fmt::Display for StatsSnapshot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "req={} err={} retry={} timeout={} lat[{}]",
-            self.requests, self.errors, self.retries, self.timeouts, self.latency
-        )
-    }
-}
-
-/// Registry mapping endpoints to their stats; shared across channels.
-#[derive(Debug, Default)]
-pub struct NetStats {
-    endpoints: Mutex<BTreeMap<String, Arc<EndpointStats>>>,
-}
-
-impl NetStats {
-    /// An empty registry.
-    pub fn new() -> Self {
-        NetStats::default()
-    }
-
-    /// The stats cell for `endpoint`, created on first use.
-    pub fn endpoint(&self, endpoint: &Endpoint) -> Arc<EndpointStats> {
-        self.endpoints.lock().entry(endpoint.to_string()).or_default().clone()
-    }
-
-    /// Snapshot every registered endpoint, keyed by `name@node`.
-    pub fn snapshot(&self) -> BTreeMap<String, StatsSnapshot> {
-        self.endpoints.lock().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+    /// Latency distribution of completed calls so far.
+    pub fn latency(&self) -> Summary {
+        self.latency.summary()
     }
 }
 
 /// Middleware that counts and times every call through `inner`.
 pub struct Instrumented<S> {
     inner: S,
-    stats: Arc<EndpointStats>,
+    metrics: EndpointMetrics,
     clock: Arc<dyn Clock>,
 }
 
 impl<S> Instrumented<S> {
-    /// Wrap `inner`, feeding `stats` using `clock` for latency.
-    pub fn new(inner: S, stats: Arc<EndpointStats>, clock: Arc<dyn Clock>) -> Self {
-        Instrumented { inner, stats, clock }
+    /// Wrap `inner`, feeding `metrics` using `clock` for latency.
+    pub fn new(inner: S, metrics: EndpointMetrics, clock: Arc<dyn Clock>) -> Self {
+        Instrumented { inner, metrics, clock }
     }
 
-    /// The stats cell this wrapper feeds.
-    pub fn stats(&self) -> &Arc<EndpointStats> {
-        &self.stats
+    /// The metric handles this wrapper feeds.
+    pub fn metrics(&self) -> &EndpointMetrics {
+        &self.metrics
     }
 }
 
@@ -158,7 +117,7 @@ impl<Req, Resp, S: Service<Req, Resp>> Service<Req, Resp> for Instrumented<S> {
             Ok(_) => Ok(()),
             Err(e) => Err(e.clone()),
         };
-        self.stats.record_call(latency, &probe);
+        self.metrics.record_call(latency, &probe);
         out
     }
 
@@ -169,7 +128,7 @@ impl<Req, Resp, S: Service<Req, Resp>> Service<Req, Resp> for Instrumented<S> {
 
 impl<S> std::fmt::Debug for Instrumented<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Instrumented").field("stats", &self.stats).finish_non_exhaustive()
+        f.debug_struct("Instrumented").field("metrics", &self.metrics).finish_non_exhaustive()
     }
 }
 
@@ -178,6 +137,10 @@ mod tests {
     use super::*;
     use crate::clock::MockClock;
     use crate::direct::DirectChannel;
+
+    fn registry() -> Registry {
+        Registry::new(Arc::new(MockClock::new()))
+    }
 
     #[test]
     fn counts_successes_and_errors_separately() {
@@ -189,18 +152,18 @@ mod tests {
                 Err(NetError::Timeout { endpoint: Endpoint::new("svc", 0), after_ns: 1 })
             }
         });
+        let reg = registry();
         let clock = Arc::new(MockClock::new());
-        let stats = Arc::new(EndpointStats::new());
-        let chan = Instrumented::new(inner, stats.clone(), clock);
+        let chan = Instrumented::new(inner, EndpointMetrics::new(&reg, &ep), clock);
         for x in 0..10u64 {
             let _ = chan.call(x);
         }
-        let s = stats.snapshot();
-        assert_eq!(s.requests, 10);
-        assert_eq!(s.errors, 5);
-        assert_eq!(s.timeouts, 5);
-        assert_eq!(s.retries, 0);
-        assert_eq!(s.latency.count, 10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("net.requests{endpoint=svc@0}"), 10);
+        assert_eq!(snap.counter("net.errors{endpoint=svc@0}"), 5);
+        assert_eq!(snap.counter("net.timeouts{endpoint=svc@0}"), 5);
+        assert_eq!(snap.counter("net.retries{endpoint=svc@0}"), 0);
+        assert_eq!(snap.histogram_summary("net.latency{endpoint=svc@0}").count, 10);
     }
 
     #[test]
@@ -208,29 +171,33 @@ mod tests {
         let ep = Endpoint::new("svc", 1);
         let clock = Arc::new(MockClock::new());
         let c2 = clock.clone();
-        let inner = DirectChannel::new(ep, move |_: ()| {
+        let inner = DirectChannel::new(ep.clone(), move |_: ()| {
             c2.advance(2_000_000); // handler "takes" 2 ms
             Ok(())
         });
-        let stats = Arc::new(EndpointStats::new());
-        let chan = Instrumented::new(inner, stats.clone(), clock);
+        let reg = registry();
+        let chan = Instrumented::new(inner, EndpointMetrics::new(&reg, &ep), clock);
         chan.call(()).unwrap();
-        let s = stats.snapshot();
-        assert_eq!(s.latency.max.as_millis(), 2);
+        let s = chan.metrics().latency();
+        assert_eq!(s.max_ns, 2_000_000);
     }
 
     #[test]
-    fn registry_reuses_cells_and_snapshots_all() {
-        let reg = NetStats::new();
-        let a1 = reg.endpoint(&Endpoint::new("peer", 0));
-        let a2 = reg.endpoint(&Endpoint::new("peer", 0));
-        let b = reg.endpoint(&Endpoint::new("peer", 1));
-        assert!(Arc::ptr_eq(&a1, &a2));
-        assert!(!Arc::ptr_eq(&a1, &b));
+    fn same_endpoint_shares_registry_cells() {
+        let reg = registry();
+        let a1 = EndpointMetrics::new(&reg, &Endpoint::new("peer", 0));
+        let a2 = EndpointMetrics::new(&reg, &Endpoint::new("peer", 0));
+        let b = EndpointMetrics::new(&reg, &Endpoint::new("peer", 1));
         a1.record_call(10, &Ok(()));
+        a2.record_call(10, &Ok(()));
         b.record_retry();
+        assert_eq!(a1.requests(), 2, "clones share one cell");
         let snap = reg.snapshot();
-        assert_eq!(snap["peer@0"].requests, 1);
-        assert_eq!(snap["peer@1"].retries, 1);
+        assert_eq!(
+            snap.counter(&EndpointMetrics::id("net.requests", &Endpoint::new("peer", 0))),
+            2
+        );
+        assert_eq!(snap.counter("net.retries{endpoint=peer@1}"), 1);
+        assert_eq!(snap.sum_counter("net.requests"), 2);
     }
 }

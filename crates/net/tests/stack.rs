@@ -1,17 +1,19 @@
 //! The full middleware stack, composed the way production code uses it:
 //! `Retry( Instrumented( FaultChannel( ThreadChannel ) ) )`, all driven
-//! by one shared mock clock — no wall-clock sleeps anywhere.
+//! by one shared mock clock — no wall-clock sleeps anywhere. Metrics
+//! flow into one `diesel_obs::Registry` and are read back as snapshots.
 
 use std::sync::Arc;
 
 use diesel_net::{
-    Channel, Clock, Endpoint, EndpointStats, FaultChannel, FaultPolicy, Instrumented, MockClock,
-    NetError, NetStats, Retry, RetryPolicy, Service, ThreadServer,
+    Channel, Clock, Endpoint, EndpointMetrics, FaultChannel, FaultPolicy, Instrumented, MockClock,
+    NetError, Retry, RetryPolicy, Service, ThreadServer,
 };
+use diesel_obs::Registry;
 
 struct Stack {
     chan: Channel<u64, u64>,
-    stats: Arc<EndpointStats>,
+    metrics: EndpointMetrics,
     clock: Arc<MockClock>,
     _server: ThreadServer<u64, u64>,
 }
@@ -20,13 +22,13 @@ struct Stack {
 fn stack(policy: FaultPolicy, retry: RetryPolicy) -> Stack {
     let clock = Arc::new(MockClock::new());
     let server = ThreadServer::spawn(Endpoint::new("peer", 2), |x: u64| x + 100);
-    let reg = NetStats::new();
-    let stats = reg.endpoint(server.endpoint());
+    let reg = Registry::new(clock.clone());
+    let metrics = EndpointMetrics::new(&reg, server.endpoint());
     let faulty = FaultChannel::new(server.channel(), policy, clock.clone());
-    let measured = Instrumented::new(faulty, stats.clone(), clock.clone());
+    let measured = Instrumented::new(faulty, metrics.clone(), clock.clone());
     let chan: Channel<u64, u64> =
-        Arc::new(Retry::new(measured, retry, clock.clone()).with_stats(stats.clone()));
-    Stack { chan, stats, clock, _server: server }
+        Arc::new(Retry::new(measured, retry, clock.clone()).with_metrics(metrics.clone()));
+    Stack { chan, metrics, clock, _server: server }
 }
 
 #[test]
@@ -35,11 +37,10 @@ fn clean_stack_is_transparent() {
     for i in 0..50 {
         assert_eq!(s.chan.call(i).unwrap(), i + 100);
     }
-    let snap = s.stats.snapshot();
-    assert_eq!(snap.requests, 50);
-    assert_eq!(snap.errors, 0);
-    assert_eq!(snap.retries, 0);
-    assert_eq!(snap.latency.count, 50);
+    assert_eq!(s.metrics.requests(), 50);
+    assert_eq!(s.metrics.errors(), 0);
+    assert_eq!(s.metrics.retries(), 0);
+    assert_eq!(s.metrics.latency().count, 50);
 }
 
 #[test]
@@ -53,11 +54,10 @@ fn every_request_dropped_escalates_after_retries() {
     );
     let err = s.chan.call(7).unwrap_err();
     assert_eq!(err, NetError::Timeout { endpoint: Endpoint::new("peer", 2), after_ns: 50_000_000 });
-    let snap = s.stats.snapshot();
-    assert_eq!(snap.requests, 3, "one per attempt");
-    assert_eq!(snap.errors, 3);
-    assert_eq!(snap.timeouts, 3);
-    assert_eq!(snap.retries, 2);
+    assert_eq!(s.metrics.requests(), 3, "one per attempt");
+    assert_eq!(s.metrics.errors(), 3);
+    assert_eq!(s.metrics.timeouts(), 3);
+    assert_eq!(s.metrics.retries(), 2);
     // 3 drops at 50 ms + backoffs 1 ms + 2 ms — all on the mock clock.
     assert_eq!(s.clock.now_ns(), 153_000_000);
 }
@@ -78,10 +78,9 @@ fn transient_drops_are_absorbed_by_retries() {
             Err(e) => assert!(e.is_retryable(), "only timeouts escape: {e:?}"),
         }
     }
-    let snap = s.stats.snapshot();
     assert!(ok >= 180, "retries should absorb most drops: ok={ok}");
-    assert!(snap.retries > 0, "some retries must have fired");
-    assert_eq!(snap.requests, snap.errors + ok, "attempts = failures + successes");
+    assert!(s.metrics.retries() > 0, "some retries must have fired");
+    assert_eq!(s.metrics.requests(), s.metrics.errors() + ok, "attempts = failures + successes");
 }
 
 #[test]
@@ -98,17 +97,19 @@ fn fault_sequences_are_deterministic_end_to_end() {
 fn disconnected_server_is_not_retried() {
     let clock = Arc::new(MockClock::new());
     let mut server = ThreadServer::spawn(Endpoint::new("peer", 4), |x: u64| x);
-    let stats = Arc::new(EndpointStats::new());
-    let measured = Instrumented::new(server.channel(), stats.clone(), clock.clone());
+    let reg = Registry::new(clock.clone());
+    let metrics = EndpointMetrics::new(&reg, server.endpoint());
+    let measured = Instrumented::new(server.channel(), metrics.clone(), clock.clone());
     let chan =
-        Retry::new(measured, RetryPolicy::default(), clock.clone()).with_stats(stats.clone());
+        Retry::new(measured, RetryPolicy::default(), clock.clone()).with_metrics(metrics.clone());
     assert_eq!(chan.call(1).unwrap(), 1);
     server.kill();
     let err = chan.call(2).unwrap_err();
     assert_eq!(err, NetError::Disconnected { endpoint: Endpoint::new("peer", 4) });
-    let snap = stats.snapshot();
-    assert_eq!(snap.requests, 2);
-    assert_eq!(snap.errors, 1);
-    assert_eq!(snap.retries, 0, "disconnects fail fast");
+    // The registry snapshot carries the same story as the live handles.
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("net.requests{endpoint=peer@4}"), 2);
+    assert_eq!(snap.counter("net.errors{endpoint=peer@4}"), 1);
+    assert_eq!(snap.counter("net.retries{endpoint=peer@4}"), 0, "disconnects fail fast");
     assert_eq!(clock.now_ns(), 0, "no backoff burned");
 }

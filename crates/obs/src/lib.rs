@@ -1,0 +1,34 @@
+//! # diesel-obs — the workspace's observability core
+//!
+//! DIESEL's evaluation is counter-driven: cache hit ratios (Fig. 11),
+//! metadata QPS against the Redis ceiling (Fig. 10), per-iteration I/O
+//! time (Fig. 14/15). This crate is the single substrate those numbers
+//! flow through:
+//!
+//! * [`Registry`] — a namespace of named [`Counter`]/[`Gauge`]/
+//!   [`HistogramHandle`] cells. Handles are cheap clones of shared
+//!   atomics; the hot path takes no lock.
+//! * [`RegistrySnapshot`] — a consistent point-in-time copy. Updates
+//!   grouped in [`Registry::batch`] appear all-or-nothing; snapshots
+//!   merge, so a `ServerPool` aggregates per-node registries exactly.
+//! * [`Event`] — a bounded structured-event ring (`{ts, scope, kv}`)
+//!   stamped via the injected [`diesel_util::Clock`], so replays stay
+//!   deterministic under `MockClock`.
+//! * [`Histogram`] — log-bucketed latencies (~4 % relative error),
+//!   shared with the simulator's measurement layer.
+//!
+//! # Metric naming
+//!
+//! Names are dotted, `crate.metric` (`cache.chunk_hits`,
+//! `net.requests`); static dimensions ride as sorted labels in the id:
+//! `net.requests{endpoint=server@0}`. Renderers group on the leading
+//! segment, and [`RegistrySnapshot::sum_counter`] folds a name across
+//! its label sets.
+
+pub mod histogram;
+pub mod registry;
+
+pub use histogram::{fmt_ns, Histogram, Summary};
+pub use registry::{
+    Counter, Event, Gauge, HistogramHandle, Registry, RegistrySnapshot, DEFAULT_EVENT_CAPACITY,
+};

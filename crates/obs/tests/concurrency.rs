@@ -1,0 +1,115 @@
+//! Satellite coverage: N writer threads hammer counters, histograms and
+//! the event ring while a reader snapshots continuously. Totals are
+//! conserved, batched pairs never tear, and the ring never exceeds its
+//! bound.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use diesel_obs::Registry;
+use diesel_util::MockClock;
+
+const WRITERS: usize = 8;
+const OPS_PER_WRITER: u64 = 20_000;
+
+#[test]
+fn totals_conserved_under_concurrent_writers() {
+    let reg = Arc::new(Registry::new(Arc::new(MockClock::new())));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let reg = reg.clone();
+        let stop = stop.clone();
+        thread::spawn(move || {
+            let mut snaps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = reg.snapshot();
+                // Batched pair: writers always bump both inside one
+                // batch(), so a snapshot must never see them apart.
+                assert_eq!(
+                    snap.counter("pair.first"),
+                    snap.counter("pair.second"),
+                    "batched counters tore apart"
+                );
+                // Monotonic totals never exceed the eventual maximum.
+                assert!(snap.counter("free.ops") <= WRITERS as u64 * OPS_PER_WRITER);
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let reg = reg.clone();
+            thread::spawn(move || {
+                let first = reg.counter("pair.first", &[]);
+                let second = reg.counter("pair.second", &[]);
+                let free = reg.counter("free.ops", &[]);
+                let lat = reg.histogram("op.latency", &[]);
+                for i in 0..OPS_PER_WRITER {
+                    reg.batch(|| {
+                        first.inc();
+                        second.inc();
+                    });
+                    free.inc();
+                    lat.record_ns((w as u64 + 1) * 100 + i % 7);
+                }
+            })
+        })
+        .collect();
+
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snaps = reader.join().unwrap();
+    assert!(snaps > 0, "reader never snapshotted");
+
+    let total = WRITERS as u64 * OPS_PER_WRITER;
+    let end = reg.snapshot();
+    assert_eq!(end.counter("pair.first"), total);
+    assert_eq!(end.counter("pair.second"), total);
+    assert_eq!(end.counter("free.ops"), total);
+    assert_eq!(end.histogram_summary("op.latency").count, total);
+}
+
+#[test]
+fn event_ring_never_exceeds_bound_under_contention() {
+    const CAP: usize = 64;
+    let reg = Arc::new(Registry::with_event_capacity(Arc::new(MockClock::new()), CAP));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let reg = reg.clone();
+        let stop = stop.clone();
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let snap = reg.snapshot();
+                assert!(snap.events.len() <= CAP, "ring overflowed: {}", snap.events.len());
+            }
+        })
+    };
+
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let reg = reg.clone();
+            thread::spawn(move || {
+                let node = w.to_string();
+                for _ in 0..5_000 {
+                    reg.event("stress.tick", &[("node", &node)]);
+                }
+            })
+        })
+        .collect();
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    reader.join().unwrap();
+
+    let end = reg.snapshot();
+    assert_eq!(end.events.len(), CAP);
+    assert_eq!(end.dropped_events, 4 * 5_000 - CAP as u64);
+}

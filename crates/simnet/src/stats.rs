@@ -1,108 +1,65 @@
-//! Measurement utilities: log-bucketed latency histograms and summaries.
+//! Measurement utilities: `SimTime`-flavoured latency histograms.
+//!
+//! The bucket math lives in `diesel-obs` ([`diesel_obs::Histogram`],
+//! the workspace's one histogram implementation); this module is the
+//! simulator-facing view that speaks [`SimTime`] instead of raw
+//! nanoseconds.
 
 use crate::time::SimTime;
 
 /// A histogram over durations with ~4 % relative-error log buckets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    // bucket i covers [floor_i, floor_{i+1}) with geometric spacing.
-    counts: Vec<u64>,
-    total: u64,
-    sum_ns: u128,
-    min_ns: u64,
-    max_ns: u64,
-}
-
-const BUCKETS_PER_DECADE: usize = 16;
-const DECADES: usize = 12; // 1ns .. 1000s
-const NBUCKETS: usize = BUCKETS_PER_DECADE * DECADES + 1;
-
-fn bucket_of(ns: u64) -> usize {
-    if ns == 0 {
-        return 0;
-    }
-    let log10 = (ns as f64).log10();
-    let idx = (log10 * BUCKETS_PER_DECADE as f64) as usize;
-    idx.min(NBUCKETS - 1)
-}
-
-fn bucket_floor(idx: usize) -> u64 {
-    10f64.powf(idx as f64 / BUCKETS_PER_DECADE as f64) as u64
+    inner: diesel_obs::Histogram,
 }
 
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Histogram { counts: vec![0; NBUCKETS], total: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+        Histogram { inner: diesel_obs::Histogram::new() }
     }
 
     /// Record one duration.
     pub fn record(&mut self, d: SimTime) {
-        let ns = d.as_nanos();
-        self.counts[bucket_of(ns)] += 1;
-        self.total += 1;
-        self.sum_ns += ns as u128;
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
+        self.inner.record_ns(d.as_nanos());
     }
 
     /// Record one duration given directly in nanoseconds.
     pub fn record_ns(&mut self, ns: u64) {
-        self.record(SimTime::from_nanos(ns));
+        self.inner.record_ns(ns);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.total
+        self.inner.count()
     }
 
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ns += other.sum_ns;
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
+        self.inner.merge(&other.inner);
     }
 
     /// Approximate quantile `q ∈ [0,1]` (bucket floor).
     pub fn quantile(&self, q: f64) -> SimTime {
-        if self.total == 0 {
-            return SimTime::ZERO;
-        }
-        let target = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target.max(1) {
-                return SimTime::from_nanos(bucket_floor(i).max(self.min_ns).min(self.max_ns));
-            }
-        }
-        SimTime::from_nanos(self.max_ns)
+        SimTime::from_nanos(self.inner.quantile_ns(q))
+    }
+
+    /// The underlying `diesel-obs` histogram (for registry export).
+    pub fn as_obs(&self) -> &diesel_obs::Histogram {
+        &self.inner
     }
 
     /// Mean, min, max and common quantiles.
     pub fn summary(&self) -> Summary {
+        let s = self.inner.summary();
         Summary {
-            count: self.total,
-            mean: if self.total == 0 {
-                SimTime::ZERO
-            } else {
-                SimTime::from_nanos((self.sum_ns / self.total as u128) as u64)
-            },
-            min: if self.total == 0 { SimTime::ZERO } else { SimTime::from_nanos(self.min_ns) },
-            p50: self.quantile(0.50),
-            p99: self.quantile(0.99),
-            max: SimTime::from_nanos(if self.total == 0 { 0 } else { self.max_ns }),
+            count: s.count,
+            mean: SimTime::from_nanos(s.mean_ns),
+            min: SimTime::from_nanos(s.min_ns),
+            p50: SimTime::from_nanos(s.p50_ns),
+            p99: SimTime::from_nanos(s.p99_ns),
+            max: SimTime::from_nanos(s.max_ns),
         }
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
     }
 }
 

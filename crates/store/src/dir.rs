@@ -9,6 +9,9 @@
 use std::fs;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use diesel_obs::{Counter, Registry, RegistrySnapshot};
 
 use crate::{Bytes, ObjectStore, Result, StoreError};
 
@@ -52,14 +55,39 @@ fn unescape_key(name: &str) -> Option<String> {
 #[derive(Debug)]
 pub struct DirObjectStore {
     root: PathBuf,
+    registry: Arc<Registry>,
+    gets: Counter,
+    puts: Counter,
+    deletes: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
 }
 
 impl DirObjectStore {
     /// Open (creating if needed) a store rooted at `root`.
     pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_registry(root, Arc::new(Registry::default()))
+    }
+
+    /// Open a store whose metrics land in a caller-supplied registry.
+    pub fn open_with_registry(root: impl AsRef<Path>, registry: Arc<Registry>) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root).map_err(|e| StoreError::Io(e.to_string()))?;
-        Ok(DirObjectStore { root })
+        let labels = [("device", "dir")];
+        Ok(DirObjectStore {
+            root,
+            gets: registry.counter("store.gets", &labels),
+            puts: registry.counter("store.puts", &labels),
+            deletes: registry.counter("store.deletes", &labels),
+            bytes_read: registry.counter("store.bytes_read", &labels),
+            bytes_written: registry.counter("store.bytes_written", &labels),
+            registry,
+        })
+    }
+
+    /// The registry holding this store's `store.*{device=dir}` counters.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
@@ -87,12 +115,22 @@ impl ObjectStore for DirObjectStore {
         let tmp = self.root.join(format!(".tmp-{}-{}", std::process::id(), escape_key(key)));
         fs::write(&tmp, &value).map_err(|e| StoreError::Io(e.to_string()))?;
         fs::rename(&tmp, &final_path).map_err(|e| StoreError::Io(e.to_string()))?;
+        self.registry.batch(|| {
+            self.puts.inc();
+            self.bytes_written.add(value.len() as u64);
+        });
         Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
         match fs::read(self.path_for(key)) {
-            Ok(data) => Ok(Bytes::from(data)),
+            Ok(data) => {
+                self.registry.batch(|| {
+                    self.gets.inc();
+                    self.bytes_read.add(data.len() as u64);
+                });
+                Ok(Bytes::from(data))
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(StoreError::NotFound(key.to_owned()))
             }
@@ -116,12 +154,19 @@ impl ObjectStore for DirObjectStore {
         let take = len.min(size - offset as usize);
         let mut buf = vec![0u8; take];
         f.read_exact(&mut buf).map_err(|e| StoreError::Io(e.to_string()))?;
+        self.registry.batch(|| {
+            self.gets.inc();
+            self.bytes_read.add(buf.len() as u64);
+        });
         Ok(Bytes::from(buf))
     }
 
     fn delete(&self, key: &str) -> Result<bool> {
         match fs::remove_file(self.path_for(key)) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                self.deletes.inc();
+                Ok(true)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
             Err(e) => Err(StoreError::Io(e.to_string())),
         }
@@ -145,6 +190,10 @@ impl ObjectStore for DirObjectStore {
 
     fn total_bytes(&self) -> u64 {
         self.keys().iter().filter_map(|k| self.size_of(k)).map(|s| s as u64).sum()
+    }
+
+    fn obs_snapshot(&self) -> Option<RegistrySnapshot> {
+        Some(self.registry.snapshot())
     }
 }
 
@@ -189,6 +238,22 @@ mod tests {
         }
         assert_eq!(s.list_prefix("a/"), vec!["a/1", "a/2"]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn counters_track_disk_traffic() {
+        let s = DirObjectStore::open(tmpdir("obs")).unwrap();
+        s.put("k", Bytes::from_static(b"payload")).unwrap();
+        s.get("k").unwrap();
+        s.get_range("k", 0, 3).unwrap();
+        assert!(s.delete("k").unwrap());
+        assert!(!s.delete("k").unwrap(), "second delete is a miss");
+        let snap = s.obs_snapshot().unwrap();
+        assert_eq!(snap.counter("store.puts{device=dir}"), 1);
+        assert_eq!(snap.counter("store.bytes_written{device=dir}"), 7);
+        assert_eq!(snap.counter("store.gets{device=dir}"), 2);
+        assert_eq!(snap.counter("store.bytes_read{device=dir}"), 10);
+        assert_eq!(snap.counter("store.deletes{device=dir}"), 1, "misses are not deletes");
     }
 
     #[test]

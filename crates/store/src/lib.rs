@@ -30,7 +30,7 @@ pub use dir::DirObjectStore;
 pub use faulty::{FaultConfig, FaultyStore};
 pub use mem::MemObjectStore;
 pub use model::{DeviceModel, TimedStore};
-pub use tiered::TieredStore;
+pub use tiered::{TierMetrics, TieredStore};
 
 /// Errors from object-store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,4 +112,12 @@ pub trait ObjectStore: Send + Sync {
 
     /// Total stored bytes (diagnostics).
     fn total_bytes(&self) -> u64;
+
+    /// A snapshot of this store's metric registry, when it keeps one
+    /// (e.g. [`TieredStore`] hit/promotion counters). Front-end servers
+    /// merge it into their own snapshot so one read shows the whole
+    /// pipeline.
+    fn obs_snapshot(&self) -> Option<diesel_obs::RegistrySnapshot> {
+        None
+    }
 }

@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use diesel_obs::{Counter, HistogramHandle, Registry};
 use diesel_simnet::{Resource, SimTime};
 
 use crate::{Bytes, ObjectStore, Result};
@@ -86,18 +87,34 @@ impl DeviceModel {
 
 /// An [`ObjectStore`] paired with a [`DeviceModel`]-driven [`Resource`]:
 /// real bytes move, and every operation also returns the simulated time
-/// at which it would have completed on the modeled device.
+/// at which it would have completed on the modeled device. Each request
+/// feeds `store.requests`/`store.bytes` counters and a
+/// `store.service_time` histogram, all labelled `{device=<model name>}`.
 pub struct TimedStore<S> {
     inner: Arc<S>,
     model: DeviceModel,
     device: Resource,
+    registry: Arc<Registry>,
+    requests: Counter,
+    bytes: Counter,
+    service_time: HistogramHandle,
 }
 
 impl<S: ObjectStore> TimedStore<S> {
-    /// Wrap `inner` with `model` timing.
+    /// Wrap `inner` with `model` timing and a private registry.
     pub fn new(inner: Arc<S>, model: DeviceModel) -> Self {
+        Self::with_registry(inner, model, Arc::new(Registry::default()))
+    }
+
+    /// Wrap `inner` with `model` timing, recording device metrics into a
+    /// shared `registry`.
+    pub fn with_registry(inner: Arc<S>, model: DeviceModel, registry: Arc<Registry>) -> Self {
         let device = Resource::new(model.name, model.parallelism);
-        TimedStore { inner, model, device }
+        let labels = [("device", model.name)];
+        let requests = registry.counter("store.requests", &labels);
+        let bytes = registry.counter("store.bytes", &labels);
+        let service_time = registry.histogram("store.service_time", &labels);
+        TimedStore { inner, model, device, registry, requests, bytes, service_time }
     }
 
     /// The wrapped store.
@@ -115,11 +132,24 @@ impl<S: ObjectStore> TimedStore<S> {
         &self.device
     }
 
+    /// The registry holding this store's device metrics.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn record(&self, bytes: u64, service: SimTime) {
+        self.requests.inc();
+        self.bytes.add(bytes);
+        self.service_time.record_ns(service.as_nanos());
+    }
+
     /// Timed whole-object get: returns the data and the simulated
     /// completion time for a request issued at `now`.
     pub fn get_at(&self, now: SimTime, key: &str) -> Result<(Bytes, SimTime)> {
         let data = self.inner.get(key)?;
-        let grant = self.device.acquire(now, self.model.service_time(data.len() as u64));
+        let service = self.model.service_time(data.len() as u64);
+        self.record(data.len() as u64, service);
+        let grant = self.device.acquire(now, service);
         Ok((data, grant.end))
     }
 
@@ -132,21 +162,27 @@ impl<S: ObjectStore> TimedStore<S> {
         len: usize,
     ) -> Result<(Bytes, SimTime)> {
         let data = self.inner.get_range(key, offset, len)?;
-        let grant = self.device.acquire(now, self.model.service_time(data.len() as u64));
+        let service = self.model.service_time(data.len() as u64);
+        self.record(data.len() as u64, service);
+        let grant = self.device.acquire(now, service);
         Ok((data, grant.end))
     }
 
     /// Timed put.
     pub fn put_at(&self, now: SimTime, key: &str, value: Bytes) -> Result<SimTime> {
-        let service = self.model.service_time(value.len() as u64);
+        let size = value.len() as u64;
+        let service = self.model.service_time(size);
         self.inner.put(key, value)?;
+        self.record(size, service);
         Ok(self.device.acquire(now, service).end)
     }
 
     /// Simulated cost of a pure-timing request (no data movement) — used
     /// by baselines that model foreign systems.
     pub fn charge(&self, now: SimTime, bytes: u64) -> SimTime {
-        self.device.acquire(now, self.model.service_time(bytes)).end
+        let service = self.model.service_time(bytes);
+        self.record(bytes, service);
+        self.device.acquire(now, service).end
     }
 }
 
@@ -222,6 +258,13 @@ mod tests {
         assert!(t2 > t1);
         let (part, _) = ts.get_range_at(t2, "k", 0, 100).unwrap();
         assert_eq!(part.len(), 100);
+        let snap = ts.registry().snapshot();
+        assert_eq!(snap.counter("store.requests{device=nvme-ssd-cluster}"), 3);
+        assert_eq!(snap.counter("store.bytes{device=nvme-ssd-cluster}"), 4096 + 4096 + 100);
+        let hist = snap
+            .histogram("store.service_time{device=nvme-ssd-cluster}")
+            .expect("service-time histogram registered");
+        assert_eq!(hist.count(), 3);
     }
 
     #[test]

@@ -11,25 +11,59 @@
 //! Chunk-granular promotion with LRU eviction bounded by a fast-tier
 //! capacity. Promotion here is synchronous (the simulated-time layer
 //! charges its cost separately); a `promote_prefix` helper performs the
-//! background "cache the dataset" sweep.
+//! background "cache the dataset" sweep. Read-path counters live in a
+//! `diesel-obs` registry under `store.*`.
 
+use diesel_obs::{Counter, Gauge, Registry, RegistrySnapshot};
 use diesel_util::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::{Bytes, ObjectStore, Result, StoreError};
 
-/// Read-path statistics for the tiered store.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct TierStats {
+/// Handles into the registry for the tiered read path.
+#[derive(Debug, Clone)]
+pub struct TierMetrics {
+    fast_hits: Counter,
+    slow_hits: Counter,
+    promotions: Counter,
+    evictions: Counter,
+    resident_bytes: Gauge,
+}
+
+impl TierMetrics {
+    /// Register the tier counters (`store.fast_hits`, `store.slow_hits`,
+    /// `store.promotions`, `store.evictions`) and the
+    /// `store.fast_resident_bytes` gauge in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        TierMetrics {
+            fast_hits: registry.counter("store.fast_hits", &[]),
+            slow_hits: registry.counter("store.slow_hits", &[]),
+            promotions: registry.counter("store.promotions", &[]),
+            evictions: registry.counter("store.evictions", &[]),
+            resident_bytes: registry.gauge("store.fast_resident_bytes", &[]),
+        }
+    }
+
     /// Reads served by the fast tier.
-    pub fast_hits: u64,
+    pub fn fast_hits(&self) -> u64 {
+        self.fast_hits.get()
+    }
+
     /// Reads served by the slow tier.
-    pub slow_hits: u64,
+    pub fn slow_hits(&self) -> u64 {
+        self.slow_hits.get()
+    }
+
     /// Chunks promoted into the fast tier.
-    pub promotions: u64,
+    pub fn promotions(&self) -> u64 {
+        self.promotions.get()
+    }
+
     /// Chunks evicted from the fast tier.
-    pub evictions: u64,
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
 }
 
 /// A two-tier object store with LRU promotion.
@@ -38,6 +72,8 @@ pub struct TieredStore<F, S> {
     slow: Arc<S>,
     fast_capacity_bytes: u64,
     state: Mutex<LruState>,
+    registry: Arc<Registry>,
+    metrics: TierMetrics,
 }
 
 #[derive(Debug, Default)]
@@ -45,13 +81,31 @@ struct LruState {
     /// Keys resident in the fast tier, least-recently-used first.
     lru: VecDeque<String>,
     resident_bytes: u64,
-    stats: TierStats,
 }
 
 impl<F: ObjectStore, S: ObjectStore> TieredStore<F, S> {
-    /// Build a tiered store; `fast_capacity_bytes` bounds the fast tier.
+    /// Build a tiered store with a private registry;
+    /// `fast_capacity_bytes` bounds the fast tier.
     pub fn new(fast: Arc<F>, slow: Arc<S>, fast_capacity_bytes: u64) -> Self {
-        TieredStore { fast, slow, fast_capacity_bytes, state: Mutex::new(LruState::default()) }
+        Self::with_registry(fast, slow, fast_capacity_bytes, Arc::new(Registry::default()))
+    }
+
+    /// Build a tiered store whose counters land in a shared `registry`.
+    pub fn with_registry(
+        fast: Arc<F>,
+        slow: Arc<S>,
+        fast_capacity_bytes: u64,
+        registry: Arc<Registry>,
+    ) -> Self {
+        let metrics = TierMetrics::new(&registry);
+        TieredStore {
+            fast,
+            slow,
+            fast_capacity_bytes,
+            state: Mutex::new(LruState::default()),
+            registry,
+            metrics,
+        }
     }
 
     /// Write-through put: new objects land in the slow (authoritative)
@@ -63,16 +117,12 @@ impl<F: ObjectStore, S: ObjectStore> TieredStore<F, S> {
     /// Read an object, promoting it into the fast tier.
     pub fn get(&self, key: &str) -> Result<Bytes> {
         if let Ok(data) = self.fast.get(key) {
-            let mut st = self.state.lock();
-            touch(&mut st.lru, key);
-            st.stats.fast_hits += 1;
+            touch(&mut self.state.lock().lru, key);
+            self.metrics.fast_hits.inc();
             return Ok(data);
         }
         let data = self.slow.get(key)?;
-        {
-            let mut st = self.state.lock();
-            st.stats.slow_hits += 1;
-        }
+        self.metrics.slow_hits.inc();
         self.promote(key, data.clone())?;
         Ok(data)
     }
@@ -98,13 +148,14 @@ impl<F: ObjectStore, S: ObjectStore> TieredStore<F, S> {
             if let Some(vsize) = self.fast.size_of(&victim) {
                 self.fast.delete(&victim)?;
                 st.resident_bytes -= vsize as u64;
-                st.stats.evictions += 1;
+                self.metrics.evictions.inc();
             }
         }
         self.fast.put(key, data)?;
         st.lru.push_back(key.to_owned());
         st.resident_bytes += size;
-        st.stats.promotions += 1;
+        self.metrics.resident_bytes.set(st.resident_bytes);
+        self.metrics.promotions.inc();
         Ok(())
     }
 
@@ -139,15 +190,21 @@ impl<F: ObjectStore, S: ObjectStore> TieredStore<F, S> {
             if let Some(size) = self.fast.size_of(key) {
                 st.resident_bytes -= size as u64;
             }
+            self.metrics.resident_bytes.set(st.resident_bytes);
         }
         drop(st);
         self.fast.delete(key)?;
         self.slow.delete(key)
     }
 
-    /// Read-path statistics.
-    pub fn stats(&self) -> TierStats {
-        self.state.lock().stats
+    /// Read-path counter handles.
+    pub fn metrics(&self) -> &TierMetrics {
+        &self.metrics
+    }
+
+    /// The registry holding this store's counters.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Bytes currently resident in the fast tier.
@@ -190,14 +247,12 @@ impl<F: ObjectStore, S: ObjectStore> ObjectStore for TieredStore<F, S> {
         // Serve ranges from whichever tier holds the object; a fast-tier
         // range read must not force a whole-object promotion.
         if self.fast.contains(key) {
-            let mut st = self.state.lock();
-            touch(&mut st.lru, key);
-            st.stats.fast_hits += 1;
-            drop(st);
+            touch(&mut self.state.lock().lru, key);
+            self.metrics.fast_hits.inc();
             return self.fast.get_range(key, offset, len);
         }
         let out = self.slow.get_range(key, offset, len)?;
-        self.state.lock().stats.slow_hits += 1;
+        self.metrics.slow_hits.inc();
         Ok(out)
     }
 
@@ -225,6 +280,10 @@ impl<F: ObjectStore, S: ObjectStore> ObjectStore for TieredStore<F, S> {
     fn total_bytes(&self) -> u64 {
         self.slow.total_bytes()
     }
+
+    fn obs_snapshot(&self) -> Option<RegistrySnapshot> {
+        Some(self.registry.snapshot())
+    }
 }
 
 impl<F: ObjectStore, S: ObjectStore> std::fmt::Debug for TieredStore<F, S> {
@@ -232,7 +291,10 @@ impl<F: ObjectStore, S: ObjectStore> std::fmt::Debug for TieredStore<F, S> {
         f.debug_struct("TieredStore")
             .field("fast_capacity_bytes", &self.fast_capacity_bytes)
             .field("resident_bytes", &self.fast_resident_bytes())
-            .field("stats", &self.stats())
+            .field("fast_hits", &self.metrics.fast_hits())
+            .field("slow_hits", &self.metrics.slow_hits())
+            .field("promotions", &self.metrics.promotions())
+            .field("evictions", &self.metrics.evictions())
             .finish()
     }
 }
@@ -259,10 +321,10 @@ mod tests {
         assert!(!t.is_fast_resident("a"));
         t.get("a").unwrap();
         assert!(t.is_fast_resident("a"));
-        let s = t.stats();
-        assert_eq!((s.fast_hits, s.slow_hits, s.promotions), (0, 1, 1));
+        let m = t.metrics();
+        assert_eq!((m.fast_hits(), m.slow_hits(), m.promotions()), (0, 1, 1));
         t.get("a").unwrap();
-        assert_eq!(t.stats().fast_hits, 1);
+        assert_eq!(t.metrics().fast_hits(), 1);
     }
 
     #[test]
@@ -280,7 +342,7 @@ mod tests {
         assert!(t.is_fast_resident("a"), "recently-used object must stay");
         assert!(!t.is_fast_resident("b"), "LRU object must be evicted");
         assert!(t.is_fast_resident("c"));
-        assert_eq!(t.stats().evictions, 1);
+        assert_eq!(t.metrics().evictions(), 1);
         assert!(t.fast_resident_bytes() <= 250);
     }
 
@@ -290,7 +352,7 @@ mod tests {
         t.put("big", Bytes::from(vec![0u8; 500])).unwrap();
         t.get("big").unwrap();
         assert!(!t.is_fast_resident("big"));
-        assert_eq!(t.stats().promotions, 0);
+        assert_eq!(t.metrics().promotions(), 0);
     }
 
     #[test]
@@ -336,11 +398,24 @@ mod tests {
         store.get("k").unwrap();
         assert!(t.is_fast_resident("k"));
         assert_eq!(store.get_range("k", 0, 4).unwrap(), Bytes::from(vec![5u8; 4]));
-        let s = t.stats();
-        assert!(s.fast_hits >= 1 && s.slow_hits >= 1);
+        assert!(t.metrics().fast_hits() >= 1 && t.metrics().slow_hits() >= 1);
         assert_eq!(store.list_prefix("k"), vec!["k"]);
         assert_eq!(store.len(), 1);
         assert!(store.delete("k").unwrap());
         assert!(!store.contains("k"));
+    }
+
+    #[test]
+    fn snapshot_exposes_tier_counters_and_resident_gauge() {
+        let t = tiered(1024);
+        t.put("a", Bytes::from(vec![0u8; 64])).unwrap();
+        t.get("a").unwrap();
+        t.get("a").unwrap();
+        let store: &dyn ObjectStore = &t;
+        let snap = store.obs_snapshot().expect("tiered store keeps a registry");
+        assert_eq!(snap.counter("store.slow_hits"), 1);
+        assert_eq!(snap.counter("store.fast_hits"), 1);
+        assert_eq!(snap.counter("store.promotions"), 1);
+        assert_eq!(snap.gauge("store.fast_resident_bytes"), 64);
     }
 }

@@ -99,10 +99,12 @@ fn main() {
             m.topk * 100.0
         );
     }
-    let s = cache.stats();
+    let m = cache.metrics();
     println!(
         "cache: {} file reads, {} chunk hits, {} chunk loads from backing store",
-        s.file_reads, s.chunk_hits, s.chunk_loads
+        m.file_reads(),
+        m.chunk_hits(),
+        m.chunk_loads()
     );
     assert!(metrics.last().unwrap().topk > 0.6, "training should learn something");
     println!("distributed training OK");

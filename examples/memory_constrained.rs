@@ -64,16 +64,16 @@ fn run(kind: ShuffleKind, label: &str) -> (u64, u64) {
             client.get(&path).unwrap();
         }
     }
-    let s = cache.stats();
+    let m = cache.metrics();
     println!(
         "{label:<28} chunk loads: {:>6}  bytes from store: {:>9} KiB  evictions: {:>6}  (dataset {} KiB, cache budget {} KiB/node)",
-        s.chunk_loads,
-        s.bytes_loaded >> 10,
-        s.evictions,
+        m.chunk_loads(),
+        m.bytes_loaded() >> 10,
+        m.evictions(),
         dataset_bytes >> 10,
         budget_per_node >> 10,
     );
-    (s.chunk_loads, s.bytes_loaded)
+    (m.chunk_loads(), m.bytes_loaded())
 }
 
 fn main() {

@@ -15,6 +15,11 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== rustdoc =="
+# Public docs must build warning-free (broken intra-doc links, missing
+# docs on public items, etc. are errors).
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
+
 echo "== diesel-lint =="
 # Fails on any non-baselined R1–R4 finding; --baseline-check enforces the
 # ratchet (lint-baseline.txt may only ever shrink).

@@ -13,6 +13,8 @@
 //! * the task-grained distributed cache ([`cache`]),
 //! * a typed RPC layer with timeouts, retries, fault injection and
 //!   per-endpoint stats, carrying all inter-node traffic ([`net`]),
+//! * a lock-light metrics registry + structured event ring that every
+//!   serving layer reports into ([`obs`]),
 //! * the chunk-wise shuffle ([`shuffle`]),
 //! * the DIESEL server + libDIESEL client + FUSE facade ([`core`]),
 //! * baselines (Lustre-like FS, Memcached cluster) ([`baselines`]),
@@ -57,6 +59,7 @@ pub use diesel_core as core;
 pub use diesel_kv as kv;
 pub use diesel_meta as meta;
 pub use diesel_net as net;
+pub use diesel_obs as obs;
 pub use diesel_shuffle as shuffle;
 pub use diesel_simnet as simnet;
 pub use diesel_store as store;

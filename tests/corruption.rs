@@ -55,7 +55,7 @@ fn cache_verify_on_load_catches_bit_rot() {
     // a per-file CRC fires; no corrupt payload is ever cached.
     let err = cache.prefetch_all().unwrap_err();
     assert!(matches!(err, diesel_dlt::cache::CacheError::Corrupt(_)), "{err}");
-    assert_eq!(cache.stats().chunk_loads, 0, "corrupt chunk must not be cached");
+    assert_eq!(cache.metrics().chunk_loads(), 0, "corrupt chunk must not be cached");
 }
 
 #[test]

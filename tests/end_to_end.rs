@@ -117,7 +117,7 @@ fn fuse_and_api_agree_through_cache_and_shuffle() {
     }
     assert_eq!(seen, 150);
     // Cache served the reads (each file read twice: fuse + api).
-    assert!(cache.stats().file_reads >= 300);
+    assert!(cache.metrics().file_reads() >= 300);
 }
 
 #[test]

@@ -120,30 +120,30 @@ fn cache_failures_cascade_correctly() {
     let mut prev_hits = u64::MAX;
     for victim in 0..4usize {
         cache.kill_node(victim);
-        let before = cache.stats().chunk_hits;
+        let before = cache.metrics().chunk_hits();
         for n in &names {
             assert_eq!(client.get(n).unwrap().len(), 200);
         }
-        let hits = cache.stats().chunk_hits - before;
+        let hits = cache.metrics().chunk_hits() - before;
         assert!(hits < prev_hits, "hits must shrink as nodes die");
         prev_hits = hits;
     }
     // All nodes dead: everything still reads via the server.
-    let before = cache.stats().chunk_hits;
+    let before = cache.metrics().chunk_hits();
     for n in &names {
         assert_eq!(client.get(n).unwrap().len(), 200);
     }
-    assert_eq!(cache.stats().chunk_hits - before, 0);
+    assert_eq!(cache.metrics().chunk_hits() - before, 0);
 
     // Recover everything; cache serves again.
     for node in 0..4 {
         cache.recover_node(node).unwrap();
     }
-    let before = cache.stats().chunk_hits;
+    let before = cache.metrics().chunk_hits();
     for n in &names {
         client.get(n).unwrap();
     }
-    assert_eq!(cache.stats().chunk_hits - before, names.len() as u64);
+    assert_eq!(cache.metrics().chunk_hits() - before, names.len() as u64);
 }
 
 #[test]

@@ -104,9 +104,9 @@ fn server_runs_on_tiered_ssd_hdd_storage() {
     for &c in &chunks {
         server.read_chunk("ds", c).unwrap();
     }
-    let stats = tiered.stats();
-    assert!(stats.promotions > 0, "chunk reads must warm the fast tier");
-    assert!(stats.fast_hits > 0, "second pass must hit the fast tier");
+    let metrics = tiered.metrics();
+    assert!(metrics.promotions() > 0, "chunk reads must warm the fast tier");
+    assert!(metrics.fast_hits() > 0, "second pass must hit the fast tier");
     assert!(tiered.fast_resident_bytes() <= 64 << 10, "fast tier stays within budget");
 
     // File reads through the client still return exact bytes.

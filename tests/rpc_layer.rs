@@ -12,9 +12,10 @@ use diesel_dlt::core::{
 };
 use diesel_dlt::kv::ShardedKv;
 use diesel_dlt::net::{
-    Channel, Endpoint, Instrumented, NetError, NetStats, Retry, RetryPolicy, Service, SystemClock,
-    ThreadServer,
+    Channel, Endpoint, EndpointMetrics, Instrumented, NetError, Retry, RetryPolicy, Service,
+    SystemClock, ThreadServer,
 };
+use diesel_dlt::obs::Registry;
 use diesel_dlt::store::MemObjectStore;
 
 type Server = DieselServer<ShardedKv, MemObjectStore>;
@@ -32,13 +33,13 @@ fn small_chunks() -> ClientConfig {
 fn serve(
     srv: Arc<Server>,
     node: usize,
-    stats: &NetStats,
+    registry: &Registry,
 ) -> (ThreadServer<ServerRequest, ServerReply>, Channel<ServerRequest, ServerReply>) {
     let thread = ThreadServer::spawn(Endpoint::new("server", node), move |req| srv.handle(req));
     let clock = Arc::new(SystemClock::new());
-    let cell = stats.endpoint(thread.endpoint());
+    let metrics = EndpointMetrics::new(registry, thread.endpoint());
     let measured =
-        Instrumented::new(thread.channel().with_timeout_ns(2_000_000_000), cell, clock.clone());
+        Instrumented::new(thread.channel().with_timeout_ns(2_000_000_000), metrics, clock.clone());
     let chan: Channel<ServerRequest, ServerReply> =
         Arc::new(Retry::new(measured, RetryPolicy::default(), clock));
     (thread, chan)
@@ -47,8 +48,8 @@ fn serve(
 #[test]
 fn full_client_api_over_thread_transport() {
     let srv = server();
-    let stats = NetStats::new();
-    let (thread, chan) = serve(srv.clone(), 0, &stats);
+    let registry = Registry::default();
+    let (thread, chan) = serve(srv.clone(), 0, &registry);
     let c: DieselClient<ShardedKv, MemObjectStore> =
         DieselClient::connect_channel_with(chan, "ds", small_chunks());
 
@@ -71,14 +72,14 @@ fn full_client_api_over_thread_transport() {
     assert!(c.get("cls0/img000").is_err());
 
     // The endpoint accounted for every round trip, with no failures.
-    let snap = stats.snapshot();
-    let ep = &snap["server@0"];
+    let snap = registry.snapshot();
+    let requests = snap.counter("net.requests{endpoint=server@0}");
     // 30 ReadByMeta + chunk ships + snapshot + delete; stat/ls are
     // answered from the local snapshot without an RPC.
-    assert!(ep.requests >= 33, "expected ≥ 33 RPCs, saw {}", ep.requests);
-    assert_eq!(ep.errors, 0);
-    assert_eq!(ep.retries, 0);
-    assert_eq!(ep.latency.count, ep.requests);
+    assert!(requests >= 33, "expected ≥ 33 RPCs, saw {requests}");
+    assert_eq!(snap.counter("net.errors{endpoint=server@0}"), 0);
+    assert_eq!(snap.counter("net.retries{endpoint=server@0}"), 0);
+    assert_eq!(snap.histogram_summary("net.latency{endpoint=server@0}").count, requests);
 
     drop(thread);
 }
@@ -86,8 +87,8 @@ fn full_client_api_over_thread_transport() {
 #[test]
 fn killed_server_surfaces_as_net_error() {
     let srv = server();
-    let stats = NetStats::new();
-    let (mut thread, chan) = serve(srv.clone(), 3, &stats);
+    let registry = Registry::default();
+    let (mut thread, chan) = serve(srv.clone(), 3, &registry);
     let c: DieselClient<ShardedKv, MemObjectStore> =
         DieselClient::connect_channel_with(chan, "ds", small_chunks());
     c.put("a", b"payload").unwrap();
@@ -111,13 +112,13 @@ fn pool_channel_and_thread_transport_compose() {
         Arc::new(MemObjectStore::new()),
     ));
     let pool_conn = pool.channel();
-    let stats = NetStats::new();
+    let registry = Registry::default();
     let thread =
         ThreadServer::spawn(Endpoint::new("pool-gw", 0), move |req| pool_conn.call(req).unwrap());
     let clock = Arc::new(SystemClock::new());
-    let cell = stats.endpoint(thread.endpoint());
+    let metrics = EndpointMetrics::new(&registry, thread.endpoint());
     let chan: Channel<ServerRequest, ServerReply> =
-        Arc::new(Instrumented::new(thread.channel(), cell, clock));
+        Arc::new(Instrumented::new(thread.channel(), metrics, clock));
 
     let c: DieselClient<ShardedKv, MemObjectStore> =
         DieselClient::connect_channel_with(chan, "ds", small_chunks());
@@ -131,8 +132,8 @@ fn pool_channel_and_thread_transport_compose() {
     }
     // Shared backends: any pool member sees the writes.
     assert_eq!(pool.server(1).meta().dataset_record("ds").unwrap().file_count, 20);
-    let snap = stats.snapshot();
-    assert!(snap["pool-gw@0"].requests >= 22);
+    let snap = registry.snapshot();
+    assert!(snap.counter("net.requests{endpoint=pool-gw@0}") >= 22);
 
     drop(thread);
 }
