@@ -1,0 +1,128 @@
+//! Pipelined DataLoader vs serial reads over a latency-injected store.
+//!
+//! The paper's pipeline argument (§4.2, Fig. 10a): training throughput
+//! is gated by how well sample I/O overlaps compute, and per-file reads
+//! on a slow store serialize the whole epoch. Here the backing store is
+//! a [`DelayedStore`] charging a seek-heavy device model in real wall
+//! time, and we read one epoch three ways:
+//!
+//! * `serial` — an inline work pool: every fetch and decode runs on the
+//!   consumer thread, one after another (the no-pipeline baseline).
+//! * `pipelined xN` — the loader's two-stage fetch/decode pipeline on an
+//!   N-worker pool; batched fetches overlap each other and the consumer.
+//!
+//! All three runs yield byte-identical batches; only the wall clock
+//! differs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use diesel_bench::Table;
+use diesel_core::{ClientConfig, DieselClient, DieselServer};
+use diesel_exec::{ExecConfig, WorkPool};
+use diesel_kv::ShardedKv;
+use diesel_shuffle::ShuffleKind;
+use diesel_simnet::SimTime;
+use diesel_store::{DelayedStore, DeviceModel, MemObjectStore};
+use diesel_train::loader::upload_samples;
+use diesel_train::{DataLoader, SyntheticSpec};
+use diesel_util::SystemClock;
+
+const SAMPLES: usize = 384;
+const BATCH: usize = 16;
+const SEED: u64 = 41;
+
+/// A small-overhead spinning-disk-ish front: slow enough that an epoch
+/// is I/O-bound, fast enough that the serial baseline stays under a
+/// second.
+fn device() -> DeviceModel {
+    DeviceModel {
+        name: "delayed-store",
+        per_request_overhead: SimTime::from_micros(800),
+        bytes_per_sec: 300.0e6,
+        parallelism: 8,
+    }
+}
+
+type Stack = Arc<DieselClient<ShardedKv, DelayedStore<MemObjectStore>>>;
+
+/// Build a fresh server+client over a delayed store, upload the dataset,
+/// and wire `pool` through both the server's request executor and the
+/// returned loader.
+fn stack(pool: &WorkPool) -> Stack {
+    let store = Arc::new(DelayedStore::new(
+        Arc::new(MemObjectStore::new()),
+        device(),
+        Arc::new(SystemClock::new()),
+    ));
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store).with_pool(pool.clone()));
+    let client = DieselClient::connect_with(
+        server,
+        "synth",
+        ClientConfig {
+            chunk: diesel_chunk::ChunkBuilderConfig {
+                target_chunk_size: 8192,
+                ..Default::default()
+            },
+        },
+    )
+    .with_deterministic_identity(1, 1, 100);
+    let samples = SyntheticSpec::cifar_like().generate(SAMPLES);
+    upload_samples(&client, &samples).expect("upload");
+    client.download_meta().expect("meta");
+    client.enable_shuffle(ShuffleKind::ChunkWise { group_size: 2 });
+    Arc::new(client)
+}
+
+/// Read one epoch to exhaustion; returns (wall seconds, batches, label
+/// checksum — proves every run saw the same data).
+fn run_epoch(pool: WorkPool) -> (f64, usize, u64) {
+    let loader = DataLoader::new(stack(&pool), BATCH, SEED).with_pool(pool).with_prefetch_depth(4);
+    let t0 = Instant::now();
+    let mut batches = 0usize;
+    let mut checksum = 0u64;
+    for batch in loader.epoch_iter(0).expect("epoch") {
+        let (x, labels) = batch.expect("batch");
+        batches += 1;
+        for (r, &l) in labels.iter().enumerate() {
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(l as u64)
+                .wrapping_add(x.row(r)[0].to_bits() as u64);
+        }
+    }
+    (t0.elapsed().as_secs_f64(), batches, checksum)
+}
+
+fn main() {
+    let mut table = Table::new(
+        format!("DataLoader pipeline ({SAMPLES} samples, batch {BATCH}, delayed store)"),
+        &["mode", "epoch ms", "batches", "speedup", "checksum"],
+    );
+
+    let (serial_s, serial_batches, serial_sum) = run_epoch(WorkPool::inline("loader-serial"));
+    table.row(&[
+        "serial".into(),
+        format!("{:.1}", serial_s * 1e3),
+        serial_batches.to_string(),
+        "1.00x".into(),
+        format!("{serial_sum:016x}"),
+    ]);
+
+    for workers in [2usize, 4, 8] {
+        let pool = WorkPool::new("loader-bench", ExecConfig { workers, queue_capacity: 0 });
+        let (s, batches, sum) = run_epoch(pool);
+        assert_eq!(batches, serial_batches, "batch count must not depend on workers");
+        assert_eq!(sum, serial_sum, "batch contents must not depend on workers");
+        table.row(&[
+            format!("pipelined x{workers}"),
+            format!("{:.1}", s * 1e3),
+            batches.to_string(),
+            format!("{:.2}x", serial_s / s),
+            format!("{sum:016x}"),
+        ]);
+    }
+
+    table.emit("loader_pipeline");
+}

@@ -32,7 +32,9 @@ pub mod topology;
 pub mod transport;
 
 pub use partition::ChunkPartition;
-pub use task_cache::{CacheConfig, CacheMetrics, CachePolicy, LoadReport, TaskCache};
+pub use task_cache::{
+    CacheConfig, CacheMetrics, CachePolicy, LoadReport, PrefetchHandle, TaskCache,
+};
 pub use topology::{PeerId, Topology};
 pub use transport::{NetOptions, PeerHandle, PeerRequest, PeerServer, RpcCache};
 

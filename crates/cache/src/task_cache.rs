@@ -11,6 +11,7 @@
 //! [`diesel_obs::Registry::batch`] so a snapshot never shows one without
 //! the other.
 
+use diesel_exec::{CancelToken, TaskHandle, WorkPool};
 use diesel_obs::{Counter, Registry, RegistrySnapshot};
 use diesel_util::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -161,6 +162,7 @@ pub struct TaskCache<S> {
     nodes: Vec<NodeState>,
     registry: Arc<Registry>,
     metrics: CacheMetrics,
+    pool: WorkPool,
 }
 
 impl<S: ObjectStore> TaskCache<S> {
@@ -204,7 +206,16 @@ impl<S: ObjectStore> TaskCache<S> {
             nodes: (0..p).map(|_| NodeState::default()).collect(),
             registry,
             metrics,
+            pool: diesel_exec::global().clone(),
         }
+    }
+
+    /// Run this cache's prefetch/recovery sweeps on `pool` instead of
+    /// the process-wide [`diesel_exec::global()`] pool (e.g. an inline
+    /// pool for deterministic tests).
+    pub fn with_pool(mut self, pool: WorkPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Verify every per-file CRC when a chunk is loaded from the
@@ -225,29 +236,56 @@ impl<S: ObjectStore> TaskCache<S> {
         &self.partition
     }
 
-    /// Oneshot prefetch: load every node's partition, chunk by chunk
-    /// (call right after task registration; §4.2).
+    /// Oneshot prefetch: fan chunk loads across the work pool, every
+    /// node's partition at once (call right after task registration;
+    /// §4.2). The report — and the first error, if any — is identical
+    /// to the serial node-by-node, chunk-by-chunk sweep for any worker
+    /// count; concurrent on-demand readers de-duplicate against the
+    /// sweep chunk-wise.
     pub fn prefetch_all(&self) -> Result<LoadReport> {
-        let mut report = LoadReport::default();
+        self.prefetch_sweep(None)
+    }
+
+    fn prefetch_sweep(&self, cancel: Option<&CancelToken>) -> Result<LoadReport> {
+        // Fail fast on downed nodes, like the serial sweep did at the
+        // start of each node's partition.
         for node in 0..self.nodes.len() {
-            let r = self.load_partition(node)?;
-            report.chunks_loaded += r.chunks_loaded;
-            report.bytes_loaded += r.bytes_loaded;
+            if self.is_node_down(node) {
+                return Err(CacheError::NodeDown { node });
+            }
+        }
+        let pairs: Vec<(usize, ChunkId)> = (0..self.nodes.len())
+            .flat_map(|node| self.partition.chunks_of(node).iter().map(move |&c| (node, c)))
+            .collect();
+        let loads = self.pool.try_map(pairs, |_, (node, chunk)| {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Ok((false, 0));
+            }
+            self.ensure_chunk(node, chunk)
+        })?;
+        let mut report = LoadReport::default();
+        for (loaded, bytes) in loads {
+            if loaded {
+                report.chunks_loaded += 1;
+                report.bytes_loaded += bytes;
+            }
         }
         Ok(report)
     }
 
     /// Oneshot prefetch in the background: "the DIESEL client caches the
     /// dataset in the background when the user loads the training models
-    /// from disk" (§4.2). Returns the worker handle; reads proceed
-    /// concurrently (misses load on demand and de-duplicate against the
-    /// prefetcher).
-    pub fn prefetch_background(self: &Arc<Self>) -> std::thread::JoinHandle<Result<LoadReport>>
+    /// from disk" (§4.2). Reads proceed concurrently (misses load on
+    /// demand and de-duplicate against the sweep). Unlike a raw
+    /// `JoinHandle`, dropping the returned handle cancels the sweep
+    /// cooperatively instead of leaking it.
+    pub fn prefetch_background(self: &Arc<Self>) -> PrefetchHandle
     where
         S: 'static,
     {
         let me = Arc::clone(self);
-        std::thread::spawn(move || me.prefetch_all())
+        let task = self.pool.spawn_cancellable(move |token| me.prefetch_sweep(Some(token)));
+        PrefetchHandle { task: Some(task), registry: Arc::clone(&self.registry) }
     }
 
     /// Fraction of the dataset's chunks currently resident (the "cache
@@ -301,13 +339,16 @@ impl<S: ObjectStore> TaskCache<S> {
         Ok(report)
     }
 
+    /// Reload one node's partition, chunk loads fanned across the pool
+    /// (the Fig. 11b chunk-wise recovery sweep).
     fn load_partition(&self, node: usize) -> Result<LoadReport> {
         if self.is_node_down(node) {
             return Err(CacheError::NodeDown { node });
         }
+        let chunks: Vec<ChunkId> = self.partition.chunks_of(node).to_vec();
+        let loads = self.pool.try_map(chunks, |_, chunk| self.ensure_chunk(node, chunk))?;
         let mut report = LoadReport::default();
-        for &chunk in self.partition.chunks_of(node) {
-            let (loaded, bytes) = self.ensure_chunk(node, chunk)?;
+        for (loaded, bytes) in loads {
             if loaded {
                 report.chunks_loaded += 1;
                 report.bytes_loaded += bytes;
@@ -414,6 +455,64 @@ fn slice_file(c: &CachedChunk, meta: &FileMeta) -> Result<Bytes> {
     Ok(c.bytes.slice(start..end))
 }
 
+/// Handle to a background prefetch sweep started by
+/// [`TaskCache::prefetch_background`].
+///
+/// Dropping the handle without joining cancels the sweep cooperatively
+/// (the sweep stops issuing chunk loads at the next opportunity) and
+/// records a `cache.prefetch_cancelled` event in the cache's registry —
+/// an abandoned handle can no longer leak a runaway warm-up thread.
+pub struct PrefetchHandle {
+    task: Option<TaskHandle<Result<LoadReport>>>,
+    registry: Arc<Registry>,
+}
+
+impl PrefetchHandle {
+    /// Wait for the sweep and take its report.
+    pub fn join(mut self) -> Result<LoadReport> {
+        match self.task.take() {
+            Some(task) => match task.join() {
+                Ok(report) => report,
+                Err(e) => Err(CacheError::Backing(format!("prefetch sweep failed: {e}"))),
+            },
+            None => Ok(LoadReport::default()),
+        }
+    }
+
+    /// Ask the sweep to stop at the next chunk boundary, without
+    /// waiting. [`join`](PrefetchHandle::join) then returns the partial
+    /// report.
+    pub fn cancel(&self) {
+        if let Some(task) = &self.task {
+            task.cancel();
+        }
+    }
+
+    /// Has the sweep finished (successfully or not)?
+    pub fn is_finished(&self) -> bool {
+        self.task.as_ref().is_some_and(TaskHandle::is_finished)
+    }
+}
+
+impl Drop for PrefetchHandle {
+    fn drop(&mut self) {
+        if let Some(task) = self.task.take() {
+            if !task.is_finished() {
+                self.registry.event("cache.prefetch_cancelled", &[]);
+            }
+            // `TaskHandle`'s drop flips the cancel token; the sweep
+            // winds down at its next chunk boundary.
+            drop(task);
+        }
+    }
+}
+
+impl std::fmt::Debug for PrefetchHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefetchHandle").field("finished", &self.is_finished()).finish()
+    }
+}
+
 impl<S> TaskCache<S> {
     /// Counter handles (cheap reads of individual metrics).
     pub fn metrics(&self) -> &CacheMetrics {
@@ -467,10 +566,10 @@ mod tests {
             w.add_file(&format!("f{i:04}"), &vec![(i % 251) as u8; file_size]).unwrap();
         }
         for sealed in w.finish() {
-            store
-                .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes.clone()))
-                .unwrap();
             svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
+            store
+                .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes))
+                .unwrap();
         }
         let snap = svc.build_snapshot("ds").unwrap();
         let metas = snap.files.iter().map(|f| (f.path.clone(), f.meta)).collect();
@@ -646,11 +745,44 @@ mod tests {
         for (_, meta) in &metas {
             assert_eq!(c.get_file(meta).unwrap().data.len(), 300);
         }
-        let report = handle.join().unwrap().unwrap();
+        let report = handle.join().unwrap();
         // The prefetcher and readers together load each chunk exactly once.
         assert_eq!(c.metrics().chunk_loads() as usize, chunks.len());
         assert!(report.chunks_loaded as usize <= chunks.len());
         assert!((c.resident_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropping_prefetch_handle_cancels_and_logs() {
+        let (store, _, chunks) = dataset(40, 300, 1024);
+        // Inline pool: the spawn runs synchronously, so the sweep is
+        // finished by the time we drop — no cancel event.
+        let c = Arc::new(
+            cache(store.clone(), chunks.clone(), 2, 1 << 30, CachePolicy::Oneshot)
+                .with_pool(diesel_exec::WorkPool::inline("t")),
+        );
+        let h = c.prefetch_background();
+        assert!(h.is_finished());
+        drop(h);
+        assert!(c.stats().events.iter().all(|e| e.scope != "cache.prefetch_cancelled"));
+
+        // Cancelling early stops the sweep at a chunk boundary; the
+        // partial report never exceeds the partition.
+        let c2 = Arc::new(cache(store, chunks, 2, 1 << 30, CachePolicy::Oneshot));
+        let h = c2.prefetch_background();
+        h.cancel();
+        let report = h.join().unwrap();
+        assert!(report.chunks_loaded <= c2.partition().chunk_count() as u64);
+
+        // And a drop of an unfinished sweep logs the cancel event.
+        let h = c2.prefetch_background();
+        let was_finished = h.is_finished();
+        drop(h);
+        let logged = c2.stats().events.iter().any(|e| e.scope == "cache.prefetch_cancelled");
+        assert!(
+            was_finished || logged,
+            "an unfinished sweep dropped without join must log cancellation"
+        );
     }
 
     #[test]

@@ -225,7 +225,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     pub fn handle(&self, req: ServerRequest) -> ServerReply {
         match req {
             ServerRequest::IngestChunk { dataset, chunk } => {
-                self.ingest_chunk(&dataset, &chunk).map(|()| ServerResponse::Unit)
+                self.ingest_chunk(&dataset, chunk).map(|()| ServerResponse::Unit)
             }
             ServerRequest::ReadFile { dataset, path } => {
                 self.read_file(&dataset, &path).map(ServerResponse::Bytes)

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use diesel_chunk::{compact_chunk, mark_deleted, ChunkId, ChunkIdGenerator, SealedChunk};
+use diesel_exec::WorkPool;
 use diesel_kv::KvStore;
 use diesel_meta::recovery::{
     chunk_object_key, recover_from_timestamp, recover_full, RecoveryReport,
@@ -79,6 +80,7 @@ pub struct DieselServer<K, S> {
     header_lens: Mutex<HashMap<String, u64>>,
     registry: Arc<Registry>,
     metrics: Metrics,
+    pool: WorkPool,
 }
 
 impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
@@ -98,12 +100,22 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             header_lens: Mutex::new(HashMap::new()),
             registry,
             metrics,
+            pool: diesel_exec::global().clone(),
         }
     }
 
     /// Deterministic ID generation for compaction (tests/simulations).
     pub fn with_id_generator(mut self, ids: ChunkIdGenerator) -> Self {
         self.ids = ids;
+        self
+    }
+
+    /// Execute merged read plans on `pool` instead of the process-wide
+    /// [`diesel_exec::global()`] pool (e.g. an inline pool for
+    /// deterministic tests, or a pool sharing this server's registry
+    /// for unified `exec.*` metrics).
+    pub fn with_pool(mut self, pool: WorkPool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -147,12 +159,16 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     // ---- write flow (Fig. 3) ----
 
     /// Receive one sealed chunk from a client: persist the chunk bytes
-    /// and extract its metadata into the KV database.
-    pub fn ingest_chunk(&self, dataset: &str, chunk: &SealedChunk) -> Result<()> {
-        let key = chunk_object_key(dataset, chunk.header.id);
-        self.store.put(&key, Bytes::from(chunk.bytes.clone()))?;
-        self.meta.ingest_chunk(dataset, &chunk.header, chunk.bytes.len() as u64)?;
-        self.header_lens.lock().insert(key, chunk.header.header_len as u64);
+    /// and extract its metadata into the KV database. Takes the chunk
+    /// by value so the payload moves straight into the store's
+    /// refcounted [`Bytes`] without a copy.
+    pub fn ingest_chunk(&self, dataset: &str, chunk: SealedChunk) -> Result<()> {
+        let SealedChunk { header, bytes } = chunk;
+        let key = chunk_object_key(dataset, header.id);
+        let size = bytes.len() as u64;
+        self.store.put(&key, Bytes::from(bytes))?;
+        self.meta.ingest_chunk(dataset, &header, size)?;
+        self.header_lens.lock().insert(key, header.header_len as u64);
         self.metrics.chunks_ingested.inc();
         Ok(())
     }
@@ -216,14 +232,18 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             .map(|p| self.meta.file_meta(dataset, p))
             .collect::<diesel_meta::Result<_>>()?;
         let plans = plan_chunk_reads(&metas);
-        let mut out: Vec<Option<Bytes>> = vec![None; paths.len()];
-        for plan in &plans {
+        // Execute the per-chunk plans concurrently on the work pool; the
+        // slices land in request-order slots, so the response (and the
+        // first error, if any, in plan order) is identical to the serial
+        // loop for any worker count.
+        let plan_slices = self.pool.try_map(plans, |_, plan| {
             let key = chunk_object_key(dataset, plan.chunk);
             let header_len = self.chunk_header_len(&key)?;
             // One merged read covering every requested byte in the chunk.
             let base = plan.min_offset();
             let span = plan.merged_span() as usize;
             let merged = self.store.get_range(&key, header_len + base, span)?;
+            let mut slices = Vec::with_capacity(plan.requests.len());
             for (idx, meta) in &plan.requests {
                 let start = (meta.offset - base) as usize;
                 let end = start + meta.length as usize;
@@ -232,7 +252,14 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
                         "merged read short for request {idx}"
                     )));
                 }
-                out[*idx] = Some(merged.slice(start..end));
+                slices.push((*idx, merged.slice(start..end)));
+            }
+            Ok(slices)
+        })?;
+        let mut out: Vec<Option<Bytes>> = vec![None; paths.len()];
+        for (idx, bytes) in plan_slices.into_iter().flatten() {
+            if let Some(slot) = out.get_mut(idx) {
+                *slot = Some(bytes);
             }
         }
         out.into_iter()
@@ -270,7 +297,9 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     pub fn delete_file(&self, dataset: &str, path: &str, now_ms: u64) -> Result<()> {
         let meta = self.meta.delete_file(dataset, path, now_ms)?;
         let key = chunk_object_key(dataset, meta.chunk);
-        let mut bytes = self.store.get(&key)?.to_vec();
+        // `into_vec` moves the allocation out when this read is the sole
+        // owner (the common case) instead of copying the whole chunk.
+        let mut bytes = self.store.get(&key)?.into_vec();
         mark_deleted(&mut bytes, path)?;
         self.store.put(&key, Bytes::from(bytes))?;
         Ok(())
@@ -324,8 +353,9 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
                 continue;
             }
             let new_key = chunk_object_key(dataset, new_header.id);
-            self.store.put(&new_key, Bytes::from(new_bytes.clone()))?;
-            self.meta.ingest_chunk(dataset, &new_header, new_bytes.len() as u64)?;
+            let new_len = new_bytes.len() as u64;
+            self.store.put(&new_key, Bytes::from(new_bytes))?;
+            self.meta.ingest_chunk(dataset, &new_header, new_len)?;
             report.chunks_compacted += 1;
         }
         self.registry.batch(|| {
@@ -493,7 +523,7 @@ mod tests {
             w.add_file(n, d).unwrap();
         }
         for sealed in w.finish() {
-            s.ingest_chunk(dataset, &sealed).unwrap();
+            s.ingest_chunk(dataset, sealed).unwrap();
         }
     }
 
@@ -579,7 +609,7 @@ mod tests {
         b.add_file("x", b"xx").unwrap();
         b.add_file("y", b"yy").unwrap();
         let (header, bytes) = b.seal(ids.next_id(), 1);
-        s.ingest_chunk("ds", &SealedChunk { header, bytes }).unwrap();
+        s.ingest_chunk("ds", SealedChunk { header, bytes }).unwrap();
         s.delete_file("ds", "x", 2).unwrap();
         s.delete_file("ds", "y", 3).unwrap();
         let report = s.purge_dataset("ds", 4).unwrap();
@@ -641,7 +671,7 @@ mod tests {
         let mut b = ChunkBuilder::with_default_config();
         b.add_file("new/one", b"fresh").unwrap();
         let (h, bytes) = b.seal(ids.next_id(), 5_000_002);
-        s.ingest_chunk("ds", &SealedChunk { header: h, bytes }).unwrap();
+        s.ingest_chunk("ds", SealedChunk { header: h, bytes }).unwrap();
         s.purge_dataset("ds", 5_000_003).unwrap();
 
         let refreshed = s.refresh_snapshot(&snap0).unwrap();

@@ -1,0 +1,817 @@
+//! [`WorkPool`]: named worker threads over a bounded queue, plus the
+//! structured concurrency primitives built on it — detached tasks with
+//! cancellation ([`WorkPool::spawn`]), scoped fan-out over borrowed
+//! data ([`WorkPool::scope`], [`WorkPool::map`], [`WorkPool::try_map`])
+//! and chunked data parallelism ([`WorkPool::for_each_chunk_mut`]).
+//!
+//! Two properties hold everywhere:
+//!
+//! * **Determinism** — results land in per-item slots, so fan-out
+//!   output (and the first error of a fallible fan-out) is identical
+//!   for any worker count, including the inline (`workers <= 1`) mode
+//!   that runs everything on the calling thread.
+//! * **No idle deadlock** — a thread waiting for a scope *helps*: it
+//!   drains jobs from the pool queue while it waits, so nested fan-out
+//!   (a pooled task that itself fans out on the same pool) cannot
+//!   starve even when every worker is busy.
+
+use diesel_obs::{Counter, Gauge, HistogramHandle, Registry};
+use diesel_util::{Clock, Condvar, Mutex};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::queue::Bounded;
+use crate::{ExecConfig, ExecError, Result};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Turn a panic payload into a printable message.
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Registry handles for one pool's `exec.*` metrics, labelled
+/// `{pool=<name>}`.
+#[derive(Clone)]
+pub(crate) struct PoolMetrics {
+    submitted: Counter,
+    completed: Counter,
+    panicked: Counter,
+    cancelled: Counter,
+    queue_depth: Gauge,
+    task_ns: HistogramHandle,
+}
+
+impl PoolMetrics {
+    fn new(registry: &Registry, name: &str) -> Self {
+        let labels = [("pool", name)];
+        PoolMetrics {
+            submitted: registry.counter("exec.tasks_submitted", &labels),
+            completed: registry.counter("exec.tasks_completed", &labels),
+            panicked: registry.counter("exec.tasks_panicked", &labels),
+            cancelled: registry.counter("exec.tasks_cancelled", &labels),
+            queue_depth: registry.gauge("exec.queue_depth", &labels),
+            task_ns: registry.histogram("exec.task_ns", &labels),
+        }
+    }
+}
+
+/// Run one job: time it, count it, and contain any panic that escaped
+/// the task wrappers (spawn/scope wrappers catch their own panics to
+/// deliver the payload; this outer catch keeps worker threads alive no
+/// matter what).
+fn run_job(metrics: &PoolMetrics, clock: &Arc<dyn Clock>, job: Job) {
+    let t0 = clock.now_ns();
+    let out = catch_unwind(AssertUnwindSafe(job));
+    metrics.task_ns.record_ns(clock.now_ns().saturating_sub(t0));
+    metrics.completed.inc();
+    if out.is_err() {
+        metrics.panicked.inc();
+    }
+}
+
+struct WorkerCtx {
+    queue: Arc<Bounded<Job>>,
+    metrics: PoolMetrics,
+    clock: Arc<dyn Clock>,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    while let Some(job) = ctx.queue.pop() {
+        ctx.metrics.queue_depth.set(ctx.queue.len() as u64);
+        run_job(&ctx.metrics, &ctx.clock, job);
+    }
+}
+
+struct PoolInner {
+    name: String,
+    workers: usize,
+    queue: Arc<Bounded<Job>>,
+    started: AtomicBool,
+    spawned: AtomicUsize,
+    start_lock: Mutex<()>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    registry: Arc<Registry>,
+    clock: Arc<dyn Clock>,
+    metrics: PoolMetrics,
+}
+
+impl PoolInner {
+    /// Whether submissions must run on the calling thread right now:
+    /// the pool is configured inline, or every worker failed to spawn.
+    fn inline_now(&self) -> bool {
+        self.workers <= 1
+            || (self.started.load(Ordering::Acquire) && self.spawned.load(Ordering::Acquire) == 0)
+    }
+
+    /// Spawn the worker threads on first use (lazily, so pools embedded
+    /// in servers and caches cost nothing until work arrives).
+    fn ensure_started(&self) {
+        if self.workers <= 1 || self.started.load(Ordering::Acquire) {
+            return;
+        }
+        let _g = self.start_lock.lock();
+        if self.started.load(Ordering::Acquire) {
+            return;
+        }
+        let mut handles = self.handles.lock();
+        for i in 0..self.workers {
+            let ctx = WorkerCtx {
+                queue: Arc::clone(&self.queue),
+                metrics: self.metrics.clone(),
+                clock: Arc::clone(&self.clock),
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("{}-{i}", self.name))
+                .spawn(move || worker_loop(ctx));
+            if let Ok(h) = spawned {
+                handles.push(h);
+                self.spawned.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        drop(handles);
+        self.started.store(true, Ordering::Release);
+    }
+
+    /// Submit with backpressure: block while the queue is full.
+    fn submit(&self, job: Job) {
+        self.metrics.submitted.inc();
+        if self.inline_now() {
+            run_job(&self.metrics, &self.clock, job);
+            return;
+        }
+        self.ensure_started();
+        if self.inline_now() {
+            run_job(&self.metrics, &self.clock, job);
+            return;
+        }
+        match self.queue.push(job) {
+            Ok(()) => self.metrics.queue_depth.set(self.queue.len() as u64),
+            // Closed mid-shutdown: run the straggler here rather than
+            // dropping it.
+            Err(job) => run_job(&self.metrics, &self.clock, job),
+        }
+    }
+
+    /// Submit without blocking: a full (or closed) queue runs the job
+    /// on the calling thread instead. Scoped fan-out uses this so a
+    /// pooled task that fans out on its own pool can never deadlock on
+    /// its own queue.
+    fn submit_or_run(&self, job: Job) {
+        self.metrics.submitted.inc();
+        if self.inline_now() {
+            run_job(&self.metrics, &self.clock, job);
+            return;
+        }
+        self.ensure_started();
+        match self.queue.try_push(job) {
+            Ok(()) => self.metrics.queue_depth.set(self.queue.len() as u64),
+            Err(job) => run_job(&self.metrics, &self.clock, job),
+        }
+    }
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        self.queue.close();
+        for h in self.handles.get_mut().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A named, shared worker pool with a bounded submission queue.
+///
+/// `WorkPool` is cheap to clone (all clones share the workers); inject
+/// it the way a [`Clock`] is injected — construct
+/// once per deployment (or take [`global()`]) and hand copies to every
+/// layer that runs background work.
+#[derive(Clone)]
+pub struct WorkPool {
+    inner: Arc<PoolInner>,
+}
+
+impl WorkPool {
+    /// A pool with a private metrics registry.
+    pub fn new(name: &str, config: ExecConfig) -> Self {
+        Self::with_registry(name, config, Arc::new(Registry::default()))
+    }
+
+    /// A pool whose `exec.*` metrics land in a shared `registry`.
+    pub fn with_registry(name: &str, config: ExecConfig, registry: Arc<Registry>) -> Self {
+        let metrics = PoolMetrics::new(&registry, name);
+        let clock = Arc::clone(registry.clock());
+        WorkPool {
+            inner: Arc::new(PoolInner {
+                name: name.to_owned(),
+                workers: config.workers.max(1),
+                queue: Arc::new(Bounded::new(config.capacity())),
+                started: AtomicBool::new(false),
+                spawned: AtomicUsize::new(0),
+                start_lock: Mutex::new(()),
+                handles: Mutex::new(Vec::new()),
+                registry,
+                clock,
+                metrics,
+            }),
+        }
+    }
+
+    /// A deterministic single-threaded pool: everything runs inline on
+    /// the calling thread, in submission order.
+    pub fn inline(name: &str) -> Self {
+        Self::new(name, ExecConfig::inline())
+    }
+
+    /// The pool's name (its `{pool=…}` metric label).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Whether this pool runs submissions inline (deterministic mode).
+    pub fn is_inline(&self) -> bool {
+        self.inner.inline_now()
+    }
+
+    /// The registry holding this pool's `exec.*` metrics.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
+    pub(crate) fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    // ---- detached tasks ----
+
+    /// Run `f` in the background. The handle's drop cancels the task's
+    /// token (see [`TaskHandle`]); use
+    /// [`spawn_cancellable`](Self::spawn_cancellable) when the task
+    /// wants to observe that.
+    pub fn spawn<T, F>(&self, f: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_cancellable(move |_| f())
+    }
+
+    /// Run `f` in the background with a [`CancelToken`] it can poll
+    /// between units of work. Panics inside `f` are captured and
+    /// surface as [`ExecError::Panicked`] from [`TaskHandle::join`].
+    pub fn spawn_cancellable<T, F>(&self, f: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&CancelToken) -> T + Send + 'static,
+    {
+        let token = CancelToken::default();
+        let shared = Arc::new(TaskShared { slot: Mutex::new(None), done: Condvar::new() });
+        let (token2, shared2) = (token.clone(), Arc::clone(&shared));
+        let panicked = self.inner.metrics.panicked.clone();
+        let job: Job = Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| f(&token2)));
+            let out = out.map_err(|p| {
+                panicked.inc();
+                panic_message(p.as_ref())
+            });
+            *shared2.slot.lock() = Some(out);
+            shared2.done.notify_all();
+        });
+        self.inner.submit(job);
+        TaskHandle {
+            shared,
+            token,
+            cancelled_counter: self.inner.metrics.cancelled.clone(),
+            joined: false,
+        }
+    }
+
+    // ---- scoped fan-out ----
+
+    /// Structured fan-out over borrowed data, like `std::thread::scope`
+    /// but on the pool: every job spawned inside `f` completes before
+    /// `scope` returns, and the first captured panic is re-raised on
+    /// the caller.
+    pub fn scope<'env, F, R>(&'env self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            core: Mutex::new(ScopeCore { pending: 0, panic: None }),
+            done: Condvar::new(),
+        });
+        let scope = Scope { pool: self, state: Arc::clone(&state), _env: PhantomData };
+        let result = {
+            // Wait for every spawned job even if `f` itself unwinds, so
+            // borrows captured by the jobs stay alive long enough.
+            struct WaitGuard<'a> {
+                pool: &'a WorkPool,
+                state: &'a Arc<ScopeState>,
+            }
+            impl Drop for WaitGuard<'_> {
+                fn drop(&mut self) {
+                    self.pool.wait_scope(self.state);
+                }
+            }
+            let _guard = WaitGuard { pool: self, state: &state };
+            f(&scope)
+        };
+        if let Some(msg) = state.core.lock().panic.take() {
+            std::panic::resume_unwind(Box::new(msg));
+        }
+        result
+    }
+
+    /// Block until `state.pending` reaches zero, draining pool jobs
+    /// while waiting ("helping"), so scopes opened from inside pooled
+    /// tasks make progress even when every worker is occupied.
+    fn wait_scope(&self, state: &Arc<ScopeState>) {
+        loop {
+            if state.core.lock().pending == 0 {
+                return;
+            }
+            if let Some(job) = self.inner.queue.try_pop() {
+                self.inner.metrics.queue_depth.set(self.inner.queue.len() as u64);
+                run_job(&self.inner.metrics, &self.inner.clock, job);
+                continue;
+            }
+            let core = state.core.lock();
+            if core.pending == 0 {
+                return;
+            }
+            // The timeout re-checks the queue periodically; completion of
+            // our own jobs notifies `done` directly.
+            let (guard, _timed_out) = state.done.wait_timeout(core, Duration::from_millis(2));
+            drop(guard);
+        }
+    }
+
+    /// Fan `f` out over `items`; the result vector is index-aligned
+    /// with the input regardless of worker count or scheduling.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        enum NoError {}
+        let out: std::result::Result<Vec<T>, NoError> =
+            self.try_map(items, |i, item| Ok(f(i, item)));
+        match out {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Fallible fan-out: runs `f` over every item, returns the results
+    /// in input order, or the error of the *lowest-indexed* failing
+    /// item — the same error the serial loop would have returned first,
+    /// for any worker count.
+    pub fn try_map<I, T, E, F>(&self, items: Vec<I>, f: F) -> std::result::Result<Vec<T>, E>
+    where
+        I: Send,
+        T: Send,
+        E: Send,
+        F: Fn(usize, I) -> std::result::Result<T, E> + Sync,
+    {
+        let n = items.len();
+        let mut slots: Vec<Option<std::result::Result<T, E>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        self.scope(|s| {
+            let f = &f;
+            for ((i, item), slot) in items.into_iter().enumerate().zip(slots.iter_mut()) {
+                s.spawn(move || {
+                    *slot = Some(f(i, item));
+                });
+            }
+        });
+        // Every slot is filled once the scope has waited; a panic would
+        // have resumed above.
+        let mut out = Vec::with_capacity(n);
+        for r in slots.into_iter().flatten() {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// Apply `f(chunk_index, chunk)` to every `size`-sized chunk of
+    /// `data` (last chunk may be shorter) across the pool. Chunk
+    /// indices are global and each chunk is exactly what `chunks_mut`
+    /// would produce, so the result is identical to the serial loop.
+    ///
+    /// Panics if `size` is zero (same contract as `chunks_mut`).
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(size > 0, "for_each_chunk_mut: chunk size must be non-zero");
+        let n_chunks = data.len().div_ceil(size);
+        let workers = self.workers().min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in data.chunks_mut(size).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        // One contiguous run of whole chunks per worker.
+        let chunks_per_worker = n_chunks.div_ceil(workers);
+        let stride = chunks_per_worker * size;
+        self.scope(|s| {
+            let f = &f;
+            let mut rest = data;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = stride.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let first = base;
+                s.spawn(move || {
+                    for (i, chunk) in head.chunks_mut(size).enumerate() {
+                        f(first + i, chunk);
+                    }
+                });
+                base += chunks_per_worker;
+            }
+        });
+    }
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool")
+            .field("name", &self.inner.name)
+            .field("workers", &self.inner.workers)
+            .field("queued", &self.inner.queue.len())
+            .finish()
+    }
+}
+
+/// The process-wide default pool, sized by `DIESEL_EXEC_WORKERS` (see
+/// [`ExecConfig::from_env`]). Created lazily; layers that are not
+/// handed an explicit pool share this one.
+pub fn global() -> &'static WorkPool {
+    static GLOBAL: OnceLock<WorkPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| WorkPool::new("global", ExecConfig::from_env()))
+}
+
+// ---- cancellation ----
+
+/// A cooperative cancellation flag shared between a task and its
+/// [`TaskHandle`]. Long-running tasks poll
+/// [`is_cancelled`](CancelToken::is_cancelled) between units of work.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Request cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+// ---- task handles ----
+
+struct TaskShared<T> {
+    slot: Mutex<Option<std::result::Result<T, String>>>,
+    done: Condvar,
+}
+
+/// Handle to a background task started by [`WorkPool::spawn`].
+///
+/// Unlike a raw `JoinHandle`, dropping this handle does not leak the
+/// task: the drop flips the task's [`CancelToken`] so a cooperative
+/// task winds down, and the pool still owns (and finishes) the
+/// submitted job either way.
+pub struct TaskHandle<T> {
+    shared: Arc<TaskShared<T>>,
+    token: CancelToken,
+    cancelled_counter: Counter,
+    joined: bool,
+}
+
+impl<T> TaskHandle<T> {
+    /// Wait for the task and take its result. A panic inside the task
+    /// surfaces as [`ExecError::Panicked`].
+    pub fn join(mut self) -> Result<T> {
+        self.joined = true;
+        let mut g = self.shared.slot.lock();
+        loop {
+            if let Some(r) = g.take() {
+                return r.map_err(ExecError::Panicked);
+            }
+            g = self.shared.done.wait(g);
+        }
+    }
+
+    /// Has the task produced its result?
+    pub fn is_finished(&self) -> bool {
+        self.shared.slot.lock().is_some()
+    }
+
+    /// The task's cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Request cancellation without waiting.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Let the task run unobserved: the drop will *not* cancel it.
+    pub fn detach(mut self) {
+        self.joined = true;
+    }
+}
+
+impl<T> Drop for TaskHandle<T> {
+    fn drop(&mut self) {
+        if !self.joined {
+            self.token.cancel();
+            self.cancelled_counter.inc();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TaskHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("finished", &self.is_finished())
+            .field("cancelled", &self.token.is_cancelled())
+            .finish()
+    }
+}
+
+// ---- scopes ----
+
+struct ScopeCore {
+    pending: usize,
+    panic: Option<String>,
+}
+
+struct ScopeState {
+    core: Mutex<ScopeCore>,
+    done: Condvar,
+}
+
+/// A fan-out scope created by [`WorkPool::scope`]. Jobs may borrow
+/// anything that outlives the scope (`'env`).
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope WorkPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Run `f` on the pool (or inline when the queue is full — the
+    /// backpressure path). The closure may borrow from `'env`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.core.lock().pending += 1;
+        let state = Arc::clone(&self.state);
+        let panicked = self.pool.inner.metrics.panicked.clone();
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(f));
+            let mut core = state.core.lock();
+            if let Err(p) = out {
+                panicked.inc();
+                if core.panic.is_none() {
+                    core.panic = Some(panic_message(p.as_ref()));
+                }
+            }
+            core.pending -= 1;
+            drop(core);
+            state.done.notify_all();
+        });
+        // SAFETY: `WorkPool::scope` does not return (or resume an
+        // unwind) until `pending` reaches zero, so every `'env` borrow
+        // captured by the job strictly outlives its execution; the
+        // transmute only erases that lifetime.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.inner.submit_or_run(job);
+    }
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("pool", &self.pool.name())
+            .field("pending", &self.state.core.lock().pending)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(workers: usize) -> WorkPool {
+        WorkPool::new("t", ExecConfig::workers(workers))
+    }
+
+    #[test]
+    fn spawn_join_roundtrip() {
+        for w in [1, 4] {
+            let p = pool(w);
+            let h = p.spawn(|| 6 * 7);
+            assert_eq!(h.join().unwrap(), 42);
+        }
+    }
+
+    #[test]
+    fn spawn_panic_surfaces_at_join() {
+        let p = pool(2);
+        let h = p.spawn(|| -> u32 { panic!("kaboom {}", 9) });
+        match h.join() {
+            Err(ExecError::Panicked(msg)) => assert!(msg.contains("kaboom 9"), "{msg}"),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        let snap = p.registry().snapshot();
+        assert_eq!(snap.counter("exec.tasks_panicked{pool=t}"), 1);
+        assert_eq!(snap.counter("exec.tasks_submitted{pool=t}"), 1);
+    }
+
+    #[test]
+    fn drop_cancels_cooperative_task() {
+        let p = pool(2);
+        let seen = Arc::new(AtomicBool::new(false));
+        let seen2 = seen.clone();
+        let gate = Arc::new(Bounded::<()>::new(1));
+        let gate2 = gate.clone();
+        let h = p.spawn_cancellable(move |token| {
+            gate2.pop(); // wait until the main thread dropped the handle
+            seen2.store(token.is_cancelled(), Ordering::SeqCst);
+        });
+        let probe = h.cancel_token().clone();
+        drop(h);
+        assert!(probe.is_cancelled(), "drop must flip the token");
+        gate.push(()).unwrap();
+        // Wait for the task to record what it saw.
+        for _ in 0..1000 {
+            if seen.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(seen.load(Ordering::SeqCst), "task observed cancellation");
+        assert_eq!(p.registry().snapshot().counter("exec.tasks_cancelled{pool=t}"), 1);
+    }
+
+    #[test]
+    fn detach_does_not_cancel() {
+        let p = pool(2);
+        let h = p.spawn(|| ());
+        let probe = h.cancel_token().clone();
+        h.detach();
+        assert!(!probe.is_cancelled());
+    }
+
+    #[test]
+    fn scope_borrows_and_waits() {
+        let p = pool(4);
+        let mut hits = [0u8; 16];
+        p.scope(|s| {
+            for slot in hits.iter_mut() {
+                s.spawn(move || *slot = 1);
+            }
+        });
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn scope_propagates_panics() {
+        let p = pool(3);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.scope(|s| {
+                s.spawn(|| panic!("inner failure"));
+            });
+        }));
+        let msg = panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("inner failure"), "{msg}");
+    }
+
+    #[test]
+    fn map_is_index_aligned_for_any_worker_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let reference: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for w in [1, 2, 8] {
+            let p = pool(w);
+            let out = p.map(items.clone(), |_, x| x * x);
+            assert_eq!(out, reference, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        for w in [1, 2, 8] {
+            let p = pool(w);
+            let out: std::result::Result<Vec<u32>, String> =
+                p.try_map((0..50).collect(), |i, x: u32| {
+                    if x % 7 == 3 {
+                        Err(format!("bad {i}"))
+                    } else {
+                        Ok(x)
+                    }
+                });
+            // Items 3, 10, 17… fail; index 3 must win for every worker count.
+            assert_eq!(out.unwrap_err(), "bad 3", "workers={w}");
+        }
+    }
+
+    #[test]
+    fn nested_fan_out_does_not_deadlock() {
+        // Tasks that themselves fan out on the same (small) pool: the
+        // scope helper drains the queue while waiting.
+        let p = pool(2);
+        let outer: Vec<u64> = p.map((0..4u64).collect(), |_, x| {
+            let inner: Vec<u64> = p.map((0..8u64).collect(), |_, y| x * 100 + y);
+            inner.iter().sum()
+        });
+        let expect: Vec<u64> = (0..4u64).map(|x| (0..8u64).map(|y| x * 100 + y).sum()).collect();
+        assert_eq!(outer, expect);
+    }
+
+    #[test]
+    fn inline_pool_runs_everything_on_the_caller() {
+        let p = pool(1);
+        assert!(p.is_inline());
+        let tid = std::thread::current().id();
+        let h = p.spawn(move || std::thread::current().id() == tid);
+        assert!(h.is_finished(), "inline spawn completes synchronously");
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn for_each_chunk_mut_matches_serial() {
+        for len in [0usize, 1, 7, 64, 1003] {
+            for size in [1usize, 3, 64, 2000] {
+                for w in [1usize, 4] {
+                    let p = pool(w);
+                    let mut par: Vec<u64> = (0..len as u64).collect();
+                    let mut ser = par.clone();
+                    p.for_each_chunk_mut(&mut par, size, |i, c| {
+                        for v in c.iter_mut() {
+                            *v = v.wrapping_mul(31).wrapping_add(i as u64);
+                        }
+                    });
+                    for (i, c) in ser.chunks_mut(size).enumerate() {
+                        for v in c.iter_mut() {
+                            *v = v.wrapping_mul(31).wrapping_add(i as u64);
+                        }
+                    }
+                    assert_eq!(par, ser, "len={len} size={size} workers={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_flow_into_the_shared_registry() {
+        let registry = Arc::new(Registry::default());
+        let p = WorkPool::with_registry("svc", ExecConfig::workers(2), registry.clone());
+        p.map((0..10).collect::<Vec<u32>>(), |_, x| x + 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("exec.tasks_submitted{pool=svc}"), 10);
+        assert_eq!(snap.counter("exec.tasks_completed{pool=svc}"), 10);
+        assert_eq!(snap.counter("exec.tasks_panicked{pool=svc}"), 0);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+        assert!(a.workers() >= 1);
+    }
+
+    #[test]
+    fn pool_debug_format() {
+        let p = pool(3);
+        let s = format!("{p:?}");
+        assert!(s.contains("workers: 3"), "{s}");
+    }
+}

@@ -5,7 +5,8 @@
 use crate::{Finding, Rule};
 
 /// Crates whose library code must be panic-free (R1).
-pub const R1_CRATES: &[&str] = &["core", "cache", "meta", "kv", "net", "store", "chunk", "obs"];
+pub const R1_CRATES: &[&str] =
+    &["core", "cache", "meta", "kv", "net", "store", "chunk", "obs", "exec"];
 
 /// Modules allowed to read real time or entropy (R2): the one clock
 /// implementation and its `diesel_net::clock` re-export shim.

@@ -195,19 +195,15 @@ mod tests {
         // With k servers and uniform service s, N requests arriving at 0
         // must finish exactly at ceil(N/k)*s — regardless of thread
         // interleaving.
-        let r = std::sync::Arc::new(Resource::new("c", 3));
-        let handles: Vec<_> = (0..6)
-            .map(|_| {
-                let r = r.clone();
-                std::thread::spawn(move || {
-                    (0..500)
-                        .map(|_| r.acquire(SimTime::ZERO, SimTime::from_micros(10)).end)
-                        .max()
-                        .unwrap()
-                })
-            })
-            .collect();
-        let max_end = handles.into_iter().map(|h| h.join().unwrap()).max().unwrap();
+        let r = Resource::new("c", 3);
+        let pool = diesel_exec::WorkPool::new(
+            "simnet-test",
+            diesel_exec::ExecConfig { workers: 6, queue_capacity: 0 },
+        );
+        let ends = pool.map((0..6).collect::<Vec<_>>(), |_, _| {
+            (0..500).map(|_| r.acquire(SimTime::ZERO, SimTime::from_micros(10)).end).max().unwrap()
+        });
+        let max_end = ends.into_iter().max().unwrap();
         let expect = SimTime::from_micros(10 * 3000 / 3);
         assert_eq!(max_end, expect);
     }

@@ -19,12 +19,14 @@
 //!   the fast tier when cached, and a miss triggers background caching of
 //!   the dataset's chunks into the fast tier.
 
+pub mod delay;
 pub mod dir;
 pub mod faulty;
 pub mod mem;
 pub mod model;
 pub mod tiered;
 
+pub use delay::DelayedStore;
 pub use diesel_util::Bytes;
 pub use dir::DirObjectStore;
 pub use faulty::{FaultConfig, FaultyStore};

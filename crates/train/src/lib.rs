@@ -5,7 +5,8 @@
 //! the data *order*, not of any particular network, so we verify it with
 //! a real (small) trainer instead of pretending to run ResNet-50:
 //!
-//! * [`tensor`] — row-major `f32` matrices with rayon-parallel GEMM.
+//! * [`tensor`] — row-major `f32` matrices; GEMM fans out over the
+//!   `diesel-exec` work pool.
 //! * [`mlp`] — a configurable multi-layer perceptron with softmax cross
 //!   entropy and momentum SGD; deterministic initialization.
 //! * [`data`] — seeded synthetic classification datasets (gaussian class
@@ -13,7 +14,8 @@
 //!   dataset stresses DIESEL exactly like an image folder; plus an
 //!   in-memory view for pure-algorithm tests.
 //! * [`loader`] — a `DataLoader` that reads samples *through a
-//!   DieselClient* in the order produced by either shuffle strategy.
+//!   DieselClient* in the order produced by either shuffle strategy,
+//!   pipelining batched fetch and decode stages ahead of the consumer.
 //! * [`trainer`] — epoch loop + top-k evaluation, the engine behind the
 //!   Fig. 13 experiment.
 //! * [`profiles`] — per-iteration cost profiles of the paper's four

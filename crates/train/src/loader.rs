@@ -4,12 +4,28 @@
 //! comes from the client's metadata snapshot, the per-epoch order from
 //! the configured shuffle strategy (`DL_shuffle`), and every sample is a
 //! file read through the client (task cache → server → object store).
+//!
+//! Reads are pipelined (paper §4.2: I/O overlaps computation). Each
+//! epoch runs a two-stage [`WorkPool::pipeline`]:
+//!
+//! 1. `loader.fetch` — the shuffled order is cut into batch-sized path
+//!    groups and each group is read with [`DieselClient::get_many`],
+//!    which the server merges into one ranged read per chunk (Fig. 2).
+//! 2. `loader.decode` — fetched bytes are decoded and assembled into a
+//!    `(Matrix, labels)` mini-batch.
+//!
+//! Batch *contents and order* are byte-identical for any worker count —
+//! the pipeline reorders completions back to source order — so an
+//! inline pool (`DIESEL_EXEC_WORKERS=1`) reproduces a threaded run
+//! exactly.
 
 use std::sync::Arc;
 
 use diesel_core::{DieselClient, DieselError};
+use diesel_exec::{PipelineIter, WorkPool};
 use diesel_kv::KvStore;
 use diesel_store::ObjectStore;
+use diesel_util::Bytes;
 
 use crate::data::{sample_path, to_batch, Sample};
 use crate::tensor::Matrix;
@@ -27,19 +43,49 @@ pub fn upload_samples<K: KvStore + 'static, S: ObjectStore + 'static>(
     Ok(())
 }
 
+/// One decoded mini-batch: features and labels, or the first error hit
+/// while fetching/decoding it.
+pub type BatchResult = diesel_core::Result<(Matrix, Vec<usize>)>;
+
 /// Mini-batch iterator over a DIESEL-resident dataset.
 pub struct DataLoader<K, S> {
     client: Arc<DieselClient<K, S>>,
     batch_size: usize,
     seed: u64,
+    pool: WorkPool,
+    prefetch_depth: usize,
 }
 
 impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
     /// Build a loader. The client must have a snapshot loaded and a
-    /// shuffle strategy enabled.
+    /// shuffle strategy enabled. Uses the process-wide work pool
+    /// (`DIESEL_EXEC_WORKERS`); override with [`with_pool`](Self::with_pool).
     pub fn new(client: Arc<DieselClient<K, S>>, batch_size: usize, seed: u64) -> Self {
         assert!(batch_size >= 1);
-        DataLoader { client, batch_size, seed }
+        DataLoader {
+            client,
+            batch_size,
+            seed,
+            pool: diesel_exec::global().clone(),
+            prefetch_depth: 2,
+        }
+    }
+
+    /// Run the read pipeline on `pool` instead of the global one. An
+    /// inline pool (`WorkPool::inline`) makes every epoch fully
+    /// deterministic single-threaded execution.
+    #[must_use]
+    pub fn with_pool(mut self, pool: WorkPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Bound the read-ahead: at most `depth` finished batches buffer
+    /// between pipeline stages before fetching blocks (backpressure).
+    #[must_use]
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth.max(1);
+        self
     }
 
     /// The wrapped client.
@@ -47,22 +93,33 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
         &self.client
     }
 
-    /// Read one epoch as mini-batches, in this epoch's shuffled order.
-    pub fn epoch_batches(&self, epoch: u64) -> diesel_core::Result<Vec<(Matrix, Vec<usize>)>> {
+    /// Stream one epoch as mini-batches in this epoch's shuffled order.
+    ///
+    /// Fetching and decoding run ahead of the consumer on the loader's
+    /// work pool (bounded by the prefetch depth), so storage latency
+    /// overlaps training compute. Yielded batches are identical — same
+    /// order, same bytes — for any worker count.
+    pub fn epoch_iter(&self, epoch: u64) -> diesel_core::Result<PipelineIter<BatchResult>> {
         let order = self.client.epoch_file_list(self.seed, epoch)?;
-        let mut batches = Vec::with_capacity(order.len().div_ceil(self.batch_size));
-        for chunk in order.chunks(self.batch_size) {
-            let mut samples = Vec::with_capacity(chunk.len());
-            for path in chunk {
-                let bytes = self.client.get(path)?;
-                let sample = Sample::decode(&bytes)
-                    .ok_or_else(|| DieselError::Client(format!("undecodable sample {path}")))?;
-                samples.push(sample);
-            }
-            let refs: Vec<&Sample> = samples.iter().collect();
-            batches.push(to_batch(&refs));
-        }
-        Ok(batches)
+        let groups: Vec<Vec<String>> =
+            order.chunks(self.batch_size).map(<[String]>::to_vec).collect();
+        let client = Arc::clone(&self.client);
+        let fetched = self.pool.pipeline(
+            "loader.fetch",
+            self.prefetch_depth,
+            groups.into_iter(),
+            move |paths: Vec<String>| client.get_many(&paths).map(|bytes| (paths, bytes)),
+        );
+        Ok(self.pool.pipeline("loader.decode", self.prefetch_depth, fetched, |fetch| {
+            let (paths, bytes) = fetch?;
+            decode_batch(&paths, &bytes)
+        }))
+    }
+
+    /// Read one epoch as mini-batches, in this epoch's shuffled order.
+    #[deprecated(note = "materialises the whole epoch in memory; stream with `epoch_iter` instead")]
+    pub fn epoch_batches(&self, epoch: u64) -> diesel_core::Result<Vec<(Matrix, Vec<usize>)>> {
+        self.epoch_iter(epoch)?.collect()
     }
 
     /// Number of files per epoch.
@@ -71,9 +128,25 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
     }
 }
 
+/// Decode one fetched path group into a training batch.
+fn decode_batch(paths: &[String], bytes: &[Bytes]) -> BatchResult {
+    let mut samples = Vec::with_capacity(bytes.len());
+    for (path, b) in paths.iter().zip(bytes) {
+        let sample = Sample::decode(b)
+            .ok_or_else(|| DieselError::Client(format!("undecodable sample {path}")))?;
+        samples.push(sample);
+    }
+    let refs: Vec<&Sample> = samples.iter().collect();
+    Ok(to_batch(&refs))
+}
+
 impl<K, S> std::fmt::Debug for DataLoader<K, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DataLoader").field("batch_size", &self.batch_size).finish_non_exhaustive()
+        f.debug_struct("DataLoader")
+            .field("batch_size", &self.batch_size)
+            .field("prefetch_depth", &self.prefetch_depth)
+            .field("pool", &self.pool.name())
+            .finish_non_exhaustive()
     }
 }
 
@@ -109,12 +182,19 @@ mod tests {
         (Arc::new(client), samples)
     }
 
+    fn collect(
+        loader: &DataLoader<ShardedKv, MemObjectStore>,
+        epoch: u64,
+    ) -> Vec<(Matrix, Vec<usize>)> {
+        loader.epoch_iter(epoch).unwrap().collect::<diesel_core::Result<Vec<_>>>().unwrap()
+    }
+
     #[test]
     fn epoch_covers_every_sample_once() {
         let (client, samples) = setup(57);
         let loader = DataLoader::new(client, 8, 3);
         assert_eq!(loader.dataset_len().unwrap(), 57);
-        let batches = loader.epoch_batches(0).unwrap();
+        let batches = collect(&loader, 0);
         assert_eq!(batches.len(), 8, "57 / 8 → 8 batches (last partial)");
         let total: usize = batches.iter().map(|(x, _)| x.rows).sum();
         assert_eq!(total, 57);
@@ -136,8 +216,8 @@ mod tests {
     fn different_epochs_have_different_orders() {
         let (client, _) = setup(40);
         let loader = DataLoader::new(client, 40, 5);
-        let e0 = loader.epoch_batches(0).unwrap();
-        let e1 = loader.epoch_batches(1).unwrap();
+        let e0 = collect(&loader, 0);
+        let e1 = collect(&loader, 1);
         assert_ne!(e0[0].1, e1[0].1, "epoch label orders should differ");
     }
 
@@ -145,11 +225,57 @@ mod tests {
     fn feature_payloads_survive_the_trip() {
         let (client, samples) = setup(20);
         let loader = DataLoader::new(client, 20, 7);
-        let batches = loader.epoch_batches(0).unwrap();
+        let batches = collect(&loader, 0);
         let (x, labels) = &batches[0];
         // Find a known sample by label + features.
         let s0 = &samples[0];
         let found = (0..x.rows).any(|r| labels[r] == s0.label && x.row(r) == &s0.features[..]);
         assert!(found, "sample 0 must come back bit-identical");
+    }
+
+    #[test]
+    fn pipelined_batches_match_inline_for_any_worker_count() {
+        let (client, _) = setup(41);
+        let inline =
+            DataLoader::new(Arc::clone(&client), 8, 11).with_pool(WorkPool::inline("loader-test"));
+        let baseline = collect(&inline, 0);
+        for workers in [2usize, 8] {
+            let pool = WorkPool::new(
+                "loader-test",
+                diesel_exec::ExecConfig { workers, queue_capacity: 0 },
+            );
+            let loader =
+                DataLoader::new(Arc::clone(&client), 8, 11).with_pool(pool).with_prefetch_depth(3);
+            let got = collect(&loader, 0);
+            assert_eq!(got.len(), baseline.len());
+            for (g, b) in got.iter().zip(&baseline) {
+                assert_eq!(g.1, b.1, "labels diverge at workers={workers}");
+                assert_eq!(g.0.data, b.0.data, "features diverge at workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_epoch_batches_still_materialises_the_epoch() {
+        let (client, _) = setup(20);
+        let loader = DataLoader::new(client, 6, 2);
+        #[allow(deprecated)]
+        let eager = loader.epoch_batches(0).unwrap();
+        let streamed = collect(&loader, 0);
+        assert_eq!(eager.len(), streamed.len());
+        for (e, s) in eager.iter().zip(&streamed) {
+            assert_eq!(e.1, s.1);
+            assert_eq!(e.0.data, s.0.data);
+        }
+    }
+
+    #[test]
+    fn mid_epoch_drop_is_clean() {
+        let (client, _) = setup(30);
+        let loader = DataLoader::new(client, 4, 9).with_prefetch_depth(2);
+        let mut iter = loader.epoch_iter(0).unwrap();
+        let first = iter.next().unwrap().unwrap();
+        assert_eq!(first.1.len(), 4);
+        drop(iter); // pipeline must cancel and join without hanging
     }
 }

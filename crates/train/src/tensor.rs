@@ -3,10 +3,12 @@
 //! Just enough linear algebra for an MLP: matmul in the three layouts a
 //! backward pass needs, bias broadcast, and elementwise helpers. Row
 //! parallelism follows the hpc-parallel guide's idiom: the outer loop
-//! becomes [`par_chunks_mut`] over output rows (scoped threads from
-//! `diesel-util`, one contiguous run of rows per worker).
-
-use diesel_util::par_chunks_mut;
+//! fans out over output rows via the shared
+//! [`diesel_exec::global()`] work pool's
+//! [`for_each_chunk_mut`](diesel_exec::WorkPool::for_each_chunk_mut)
+//! (one contiguous run of rows per worker, global row indices), so GEMM
+//! shares workers — and the `DIESEL_EXEC_WORKERS=1` determinism mode —
+//! with the rest of the tree.
 
 /// A row-major `rows × cols` matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +53,7 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        par_chunks_mut(&mut out.data, n, |i, orow| {
+        diesel_exec::global().for_each_chunk_mut(&mut out.data, n, |i, orow| {
             let arow = &self.data[i * k..(i + 1) * k];
             for (p, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
@@ -72,7 +74,7 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(k, n);
         // Parallelize over output rows (columns of self).
-        par_chunks_mut(&mut out.data, n, |p, orow| {
+        diesel_exec::global().for_each_chunk_mut(&mut out.data, n, |p, orow| {
             for i in 0..m {
                 let a = self.data[i * k + p];
                 if a == 0.0 {
@@ -92,7 +94,7 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        par_chunks_mut(&mut out.data, n, |i, orow| {
+        diesel_exec::global().for_each_chunk_mut(&mut out.data, n, |i, orow| {
             let arow = &self.data[i * k..(i + 1) * k];
             for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &other.data[j * k..(j + 1) * k];

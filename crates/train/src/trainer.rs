@@ -67,11 +67,14 @@ pub fn train<K: KvStore + 'static, S: ObjectStore + 'static>(
 ) -> diesel_core::Result<Vec<EpochMetrics>> {
     let mut out = Vec::with_capacity(config.epochs as usize);
     for epoch in 0..config.epochs {
-        let batches = loader.epoch_batches(epoch)?;
         let mut loss_sum = 0.0f64;
         let mut n = 0u64;
-        for (x, labels) in &batches {
-            loss_sum += model.train_batch(x, labels) as f64;
+        // Stream batches: the loader's pipeline fetches and decodes the
+        // next batches while `train_batch` runs on this one (§4.2's
+        // compute/I-O overlap).
+        for batch in loader.epoch_iter(epoch)? {
+            let (x, labels) = batch?;
+            loss_sum += model.train_batch(&x, &labels) as f64;
             n += 1;
         }
         out.push(EpochMetrics {

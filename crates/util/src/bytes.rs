@@ -12,7 +12,7 @@ use std::sync::Arc;
 /// [`slice`](Bytes::slice) are O(1) and share the allocation.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -20,12 +20,12 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer (no allocation shared with anything).
     pub fn new() -> Self {
-        Bytes { data: Arc::from([] as [u8; 0]), start: 0, end: 0 }
+        Bytes { data: Arc::new(Vec::new()), start: 0, end: 0 }
     }
 
     /// A buffer over static data (copied once into the shared allocation).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(data), start: 0, end: data.len() }
+        Bytes { data: Arc::new(data.to_vec()), start: 0, end: data.len() }
     }
 
     /// Length in bytes.
@@ -59,6 +59,21 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
+
+    /// Take the bytes as an owned `Vec<u8>`. When this handle is the
+    /// sole owner of a full-range buffer the allocation is moved out
+    /// without copying; otherwise the covered range is copied.
+    pub fn into_vec(self) -> Vec<u8> {
+        let Bytes { data, start, end } = self;
+        if start == 0 && end == data.len() {
+            match Arc::try_unwrap(data) {
+                Ok(v) => v,
+                Err(shared) => shared[start..end].to_vec(),
+            }
+        } else {
+            data[start..end].to_vec()
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -83,7 +98,7 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Arc::from(v), start: 0, end }
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
@@ -193,6 +208,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_slice_panics() {
         let _ = Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn into_vec_moves_when_unique_and_copies_when_shared() {
+        // Sole owner, full range: the allocation moves (same pointer).
+        let v: Vec<u8> = (0u8..16).collect();
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "unique full-range into_vec must not copy");
+        assert_eq!(back, (0u8..16).collect::<Vec<_>>());
+
+        // Shared: the original clone stays usable and the copy is right.
+        let b = Bytes::from((0u8..8).collect::<Vec<_>>());
+        let keep = b.clone();
+        assert_eq!(b.into_vec(), (0u8..8).collect::<Vec<_>>());
+        assert_eq!(keep.len(), 8);
+
+        // Sliced: only the covered range comes back.
+        let b = Bytes::from((0u8..10).collect::<Vec<_>>()).slice(2..5);
+        assert_eq!(b.into_vec(), vec![2, 3, 4]);
     }
 
     #[test]

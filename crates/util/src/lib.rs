@@ -1,6 +1,6 @@
 //! `diesel-util`: the workspace's bottom layer.
 //!
-//! Every other crate builds on these four pieces:
+//! Every other crate builds on these three pieces:
 //!
 //! - [`sync`] — `Mutex`/`RwLock`/`Condvar` wrappers that recover from
 //!   poisoning instead of unwrapping, plus the free-function
@@ -13,17 +13,16 @@
 //!   everything else takes an `Arc<dyn Clock>`.
 //! - [`bytes`] — [`Bytes`], a cheaply-cloneable, sliceable, immutable
 //!   byte buffer (stand-in for the `bytes` crate).
-//! - [`parallel`] — [`par_chunks_mut`], scoped-thread data parallelism
-//!   over mutable chunks (stand-in for rayon's `par_chunks_mut`).
+//!
+//! Data parallelism lives one layer up in `diesel-exec`
+//! (`WorkPool::for_each_chunk_mut` replaces the old `par_chunks_mut`).
 
 pub mod bytes;
 pub mod clock;
-pub mod parallel;
 pub mod sync;
 
 pub use bytes::Bytes;
 pub use clock::{Clock, MockClock, SystemClock};
-pub use parallel::par_chunks_mut;
 pub use sync::{
     lock_or_recover, read_or_recover, write_or_recover, Condvar, Mutex, MutexGuard, RwLock,
     RwLockReadGuard, RwLockWriteGuard,

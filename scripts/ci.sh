@@ -9,6 +9,15 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== determinism: inline executor (DIESEL_EXEC_WORKERS=1) =="
+# The concurrency contract (DESIGN.md §9): worker count is a performance
+# knob, never a behaviour knob. Run the suite fully inline…
+DIESEL_EXEC_WORKERS=1 cargo test -q --test determinism
+
+echo "== determinism: multi-worker stress (DIESEL_EXEC_WORKERS=8) =="
+# …and under real scheduling pressure; both must yield identical bytes.
+DIESEL_EXEC_WORKERS=8 cargo test -q --test determinism
+
 echo "== rustfmt =="
 cargo fmt --check
 

@@ -15,6 +15,8 @@
 //!   per-endpoint stats, carrying all inter-node traffic ([`net`]),
 //! * a lock-light metrics registry + structured event ring that every
 //!   serving layer reports into ([`obs`]),
+//! * a work-pool/pipeline executor behind every background thread in
+//!   the tree, with a deterministic inline mode ([`exec`]),
 //! * the chunk-wise shuffle ([`shuffle`]),
 //! * the DIESEL server + libDIESEL client + FUSE facade ([`core`]),
 //! * baselines (Lustre-like FS, Memcached cluster) ([`baselines`]),
@@ -56,6 +58,7 @@ pub use diesel_baselines as baselines;
 pub use diesel_cache as cache;
 pub use diesel_chunk as chunk;
 pub use diesel_core as core;
+pub use diesel_exec as exec;
 pub use diesel_kv as kv;
 pub use diesel_meta as meta;
 pub use diesel_net as net;

@@ -1,0 +1,199 @@
+//! Concurrency determinism: the `diesel-exec` refactor's contract is
+//! that worker count is a *performance* knob, never a *behaviour* knob.
+//! Every test here runs the same workload at workers = 1 (inline), 2
+//! and 8 and demands identical observable results — byte-identical
+//! training batches, identical prefetch `LoadReport`s — including under
+//! injected storage latency and injected storage faults.
+
+use std::sync::Arc;
+
+use diesel_dlt::cache::{CacheConfig, CachePolicy, LoadReport, TaskCache, Topology};
+use diesel_dlt::chunk::ChunkBuilderConfig;
+use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
+use diesel_dlt::exec::{ExecConfig, WorkPool};
+use diesel_dlt::kv::ShardedKv;
+use diesel_dlt::store::{
+    DelayedStore, DeviceModel, FaultConfig, FaultyStore, MemObjectStore, ObjectStore,
+};
+use diesel_dlt::train::loader::upload_samples;
+use diesel_dlt::train::{DataLoader, SyntheticSpec};
+use diesel_util::SystemClock;
+
+const WORKER_GRID: [usize; 3] = [1, 2, 8];
+
+fn pool(workers: usize) -> WorkPool {
+    if workers <= 1 {
+        WorkPool::inline("determinism")
+    } else {
+        WorkPool::new("determinism", ExecConfig { workers, queue_capacity: 0 })
+    }
+}
+
+/// A server + loader stack over `store`, with `pool` wired through both
+/// the server's request executor and the loader's read pipeline.
+fn loader_over<S: ObjectStore + 'static>(
+    store: Arc<S>,
+    pool: WorkPool,
+) -> DataLoader<ShardedKv, S> {
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store).with_pool(pool.clone()));
+    let client = DieselClient::connect_with(
+        server,
+        "synth",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 100);
+    let samples = SyntheticSpec::cifar_like().generate(83);
+    upload_samples(&client, &samples).unwrap();
+    client.download_meta().unwrap();
+    client.enable_shuffle(diesel_dlt::shuffle::ShuffleKind::ChunkWise { group_size: 2 });
+    DataLoader::new(Arc::new(client), 8, 17).with_pool(pool).with_prefetch_depth(3)
+}
+
+fn epoch_fingerprint<S: ObjectStore + 'static>(
+    loader: &DataLoader<ShardedKv, S>,
+    epoch: u64,
+) -> Vec<(Vec<usize>, Vec<u32>)> {
+    loader
+        .epoch_iter(epoch)
+        .unwrap()
+        .map(|b| {
+            let (x, labels) = b.unwrap();
+            (labels, x.data.iter().map(|f| f.to_bits()).collect())
+        })
+        .collect()
+}
+
+#[test]
+fn epoch_batches_are_byte_identical_across_worker_counts() {
+    let baseline = {
+        let loader = loader_over(Arc::new(MemObjectStore::new()), pool(1));
+        (0..3).map(|e| epoch_fingerprint(&loader, e)).collect::<Vec<_>>()
+    };
+    assert!(baseline[0].len() > 5, "expect a multi-batch epoch");
+    for workers in WORKER_GRID {
+        let loader = loader_over(Arc::new(MemObjectStore::new()), pool(workers));
+        for (epoch, want) in baseline.iter().enumerate() {
+            let got = epoch_fingerprint(&loader, epoch as u64);
+            assert_eq!(&got, want, "epoch {epoch} diverges at workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn epoch_batches_are_byte_identical_under_real_storage_delay() {
+    // A wall-clock delay on every read perturbs thread interleaving as
+    // hard as a real slow store would; the reorder buffer must still
+    // deliver source order with identical bytes.
+    let baseline = epoch_fingerprint(&loader_over(Arc::new(MemObjectStore::new()), pool(1)), 0);
+    let model = DeviceModel {
+        name: "determinism-delay",
+        per_request_overhead: diesel_dlt::simnet::SimTime::from_micros(300),
+        bytes_per_sec: 200.0e6,
+        parallelism: 8,
+    };
+    for workers in WORKER_GRID {
+        let delayed = Arc::new(DelayedStore::new(
+            Arc::new(MemObjectStore::new()),
+            model.clone(),
+            Arc::new(SystemClock::new()),
+        ));
+        let got = epoch_fingerprint(&loader_over(delayed, pool(workers)), 0);
+        assert_eq!(got, baseline, "delayed batches diverge at workers={workers}");
+    }
+}
+
+/// Pack a dataset, then build a task cache over its chunks with the
+/// given pool.
+fn cache_over<S: ObjectStore + 'static>(
+    store: Arc<S>,
+    seed_store: &Arc<MemObjectStore>,
+    pool: WorkPool,
+) -> TaskCache<S> {
+    let server = Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), seed_store.clone()));
+    let client = DieselClient::connect_with(
+        server.clone(),
+        "ds",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 300);
+    for i in 0..60 {
+        client.put(&format!("f{i:04}"), &[(i % 251) as u8; 256]).unwrap();
+    }
+    client.flush().unwrap();
+    let chunks = server.meta().chunk_ids("ds").unwrap();
+    TaskCache::new(
+        Topology::uniform(2, 2),
+        store,
+        "ds",
+        chunks,
+        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+    )
+    .with_pool(pool)
+}
+
+#[test]
+fn prefetch_reports_are_identical_across_worker_counts() {
+    let mut reports: Vec<(LoadReport, LoadReport)> = Vec::new();
+    for workers in WORKER_GRID {
+        let store = Arc::new(MemObjectStore::new());
+        let cache = cache_over(store.clone(), &store, pool(workers));
+        // Recovery reload first (Fig. 11b is pooled too): node 0's
+        // partition loads, then the full sweep fills in the rest —
+        // revisiting node 0's chunks must hit, not re-load.
+        let node0 = cache.recover_node(0).unwrap();
+        assert!(node0.chunks_loaded > 0, "node 0 owns chunks");
+        let rest = cache.prefetch_all().unwrap();
+        assert_eq!(
+            cache.metrics().chunk_loads(),
+            node0.chunks_loaded + rest.chunks_loaded,
+            "sweep must not re-load node 0's chunks at workers={workers}"
+        );
+        reports.push((node0, rest));
+    }
+    assert!(reports[0].1.chunks_loaded > 1, "expect a multi-chunk dataset");
+    for (w, r) in WORKER_GRID.iter().zip(&reports) {
+        assert_eq!(r, &reports[0], "LoadReport diverges at workers={w}");
+    }
+}
+
+#[test]
+fn total_backing_failure_is_reported_identically_for_any_worker_count() {
+    // FaultyStore draws per-call from a seeded RNG, so *which* chunk
+    // fails first is interleaving-dependent. With every read failing the
+    // outcome is order-robust: prefetch errors and caches nothing,
+    // identically for every worker count.
+    for workers in WORKER_GRID {
+        let seed_store = Arc::new(MemObjectStore::new());
+        let faulty = Arc::new(FaultyStore::new(
+            seed_store.clone(),
+            FaultConfig { io_error_rate: 1.0, corruption_rate: 0.0, seed: 11 },
+        ));
+        let cache = cache_over(faulty, &seed_store, pool(workers));
+        let err = cache.prefetch_all().unwrap_err();
+        assert!(
+            matches!(err, diesel_dlt::cache::CacheError::Backing(_)),
+            "workers={workers}: {err}"
+        );
+        assert_eq!(cache.metrics().chunk_loads(), 0, "workers={workers}");
+        assert_eq!(cache.metrics().bytes_loaded(), 0, "workers={workers}");
+    }
+}
+
+#[test]
+fn background_prefetch_joins_to_the_same_report() {
+    let foreground = {
+        let store = Arc::new(MemObjectStore::new());
+        cache_over(store.clone(), &store, pool(1)).prefetch_all().unwrap()
+    };
+    for workers in WORKER_GRID {
+        let store = Arc::new(MemObjectStore::new());
+        let cache = Arc::new(cache_over(store.clone(), &store, pool(workers)));
+        let report = cache.prefetch_background().join().unwrap();
+        assert_eq!(report, foreground, "background sweep diverges at workers={workers}");
+    }
+}
