@@ -12,7 +12,7 @@
 //! the other.
 
 use diesel_exec::{CancelToken, TaskHandle, WorkPool};
-use diesel_obs::{Counter, Registry, RegistrySnapshot};
+use diesel_obs::{trace, Counter, Registry, RegistrySnapshot};
 use diesel_util::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -359,12 +359,20 @@ impl<S: ObjectStore> TaskCache<S> {
 
     /// Read a whole file through the cache.
     pub fn get_file(&self, meta: &FileMeta) -> Result<Fetched> {
+        let mut span = if trace::active() {
+            let chunk = meta.chunk.encode();
+            trace::span("cache.get", &[("chunk", chunk.as_str())])
+        } else {
+            trace::SpanGuard::default()
+        };
         let Some(owner) = self.partition.owner_of(meta.chunk) else {
             self.metrics.file_reads.inc();
+            span.label("outcome", "unknown_chunk");
             return Err(CacheError::UnknownChunk(meta.chunk.encode()));
         };
         if self.is_node_down(owner) {
             self.metrics.file_reads.inc();
+            span.label("outcome", "node_down");
             return Err(CacheError::NodeDown { node: owner });
         }
         // Fast path: chunk resident on its owner. The read and its hit
@@ -377,12 +385,14 @@ impl<S: ObjectStore> TaskCache<S> {
                     self.metrics.chunk_hits.inc();
                 });
                 let data = slice_file(c, meta)?;
+                span.label("outcome", "hit");
                 return Ok(Fetched { data, owner_node: owner, chunk_hit: true });
             }
         }
         // Miss: load the whole chunk (any policy — Oneshot may have
         // evicted under memory pressure), then serve.
         self.metrics.file_reads.inc();
+        span.label("outcome", "miss");
         self.ensure_chunk(owner, meta.chunk)?;
         let inner = self.node(owner)?.inner.lock();
         let c = inner
@@ -403,7 +413,16 @@ impl<S: ObjectStore> TaskCache<S> {
             }
         }
         let key = chunk_object_key(&self.dataset, chunk);
-        let bytes = self.backing.get(&key).map_err(|e| CacheError::Backing(e.to_string()))?;
+        // The miss path's fetch from the backing store (the peer/load
+        // leg of a cache read) is its own child span.
+        let bytes = {
+            let _span = if trace::active() {
+                trace::span("store.get", &[("key", key.as_str())])
+            } else {
+                trace::SpanGuard::default()
+            };
+            self.backing.get(&key).map_err(|e| CacheError::Backing(e.to_string()))?
+        };
         let header = ChunkHeader::decode(&bytes).map_err(|e| CacheError::Corrupt(e.to_string()))?;
         if self.verify_on_load.load(Ordering::Acquire) {
             let reader = diesel_chunk::ChunkReader::parse(&bytes)

@@ -16,7 +16,7 @@ use diesel_chunk::{ChunkId, SealedChunk};
 use diesel_kv::KvStore;
 use diesel_meta::{DatasetRecord, DirEntry, FileMeta, MetaSnapshot};
 use diesel_net::{Channel, DirectChannel, Endpoint};
-use diesel_obs::RegistrySnapshot;
+use diesel_obs::{trace, RegistrySnapshot, Span};
 use diesel_store::{Bytes, ObjectStore};
 
 use crate::server::{DieselServer, PurgeReport};
@@ -108,6 +108,33 @@ pub enum ServerRequest {
     /// A point-in-time snapshot of the server's metric registry, merged
     /// with its KV and store backends (remote observability).
     Stats,
+    /// Drain the server-side tracer's recorded spans (remote tracing;
+    /// see [`diesel_obs::trace`]). Draining empties the buffer, so each
+    /// span is returned exactly once.
+    Trace,
+}
+
+impl ServerRequest {
+    /// The request's operation name — the `endpoint=…` label on the
+    /// server-side `server.handle` span.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerRequest::IngestChunk { .. } => "IngestChunk",
+            ServerRequest::ReadFile { .. } => "ReadFile",
+            ServerRequest::ReadByMeta { .. } => "ReadByMeta",
+            ServerRequest::ReadChunk { .. } => "ReadChunk",
+            ServerRequest::ReadFilesMerged { .. } => "ReadFilesMerged",
+            ServerRequest::Stat { .. } => "Stat",
+            ServerRequest::Readdir { .. } => "Readdir",
+            ServerRequest::BuildSnapshot { .. } => "BuildSnapshot",
+            ServerRequest::DatasetRecord { .. } => "DatasetRecord",
+            ServerRequest::DeleteFile { .. } => "DeleteFile",
+            ServerRequest::PurgeDataset { .. } => "PurgeDataset",
+            ServerRequest::DeleteDataset { .. } => "DeleteDataset",
+            ServerRequest::Stats => "Stats",
+            ServerRequest::Trace => "Trace",
+        }
+    }
 }
 
 /// A successful server reply; variants mirror [`ServerRequest`].
@@ -133,6 +160,8 @@ pub enum ServerResponse {
     Removed(u64),
     /// A metric-registry snapshot.
     Stats(RegistrySnapshot),
+    /// Spans drained from the server-side tracer.
+    Trace(Vec<Span>),
 }
 
 /// Application-level outcome of one request. Transport failures live in
@@ -218,11 +247,29 @@ impl ServerResponse {
             other => Err(unexpected("a stats snapshot", &other)),
         }
     }
+
+    /// Unwrap [`ServerResponse::Trace`].
+    pub fn into_trace(self) -> Result<Vec<Span>> {
+        match self {
+            ServerResponse::Trace(v) => Ok(v),
+            other => Err(unexpected("drained trace spans", &other)),
+        }
+    }
 }
 
 impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// Dispatch one wire request to the corresponding server method.
     pub fn handle(&self, req: ServerRequest) -> ServerReply {
+        // Drains bypass the span machinery: the drain itself must not
+        // append to the buffer it empties.
+        if matches!(req, ServerRequest::Trace) {
+            return Ok(ServerResponse::Trace(self.tracer().drain()));
+        }
+        // Installing a disabled tracer is one thread-local read; when a
+        // caller context arrived in the envelope (or via a direct
+        // channel), the handle span parents the caller's span.
+        let _tracer = trace::install_tracer(self.tracer());
+        let _span = trace::span("server.handle", &[("endpoint", req.kind())]);
         match req {
             ServerRequest::IngestChunk { dataset, chunk } => {
                 self.ingest_chunk(&dataset, chunk).map(|()| ServerResponse::Unit)
@@ -262,6 +309,8 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
                 self.delete_dataset(&dataset).map(ServerResponse::Removed)
             }
             ServerRequest::Stats => Ok(ServerResponse::Stats(self.stats_snapshot())),
+            // Handled by the early return above; kept for exhaustiveness.
+            ServerRequest::Trace => Ok(ServerResponse::Trace(self.tracer().drain())),
         }
     }
 

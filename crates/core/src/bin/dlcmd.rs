@@ -18,6 +18,7 @@
 //! dlcmd --store /data/diesel snapshot imagenet-1k ./imagenet.snap
 //! dlcmd --store /data/diesel datasets
 //! dlcmd --store /data/diesel stats
+//! dlcmd --store /data/diesel trace imagenet-1k ./trace.json
 //! ```
 
 use std::io::Write;
@@ -46,7 +47,10 @@ fn usage() -> ExitCode {
            purge <dataset>                compact chunks with holes\n  \
            snapshot <dataset> <out-file>  save the metadata snapshot\n  \
            datasets                       list datasets in the store\n  \
-           stats                          dump server observability metrics"
+           stats                          dump server observability metrics\n  \
+           trace <dataset> [out.json]     trace a full read sweep; print the\n  \
+                                          critical-path summary and optionally\n  \
+                                          write chrome-trace JSON"
     );
     ExitCode::from(2)
 }
@@ -185,6 +189,31 @@ fn run(args: &[String]) -> Result<(), Cli> {
             // merged into one consistent snapshot.
             let snap = server.handle(ServerRequest::Stats).map_err(Cli::from)?.into_stats()?;
             print!("{}", snap.render());
+            Ok(())
+        }
+        ("trace", [dataset]) | ("trace", [dataset, _]) => {
+            let out = rest.get(1).copied();
+            // A fresh server with an always-on tracer shared with the
+            // client: the sweep's spans — client, server, kv, store —
+            // all land in one buffer, drained over the wire exactly
+            // like a remote `ServerRequest::Trace` would.
+            let traced = DieselServer::new(Arc::new(ShardedKv::new()), store.clone());
+            let tracer = diesel_obs::Tracer::enabled(traced.registry());
+            let traced: Arc<Server> = Arc::new(traced.with_tracer(tracer.clone()));
+            traced.recover_metadata_full(dataset).map_err(Cli::from)?;
+            let client =
+                DieselClient::connect(traced.clone(), *dataset).with_tracer(tracer.clone());
+            client.download_meta().map_err(Cli::from)?;
+            tracer.drain(); // trace only the read sweep
+            for f in client.file_list().map_err(Cli::from)? {
+                client.get(&f).map_err(Cli::from)?;
+            }
+            let spans = client.drain_trace().map_err(Cli::from)?;
+            if let Some(out) = out {
+                std::fs::write(out, diesel_obs::chrome_trace_json(&spans)).map_err(Cli::from)?;
+                println!("wrote {} spans to {out}", spans.len());
+            }
+            print!("{}", diesel_obs::critical_path(&spans));
             Ok(())
         }
         ("snapshot", [dataset, out]) => {

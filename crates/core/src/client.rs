@@ -27,6 +27,7 @@ use diesel_chunk::{ChunkBuilder, ChunkBuilderConfig, ChunkIdGenerator, SealedChu
 use diesel_kv::KvStore;
 use diesel_meta::{DirEntry, FileMeta, MetaSnapshot, Namespace};
 use diesel_net::Service;
+use diesel_obs::{trace, Span, Tracer};
 use diesel_shuffle::{epoch_order, ChunkFiles, DatasetIndex, ShuffleKind, ShufflePlan};
 use diesel_store::{Bytes, ObjectStore};
 
@@ -68,6 +69,7 @@ pub struct DieselClient<K, S> {
     cache: RwLock<Option<Arc<TaskCache<S>>>>,
     shuffle: RwLock<Option<ShuffleKind>>,
     clock_ms: Box<dyn Fn() -> u64 + Send + Sync>,
+    tracer: Option<Tracer>,
 }
 
 impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
@@ -124,6 +126,7 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
                 let clock = diesel_util::SystemClock::new();
                 Box::new(move || clock.epoch_ms())
             },
+            tracer: None,
         }
     }
 
@@ -132,6 +135,14 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
         self.ids = ChunkIdGenerator::deterministic(machine_seed, pid, ts);
         let fixed_ms = ts as u64 * 1000;
         self.clock_ms = Box::new(move || fixed_ms);
+        self
+    }
+
+    /// Trace read requests into `tracer`: [`get`](Self::get) and
+    /// [`get_many`](Self::get_many) open `client.read` spans whose
+    /// context flows through the channel to the server side.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -289,6 +300,12 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
     /// (which consults its own tiers). A cache node failure falls back
     /// to the server path transparently.
     pub fn get(&self, path: &str) -> Result<Bytes> {
+        let _tracer = self.tracer.as_ref().map(trace::install_tracer);
+        let _span = if trace::active() {
+            trace::span("client.read", &[("path", path)])
+        } else {
+            trace::SpanGuard::default()
+        };
         let meta = self.stat(path)?;
         if let Some(cache) = self.cache.read().as_ref() {
             match cache.get_file(&meta) {
@@ -332,6 +349,13 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
         if paths.is_empty() {
             return Ok(Vec::new());
         }
+        let _tracer = self.tracer.as_ref().map(trace::install_tracer);
+        let _span = if trace::active() {
+            let n = paths.len().to_string();
+            trace::span("client.get_many", &[("files", n.as_str())])
+        } else {
+            trace::SpanGuard::default()
+        };
         if self.cache.read().is_some() {
             return paths.iter().map(|p| self.get(p)).collect();
         }
@@ -348,6 +372,14 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
             // path doesn't poison the whole batch's error story.
             Err(_) => paths.iter().map(|p| self.get(p)).collect(),
         }
+    }
+
+    /// Drain the spans recorded by the *server side* of this
+    /// connection ([`ServerRequest::Trace`]). With a tracer shared
+    /// between client and server this also returns the client spans —
+    /// they live in the same buffer.
+    pub fn drain_trace(&self) -> Result<Vec<Span>> {
+        self.call(ServerRequest::Trace)?.into_trace()
     }
 
     /// `DL_delete`: remove a file (server-side) and drop it from the

@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use diesel_kv::KvStore;
 use diesel_net::{BalancedChannel, Channel, Endpoint, Service};
+use diesel_obs::{Span, Tracer};
 use diesel_store::ObjectStore;
 
 use crate::api::{ServerConn, ServerReply, ServerRequest};
@@ -36,8 +37,15 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> ServerPool<K, S> {
     /// Deploy `n` servers over the same KV store and object store.
     pub fn deploy(n: usize, kv: Arc<K>, store: Arc<S>) -> Self {
         assert!(n >= 1, "need at least one server");
-        let servers: Vec<Arc<DieselServer<K, S>>> =
-            (0..n).map(|_| Arc::new(DieselServer::new(kv.clone(), store.clone()))).collect();
+        // Part-namespaced tracers keep span/trace ids disjoint across
+        // the pool, so a pool-wide drain merges without collisions.
+        let servers: Vec<Arc<DieselServer<K, S>>> = (0..n)
+            .map(|i| {
+                let server = DieselServer::new(kv.clone(), store.clone());
+                let tracer = Tracer::new(server.registry()).with_part((i + 1) as u16);
+                Arc::new(server.with_tracer(tracer))
+            })
+            .collect();
         let backends: Vec<Channel<ServerRequest, ServerReply>> =
             servers.iter().enumerate().map(|(i, s)| s.direct_channel(i)).collect();
         ServerPool { servers, balance: BalancedChannel::new(backends), next: AtomicUsize::new(0) }
@@ -90,6 +98,18 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> ServerPool<K, S> {
             }
         }
         merged
+    }
+
+    /// Drain every front-end's recorded spans into one list, ordered
+    /// like a single tracer's drain (by trace id then span id — part
+    /// namespacing keeps ids disjoint across servers).
+    pub fn drain_trace(&self) -> Vec<Span> {
+        let mut spans: Vec<Span> = Vec::new();
+        for s in &self.servers {
+            spans.extend(s.tracer().drain());
+        }
+        spans.sort_by_key(|s| (s.trace, s.id));
+        spans
     }
 }
 

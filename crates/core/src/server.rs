@@ -11,7 +11,7 @@ use diesel_meta::recovery::{
     chunk_object_key, recover_from_timestamp, recover_full, RecoveryReport,
 };
 use diesel_meta::{DirEntry, FileMeta, MetaService, MetaSnapshot};
-use diesel_obs::{Counter, Registry, RegistrySnapshot};
+use diesel_obs::{trace, Counter, Registry, RegistrySnapshot, Tracer};
 use diesel_store::{Bytes, ObjectStore};
 use diesel_util::Mutex;
 
@@ -81,6 +81,7 @@ pub struct DieselServer<K, S> {
     registry: Arc<Registry>,
     metrics: Metrics,
     pool: WorkPool,
+    tracer: Tracer,
 }
 
 impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
@@ -93,6 +94,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// Deploy a server whose `server.*` counters land in `registry`.
     pub fn with_registry(kv: Arc<K>, store: Arc<S>, registry: Arc<Registry>) -> Self {
         let metrics = Metrics::new(&registry);
+        let tracer = Tracer::new(&registry);
         DieselServer {
             meta: MetaService::new(kv),
             store,
@@ -101,6 +103,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             registry,
             metrics,
             pool: diesel_exec::global().clone(),
+            tracer,
         }
     }
 
@@ -117,6 +120,20 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     pub fn with_pool(mut self, pool: WorkPool) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Record request handling into `tracer` instead of the default
+    /// `DIESEL_TRACE`-configured one — e.g. a [`Tracer::enabled`] shared
+    /// with the client side so one drain yields the whole request tree.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer recording this server's `server.*` spans; drained
+    /// remotely via `ServerRequest::Trace`.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The metadata service.
@@ -206,6 +223,11 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         // The payload offset is relative to the chunk payload; the chunk
         // header precedes it.
         let header_len = self.chunk_header_len(&key)?;
+        let _span = if trace::active() {
+            trace::span("store.get_range", &[("key", key.as_str())])
+        } else {
+            trace::SpanGuard::default()
+        };
         let data = self.store.get_range(&key, header_len + meta.offset, meta.length as usize)?;
         Ok(data)
     }
@@ -214,7 +236,13 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// shuffle issue).
     pub fn read_chunk(&self, dataset: &str, chunk: ChunkId) -> Result<Bytes> {
         self.metrics.chunks_fetched.inc();
-        Ok(self.store.get(&chunk_object_key(dataset, chunk))?)
+        let key = chunk_object_key(dataset, chunk);
+        let _span = if trace::active() {
+            trace::span("store.get", &[("key", key.as_str())])
+        } else {
+            trace::SpanGuard::default()
+        };
+        Ok(self.store.get(&key)?)
     }
 
     /// Batched read with the request executor: requests are sorted and
@@ -238,6 +266,14 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         // loop for any worker count.
         let plan_slices = self.pool.try_map(plans, |_, plan| {
             let key = chunk_object_key(dataset, plan.chunk);
+            // Per-plan span: the work pool carries the handler's trace
+            // context onto whichever worker runs this plan.
+            let _span = if trace::active() {
+                let n = plan.requests.len().to_string();
+                trace::span("server.plan_read", &[("key", key.as_str()), ("files", n.as_str())])
+            } else {
+                trace::SpanGuard::default()
+            };
             let header_len = self.chunk_header_len(&key)?;
             // One merged read covering every requested byte in the chunk.
             let base = plan.min_offset();

@@ -44,9 +44,13 @@ struct StageCtx<I, T> {
     clock: Arc<dyn Clock>,
     items: diesel_obs::Counter,
     stage_ns: diesel_obs::HistogramHandle,
+    /// Trace state captured when the pipeline was built, restored on
+    /// the stage worker so `f` runs under the submitter's tracer.
+    ambient: diesel_obs::AmbientTrace,
 }
 
 fn stage_loop<I, T>(ctx: StageCtx<I, T>) {
+    let _trace = ctx.ambient.install();
     loop {
         if ctx.cancel.load(Ordering::Acquire) {
             break;
@@ -180,11 +184,15 @@ impl WorkPool {
         let items = self.registry().counter("exec.pipeline_items", &labels);
         let stage_ns = self.registry().histogram("exec.pipeline_stage_ns", &labels);
         let clock = Arc::clone(self.clock());
+        // Captured here (at build time) rather than at pull time: the
+        // iterator may be consumed on a thread with no ambient tracer.
+        let ambient = diesel_obs::AmbientTrace::capture();
 
         if self.workers() <= 1 {
             let mut source = source;
             let pull = Box::new(move || {
                 let item = source.next()?;
+                let _trace = ambient.install();
                 let t0 = clock.now_ns();
                 let out = f(item);
                 stage_ns.record_ns(clock.now_ns().saturating_sub(t0));
@@ -213,6 +221,7 @@ impl WorkPool {
                 clock: Arc::clone(&clock),
                 items: items.clone(),
                 stage_ns: stage_ns.clone(),
+                ambient: ambient.clone(),
             };
             let spawned = std::thread::Builder::new()
                 .name(format!("{}-{stage}-{i}", self.name()))
@@ -232,6 +241,7 @@ impl WorkPool {
             // exhaustion): degrade to pulling inline so no item is lost.
             let pull = Box::new(move || {
                 let item = { source.lock().iter.next() }?;
+                let _trace = ambient.install();
                 let t0 = clock.now_ns();
                 let result = f(item);
                 stage_ns.record_ns(clock.now_ns().saturating_sub(t0));
@@ -375,6 +385,32 @@ mod tests {
         assert_eq!(n, 25);
         let snap = p.registry().snapshot();
         assert_eq!(snap.counter("exec.pipeline_items{pool=p,stage=m}"), 25);
+    }
+
+    #[test]
+    fn stage_spans_parent_the_span_that_built_the_pipeline() {
+        use diesel_obs::{trace, Tracer};
+        for w in [1, 4] {
+            let p = pool(w);
+            let tracer = Tracer::enabled(p.registry());
+            let _t = trace::install_tracer(&tracer);
+            let it = {
+                let _epoch = trace::span("epoch", &[]);
+                p.pipeline("traced", 4, 0..6u64, |x| {
+                    let _s = trace::span("stage", &[]);
+                    x
+                })
+            };
+            assert_eq!(it.count(), 6);
+            let spans = tracer.drain();
+            let epoch = spans.iter().find(|s| s.name == "epoch").unwrap();
+            let stages: Vec<_> = spans.iter().filter(|s| s.name == "stage").collect();
+            assert_eq!(stages.len(), 6, "workers={w}");
+            assert!(
+                stages.iter().all(|s| s.trace == epoch.trace && s.parent == Some(epoch.id)),
+                "workers={w}: stage spans belong to the builder's trace"
+            );
+        }
     }
 
     #[test]

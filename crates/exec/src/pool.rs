@@ -15,7 +15,7 @@
 //!   (a pooled task that itself fans out on the same pool) cannot
 //!   starve even when every worker is busy.
 
-use diesel_obs::{Counter, Gauge, HistogramHandle, Registry};
+use diesel_obs::{AmbientTrace, Counter, Gauge, HistogramHandle, Registry};
 use diesel_util::{Clock, Condvar, Mutex};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -282,7 +282,11 @@ impl WorkPool {
         let shared = Arc::new(TaskShared { slot: Mutex::new(None), done: Condvar::new() });
         let (token2, shared2) = (token.clone(), Arc::clone(&shared));
         let panicked = self.inner.metrics.panicked.clone();
+        // Carry the submitter's ambient trace into the worker, so spans
+        // opened by the task parent the span that spawned it.
+        let ambient = AmbientTrace::capture();
         let job: Job = Box::new(move || {
+            let _trace = ambient.install();
             let out = catch_unwind(AssertUnwindSafe(|| f(&token2)));
             let out = out.map_err(|p| {
                 panicked.inc();
@@ -592,7 +596,11 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         self.state.core.lock().pending += 1;
         let state = Arc::clone(&self.state);
         let panicked = self.pool.inner.metrics.panicked.clone();
+        // Restore the submitter's trace state in the worker (or inline
+        // on the full-queue path — install is idempotent there).
+        let ambient = AmbientTrace::capture();
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _trace = ambient.install();
             let out = catch_unwind(AssertUnwindSafe(f));
             let mut core = state.core.lock();
             if let Err(p) = out {
@@ -806,6 +814,30 @@ mod tests {
         let b = global();
         assert!(Arc::ptr_eq(&a.inner, &b.inner));
         assert!(a.workers() >= 1);
+    }
+
+    #[test]
+    fn fanned_out_tasks_inherit_the_submitters_trace() {
+        use diesel_obs::{trace, Tracer};
+        for w in [1, 4] {
+            let p = pool(w);
+            let tracer = Tracer::enabled(p.registry());
+            let _t = trace::install_tracer(&tracer);
+            {
+                let _root = trace::span("fanout", &[]);
+                p.map((0..4).collect::<Vec<u32>>(), |_, _| {
+                    let _s = trace::span("task", &[]);
+                });
+            }
+            let spans = tracer.drain();
+            let root = spans.iter().find(|s| s.name == "fanout").unwrap();
+            let tasks: Vec<_> = spans.iter().filter(|s| s.name == "task").collect();
+            assert_eq!(tasks.len(), 4, "workers={w}");
+            assert!(
+                tasks.iter().all(|s| s.trace == root.trace && s.parent == Some(root.id)),
+                "workers={w}: every task span hangs under the fanout span"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use diesel_obs::{Registry, RegistrySnapshot};
+use diesel_obs::{trace, Registry, RegistrySnapshot};
 use diesel_util::RwLock;
 
 use crate::hash::fnv1a_64;
@@ -93,6 +93,11 @@ impl Default for ShardedKv {
 impl KvStore for ShardedKv {
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
         self.metrics.record_get();
+        let _span = if trace::active() {
+            trace::span("kv.get", &[("key", key)])
+        } else {
+            trace::SpanGuard::default()
+        };
         Ok(self.shard_for(key).read().get(key).cloned())
     }
 
@@ -127,6 +132,11 @@ impl KvStore for ShardedKv {
 
     fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {
         self.metrics.record_scan();
+        let _span = if trace::active() {
+            trace::span("kv.scan", &[("prefix", prefix)])
+        } else {
+            trace::SpanGuard::default()
+        };
         let mut out = Vec::new();
         for s in &self.shards {
             let guard = s.read();

@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use diesel_obs::trace;
+
 use crate::clock::Clock;
 use crate::stats::EndpointMetrics;
 use crate::{Endpoint, Result, Service};
@@ -75,7 +77,19 @@ impl<Req: Clone, Resp, S: Service<Req, Resp>> Service<Req, Resp> for Retry<S> {
     fn call(&self, req: Req) -> Result<Resp> {
         let mut retry = 0;
         loop {
-            match self.inner.call(req.clone()) {
+            // Each attempt is its own sibling span (`attempt=1..k`)
+            // under the caller's context; backoff waits sit between
+            // attempts, outside any attempt span.
+            let out = {
+                let _attempt = if trace::active() {
+                    let n = (retry + 1).to_string();
+                    trace::span("net.attempt", &[("attempt", n.as_str())])
+                } else {
+                    trace::SpanGuard::default()
+                };
+                self.inner.call(req.clone())
+            };
+            match out {
                 Ok(resp) => return Ok(resp),
                 Err(e) if e.is_retryable() && retry + 1 < self.policy.max_attempts => {
                     if let Some(metrics) = &self.metrics {
@@ -175,6 +189,29 @@ mod tests {
         assert!(!chan.call(()).unwrap_err().is_retryable());
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(clock.now_ns(), 0, "no backoff happened");
+    }
+
+    #[test]
+    fn attempts_trace_as_sibling_spans() {
+        use diesel_obs::{trace, Registry, Tracer};
+        let (inner, _) = flaky(2);
+        let clock = Arc::new(MockClock::new());
+        let registry = Arc::new(Registry::new(clock.clone()));
+        let tracer = Tracer::enabled(&registry);
+        let chan = Retry::new(inner, RetryPolicy::default(), clock);
+        let _t = trace::install_tracer(&tracer);
+        {
+            let _root = trace::span("client.read", &[]);
+            assert_eq!(chan.call(5).unwrap(), 5);
+        }
+        let spans = tracer.drain();
+        let root = spans.iter().find(|s| s.name == "client.read").unwrap();
+        let attempts: Vec<_> = spans.iter().filter(|s| s.name == "net.attempt").collect();
+        assert_eq!(attempts.len(), 3, "two timeouts then a success");
+        for (i, a) in attempts.iter().enumerate() {
+            assert_eq!(a.parent, Some(root.id), "attempts are siblings under the root");
+            assert_eq!(a.labels, vec![("attempt".to_owned(), (i + 1).to_string())]);
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use diesel_obs::trace;
 use diesel_obs::{Counter, HistogramHandle, Registry, Summary};
 
 use crate::clock::Clock;
@@ -110,6 +111,13 @@ impl<S> Instrumented<S> {
 
 impl<Req, Resp, S: Service<Req, Resp>> Service<Req, Resp> for Instrumented<S> {
     fn call(&self, req: Req) -> Result<Resp> {
+        // Endpoint label built only when a tracer is ambient.
+        let _span = if trace::active() {
+            let ep = self.inner.endpoint().to_string();
+            trace::span("net.call", &[("endpoint", ep.as_str())])
+        } else {
+            trace::SpanGuard::default()
+        };
         let t0 = self.clock.now_ns();
         let out = self.inner.call(req);
         let latency = self.clock.now_ns().saturating_sub(t0);

@@ -5,15 +5,23 @@
 //! in `diesel-cache`: the request enum, reply-sender plumbing, shutdown
 //! message, and deadline handling are all here, so transports only
 //! provide a handler closure.
+//!
+//! Calls carry the caller's [`TraceContext`] across the thread hop: the
+//! serving thread installs it around the handler, so spans opened while
+//! handling parent the caller's span even though they run on another
+//! thread.
 
 use std::sync::mpsc::{channel, sync_channel, RecvTimeoutError, Sender, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use diesel_obs::trace;
+use diesel_obs::TraceContext;
+
 use crate::{Endpoint, NetError, Result, Service};
 
 enum Msg<Req, Resp> {
-    Call { req: Req, reply: SyncSender<Resp> },
+    Call { req: Req, reply: SyncSender<Resp>, ctx: Option<TraceContext> },
     Shutdown,
 }
 
@@ -44,7 +52,8 @@ impl<Req: Send + 'static, Resp: Send + 'static> ThreadServer<Req, Resp> {
             .spawn(move || {
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        Msg::Call { req, reply } => {
+                        Msg::Call { req, reply, ctx } => {
+                            let _g = trace::install_context(ctx);
                             // A dead caller (timed out, gave up) is fine.
                             let _ = reply.send(handler(req));
                         }
@@ -131,7 +140,7 @@ impl<Req: Send, Resp: Send> Service<Req, Resp> for ThreadChannel<Req, Resp> {
     fn call(&self, req: Req) -> Result<Resp> {
         let (rtx, rrx) = sync_channel::<Resp>(1);
         self.tx
-            .send(Msg::Call { req, reply: rtx })
+            .send(Msg::Call { req, reply: rtx, ctx: trace::current_context() })
             .map_err(|_| NetError::Disconnected { endpoint: self.endpoint.clone() })?;
         match self.timeout_ns {
             None => {
@@ -233,6 +242,30 @@ mod tests {
         let chan = srv.channel().with_timeout_ns(5_000_000_000); // 5 s
         assert_eq!(chan.call(1).unwrap(), 6);
         assert_eq!(chan.timeout_ns(), Some(5_000_000_000));
+    }
+
+    #[test]
+    fn trace_context_crosses_the_thread_hop() {
+        use diesel_obs::{trace, Registry, Tracer};
+        let registry = Arc::new(Registry::default());
+        let tracer = Tracer::enabled(&registry);
+        let server_tracer = tracer.clone();
+        let srv = ThreadServer::spawn(Endpoint::new("traced", 5), move |x: u64| {
+            let _t = trace::install_tracer(&server_tracer);
+            let _s = trace::span("server.handle", &[]);
+            x + 1
+        });
+        let chan = srv.channel();
+        let _t = trace::install_tracer(&tracer);
+        {
+            let _root = trace::span("client.read", &[]);
+            assert_eq!(chan.call(1).unwrap(), 2);
+        }
+        let spans = tracer.drain();
+        let client = spans.iter().find(|s| s.name == "client.read").unwrap();
+        let server = spans.iter().find(|s| s.name == "server.handle").unwrap();
+        assert_eq!(server.trace, client.trace, "one connected trace");
+        assert_eq!(server.parent, Some(client.id), "server span parents the caller's span");
     }
 
     #[test]

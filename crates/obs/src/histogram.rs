@@ -129,16 +129,30 @@ pub struct Summary {
 }
 
 /// Render a nanosecond duration with a human-scale unit.
+///
+/// Pure integer arithmetic: two fixed decimals per unit, round-half-up,
+/// and a carry into the next unit when rounding would print `1000.00`
+/// of the smaller one — so output is stable-width and free of float
+/// noise (`999_999ns` is `1.00ms`, never `1000.00us` or
+/// `1.0000000002s`).
 pub fn fmt_ns(ns: u64) -> String {
-    if ns >= 1_000_000_000 {
-        format!("{:.2}s", ns as f64 / 1e9)
-    } else if ns >= 1_000_000 {
-        format!("{:.2}ms", ns as f64 / 1e6)
-    } else if ns >= 1_000 {
-        format!("{:.2}us", ns as f64 / 1e3)
-    } else {
-        format!("{ns}ns")
+    if ns < 1_000 {
+        return format!("{ns}ns");
     }
+    for (div, unit) in [(1_000u64, "us"), (1_000_000, "ms")] {
+        let centi = centi_units(ns, div);
+        if centi < 100_000 {
+            return format!("{}.{:02}{unit}", centi / 100, centi % 100);
+        }
+    }
+    let centi = centi_units(ns, 1_000_000_000);
+    format!("{}.{:02}s", centi / 100, centi % 100)
+}
+
+/// `ns` rescaled to hundredths of the unit whose size is `div` ns,
+/// rounded half-up. Widened to u128 so u64::MAX ns cannot overflow.
+fn centi_units(ns: u64, div: u64) -> u64 {
+    ((ns as u128 * 100 + div as u128 / 2) / div as u128) as u64
 }
 
 impl std::fmt::Display for Summary {
@@ -227,5 +241,65 @@ mod tests {
         assert_eq!(fmt_ns(42_000), "42.00us");
         assert_eq!(fmt_ns(3_500_000), "3.50ms");
         assert_eq!(fmt_ns(2_000_000_000), "2.00s");
+    }
+
+    #[test]
+    fn fmt_ns_boundaries_carry_units_without_float_noise() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_000), "1.00us");
+        assert_eq!(fmt_ns(999_994), "999.99us");
+        // Rounding that would print 1000.00us carries into ms.
+        assert_eq!(fmt_ns(999_995), "1.00ms");
+        assert_eq!(fmt_ns(999_999), "1.00ms");
+        assert_eq!(fmt_ns(1_000_000), "1.00ms");
+        assert_eq!(fmt_ns(999_999_999), "1.00s");
+        assert_eq!(fmt_ns(1_000_000_000), "1.00s");
+        assert_eq!(fmt_ns(1_000_000_002), "1.00s", "no 1.0000000002s");
+        assert_eq!(fmt_ns(1_005_000_000), "1.01s", "half rounds up");
+        // Huge values stay exact integers (u64::MAX ns ≈ 584 years).
+        assert_eq!(fmt_ns(u64::MAX), "18446744073.71s");
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Histogram::new();
+        h.record_ns(5_000);
+        let before = h.summary();
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary(), before);
+        assert_eq!(h.summary().min_ns, 5_000, "empty min (u64::MAX) must not leak");
+
+        let mut empty = Histogram::new();
+        empty.merge(&Histogram::new());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.summary(), Summary::default());
+    }
+
+    #[test]
+    fn merging_into_an_empty_histogram_adopts_the_other() {
+        let mut single = Histogram::new();
+        single.record_ns(7_777);
+        let mut h = Histogram::new();
+        h.merge(&single);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.summary().min_ns, 7_777);
+        assert_eq!(h.summary().max_ns, 7_777);
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_sample_histograms() {
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile_ns(q), 0, "q={q}");
+        }
+        let mut single = Histogram::new();
+        single.record_ns(42_000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile_ns(q), 42_000, "single sample clamps to itself, q={q}");
+        }
+        let mut zero = Histogram::new();
+        zero.record_ns(0);
+        assert_eq!(zero.quantile_ns(0.5), 0);
     }
 }

@@ -24,11 +24,26 @@
 //! `net.requests{endpoint=server@0}`. Renderers group on the leading
 //! segment, and [`RegistrySnapshot::sum_counter`] folds a name across
 //! its label sets.
+//!
+//! # Tracing
+//!
+//! Aggregates answer "how fast on average"; the [`trace`] module
+//! answers "where did *this* request spend its time". A [`Tracer`]
+//! records clock-stamped [`Span`]s with parent links, context
+//! propagates across RPC envelopes and work-pool submissions via
+//! [`TraceContext`]/[`AmbientTrace`], and [`export`] renders drained
+//! spans as chrome-trace JSON or a critical-path text summary.
 
+pub mod export;
 pub mod histogram;
 pub mod registry;
+pub mod trace;
 
+pub use export::{chrome_trace_json, critical_path, parse_chrome_trace, ExportedSpan};
 pub use histogram::{fmt_ns, Histogram, Summary};
 pub use registry::{
     Counter, Event, Gauge, HistogramHandle, Registry, RegistrySnapshot, DEFAULT_EVENT_CAPACITY,
+};
+pub use trace::{
+    AmbientTrace, Sampling, Span, SpanGuard, TraceContext, Tracer, DEFAULT_SPAN_CAPACITY,
 };

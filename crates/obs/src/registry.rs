@@ -213,7 +213,8 @@ impl Registry {
     }
 
     /// Append one event to the bounded ring, stamped with the
-    /// registry clock's epoch reading.
+    /// registry clock's epoch reading. Overflow evicts the oldest
+    /// event and counts into the `obs.events_dropped` counter.
     pub fn event(&self, scope: &str, kv: &[(&str, &str)]) {
         let ev = Event {
             ts_ms: self.clock.epoch_ms(),
@@ -221,15 +222,26 @@ impl Registry {
             kv: kv.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
         };
         let mut ring = self.events.lock();
-        if ring.capacity == 0 {
+        let evicted = if ring.capacity == 0 {
             ring.dropped += 1;
-            return;
+            true
+        } else {
+            let full = ring.ring.len() >= ring.capacity;
+            if full {
+                ring.ring.pop_front();
+                ring.dropped += 1;
+            }
+            ring.ring.push_back(ev);
+            full
+        };
+        // The counter is registered lazily on the first drop (so a
+        // drop-free registry's metric namespace is unchanged), and only
+        // after the ring lock is released — `counter` takes the inner
+        // lock, and snapshot() holds inner before events.
+        drop(ring);
+        if evicted {
+            self.counter("obs.events_dropped", &[]).inc();
         }
-        if ring.ring.len() >= ring.capacity {
-            ring.ring.pop_front();
-            ring.dropped += 1;
-        }
-        ring.ring.push_back(ev);
     }
 
     /// Run `f` atomically with respect to [`snapshot`](Self::snapshot):
@@ -527,5 +539,25 @@ mod tests {
         let snap = reg.snapshot();
         assert!(snap.events.is_empty());
         assert_eq!(snap.dropped_events, 1);
+        assert_eq!(snap.counter("obs.events_dropped"), 1);
+    }
+
+    #[test]
+    fn event_drops_surface_as_a_counter_and_in_render() {
+        let reg = Registry::with_event_capacity(Arc::new(MockClock::new()), 2);
+        reg.event("a", &[]);
+        reg.event("b", &[]);
+        // No drops yet: the counter must not even exist.
+        assert!(!reg.snapshot().counters.contains_key("obs.events_dropped"));
+        for _ in 0..3 {
+            reg.event("c", &[]);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.dropped_events, 3);
+        assert_eq!(snap.counter("obs.events_dropped"), 3);
+        let text = snap.render();
+        assert!(text.contains("[obs]"), "{text}");
+        assert!(text.contains("obs.events_dropped"), "{text}");
+        assert!(text.contains("[events] 2 kept, 3 dropped"), "{text}");
     }
 }

@@ -14,7 +14,7 @@
 //! background "cache the dataset" sweep. Read-path counters live in a
 //! `diesel-obs` registry under `store.*`.
 
-use diesel_obs::{Counter, Gauge, Registry, RegistrySnapshot};
+use diesel_obs::{trace, Counter, Gauge, Registry, RegistrySnapshot};
 use diesel_util::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -116,13 +116,20 @@ impl<F: ObjectStore, S: ObjectStore> TieredStore<F, S> {
 
     /// Read an object, promoting it into the fast tier.
     pub fn get(&self, key: &str) -> Result<Bytes> {
+        let mut span = if trace::active() {
+            trace::span("store.get", &[("key", key)])
+        } else {
+            trace::SpanGuard::default()
+        };
         if let Ok(data) = self.fast.get(key) {
             touch(&mut self.state.lock().lru, key);
             self.metrics.fast_hits.inc();
+            span.label("tier", "fast");
             return Ok(data);
         }
         let data = self.slow.get(key)?;
         self.metrics.slow_hits.inc();
+        span.label("tier", "slow");
         self.promote(key, data.clone())?;
         Ok(data)
     }

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use diesel_core::{DieselClient, DieselError};
 use diesel_exec::{PipelineIter, WorkPool};
 use diesel_kv::KvStore;
+use diesel_obs::{trace, Tracer};
 use diesel_store::ObjectStore;
 use diesel_util::Bytes;
 
@@ -54,6 +55,7 @@ pub struct DataLoader<K, S> {
     seed: u64,
     pool: WorkPool,
     prefetch_depth: usize,
+    tracer: Option<Tracer>,
 }
 
 impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
@@ -68,6 +70,7 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
             seed,
             pool: diesel_exec::global().clone(),
             prefetch_depth: 2,
+            tracer: None,
         }
     }
 
@@ -88,6 +91,16 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
         self
     }
 
+    /// Record spans into `tracer` while reading: each batch gets a
+    /// `loader.fetch{batch=i}` span (parenting the client/net/server
+    /// spans of its reads) and a `loader.decode` child span, so one
+    /// batch's whole journey shares a trace.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// The wrapped client.
     pub fn client(&self) -> &Arc<DieselClient<K, S>> {
         &self.client
@@ -104,14 +117,37 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
         let groups: Vec<Vec<String>> =
             order.chunks(self.batch_size).map(<[String]>::to_vec).collect();
         let client = Arc::clone(&self.client);
+        let tracer = self.tracer.clone();
         let fetched = self.pool.pipeline(
             "loader.fetch",
             self.prefetch_depth,
-            groups.into_iter(),
-            move |paths: Vec<String>| client.get_many(&paths).map(|bytes| (paths, bytes)),
+            groups.into_iter().enumerate(),
+            move |(i, paths): (usize, Vec<String>)| {
+                let _tracer = tracer.as_ref().map(trace::install_tracer);
+                let span = if trace::active() {
+                    let batch = i.to_string();
+                    trace::span("loader.fetch", &[("batch", batch.as_str())])
+                } else {
+                    trace::SpanGuard::default()
+                };
+                // The fetch span's context rides along to the decode
+                // stage, which may run on a different worker thread.
+                let ctx = span.context();
+                client.get_many(&paths).map(|bytes| (paths, bytes, ctx))
+            },
         );
-        Ok(self.pool.pipeline("loader.decode", self.prefetch_depth, fetched, |fetch| {
-            let (paths, bytes) = fetch?;
+        let tracer = self.tracer.clone();
+        Ok(self.pool.pipeline("loader.decode", self.prefetch_depth, fetched, move |fetch| {
+            let (paths, bytes, ctx) = fetch?;
+            let _tracer = tracer.as_ref().map(trace::install_tracer);
+            let _ctx = trace::install_context(ctx);
+            // Decode only under a sampled fetch — an unsampled batch
+            // must not mint a decode-only root trace.
+            let _span = if ctx.is_some() && trace::active() {
+                trace::span("loader.decode", &[])
+            } else {
+                trace::SpanGuard::default()
+            };
             decode_batch(&paths, &bytes)
         }))
     }
@@ -266,6 +302,61 @@ mod tests {
         for (e, s) in eager.iter().zip(&streamed) {
             assert_eq!(e.1, s.1);
             assert_eq!(e.0.data, s.0.data);
+        }
+    }
+
+    #[test]
+    fn traced_epoch_links_fetch_client_server_and_decode_spans() {
+        use std::collections::HashMap;
+        let server = DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new()));
+        // One shared tracer across server, client, and loader: every
+        // span of a batch's journey lands in one buffer.
+        let tracer = diesel_obs::Tracer::enabled(server.registry());
+        let server = Arc::new(server.with_tracer(tracer.clone()));
+        let client = DieselClient::connect_with(
+            server,
+            "synth",
+            diesel_core::ClientConfig {
+                chunk: diesel_chunk::ChunkBuilderConfig {
+                    target_chunk_size: 4096,
+                    ..Default::default()
+                },
+            },
+        )
+        .with_deterministic_identity(1, 1, 100)
+        .with_tracer(tracer.clone());
+        let samples = SyntheticSpec::cifar_like().generate(12);
+        upload_samples(&client, &samples).unwrap();
+        client.download_meta().unwrap();
+        client.enable_shuffle(ShuffleKind::ChunkWise { group_size: 2 });
+        tracer.drain(); // keep only the epoch's spans
+
+        let pool = WorkPool::new(
+            "loader-trace",
+            diesel_exec::ExecConfig { workers: 2, queue_capacity: 0 },
+        );
+        let loader =
+            DataLoader::new(Arc::new(client), 4, 3).with_pool(pool).with_tracer(tracer.clone());
+        let batches = collect(&loader, 0);
+        assert_eq!(batches.len(), 3);
+
+        let spans = tracer.drain();
+        let by_id: HashMap<u64, &diesel_obs::Span> = spans.iter().map(|s| (s.id, s)).collect();
+        let fetches: Vec<_> = spans.iter().filter(|s| s.name == "loader.fetch").collect();
+        assert_eq!(fetches.len(), 3, "one fetch span per batch");
+        let decodes: Vec<_> = spans.iter().filter(|s| s.name == "loader.decode").collect();
+        assert_eq!(decodes.len(), 3);
+        for d in &decodes {
+            let parent = by_id[&d.parent.unwrap()];
+            assert_eq!(parent.name, "loader.fetch", "decode parents its batch's fetch span");
+        }
+        // Every batch's read reached the server inside the same trace.
+        for f in &fetches {
+            assert!(
+                spans.iter().any(|s| s.name == "server.handle" && s.trace == f.trace),
+                "fetch trace {} never produced a server.handle span",
+                f.trace
+            );
         }
     }
 

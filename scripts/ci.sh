@@ -18,6 +18,19 @@ echo "== determinism: multi-worker stress (DIESEL_EXEC_WORKERS=8) =="
 # …and under real scheduling pressure; both must yield identical bytes.
 DIESEL_EXEC_WORKERS=8 cargo test -q --test determinism
 
+echo "== tracing: determinism =="
+# Trace export obeys the same replayability contract as the data path:
+# two identical MockClock'd single-worker runs → byte-identical JSON.
+cargo test -q --test determinism traced_epochs_export_byte_identical_chrome_json
+
+echo "== tracing: traced-epoch smoke =="
+# One fully traced epoch through channel+cache+server+store; the bench
+# itself asserts the JSON parses and at least one client read span has
+# a server.handle descendant, exiting nonzero otherwise.
+trace_out="$(mktemp /tmp/diesel-trace.XXXXXX.json)"
+cargo run -q --release -p diesel-bench --bin loader_pipeline -- --trace "$trace_out"
+rm -f "$trace_out"
+
 echo "== rustfmt =="
 cargo fmt --check
 

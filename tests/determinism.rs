@@ -17,7 +17,7 @@ use diesel_dlt::store::{
 };
 use diesel_dlt::train::loader::upload_samples;
 use diesel_dlt::train::{DataLoader, SyntheticSpec};
-use diesel_util::SystemClock;
+use diesel_util::{MockClock, SystemClock};
 
 const WORKER_GRID: [usize; 3] = [1, 2, 8];
 
@@ -103,6 +103,59 @@ fn epoch_batches_are_byte_identical_under_real_storage_delay() {
         let got = epoch_fingerprint(&loader_over(delayed, pool(workers)), 0);
         assert_eq!(got, baseline, "delayed batches diverge at workers={workers}");
     }
+}
+
+/// One fully traced two-epoch run over a MockClock'd, single-worker
+/// stack, exported as chrome-trace JSON.
+fn traced_epochs_json() -> String {
+    use diesel_dlt::obs::{chrome_trace_json, Registry, Tracer};
+    let registry = Arc::new(Registry::new(Arc::new(MockClock::new())));
+    let server = DieselServer::with_registry(
+        Arc::new(ShardedKv::new()),
+        Arc::new(MemObjectStore::new()),
+        registry.clone(),
+    )
+    .with_pool(pool(1));
+    // One always-on tracer across server, client, and loader, stamped
+    // by the mock clock: ids, order, and timestamps are all replayable.
+    let tracer = Tracer::enabled(&registry);
+    let server = Arc::new(server.with_tracer(tracer.clone()));
+    let client = DieselClient::connect_with(
+        server,
+        "synth",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 100)
+    .with_tracer(tracer.clone());
+    let samples = SyntheticSpec::cifar_like().generate(83);
+    upload_samples(&client, &samples).unwrap();
+    client.download_meta().unwrap();
+    client.enable_shuffle(diesel_dlt::shuffle::ShuffleKind::ChunkWise { group_size: 2 });
+    let loader = DataLoader::new(Arc::new(client), 8, 17)
+        .with_pool(pool(1))
+        .with_prefetch_depth(3)
+        .with_tracer(tracer.clone());
+    tracer.drain(); // trace only the epochs, not the upload
+    for epoch in 0..2 {
+        for batch in loader.epoch_iter(epoch).unwrap() {
+            batch.unwrap();
+        }
+    }
+    chrome_trace_json(&tracer.drain())
+}
+
+#[test]
+fn traced_epochs_export_byte_identical_chrome_json() {
+    // Tracing obeys the same contract as the data path: an identical
+    // run replays to byte-identical export output.
+    let a = traced_epochs_json();
+    let b = traced_epochs_json();
+    assert!(a.contains("client.get_many"), "epochs must produce client read spans");
+    assert!(a.contains("server.handle"), "reads must reach the server");
+    assert!(a.contains("loader.decode"), "pipeline stages must be traced");
+    assert_eq!(a, b, "trace export diverges between identical runs");
 }
 
 /// Pack a dataset, then build a task cache over its chunks with the
