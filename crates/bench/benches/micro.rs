@@ -16,8 +16,8 @@ use diesel_kv::{KvStore, ShardedKv};
 use diesel_meta::recovery::chunk_object_key;
 use diesel_meta::{MetaService, MetaSnapshot};
 use diesel_shuffle::{epoch_order, ChunkFiles, DatasetIndex, ShuffleKind};
+use diesel_store::MemObjectStore;
 use diesel_store::ObjectStore;
-use diesel_store::{Bytes, MemObjectStore};
 
 fn bench_chunk_id(c: &mut Criterion) {
     let gen = ChunkIdGenerator::deterministic(1, 1, 1000);
@@ -126,7 +126,7 @@ fn bench_shuffle(c: &mut Criterion) {
 fn bench_kv(c: &mut Criterion) {
     let kv = ShardedKv::new();
     for i in 0..100_000 {
-        kv.put(&format!("f/ds/file{i:06}"), vec![0u8; 48]).unwrap();
+        kv.put(&format!("f/ds/file{i:06}"), vec![0u8; 48].into()).unwrap();
     }
     let mut g = c.benchmark_group("kv_100k_keys");
     g.bench_function("get", |b| {
@@ -140,7 +140,7 @@ fn bench_kv(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i += 1;
-            kv.put(&format!("f/ds/new{i:08}"), vec![0u8; 48]).unwrap()
+            kv.put(&format!("f/ds/new{i:08}"), vec![0u8; 48].into()).unwrap()
         })
     });
     g.finish();
@@ -156,9 +156,7 @@ fn bench_cache_hit(c: &mut Criterion) {
         w.add_file(&format!("f{i:05}"), &[1u8; 4096]).unwrap();
     }
     for sealed in w.finish() {
-        store
-            .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes.clone()))
-            .unwrap();
+        store.put(&chunk_object_key("ds", sealed.header.id), sealed.bytes.clone()).unwrap();
         svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
     }
     let snap = svc.build_snapshot("ds").unwrap();

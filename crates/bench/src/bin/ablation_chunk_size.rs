@@ -14,7 +14,7 @@ use diesel_chunk::{ChunkBuilderConfig, ChunkIdGenerator, ChunkReader, ChunkWrite
 use diesel_kv::ShardedKv;
 use diesel_meta::{recover_full, MetaService};
 use diesel_store::model::DeviceModel;
-use diesel_store::{Bytes, MemObjectStore, ObjectStore};
+use diesel_store::{MemObjectStore, ObjectStore};
 
 const FILE_SIZE: usize = 110 << 10; // ImageNet-ish mean file
 const DATASET_BYTES: usize = 64 << 20; // 64 MiB miniature dataset
@@ -57,10 +57,7 @@ fn main() {
         for c in &sealed {
             ChunkReader::parse(&c.bytes).unwrap();
             store
-                .put(
-                    &diesel_meta::recovery::chunk_object_key("ds", c.header.id),
-                    Bytes::from(c.bytes.clone()),
-                )
+                .put(&diesel_meta::recovery::chunk_object_key("ds", c.header.id), c.bytes.clone())
                 .unwrap();
         }
         let report = recover_full(&svc, &store, "ds").unwrap();

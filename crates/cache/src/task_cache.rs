@@ -18,7 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use diesel_chunk::{ChunkHeader, ChunkId};
+use diesel_chunk::{ChunkHeader, ChunkId, ChunkView};
 use diesel_meta::recovery::chunk_object_key;
 use diesel_meta::FileMeta;
 use diesel_store::{Bytes, ObjectStore};
@@ -132,10 +132,12 @@ pub struct Fetched {
     pub chunk_hit: bool,
 }
 
+/// A resident chunk: an owned [`ChunkView`] over the loaded buffer.
+/// Every file served from it is a `Bytes` sub-slice of the chunk's one
+/// allocation — cache hits never copy payload (DESIGN.md §11).
 #[derive(Debug)]
 struct CachedChunk {
-    bytes: Bytes,
-    header_len: u32,
+    view: ChunkView,
 }
 
 #[derive(Debug, Default)]
@@ -423,18 +425,20 @@ impl<S: ObjectStore> TaskCache<S> {
             };
             self.backing.get(&key).map_err(|e| CacheError::Backing(e.to_string()))?
         };
+        // Decode the header once per load; the view reuses it for every
+        // read served from this residency.
         let header = ChunkHeader::decode(&bytes).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+        let view =
+            ChunkView::from_parts(bytes, header).map_err(|e| CacheError::Corrupt(e.to_string()))?;
         if self.verify_on_load.load(Ordering::Acquire) {
-            let reader = diesel_chunk::ChunkReader::parse(&bytes)
-                .map_err(|e| CacheError::Corrupt(e.to_string()))?;
-            let bad = reader.verify_all();
+            let bad = view.verify_all();
             if !bad.is_empty() {
                 return Err(CacheError::Corrupt(format!(
                     "chunk {chunk} holds corrupt files: {bad:?}"
                 )));
             }
         }
-        let size = bytes.len() as u64;
+        let size = view.chunk_len() as u64;
         let mut inner = self.node(node)?.inner.lock();
         if inner.chunks.contains_key(&chunk) {
             return Ok((false, 0)); // raced with another client
@@ -443,11 +447,11 @@ impl<S: ObjectStore> TaskCache<S> {
         while inner.resident_bytes + size > self.config.capacity_bytes_per_node {
             let Some(victim) = inner.lru.pop_front() else { break };
             if let Some(v) = inner.chunks.remove(&victim) {
-                inner.resident_bytes -= v.bytes.len() as u64;
+                inner.resident_bytes -= v.view.chunk_len() as u64;
                 self.metrics.evictions.inc();
             }
         }
-        inner.chunks.insert(chunk, CachedChunk { bytes, header_len: header.header_len });
+        inner.chunks.insert(chunk, CachedChunk { view });
         inner.lru.push_back(chunk);
         inner.resident_bytes += size;
         drop(inner);
@@ -463,15 +467,7 @@ impl<S: ObjectStore> TaskCache<S> {
 }
 
 fn slice_file(c: &CachedChunk, meta: &FileMeta) -> Result<Bytes> {
-    let start = c.header_len as usize + meta.offset as usize;
-    let end = start + meta.length as usize;
-    if end > c.bytes.len() {
-        return Err(CacheError::Corrupt(format!(
-            "file range {start}..{end} outside chunk of {} bytes",
-            c.bytes.len()
-        )));
-    }
-    Ok(c.bytes.slice(start..end))
+    c.view.slice_payload(meta.offset, meta.length).map_err(|e| CacheError::Corrupt(e.to_string()))
 }
 
 /// Handle to a background prefetch sweep started by
@@ -586,9 +582,7 @@ mod tests {
         }
         for sealed in w.finish() {
             svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
-            store
-                .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes))
-                .unwrap();
+            store.put(&chunk_object_key("ds", sealed.header.id), sealed.bytes).unwrap();
         }
         let snap = svc.build_snapshot("ds").unwrap();
         let metas = snap.files.iter().map(|f| (f.path.clone(), f.meta)).collect();

@@ -340,9 +340,7 @@ mod tests {
             w.add_file(&format!("f{i:04}"), &[(i % 251) as u8; 300]).unwrap();
         }
         for sealed in w.finish() {
-            store
-                .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes.clone()))
-                .unwrap();
+            store.put(&chunk_object_key("ds", sealed.header.id), sealed.bytes.clone()).unwrap();
             svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
         }
         let snap = svc.build_snapshot("ds").unwrap();

@@ -108,6 +108,9 @@ impl ChunkBuilder {
             length: data.len() as u64,
             crc32: crc32(data),
         });
+        // The write path's deliberate copy: aggregating small files
+        // into the chunk's contiguous payload (DESIGN.md §11).
+        diesel_obs::record_copy("ingest", data.len() as u64);
         self.payload.extend_from_slice(data);
         Ok(idx)
     }
@@ -133,18 +136,26 @@ impl ChunkBuilder {
         let mut fixed = header.clone();
         fixed.header_len = ChunkHeader::wire_len(&header.files) as u32;
         fixed.encode(&mut buf);
+        // Serializing `header ‖ payload` copies the payload once more;
+        // from here on the buffer travels as shared `Bytes`.
+        diesel_obs::record_copy("seal", self.payload.len() as u64);
         buf.extend_from_slice(&self.payload);
         (fixed, buf)
     }
 }
 
 /// A sealed chunk ready to ship to the DIESEL server.
+///
+/// `bytes` is already the payload plane's shared
+/// [`Bytes`](diesel_util::Bytes) currency: shipping, storing and
+/// caching the chunk from here on are refcount bumps on this one
+/// allocation.
 #[derive(Debug, Clone)]
 pub struct SealedChunk {
     /// Decoded header (also embedded at the front of `bytes`).
     pub header: ChunkHeader,
     /// Full chunk bytes (`header ‖ payload`).
-    pub bytes: Vec<u8>,
+    pub bytes: diesel_util::Bytes,
 }
 
 /// Streams files into a sequence of chunks.
@@ -216,7 +227,7 @@ impl<'a> ChunkWriter<'a> {
         }
         let builder = std::mem::replace(&mut self.current, ChunkBuilder::new(self.config.clone()));
         let (header, bytes) = builder.seal(self.ids.next_id(), (self.clock_ms)());
-        self.sealed.push(SealedChunk { header, bytes });
+        self.sealed.push(SealedChunk { header, bytes: bytes.into() });
     }
 
     /// Seal any partial chunk and return all sealed chunks

@@ -17,6 +17,10 @@
 //!   (default 4 MB) is reached.
 //! * [`ChunkReader`] — zero-copy parsing of a chunk: iterate files, extract
 //!   one file, verify per-file CRC32 checksums.
+//! * [`ChunkView`] — the owned counterpart over a shared
+//!   [`diesel_util::Bytes`] buffer: file/range reads are `Bytes`
+//!   sub-slices of the chunk's single allocation, which is what the
+//!   caching layers hand to trainers (DESIGN.md §11, payload plane).
 //! * [`DeletionBitmap`] — tracks logically deleted files inside a chunk;
 //!   [`compact`](compact::compact_chunk) rewrites a chunk without its holes
 //!   (the `DL_purge` housekeeping function of §5).
@@ -30,6 +34,7 @@ pub mod crc;
 pub mod format;
 pub mod id;
 pub mod reader;
+pub mod view;
 
 pub use bitmap::DeletionBitmap;
 pub use builder::{ChunkBuilder, ChunkBuilderConfig, ChunkWriter, SealedChunk};
@@ -38,6 +43,7 @@ pub use compact::{compact_chunk, mark_deleted, CompactionStats};
 pub use format::{ChunkHeader, FileEntry, CHUNK_MAGIC, FORMAT_VERSION};
 pub use id::{ChunkId, ChunkIdGenerator, MachineId};
 pub use reader::ChunkReader;
+pub use view::ChunkView;
 
 /// Default target chunk size used throughout DIESEL (§4: "files are
 /// aggregated into large data chunks (≥ 4MB) on the client-side").

@@ -347,7 +347,7 @@ mod tests {
             b.add_file(n, d).unwrap();
         }
         let (header, bytes) = b.seal(ids.next_id(), 1_000);
-        SealedChunk { header, bytes }
+        SealedChunk { header, bytes: bytes.into() }
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
         let (header, bytes) = builder.seal(self.ids.next_id(), (self.clock_ms)());
         self.call(ServerRequest::IngestChunk {
             dataset: self.dataset.clone(),
-            chunk: SealedChunk { header, bytes },
+            chunk: SealedChunk { header, bytes: bytes.into() },
         })?;
         Ok(())
     }

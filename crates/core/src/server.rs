@@ -183,7 +183,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         let SealedChunk { header, bytes } = chunk;
         let key = chunk_object_key(dataset, header.id);
         let size = bytes.len() as u64;
-        self.store.put(&key, Bytes::from(bytes))?;
+        self.store.put(&key, bytes)?;
         self.meta.ingest_chunk(dataset, &header, size)?;
         self.header_lens.lock().insert(key, header.header_len as u64);
         self.metrics.chunks_ingested.inc();
@@ -333,9 +333,12 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     pub fn delete_file(&self, dataset: &str, path: &str, now_ms: u64) -> Result<()> {
         let meta = self.meta.delete_file(dataset, path, now_ms)?;
         let key = chunk_object_key(dataset, meta.chunk);
-        // `into_vec` moves the allocation out when this read is the sole
-        // owner (the common case) instead of copying the whole chunk.
-        let mut bytes = self.store.get(&key)?.into_vec();
+        // The store keeps its own reference, so `into_vec` materialises a
+        // private copy of the chunk for the in-place bitmap flip — a
+        // deliberate write-path copy, ledgered as such.
+        let shared = self.store.get(&key)?;
+        diesel_obs::record_copy("delete_rewrite", shared.len() as u64);
+        let mut bytes = shared.into_vec();
         mark_deleted(&mut bytes, path)?;
         self.store.put(&key, Bytes::from(bytes))?;
         Ok(())
@@ -645,7 +648,7 @@ mod tests {
         b.add_file("x", b"xx").unwrap();
         b.add_file("y", b"yy").unwrap();
         let (header, bytes) = b.seal(ids.next_id(), 1);
-        s.ingest_chunk("ds", SealedChunk { header, bytes }).unwrap();
+        s.ingest_chunk("ds", SealedChunk { header, bytes: bytes.into() }).unwrap();
         s.delete_file("ds", "x", 2).unwrap();
         s.delete_file("ds", "y", 3).unwrap();
         let report = s.purge_dataset("ds", 4).unwrap();
@@ -707,7 +710,7 @@ mod tests {
         let mut b = ChunkBuilder::with_default_config();
         b.add_file("new/one", b"fresh").unwrap();
         let (h, bytes) = b.seal(ids.next_id(), 5_000_002);
-        s.ingest_chunk("ds", SealedChunk { header: h, bytes }).unwrap();
+        s.ingest_chunk("ds", SealedChunk { header: h, bytes: bytes.into() }).unwrap();
         s.purge_dataset("ds", 5_000_003).unwrap();
 
         let refreshed = s.refresh_snapshot(&snap0).unwrap();

@@ -21,7 +21,7 @@ use diesel_obs::{Gauge, Registry, RegistrySnapshot};
 
 use crate::hash::{key_slot, NUM_SLOTS};
 use crate::shard::ShardedKv;
-use crate::{KvError, KvStore, Result};
+use crate::{Bytes, KvError, KvStore, Result};
 
 /// Measured per-instance ceiling of the paper's Redis deployment
 /// (§6.2: 16 instances saturate at ~0.97 M QPS ⇒ ~60 k each). Snapshot
@@ -52,8 +52,8 @@ impl Default for ClusterConfig {
 /// use diesel_kv::{ClusterConfig, KvCluster, KvStore};
 ///
 /// let cluster = KvCluster::new(ClusterConfig { instances: 4, shards_per_instance: 8 });
-/// cluster.put("f/ds/train/cat/1.jpg", vec![1, 2, 3]).unwrap();
-/// assert_eq!(cluster.get("f/ds/train/cat/1.jpg").unwrap(), Some(vec![1, 2, 3]));
+/// cluster.put("f/ds/train/cat/1.jpg", vec![1, 2, 3].into()).unwrap();
+/// assert_eq!(cluster.get("f/ds/train/cat/1.jpg").unwrap(), Some(vec![1, 2, 3].into()));
 ///
 /// // Kill the owning instance: its keys error, others keep working.
 /// let owner = cluster.route("f/ds/train/cat/1.jpg");
@@ -185,11 +185,11 @@ impl KvCluster {
 }
 
 impl KvStore for KvCluster {
-    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
         self.instance(self.route(key))?.get(key)
     }
 
-    fn put(&self, key: &str, value: Vec<u8>) -> Result<()> {
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
         self.instance(self.route(key))?.put(key, value)
     }
 
@@ -197,21 +197,17 @@ impl KvStore for KvCluster {
         self.instance(self.route(key))?.delete(key)
     }
 
-    fn update(
-        &self,
-        key: &str,
-        f: &mut dyn FnMut(Option<Vec<u8>>) -> Option<Vec<u8>>,
-    ) -> Result<()> {
+    fn update(&self, key: &str, f: &mut dyn FnMut(Option<Bytes>) -> Option<Bytes>) -> Result<()> {
         // The owning instance applies `f` under its shard lock, so the
         // update is atomic cluster-wide (each key has one owner).
         self.instance(self.route(key))?.update(key, f)
     }
 
-    fn mput(&self, pairs: Vec<(String, Vec<u8>)>) -> Result<()> {
+    fn mput(&self, pairs: Vec<(String, Bytes)>) -> Result<()> {
         // Group by owning instance so each instance sees one batch — the
         // cluster-level analogue of Redis pipelining.
         let n = self.instances.len();
-        let mut grouped: Vec<Vec<(String, Vec<u8>)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut grouped: Vec<Vec<(String, Bytes)>> = (0..n).map(|_| Vec::new()).collect();
         for (k, v) in pairs {
             grouped[self.route(&k)].push((k, v));
         }
@@ -224,7 +220,7 @@ impl KvStore for KvCluster {
         Ok(())
     }
 
-    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {
+    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Bytes)>> {
         // A prefix scan must see every owning instance; any down instance
         // makes the result incomplete, so surface the failure.
         let mut out = Vec::new();
@@ -269,7 +265,7 @@ mod tests {
     fn keys_spread_across_instances() {
         let c = cluster(4);
         for i in 0..10_000 {
-            c.put(&format!("file/{i}"), vec![0]).unwrap();
+            c.put(&format!("file/{i}"), vec![0].into()).unwrap();
         }
         let dist = c.key_distribution();
         assert_eq!(dist.iter().sum::<usize>(), 10_000);
@@ -281,8 +277,8 @@ mod tests {
     #[test]
     fn cluster_ops_roundtrip() {
         let c = cluster(3);
-        c.put("x", vec![1]).unwrap();
-        assert_eq!(c.get("x").unwrap(), Some(vec![1]));
+        c.put("x", vec![1].into()).unwrap();
+        assert_eq!(c.get("x").unwrap(), Some(vec![1].into()));
         assert!(c.delete("x").unwrap());
         assert_eq!(c.get("x").unwrap(), None);
     }
@@ -292,9 +288,9 @@ mod tests {
         let c = cluster(4);
         let mut keys: Vec<String> = (0..500).map(|i| format!("p/{i:04}")).collect();
         for k in &keys {
-            c.put(k, vec![]).unwrap();
+            c.put(k, Bytes::new()).unwrap();
         }
-        c.put("q/other", vec![]).unwrap();
+        c.put("q/other", Bytes::new()).unwrap();
         let hits = c.pscan("p/").unwrap();
         keys.sort();
         assert_eq!(hits.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), keys);
@@ -304,7 +300,7 @@ mod tests {
     fn failed_instance_errors_only_its_keys() {
         let c = cluster(4);
         for i in 0..2000 {
-            c.put(&format!("k/{i}"), vec![]).unwrap();
+            c.put(&format!("k/{i}"), Bytes::new()).unwrap();
         }
         c.fail_instance(2);
         let mut down_errors = 0;
@@ -327,7 +323,7 @@ mod tests {
     fn recovery_brings_instance_back_empty() {
         let c = cluster(2);
         for i in 0..100 {
-            c.put(&format!("k/{i}"), vec![1]).unwrap();
+            c.put(&format!("k/{i}"), vec![1].into()).unwrap();
         }
         let before = c.len();
         c.fail_instance(1);
@@ -336,15 +332,15 @@ mod tests {
         let after = c.len();
         assert!(after < before, "recovered instance must come back empty");
         // Writes to the recovered instance work again.
-        c.put("fresh", vec![2]).unwrap();
-        assert_eq!(c.get("fresh").unwrap(), Some(vec![2]));
+        c.put("fresh", vec![2].into()).unwrap();
+        assert_eq!(c.get("fresh").unwrap(), Some(vec![2].into()));
     }
 
     #[test]
     fn power_loss_clears_everything() {
         let c = cluster(3);
         for i in 0..100 {
-            c.put(&format!("k/{i}"), vec![1]).unwrap();
+            c.put(&format!("k/{i}"), vec![1].into()).unwrap();
         }
         c.fail_instance(0);
         c.power_loss();
@@ -355,18 +351,18 @@ mod tests {
     #[test]
     fn mput_batches_per_instance() {
         let c = cluster(4);
-        let pairs: Vec<(String, Vec<u8>)> =
-            (0..1000).map(|i| (format!("b/{i}"), vec![i as u8])).collect();
+        let pairs: Vec<(String, Bytes)> =
+            (0..1000).map(|i| (format!("b/{i}"), vec![i as u8].into())).collect();
         c.mput(pairs).unwrap();
         assert_eq!(c.len(), 1000);
-        assert_eq!(c.get("b/500").unwrap(), Some(vec![244]));
+        assert_eq!(c.get("b/500").unwrap(), Some(vec![244].into()));
     }
 
     #[test]
     fn metrics_are_labelled_per_instance_in_one_registry() {
         let c = cluster(4);
         for i in 0..1000 {
-            c.put(&format!("m/{i}"), vec![]).unwrap();
+            c.put(&format!("m/{i}"), Bytes::new()).unwrap();
             c.get(&format!("m/{i}")).unwrap();
         }
         let snap = c.obs_snapshot().expect("cluster exposes its registry");
@@ -398,8 +394,8 @@ mod tests {
     #[test]
     fn mget_reports_misses_as_none() {
         let c = cluster(2);
-        c.put("a", vec![1]).unwrap();
+        c.put("a", vec![1].into()).unwrap();
         let got = c.mget(&["a", "missing"]).unwrap();
-        assert_eq!(got, vec![Some(vec![1]), None]);
+        assert_eq!(got, vec![Some(Bytes::from(vec![1])), None]);
     }
 }

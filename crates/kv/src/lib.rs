@@ -26,6 +26,7 @@ pub mod shard;
 pub mod stats;
 
 pub use cluster::{ClusterConfig, KvCluster};
+pub use diesel_util::Bytes;
 pub use shard::ShardedKv;
 pub use stats::KvMetrics;
 
@@ -56,23 +57,28 @@ pub type Result<T> = std::result::Result<T, KvError>;
 /// The key-value operation surface used by the DIESEL metadata layer.
 ///
 /// Implementations must be safe for concurrent use (`&self` methods).
+///
+/// Values are [`Bytes`]: the payload plane's single currency. A `get`
+/// is a refcount bump on the stored buffer, never a copy, and `put`
+/// takes ownership of a buffer the caller usually just encoded (so
+/// `record.encode().into()` moves, copying nothing).
 pub trait KvStore: Send + Sync {
     /// Fetch the value for `key`, or `Ok(None)` when absent.
-    fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
+    fn get(&self, key: &str) -> Result<Option<Bytes>>;
 
     /// Store `value` under `key`, overwriting any previous value.
-    fn put(&self, key: &str, value: Vec<u8>) -> Result<()>;
+    fn put(&self, key: &str, value: Bytes) -> Result<()>;
 
     /// Remove `key`. Returns whether it existed.
     fn delete(&self, key: &str) -> Result<bool>;
 
     /// Batched get: one entry per requested key, `None` on miss.
-    fn mget(&self, keys: &[&str]) -> Result<Vec<Option<Vec<u8>>>> {
+    fn mget(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
         keys.iter().map(|k| self.get(k)).collect()
     }
 
     /// Batched put.
-    fn mput(&self, pairs: Vec<(String, Vec<u8>)>) -> Result<()> {
+    fn mput(&self, pairs: Vec<(String, Bytes)>) -> Result<()> {
         for (k, v) in pairs {
             self.put(&k, v)?;
         }
@@ -88,11 +94,7 @@ pub trait KvStore: Send + Sync {
     ///
     /// The default implementation is a get-then-put and is *not* atomic;
     /// any store reachable from more than one thread must override it.
-    fn update(
-        &self,
-        key: &str,
-        f: &mut dyn FnMut(Option<Vec<u8>>) -> Option<Vec<u8>>,
-    ) -> Result<()> {
+    fn update(&self, key: &str, f: &mut dyn FnMut(Option<Bytes>) -> Option<Bytes>) -> Result<()> {
         match f(self.get(key)?) {
             Some(v) => self.put(key, v),
             None => {
@@ -103,7 +105,7 @@ pub trait KvStore: Send + Sync {
     }
 
     /// Scan all keys starting with `prefix`, in lexicographic key order.
-    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>>;
+    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Bytes)>>;
 
     /// Number of stored keys (diagnostics; O(shards)).
     fn len(&self) -> usize;
@@ -126,20 +128,20 @@ mod trait_tests {
     use super::*;
 
     /// Exercise the default batched implementations through a tiny adapter.
-    struct Tiny(diesel_util::Mutex<std::collections::BTreeMap<String, Vec<u8>>>);
+    struct Tiny(diesel_util::Mutex<std::collections::BTreeMap<String, Bytes>>);
 
     impl KvStore for Tiny {
-        fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        fn get(&self, key: &str) -> Result<Option<Bytes>> {
             Ok(self.0.lock().get(key).cloned())
         }
-        fn put(&self, key: &str, value: Vec<u8>) -> Result<()> {
+        fn put(&self, key: &str, value: Bytes) -> Result<()> {
             self.0.lock().insert(key.to_owned(), value);
             Ok(())
         }
         fn delete(&self, key: &str) -> Result<bool> {
             Ok(self.0.lock().remove(key).is_some())
         }
-        fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        fn pscan(&self, prefix: &str) -> Result<Vec<(String, Bytes)>> {
             Ok(self
                 .0
                 .lock()
@@ -156,9 +158,9 @@ mod trait_tests {
     #[test]
     fn default_mget_mput() {
         let kv = Tiny(diesel_util::Mutex::new(Default::default()));
-        kv.mput(vec![("a".into(), vec![1]), ("b".into(), vec![2])]).unwrap();
+        kv.mput(vec![("a".into(), vec![1].into()), ("b".into(), vec![2].into())]).unwrap();
         let got = kv.mget(&["a", "zz", "b"]).unwrap();
-        assert_eq!(got, vec![Some(vec![1]), None, Some(vec![2])]);
+        assert_eq!(got, vec![Some(Bytes::from(vec![1])), None, Some(Bytes::from(vec![2]))]);
         assert!(!kv.is_empty());
     }
 }

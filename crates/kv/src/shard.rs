@@ -14,12 +14,12 @@ use diesel_util::RwLock;
 
 use crate::hash::fnv1a_64;
 use crate::stats::KvMetrics;
-use crate::{KvStore, Result};
+use crate::{Bytes, KvStore, Result};
 
 /// A single in-memory KV instance.
 #[derive(Debug)]
 pub struct ShardedKv {
-    shards: Vec<RwLock<BTreeMap<String, Vec<u8>>>>,
+    shards: Vec<RwLock<BTreeMap<String, Bytes>>>,
     registry: Arc<Registry>,
     metrics: KvMetrics,
 }
@@ -53,7 +53,7 @@ impl ShardedKv {
         }
     }
 
-    fn shard_for(&self, key: &str) -> &RwLock<BTreeMap<String, Vec<u8>>> {
+    fn shard_for(&self, key: &str) -> &RwLock<BTreeMap<String, Bytes>> {
         let idx = (fnv1a_64(key.as_bytes()) as usize) % self.shards.len();
         &self.shards[idx]
     }
@@ -91,17 +91,18 @@ impl Default for ShardedKv {
 }
 
 impl KvStore for ShardedKv {
-    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
         self.metrics.record_get();
         let _span = if trace::active() {
             trace::span("kv.get", &[("key", key)])
         } else {
             trace::SpanGuard::default()
         };
+        // `Bytes` values make this clone a refcount bump, not a copy.
         Ok(self.shard_for(key).read().get(key).cloned())
     }
 
-    fn put(&self, key: &str, value: Vec<u8>) -> Result<()> {
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
         self.metrics.record_put();
         self.shard_for(key).write().insert(key.to_owned(), value);
         Ok(())
@@ -112,11 +113,7 @@ impl KvStore for ShardedKv {
         Ok(self.shard_for(key).write().remove(key).is_some())
     }
 
-    fn update(
-        &self,
-        key: &str,
-        f: &mut dyn FnMut(Option<Vec<u8>>) -> Option<Vec<u8>>,
-    ) -> Result<()> {
+    fn update(&self, key: &str, f: &mut dyn FnMut(Option<Bytes>) -> Option<Bytes>) -> Result<()> {
         self.metrics.record_put();
         let mut shard = self.shard_for(key).write();
         match f(shard.get(key).cloned()) {
@@ -130,7 +127,7 @@ impl KvStore for ShardedKv {
         Ok(())
     }
 
-    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>> {
+    fn pscan(&self, prefix: &str) -> Result<Vec<(String, Bytes)>> {
         self.metrics.record_scan();
         let _span = if trace::active() {
             trace::span("kv.scan", &[("prefix", prefix)])
@@ -170,10 +167,10 @@ mod tests {
     fn point_ops() {
         let kv = ShardedKv::new();
         assert_eq!(kv.get("k").unwrap(), None);
-        kv.put("k", vec![1, 2, 3]).unwrap();
-        assert_eq!(kv.get("k").unwrap(), Some(vec![1, 2, 3]));
-        kv.put("k", vec![9]).unwrap();
-        assert_eq!(kv.get("k").unwrap(), Some(vec![9]), "put overwrites");
+        kv.put("k", vec![1, 2, 3].into()).unwrap();
+        assert_eq!(kv.get("k").unwrap(), Some(Bytes::from(vec![1, 2, 3])));
+        kv.put("k", vec![9].into()).unwrap();
+        assert_eq!(kv.get("k").unwrap(), Some(Bytes::from(vec![9])), "put overwrites");
         assert!(kv.delete("k").unwrap());
         assert!(!kv.delete("k").unwrap());
         assert_eq!(kv.len(), 0);
@@ -183,7 +180,7 @@ mod tests {
     fn pscan_is_sorted_and_prefix_exact() {
         let kv = ShardedKv::with_shards(8);
         for k in ["a/1", "a/2", "a/10", "ab", "b/1", "a"] {
-            kv.put(k, k.as_bytes().to_vec()).unwrap();
+            kv.put(k, k.as_bytes().to_vec().into()).unwrap();
         }
         let hits = kv.pscan("a/").unwrap();
         let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
@@ -201,7 +198,7 @@ mod tests {
     fn clear_and_retain() {
         let kv = ShardedKv::new();
         for i in 0..100 {
-            kv.put(&format!("k{i}"), vec![i as u8]).unwrap();
+            kv.put(&format!("k{i}"), vec![i as u8].into()).unwrap();
         }
         kv.retain(|_, v| v[0] % 2 == 0);
         assert_eq!(kv.len(), 50);
@@ -212,7 +209,7 @@ mod tests {
     #[test]
     fn stats_count_operations() {
         let kv = ShardedKv::new();
-        kv.put("a", vec![]).unwrap();
+        kv.put("a", Bytes::new()).unwrap();
         kv.get("a").unwrap();
         kv.get("b").unwrap();
         kv.pscan("").unwrap();
@@ -232,7 +229,7 @@ mod tests {
                 let kv = kv.clone();
                 std::thread::spawn(move || {
                     for i in 0..1000 {
-                        kv.put(&format!("t{t}/k{i}"), vec![t as u8]).unwrap();
+                        kv.put(&format!("t{t}/k{i}"), vec![t as u8].into()).unwrap();
                     }
                 })
             })
@@ -261,22 +258,22 @@ mod tests {
             for (op, key, val) in ops {
                 match op {
                     0 => {
-                        kv.put(&key, val.clone()).unwrap();
+                        kv.put(&key, val.clone().into()).unwrap();
                         model.insert(key, val);
                     }
                     1 => {
                         prop_assert_eq!(kv.delete(&key).unwrap(), model.remove(&key).is_some());
                     }
                     _ => {
-                        prop_assert_eq!(kv.get(&key).unwrap(), model.get(&key).cloned());
+                        prop_assert_eq!(kv.get(&key).unwrap(), model.get(&key).cloned().map(Bytes::from));
                     }
                 }
             }
             let scanned = kv.pscan(&prefix).unwrap();
-            let expect: Vec<(String, Vec<u8>)> = model
+            let expect: Vec<(String, Bytes)> = model
                 .range(prefix.clone()..)
                 .take_while(|(k, _)| k.starts_with(&prefix))
-                .map(|(k, v)| (k.clone(), v.clone()))
+                .map(|(k, v)| (k.clone(), v.clone().into()))
                 .collect();
             prop_assert_eq!(scanned, expect);
             prop_assert_eq!(kv.len(), model.len());

@@ -126,9 +126,7 @@ mod tests {
             names.push(name);
         }
         for sealed in w.finish() {
-            store
-                .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes.clone()))
-                .unwrap();
+            store.put(&chunk_object_key("ds", sealed.header.id), sealed.bytes.clone()).unwrap();
             svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
         }
         (svc, store, names)
@@ -167,12 +165,7 @@ mod tests {
                 w.add_file(&format!("t{ts}/f{i}"), &[0u8; 256]).unwrap();
             }
             for sealed in w.finish() {
-                store
-                    .put(
-                        &chunk_object_key("ds", sealed.header.id),
-                        Bytes::from(sealed.bytes.clone()),
-                    )
-                    .unwrap();
+                store.put(&chunk_object_key("ds", sealed.header.id), sealed.bytes.clone()).unwrap();
                 svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
             }
         }
@@ -200,9 +193,7 @@ mod tests {
             w.add_file(&format!("f/{i}"), &[1u8; 200]).unwrap();
         }
         for sealed in w.finish() {
-            store
-                .put(&chunk_object_key("ds", sealed.header.id), Bytes::from(sealed.bytes.clone()))
-                .unwrap();
+            store.put(&chunk_object_key("ds", sealed.header.id), sealed.bytes.clone()).unwrap();
             svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
         }
         cluster.power_loss();

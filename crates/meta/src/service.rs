@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use diesel_chunk::{ChunkHeader, ChunkId};
-use diesel_kv::KvStore;
+use diesel_kv::{Bytes, KvStore};
 
 use crate::keys;
 use crate::namespace::{DirEntry, EntryKind};
@@ -41,14 +41,14 @@ impl<K: KvStore> MetaService<K> {
     /// construct key-value pairs and writes them to the key-value
     /// database" (Fig. 3). `chunk_size` is the full chunk length.
     pub fn ingest_chunk(&self, dataset: &str, header: &ChunkHeader, chunk_size: u64) -> Result<()> {
-        let mut pairs: Vec<(String, Vec<u8>)> = Vec::with_capacity(2 + header.files.len() * 2);
+        let mut pairs: Vec<(String, Bytes)> = Vec::with_capacity(2 + header.files.len() * 2);
         let record = ChunkRecord {
             updated_ms: header.updated_ms,
             size: chunk_size,
             file_count: header.files.len() as u32,
             bitmap: header.bitmap.clone(),
         };
-        pairs.push((keys::chunk_key(dataset, header.id), record.encode()));
+        pairs.push((keys::chunk_key(dataset, header.id), record.encode().into()));
 
         let mut live_files = 0u64;
         let mut live_bytes = 0u64;
@@ -65,12 +65,14 @@ impl<K: KvStore> MetaService<K> {
                 length: f.length,
                 uploaded_ms: header.updated_ms,
             };
-            let enc = meta.encode();
+            // One encoded buffer, shared by the file record and its
+            // dir entry (a `Bytes` clone is a refcount bump).
+            let enc: Bytes = meta.encode().into();
             pairs.push((keys::file_key(dataset, &f.name), enc.clone()));
             let (parent, name) = keys::split_path(&f.name);
             pairs.push((keys::dir_entry_key(dataset, parent, 'f', name), enc));
             for (anc_parent, anc_name) in keys::ancestor_dirs(&f.name) {
-                pairs.push((keys::dir_entry_key(dataset, anc_parent, 'd', anc_name), Vec::new()));
+                pairs.push((keys::dir_entry_key(dataset, anc_parent, 'd', anc_name), Bytes::new()));
             }
         }
         self.kv.mput(pairs)?;
@@ -96,7 +98,7 @@ impl<K: KvStore> MetaService<K> {
             rec.chunk_count += 1;
             rec.file_count += live_files;
             rec.total_bytes += live_bytes;
-            Some(rec.encode())
+            Some(rec.encode().into())
         })?;
         match decode_err {
             Some(e) => Err(e),
@@ -190,7 +192,7 @@ impl<K: KvStore> MetaService<K> {
                     found = true;
                     rec.bitmap.set_deleted(meta.index_in_chunk as usize);
                     rec.updated_ms = now_ms;
-                    Some(rec.encode())
+                    Some(rec.encode().into())
                 }
                 Err(e) => {
                     decode_err = Some(e);
@@ -217,7 +219,7 @@ impl<K: KvStore> MetaService<K> {
                     ds.file_count = ds.file_count.saturating_sub(1);
                     ds.total_bytes = ds.total_bytes.saturating_sub(meta.length);
                     ds.updated_ms = now_ms;
-                    Some(ds.encode())
+                    Some(ds.encode().into())
                 }
                 Err(e) => {
                     decode_err = Some(e);
@@ -253,7 +255,7 @@ impl<K: KvStore> MetaService<K> {
                     rec.file_count = rec.file_count.saturating_add_signed(d_files);
                     rec.total_bytes = rec.total_bytes.saturating_add_signed(d_bytes);
                     rec.updated_ms = rec.updated_ms.max(now_ms);
-                    Some(rec.encode())
+                    Some(rec.encode().into())
                 }
                 Err(e) => {
                     decode_err = Some(e);

@@ -16,6 +16,9 @@
 //!   deterministic under `MockClock`.
 //! * [`Histogram`] — log-bucketed latencies (~4 % relative error),
 //!   shared with the simulator's measurement layer.
+//! * [`copies`] — the process-global `bytes.copied{site=…}` ledger
+//!   every deliberate payload copy reports to, making the zero-copy
+//!   read path an asserted invariant (DESIGN.md §11).
 //!
 //! # Metric naming
 //!
@@ -34,11 +37,13 @@
 //! [`TraceContext`]/[`AmbientTrace`], and [`export`] renders drained
 //! spans as chrome-trace JSON or a critical-path text summary.
 
+pub mod copies;
 pub mod export;
 pub mod histogram;
 pub mod registry;
 pub mod trace;
 
+pub use copies::{copied_at, copied_total, copies_snapshot, record_copy, BYTES_COPIED};
 pub use export::{chrome_trace_json, critical_path, parse_chrome_trace, ExportedSpan};
 pub use histogram::{fmt_ns, Histogram, Summary};
 pub use registry::{

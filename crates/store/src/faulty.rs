@@ -74,6 +74,9 @@ impl<S: ObjectStore> FaultyStore<S> {
         }
         if !data.is_empty() && rng.gen_bool(self.config.corruption_rate.clamp(0.0, 1.0)) {
             self.injected_corruptions.fetch_add(1, Ordering::Relaxed);
+            // The only copy in this store: flipping a bit needs a private
+            // buffer. The clean path below returns `data` untouched.
+            diesel_obs::record_copy("corruption", data.len() as u64);
             let mut v = data.to_vec();
             let pos = rng.gen_range(0..v.len());
             v[pos] ^= 1u8 << rng.gen_range(0..8u32);

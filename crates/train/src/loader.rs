@@ -166,6 +166,9 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DataLoader<K, S> {
 
 /// Decode one fetched path group into a training batch.
 fn decode_batch(paths: &[String], bytes: &[Bytes]) -> BatchResult {
+    // Decoding samples into tensors is the pipeline's one deliberate
+    // transform copy; everything upstream of here is `Bytes` handoff.
+    diesel_obs::record_copy("decode", bytes.iter().map(|b| b.len() as u64).sum());
     let mut samples = Vec::with_capacity(bytes.len());
     for (path, b) in paths.iter().zip(bytes) {
         let sample = Sample::decode(b)

@@ -8,24 +8,54 @@
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// The backing storage of a [`Bytes`]: either a shared heap allocation
+/// or a borrowed `'static` slice (which needs no allocation at all).
+#[derive(Clone)]
+enum Data {
+    Shared(Arc<Vec<u8>>),
+    Static(&'static [u8]),
+}
+
+impl Data {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Data::Shared(v) => v,
+            Data::Static(s) => s,
+        }
+    }
+}
+
 /// An immutable, reference-counted byte buffer; `clone` and
 /// [`slice`](Bytes::slice) are O(1) and share the allocation.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
+    data: Data,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer (no allocation shared with anything).
+    /// An empty buffer (backed by a `'static` slice: no allocation).
     pub fn new() -> Self {
-        Bytes { data: Arc::new(Vec::new()), start: 0, end: 0 }
+        Bytes::from_static(&[])
     }
 
-    /// A buffer over static data (copied once into the shared allocation).
+    /// A buffer over static data. No copy: the slice is held directly,
+    /// and clones/slices of the result stay allocation-free.
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes { data: Arc::new(data.to_vec()), start: 0, end: data.len() }
+        Bytes { data: Data::Static(data), start: 0, end: data.len() }
+    }
+
+    /// Whether `self` and `other` are views into the same backing
+    /// storage (one shared allocation, or the same static slice). This
+    /// is the zero-copy plane's observable invariant: a file read out
+    /// of a cached chunk must share the chunk's allocation.
+    pub fn shares_allocation(&self, other: &Bytes) -> bool {
+        match (&self.data, &other.data) {
+            (Data::Shared(a), Data::Shared(b)) => Arc::ptr_eq(a, b),
+            (Data::Static(a), Data::Static(b)) => a.as_ptr() == b.as_ptr() && a.len() == b.len(),
+            _ => false,
+        }
     }
 
     /// Length in bytes.
@@ -52,26 +82,26 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of range for {}", self.len());
-        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+        Bytes { data: self.data.clone(), start: self.start + lo, end: self.start + hi }
     }
 
     /// The bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 
     /// Take the bytes as an owned `Vec<u8>`. When this handle is the
-    /// sole owner of a full-range buffer the allocation is moved out
-    /// without copying; otherwise the covered range is copied.
+    /// sole owner of a full-range heap buffer the allocation is moved
+    /// out without copying; otherwise (shared, sliced, or static) the
+    /// covered range is copied.
     pub fn into_vec(self) -> Vec<u8> {
         let Bytes { data, start, end } = self;
-        if start == 0 && end == data.len() {
-            match Arc::try_unwrap(data) {
+        match data {
+            Data::Shared(arc) if start == 0 && end == arc.len() => match Arc::try_unwrap(arc) {
                 Ok(v) => v,
                 Err(shared) => shared[start..end].to_vec(),
-            }
-        } else {
-            data[start..end].to_vec()
+            },
+            other => other.as_slice()[start..end].to_vec(),
         }
     }
 }
@@ -98,7 +128,7 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Arc::new(v), start: 0, end }
+        Bytes { data: Data::Shared(Arc::new(v)), start: 0, end }
     }
 }
 
@@ -199,9 +229,25 @@ mod tests {
         assert_eq!(b.slice(..).len(), 100);
         assert_eq!(b.slice(95..).as_slice(), &[95, 96, 97, 98, 99]);
         // Same backing allocation for all of them.
-        assert!(Arc::ptr_eq(&b.data, &inner.data));
+        assert!(b.shares_allocation(&inner));
         let c = b.clone();
-        assert!(Arc::ptr_eq(&b.data, &c.data));
+        assert!(b.shares_allocation(&c));
+    }
+
+    #[test]
+    fn from_static_holds_the_slice_without_copying() {
+        static DATA: &[u8] = b"static payload";
+        let b = Bytes::from_static(DATA);
+        assert_eq!(b.as_slice().as_ptr(), DATA.as_ptr(), "from_static must not copy");
+        let mid = b.slice(7..);
+        assert_eq!(mid.as_slice(), b"payload");
+        assert_eq!(mid.as_slice().as_ptr(), DATA[7..].as_ptr(), "slices stay in place");
+        assert!(b.shares_allocation(&b.clone()));
+        // Static and heap buffers never report a shared allocation,
+        // even when their contents agree.
+        assert!(!b.shares_allocation(&Bytes::from(DATA.to_vec())));
+        // into_vec on a static buffer is the documented copy.
+        assert_eq!(mid.into_vec(), b"payload".to_vec());
     }
 
     #[test]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Payload-plane benchmark gate (DESIGN.md §11).
+#
+# Builds and runs the fixed `payload_bench` suite against BENCH_6.json:
+# the first ever run seeds the `baseline` section (kept verbatim
+# forever); every later run rewrites `current`. Pass `--check` to fail
+# if any wall-time key regresses past `--tolerance`× baseline — this is
+# how scripts/ci.sh ratchets the zero-copy read path.
+#
+# Usage:
+#   scripts/bench.sh                     # refresh `current` in BENCH_6.json
+#   scripts/bench.sh --check             # also enforce the regression gate
+#   scripts/bench.sh --check --tolerance 2.5
+#   scripts/bench.sh --json OTHER.json   # write somewhere else
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p diesel-bench --bin payload_bench
+exec target/release/payload_bench "$@"

@@ -31,6 +31,14 @@ trace_out="$(mktemp /tmp/diesel-trace.XXXXXX.json)"
 cargo run -q --release -p diesel-bench --bin loader_pipeline -- --trace "$trace_out"
 rm -f "$trace_out"
 
+echo "== payload bench gate =="
+# The zero-copy payload plane's perf ratchet (DESIGN.md §11): rerun the
+# fixed suite and fail if any wall-time key drifts past tolerance× the
+# recorded pre-refactor baseline in BENCH_6.json. The tolerance is wide
+# because CI machines are noisy; the point is catching accidental
+# copies (2×+ jumps), not 5% jitter.
+scripts/bench.sh --check --tolerance 2.5
+
 echo "== rustfmt =="
 cargo fmt --check
 

@@ -52,6 +52,41 @@ fn loader_over<S: ObjectStore + 'static>(
     DataLoader::new(Arc::new(client), 8, 17).with_pool(pool).with_prefetch_depth(3)
 }
 
+/// Like [`loader_over`], but with a fully prefetched [`TaskCache`]
+/// attached to the client — every epoch read below is a cache hit
+/// served as a zero-copy `Bytes` view of the resident chunk.
+fn cached_loader_over(pool: WorkPool) -> DataLoader<ShardedKv, MemObjectStore> {
+    let store = Arc::new(MemObjectStore::new());
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store).with_pool(pool.clone()));
+    let client = DieselClient::connect_with(
+        server.clone(),
+        "synth",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 100);
+    let samples = SyntheticSpec::cifar_like().generate(83);
+    upload_samples(&client, &samples).unwrap();
+    client.download_meta().unwrap();
+    client.enable_shuffle(diesel_dlt::shuffle::ShuffleKind::ChunkWise { group_size: 2 });
+    let chunks = server.meta().chunk_ids("synth").unwrap();
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(1, 1),
+            server.store().clone(),
+            "synth",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .with_pool(pool.clone()),
+    );
+    cache.prefetch_all().unwrap();
+    client.attach_cache(cache);
+    DataLoader::new(Arc::new(client), 8, 17).with_pool(pool).with_prefetch_depth(3)
+}
+
 fn epoch_fingerprint<S: ObjectStore + 'static>(
     loader: &DataLoader<ShardedKv, S>,
     epoch: u64,
@@ -78,6 +113,24 @@ fn epoch_batches_are_byte_identical_across_worker_counts() {
         for (epoch, want) in baseline.iter().enumerate() {
             let got = epoch_fingerprint(&loader, epoch as u64);
             assert_eq!(&got, want, "epoch {epoch} diverges at workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn cache_hit_epoch_batches_are_byte_identical_across_worker_counts() {
+    // The zero-copy cache path must be invisible to training: batches
+    // decoded from `Bytes` views of resident chunks are byte-identical
+    // to batches read through the server, at every worker count.
+    let baseline = {
+        let loader = loader_over(Arc::new(MemObjectStore::new()), pool(1));
+        (0..2).map(|e| epoch_fingerprint(&loader, e)).collect::<Vec<_>>()
+    };
+    for workers in WORKER_GRID {
+        let loader = cached_loader_over(pool(workers));
+        for (epoch, want) in baseline.iter().enumerate() {
+            let got = epoch_fingerprint(&loader, epoch as u64);
+            assert_eq!(&got, want, "cached epoch {epoch} diverges at workers={workers}");
         }
     }
 }

@@ -1,0 +1,128 @@
+//! The payload plane's asserted invariant (DESIGN.md §11): a cache-hit
+//! read performs **zero** payload memcpy. Every deliberate copy in the
+//! workspace is ledgered under `bytes.copied{site=…}` (ingest, seal,
+//! corruption, delete_rewrite, decode), so "no copies on the read path"
+//! is checkable as "the ledger total does not move across a traced
+//! cache-hit epoch of reads".
+//!
+//! This lives in its own integration-test binary on purpose: the copies
+//! ledger is process-global, and unit tests elsewhere (builder, server,
+//! loader) exercise copying sites concurrently within their own
+//! processes. Here the only traffic is ours — and it is one `#[test]`
+//! with sequential phases, because cargo runs sibling tests as threads
+//! of this same process and concurrent uploads would move the ledger
+//! under the zero-delta assert.
+
+use std::sync::Arc;
+
+use diesel_dlt::cache::{CacheConfig, CachePolicy, TaskCache, Topology};
+use diesel_dlt::chunk::ChunkBuilderConfig;
+use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
+use diesel_dlt::kv::ShardedKv;
+use diesel_dlt::obs::{copied_at, copied_total, Tracer};
+use diesel_dlt::store::MemObjectStore;
+use diesel_dlt::train::loader::upload_samples;
+use diesel_dlt::train::{DataLoader, SyntheticSpec};
+
+type Stack =
+    (Arc<DieselServer<ShardedKv, MemObjectStore>>, DieselClient<ShardedKv, MemObjectStore>);
+
+/// Server + client with a synthetic dataset uploaded (this part copies:
+/// ingest and seal are ledgered sites — all before the measured region).
+fn stack() -> Stack {
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
+    let client = DieselClient::connect_with(
+        server.clone(),
+        "synth",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 1 << 16, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 100);
+    let samples = SyntheticSpec::cifar_like().generate(96);
+    upload_samples(&client, &samples).expect("upload");
+    client.download_meta().expect("meta");
+    (server, client)
+}
+
+fn prefetched_cache(
+    server: &Arc<DieselServer<ShardedKv, MemObjectStore>>,
+) -> Arc<TaskCache<MemObjectStore>> {
+    let chunks = server.meta().chunk_ids("synth").expect("chunks");
+    let cache = Arc::new(TaskCache::new(
+        Topology::uniform(1, 1),
+        server.store().clone(),
+        "synth",
+        chunks,
+        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+    ));
+    cache.prefetch_all().expect("prefetch");
+    cache
+}
+
+#[test]
+fn payload_plane_ledger_holds_its_invariants() {
+    // Phase 1 — the write path is ledgered: building + sealing chunks
+    // records ingest and seal copies.
+    let before_ingest = copied_at("ingest");
+    let before_seal = copied_at("seal");
+    let (server, client) = stack();
+    assert!(copied_at("ingest") > before_ingest, "chunk building must ledger ingest copies");
+    assert!(copied_at("seal") > before_seal, "chunk sealing must ledger seal copies");
+
+    // Phase 2 — THE invariant: a traced cache-hit read epoch copies
+    // zero payload bytes. The cache is fully prefetched, so every read
+    // below is a hit.
+    let cache = prefetched_cache(&server);
+    client.attach_cache(cache.clone());
+    let tracer = Tracer::enabled(server.registry());
+    let client = client.with_tracer(tracer.clone());
+    let paths = client.file_list().expect("file list");
+    assert!(!paths.is_empty());
+
+    let before = copied_total();
+    let mut total_bytes = 0usize;
+    for path in &paths {
+        let data = client.get(path).expect("cache-hit read");
+        assert!(!data.is_empty());
+        total_bytes += data.len();
+    }
+    let delta = copied_total() - before;
+    assert_eq!(
+        delta,
+        0,
+        "a traced cache-hit read epoch ({} files, {total_bytes} payload bytes) \
+         must not memcpy payload, but bytes.copied grew by {delta}",
+        paths.len()
+    );
+
+    // The reads really were hits and really were traced.
+    let spans = tracer.drain();
+    let hits = spans
+        .iter()
+        .filter(|s| {
+            s.name == "cache.get" && s.labels.iter().any(|(k, v)| k == "outcome" && v == "hit")
+        })
+        .count();
+    assert!(hits > 0, "expected traced cache.get hit spans, got none in {} spans", spans.len());
+
+    // The payloads are true views: two reads of the same file alias one
+    // allocation (the resident chunk's buffer), they don't copy it.
+    let a = client.get(&paths[0]).expect("read");
+    let b = client.get(&paths[0]).expect("re-read");
+    assert!(
+        a.shares_allocation(&b),
+        "repeated cache-hit reads must alias the resident chunk, not copy"
+    );
+
+    // Phase 3 — a training epoch *does* copy, exactly at the
+    // decode-into-tensor boundary, and the ledger says so.
+    client.enable_shuffle(diesel_dlt::shuffle::ShuffleKind::ChunkWise { group_size: 2 });
+    let loader = DataLoader::new(Arc::new(client), 16, 61);
+    let before_decode = copied_at("decode");
+    for batch in loader.epoch_iter(0).expect("epoch") {
+        batch.expect("batch");
+    }
+    assert!(copied_at("decode") > before_decode, "loader epoch must ledger its decode copies");
+}
