@@ -88,7 +88,7 @@ impl MemcachedSim {
         let servers = (0..config.servers)
             .map(|_| ServerState {
                 alive: AtomicBool::new(true),
-                keys: RwLock::new(HashSet::new()),
+                keys: RwLock::named("baselines.memcached_keys", HashSet::new()),
                 cpu: Resource::new("memcached-cpu", config.threads_per_server),
             })
             .collect();

@@ -147,10 +147,19 @@ struct NodeInner {
     resident_bytes: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct NodeState {
     down: AtomicBool,
     inner: Mutex<NodeInner>,
+}
+
+impl Default for NodeState {
+    fn default() -> Self {
+        NodeState {
+            down: AtomicBool::new(false),
+            inner: Mutex::named("cache.node", NodeInner::default()),
+        }
+    }
 }
 
 /// The distributed cache of one DLT task.
@@ -347,6 +356,7 @@ impl<S: ObjectStore> TaskCache<S> {
         if self.is_node_down(node) {
             return Err(CacheError::NodeDown { node });
         }
+        // diesel-lint: allow(R6) chunk-id list, not payload bytes
         let chunks: Vec<ChunkId> = self.partition.chunks_of(node).to_vec();
         let loads = self.pool.try_map(chunks, |_, chunk| self.ensure_chunk(node, chunk))?;
         let mut report = LoadReport::default();

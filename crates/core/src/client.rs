@@ -118,10 +118,10 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
             dataset,
             config,
             ids: ChunkIdGenerator::new(),
-            builder: Mutex::new(builder),
-            meta: RwLock::new(None),
-            cache: RwLock::new(None),
-            shuffle: RwLock::new(None),
+            builder: Mutex::named("core.client_builder", builder),
+            meta: RwLock::named("core.client_meta", None),
+            cache: RwLock::named("core.client_cache", None),
+            shuffle: RwLock::named("core.client_shuffle", None),
             clock_ms: {
                 let clock = diesel_util::SystemClock::new();
                 Box::new(move || clock.epoch_ms())
@@ -362,6 +362,7 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
         let merged = self
             .call(ServerRequest::ReadFilesMerged {
                 dataset: self.dataset.clone(),
+                // diesel-lint: allow(R6) request path list, not payload bytes
                 paths: paths.to_vec(),
             })
             .and_then(ServerResponse::into_bytes_vec);

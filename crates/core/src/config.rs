@@ -53,7 +53,11 @@ impl ConfigService {
 
     /// An empty service measuring watch deadlines on `clock`.
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
-        ConfigService { state: Mutex::new(State::default()), changed: Condvar::new(), clock }
+        ConfigService {
+            state: Mutex::named("core.config", State::default()),
+            changed: Condvar::new(),
+            clock,
+        }
     }
 
     /// Current global revision.

@@ -79,7 +79,7 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> FuseMount<K, S> {
             client,
             config,
             next_fd: AtomicU64::new(3),
-            open_files: Mutex::new(HashMap::new()),
+            open_files: Mutex::named("core.fuse_open", HashMap::new()),
             read_requests: AtomicU64::new(0),
             meta_requests: AtomicU64::new(0),
             opens: AtomicU64::new(0),

@@ -99,7 +99,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             meta: MetaService::new(kv),
             store,
             ids: ChunkIdGenerator::new(),
-            header_lens: Mutex::new(HashMap::new()),
+            header_lens: Mutex::named("core.server_headers", HashMap::new()),
             registry,
             metrics,
             pool: diesel_exec::global().clone(),

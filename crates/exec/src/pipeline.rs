@@ -204,8 +204,10 @@ impl WorkPool {
 
         let workers = self.workers();
         let out: Arc<Bounded<(u64, StageResult<T>)>> = Arc::new(Bounded::new(depth.max(1)));
-        let source: Arc<Mutex<SourceState<I>>> =
-            Arc::new(Mutex::new(SourceState { iter: Box::new(source), seq: 0 }));
+        let source: Arc<Mutex<SourceState<I>>> = Arc::new(Mutex::named(
+            "exec.pipeline_source",
+            SourceState { iter: Box::new(source), seq: 0 },
+        ));
         let cancel = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(workers));
         let f: Arc<dyn Fn(I) -> T + Send + Sync> = Arc::new(f);

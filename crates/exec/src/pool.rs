@@ -217,8 +217,8 @@ impl WorkPool {
                 queue: Arc::new(Bounded::new(config.capacity())),
                 started: AtomicBool::new(false),
                 spawned: AtomicUsize::new(0),
-                start_lock: Mutex::new(()),
-                handles: Mutex::new(Vec::new()),
+                start_lock: Mutex::named("exec.pool_start", ()),
+                handles: Mutex::named("exec.pool_handles", Vec::new()),
                 registry,
                 clock,
                 metrics,
@@ -279,7 +279,10 @@ impl WorkPool {
         F: FnOnce(&CancelToken) -> T + Send + 'static,
     {
         let token = CancelToken::default();
-        let shared = Arc::new(TaskShared { slot: Mutex::new(None), done: Condvar::new() });
+        let shared = Arc::new(TaskShared {
+            slot: Mutex::named("exec.task_slot", None),
+            done: Condvar::new(),
+        });
         let (token2, shared2) = (token.clone(), Arc::clone(&shared));
         let panicked = self.inner.metrics.panicked.clone();
         // Carry the submitter's ambient trace into the worker, so spans
@@ -315,7 +318,7 @@ impl WorkPool {
         F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
     {
         let state = Arc::new(ScopeState {
-            core: Mutex::new(ScopeCore { pending: 0, panic: None }),
+            core: Mutex::named("exec.scope", ScopeCore { pending: 0, panic: None }),
             done: Condvar::new(),
         });
         let scope = Scope { pool: self, state: Arc::clone(&state), _env: PhantomData };

@@ -31,7 +31,10 @@ impl<T> Bounded<T> {
         let capacity = capacity.max(1);
         Bounded {
             capacity,
-            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            state: Mutex::named(
+                "exec.queue",
+                State { items: VecDeque::with_capacity(capacity), closed: false },
+            ),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         }

@@ -47,7 +47,7 @@ impl ShardedKv {
         assert!(shards >= 1, "need at least one shard");
         let metrics = KvMetrics::new(&registry, labels);
         ShardedKv {
-            shards: (0..shards).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            shards: (0..shards).map(|_| RwLock::named("kv.shard", BTreeMap::new())).collect(),
             registry,
             metrics,
         }

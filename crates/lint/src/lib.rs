@@ -1,6 +1,6 @@
 //! # diesel-lint — workspace invariant checker
 //!
-//! Enforces four repo-specific rules the compiler cannot see:
+//! Enforces six repo-specific rules the compiler cannot see:
 //!
 //! * **R1 panic-freedom** — no `unwrap`/`expect`/panicking macros/slice
 //!   indexing in the library code of the serving crates (`core`,
@@ -17,6 +17,15 @@
 //! * **R4 format hygiene** — the chunk on-disk constants (`CHUNK_MAGIC`,
 //!   `FORMAT_VERSION`, `FIXED_HEADER_LEN`) are referenced only from
 //!   `chunk::format`.
+//! * **R5 lock order** — a nested `.lock()`/`.read()`/`.write()` under a
+//!   live guard must follow the declared rank manifest
+//!   (`rules::LOCK_RANKS`): strictly rank-upward, no unranked nesting.
+//!   The static half of the deadlock-freedom invariant; the runtime half
+//!   is `diesel_util::lockdep` (DESIGN.md §12).
+//! * **R6 copy hygiene** — payload byte copies (`.to_vec()`,
+//!   `.into_vec()`, `Vec::from`) outside `util::bytes` must sit beside a
+//!   `record_copy(…)` ledger call, keeping the zero-copy read path
+//!   (DESIGN.md §11) shrink-only.
 //!
 //! Findings can be suppressed in place with
 //! `// diesel-lint: allow(R1) <reason>` (the reason is mandatory), or
@@ -47,11 +56,15 @@ pub enum Rule {
     R3,
     /// Format hygiene: on-disk constants stay in `chunk::format`.
     R4,
+    /// Lock order: nested acquisition follows the rank manifest.
+    R5,
+    /// Copy hygiene: payload byte copies are ledgered.
+    R6,
 }
 
 impl Rule {
     /// All rules, in order.
-    pub const ALL: [Rule; 4] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+    pub const ALL: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
 
     /// Short code, e.g. `"R1"`.
     pub fn code(self) -> &'static str {
@@ -60,6 +73,8 @@ impl Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
+            Rule::R6 => "R6",
         }
     }
 
@@ -70,7 +85,58 @@ impl Rule {
             "R2" => Some(Rule::R2),
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
             _ => None,
+        }
+    }
+}
+
+impl Rule {
+    /// A paragraph of context for `--explain`: what the rule protects,
+    /// why it exists, and how to satisfy it.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::R1 => {
+                "R1 panic-freedom: serving-crate library code must not unwrap/expect/panic \
+                 or slice-index. A panic under load poisons locks and takes the whole \
+                 multi-tenant process down; return a typed error instead. Poisoned-lock \
+                 recovery already exists (diesel_util::lock_or_recover), so no lock-unwrap \
+                 pattern is ever needed."
+            }
+            Rule::R2 => {
+                "R2 determinism: no Instant::now/SystemTime::now/thread_rng/from_entropy \
+                 outside the clock module. All time flows through the injectable Clock and \
+                 all randomness through seeded RNGs, so simulations and tests replay \
+                 bit-identically."
+            }
+            Rule::R3 => {
+                "R3 lock discipline: no blocking .call(…) RPC or simulated sleep_ns(…) \
+                 while a lock guard is live in the scope. Blocking under a lock turns one \
+                 slow peer into a wedged shard; drop or scope the guard first."
+            }
+            Rule::R4 => {
+                "R4 format hygiene: the chunk on-disk constants (CHUNK_MAGIC, \
+                 FORMAT_VERSION, FIXED_HEADER_LEN) are referenced only from chunk::format. \
+                 Every other reader goes through the parsed header, so the format can \
+                 evolve in one place."
+            }
+            Rule::R5 => {
+                "R5 lock order: acquiring a second lock while holding one is allowed only \
+                 when both receivers appear in the LOCK_RANKS manifest \
+                 (crates/lint/src/rules.rs) and rank strictly increases inward. This is \
+                 the static half of deadlock-freedom; the runtime half is the \
+                 diesel_util::lockdep witness (DIESEL_LOCKDEP=off|warn|fail). To bless a \
+                 new nesting, add both receivers to the manifest with ranks matching the \
+                 global order — never invert an existing pair."
+            }
+            Rule::R6 => {
+                "R6 copy hygiene: .to_vec()/.into_vec()/Vec::from on bytes outside \
+                 util::bytes must sit within 3 lines of a record_copy(…) call, so every \
+                 payload copy lands in the bytes.copied{site=…} ledger and the zero-copy \
+                 read path stays shrink-only. Non-payload copies (paths, ids, test \
+                 fixtures) are suppressed in place with a reason."
+            }
         }
     }
 }
@@ -119,6 +185,10 @@ pub struct Targets {
     pub r3: bool,
     /// R4 applies (everything except `chunk::format`).
     pub r4: bool,
+    /// R5 applies (library code).
+    pub r5: bool,
+    /// R6 applies (serving-crate library code outside `util::bytes`).
+    pub r6: bool,
 }
 
 /// Classify a workspace-relative path (`crates/net/src/rpc.rs`).
@@ -146,6 +216,8 @@ pub fn classify(rel: &str) -> Targets {
         r2: lib_code && !rules::R2_EXEMPT.contains(&rel.as_str()),
         r3: lib_code,
         r4: rel != rules::R4_HOME && !test_target,
+        r5: lib_code,
+        r6: lib_code && r1_crate && rel != rules::R6_HOME,
     }
 }
 
@@ -169,6 +241,12 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
     }
     if targets.r4 {
         rules::r4_format_hygiene(&scrubbed.code, &mut raw);
+    }
+    if targets.r5 {
+        rules::r5_lock_order(&scrubbed.code, &mut raw);
+    }
+    if targets.r6 {
+        rules::r6_copy_hygiene(&scrubbed.code, &mut raw);
     }
 
     let mut out = Vec::new();
@@ -218,6 +296,7 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
             !s.starts_with(".devstubs/")
                 && !s.contains("/target/")
                 && !s.starts_with("crates/lint/tests/fixtures/")
+                && !s.starts_with("crates/lint/tests/corpus/")
         })
         .collect();
     rel.sort();
@@ -293,7 +372,10 @@ mod tests {
 
     #[test]
     fn classify_exemptions() {
-        assert!(!classify("crates/train/src/tensor.rs").r1, "train is not a serving crate");
+        assert!(classify("crates/train/src/tensor.rs").r1, "train joined R1 in PR 7");
+        assert!(!classify("crates/bench/src/report.rs").r1, "bench tooling may unwrap");
+        assert!(!classify("crates/util/src/bytes.rs").r6, "Bytes owns its copies");
+        assert!(classify("crates/util/src/sync.rs").r6);
         assert!(!classify("crates/util/src/clock.rs").r2, "clock module reads real time");
         assert!(!classify("crates/net/src/clock.rs").r2, "re-export shim keeps old paths");
         let t = classify("crates/net/tests/integration.rs");

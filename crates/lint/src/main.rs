@@ -4,6 +4,7 @@
 //! diesel-lint --workspace [--root DIR] [--json] \
 //!             [--baseline FILE] [--baseline-check] [--write-baseline FILE]
 //! diesel-lint FILE…
+//! diesel-lint --explain RULE
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings (or stale baseline under
@@ -13,9 +14,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use diesel_lint::baseline::Baseline;
-use diesel_lint::{scan_source, to_json, workspace_files, Finding};
+use diesel_lint::{scan_source, to_json, workspace_files, Finding, Rule};
 
 struct Options {
+    explain: Option<Rule>,
     workspace: bool,
     root: PathBuf,
     json: bool,
@@ -26,12 +28,13 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: diesel-lint (--workspace [--root DIR] | FILE...) \
+    "usage: diesel-lint (--workspace [--root DIR] | FILE... | --explain RULE) \
      [--json] [--baseline FILE] [--baseline-check] [--write-baseline FILE]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
+        explain: None,
         workspace: false,
         root: PathBuf::from("."),
         json: false,
@@ -47,6 +50,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--workspace" => opts.workspace = true,
+            "--explain" => {
+                let code = it.next().ok_or("--explain needs a rule code (R1..R6)")?;
+                opts.explain = Some(
+                    Rule::parse(code).ok_or_else(|| format!("unknown rule {code:?} (R1..R6)"))?,
+                );
+            }
             "--json" => opts.json = true,
             "--baseline-check" => opts.baseline_check = true,
             "--root" => opts.root = path_value("--root")?,
@@ -57,7 +66,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    if opts.workspace != opts.files.is_empty() {
+    if opts.explain.is_none() && opts.workspace != opts.files.is_empty() {
         return Err(format!("pass exactly one of --workspace or file paths\n{}", usage()));
     }
     if opts.baseline_check && opts.baseline.is_none() {
@@ -82,6 +91,11 @@ fn scan(opts: &Options) -> std::io::Result<Vec<Finding>> {
 fn run() -> Result<bool, (String, u8)> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args).map_err(|e| (e, 2))?;
+
+    if let Some(rule) = opts.explain {
+        println!("{rule}: {}", rule.explain());
+        return Ok(true);
+    }
 
     let findings = scan(&opts).map_err(|e| (format!("scan failed: {e}"), 2))?;
 

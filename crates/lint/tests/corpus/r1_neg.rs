@@ -1,0 +1,7 @@
+#[derive(Debug)]
+pub struct S;
+pub fn f(pair: (u8, u8)) -> u8 {
+    let [a, b] = [pair.0, pair.1];
+    let v = vec![a, b];
+    v.first().copied().unwrap_or(0)
+}

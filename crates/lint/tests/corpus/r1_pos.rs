@@ -1,0 +1,7 @@
+pub fn f(x: Option<u8>, v: &[u8]) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("must be set");
+    let c = v[0];
+    if a > b { panic!("boom"); }
+    todo!()
+}

@@ -1,0 +1,7 @@
+pub fn lookalikes() {
+    let a = my_thread_rng();
+    let b = thread_rng_2();
+    let c = not_from_entropy();
+    let d = "Instant::now inside a string literal";
+    // Instant::now inside a comment.
+}

@@ -1,0 +1,7 @@
+pub fn now_and_entropy(rng: R) -> u64 {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let r = rng.from_entropy();
+    let g = thread_rng();
+    0
+}

@@ -1,0 +1,11 @@
+pub fn f(&self) {
+    let g = self.m.lock();
+    drop(g);
+    self.chan.call(req);
+    { let h = self.m.lock(); }
+    sleep_ns(5);
+    let n = self.m.lock().len();
+    self.chan.call(req);
+    let v = *self.m.lock();
+    sleep_ns(7);
+}

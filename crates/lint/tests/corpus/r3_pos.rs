@@ -1,0 +1,5 @@
+pub fn f(&self) {
+    let g = self.m.lock();
+    self.chan.call(req);
+    sleep_ns(10);
+}

@@ -1,0 +1,5 @@
+// CHUNK_MAGIC belongs to chunk::format alone; this mention is a comment.
+pub fn f() -> &'static str {
+    let shadow = MY_CHUNK_MAGIC;
+    "CHUNK_MAGIC hides in a string"
+}

@@ -1,0 +1,6 @@
+pub fn f(magic: &[u8]) -> bool {
+    let ok = magic == CHUNK_MAGIC;
+    let v = FORMAT_VERSION;
+    let l = FIXED_HEADER_LEN;
+    ok && v > 0 && l > 0
+}

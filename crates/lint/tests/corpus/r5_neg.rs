@@ -1,0 +1,14 @@
+pub fn f(&self) {
+    let g = self.gate.write();
+    let i = self.inner.lock();
+    let e = self.events.lock();
+    drop(e);
+    drop(i);
+    drop(g);
+    let a = self.start_lock.lock();
+    let h = self.handles.lock();
+    drop(h);
+    drop(a);
+    self.m.lock().push(1);
+    self.n.lock().push(2);
+}

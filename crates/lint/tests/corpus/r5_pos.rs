@@ -1,0 +1,5 @@
+pub fn f(&self) {
+    let e = self.events.lock();
+    let g = self.gate.write();
+    let x = self.other.lock();
+}

@@ -1,0 +1,6 @@
+pub fn f(data: &[u8], b: Bytes) -> Vec<u8> {
+    let v = data.to_vec();
+    record_copy("corpus.decode", v.len() as u64);
+    let cheap = b.clone();
+    v
+}

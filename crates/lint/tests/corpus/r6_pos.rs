@@ -1,0 +1,6 @@
+pub fn f(data: &[u8], b: Bytes) -> Vec<u8> {
+    let v = data.to_vec();
+    let w = Vec::from(data);
+    let u = b.into_vec();
+    v
+}

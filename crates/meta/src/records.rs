@@ -43,6 +43,7 @@ impl<'a> Cursor<'a> {
     pub(crate) fn string(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
+        // diesel-lint: allow(R6) tiny metadata string, not chunk payload
         String::from_utf8(bytes.to_vec()).ok()
     }
     pub(crate) fn chunk_id(&mut self) -> Option<ChunkId> {

@@ -94,7 +94,7 @@ pub struct FaultChannel<S> {
 impl<S> FaultChannel<S> {
     /// Wrap `inner`; injected waits (drops, delays) use `clock`.
     pub fn new(inner: S, policy: FaultPolicy, clock: Arc<dyn Clock>) -> Self {
-        let rng = Mutex::new(SplitMix64(policy.seed));
+        let rng = Mutex::named("net.fault_rng", SplitMix64(policy.seed));
         FaultChannel { inner, policy, rng, calls: AtomicU64::new(0), clock }
     }
 

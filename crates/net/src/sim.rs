@@ -30,8 +30,8 @@ impl<S, C> SimCostChannel<S, C> {
             inner,
             resource,
             cost,
-            now: Mutex::new(SimTime::ZERO),
-            latency: Mutex::new(Histogram::new()),
+            now: Mutex::named("net.sim_now", SimTime::ZERO),
+            latency: Mutex::named("net.sim_latency", Histogram::new()),
         }
     }
 

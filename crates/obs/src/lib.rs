@@ -19,6 +19,9 @@
 //! * [`copies`] — the process-global `bytes.copied{site=…}` ledger
 //!   every deliberate payload copy reports to, making the zero-copy
 //!   read path an asserted invariant (DESIGN.md §11).
+//! * [`lockdep`] — the `lockdep.cycle{a=…,b=…}` bridge: every
+//!   lock-order cycle detected by `diesel_util::lockdep` lands in a
+//!   process-global ledger registry (DESIGN.md §12).
 //!
 //! # Metric naming
 //!
@@ -40,12 +43,14 @@
 pub mod copies;
 pub mod export;
 pub mod histogram;
+pub mod lockdep;
 pub mod registry;
 pub mod trace;
 
 pub use copies::{copied_at, copied_total, copies_snapshot, record_copy, BYTES_COPIED};
 pub use export::{chrome_trace_json, critical_path, parse_chrome_trace, ExportedSpan};
 pub use histogram::{fmt_ns, Histogram, Summary};
+pub use lockdep::{cycles_reported, lockdep_snapshot, LOCKDEP_CYCLES, LOCKDEP_EVENT};
 pub use registry::{
     Counter, Event, Gauge, HistogramHandle, Registry, RegistrySnapshot, DEFAULT_EVENT_CAPACITY,
 };

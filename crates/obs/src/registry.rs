@@ -177,15 +177,26 @@ impl Registry {
 
     /// A registry keeping at most `capacity` events (oldest dropped).
     pub fn with_event_capacity(clock: Arc<dyn Clock>, capacity: usize) -> Self {
+        // Every serving component builds a registry, so this is the
+        // natural choke point to wire the lockdep→obs bridge.
+        crate::lockdep::install();
         Registry {
             clock,
-            gate: RwLock::new(()),
-            inner: Mutex::new(Inner {
-                counters: BTreeMap::new(),
-                gauges: BTreeMap::new(),
-                histograms: BTreeMap::new(),
-            }),
-            events: Mutex::new(EventRing { ring: VecDeque::new(), capacity, dropped: 0 }),
+            // snapshot() nests gate → inner → events; the class ranks
+            // in crates/lint/src/rules.rs encode the same order.
+            gate: RwLock::named("obs.gate", ()),
+            inner: Mutex::named(
+                "obs.metrics",
+                Inner {
+                    counters: BTreeMap::new(),
+                    gauges: BTreeMap::new(),
+                    histograms: BTreeMap::new(),
+                },
+            ),
+            events: Mutex::named(
+                "obs.events",
+                EventRing { ring: VecDeque::new(), capacity, dropped: 0 },
+            ),
         }
     }
 
@@ -261,8 +272,12 @@ impl Registry {
             inner.counters.iter().map(|(k, c)| (k.clone(), c.load(Ordering::Acquire))).collect();
         let gauges =
             inner.gauges.iter().map(|(k, g)| (k.clone(), g.load(Ordering::Acquire))).collect();
-        let histograms =
-            inner.histograms.iter().map(|(k, h)| (k.clone(), h.lock().clone())).collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            // diesel-lint: allow(R5) histogram cells are leaf locks taken only under obs.metrics
+            .map(|(k, h)| (k.clone(), h.lock().clone()))
+            .collect();
         drop(inner);
         let ring = self.events.lock();
         RegistrySnapshot {

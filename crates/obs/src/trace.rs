@@ -204,12 +204,14 @@ impl Tracer {
                 next_trace: AtomicU64::new(1),
                 next_span: AtomicU64::new(1),
                 root_seq: AtomicU64::new(0),
-                shards: (0..SPAN_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+                shards: (0..SPAN_SHARDS)
+                    .map(|_| Mutex::named("obs.trace_shard", Vec::new()))
+                    .collect(),
                 shard_capacity: DEFAULT_SPAN_CAPACITY / SPAN_SHARDS,
                 recorded,
                 dropped,
                 slow_default_ns,
-                slow_overrides: Mutex::new(BTreeMap::new()),
+                slow_overrides: Mutex::named("obs.trace_slow", BTreeMap::new()),
             }),
         }
     }

@@ -66,7 +66,7 @@ impl Resource {
         }
         Resource {
             name,
-            free_at: Mutex::new(heap),
+            free_at: Mutex::named("simnet.resource_free", heap),
             served: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
         }

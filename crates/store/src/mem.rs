@@ -9,15 +9,21 @@ use crate::{Bytes, ObjectStore, Result, StoreError};
 ///
 /// Values are [`Bytes`], so `get` is a refcount bump, not a copy — large
 /// chunks flow through the caching layers without duplication.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemObjectStore {
     objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl Default for MemObjectStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemObjectStore {
     /// An empty store.
     pub fn new() -> Self {
-        Self::default()
+        MemObjectStore { objects: RwLock::named("store.mem_objects", BTreeMap::new()) }
     }
 
     /// Remove every object (test/diagnostic helper).

@@ -102,7 +102,7 @@ impl<F: ObjectStore, S: ObjectStore> TieredStore<F, S> {
             fast,
             slow,
             fast_capacity_bytes,
-            state: Mutex::new(LruState::default()),
+            state: Mutex::named("store.tiered_lru", LruState::default()),
             registry,
             metrics,
         }

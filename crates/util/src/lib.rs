@@ -13,12 +13,18 @@
 //!   everything else takes an `Arc<dyn Clock>`.
 //! - [`bytes`] — [`Bytes`], a cheaply-cloneable, sliceable, immutable
 //!   byte buffer (stand-in for the `bytes` crate).
+//! - [`lockdep`] — the lock-order witness behind `Mutex::named` /
+//!   `RwLock::named`: a process-global lock-order graph with cycle
+//!   detection at edge-insert time, so a potential ABBA deadlock is
+//!   reported (or, under `DIESEL_LOCKDEP=fail`, panics) the first time
+//!   the inverted *order* occurs — no deadlock needs to fire.
 //!
 //! Data parallelism lives one layer up in `diesel-exec`
 //! (`WorkPool::for_each_chunk_mut` replaces the old `par_chunks_mut`).
 
 pub mod bytes;
 pub mod clock;
+pub mod lockdep;
 pub mod sync;
 
 pub use bytes::Bytes;

@@ -9,6 +9,13 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== lockdep: full suite under DIESEL_LOCKDEP=fail =="
+# The lock-order witness (DESIGN.md §12) panics on the first acquisition
+# that closes a cycle in the lock-order graph, so any ABBA inversion
+# introduced anywhere in the tree is a deterministic red build here —
+# not a flaky timeout in production.
+DIESEL_LOCKDEP=fail cargo test -q --workspace
+
 echo "== determinism: inline executor (DIESEL_EXEC_WORKERS=1) =="
 # The concurrency contract (DESIGN.md §9): worker count is a performance
 # knob, never a behaviour knob. Run the suite fully inline…
@@ -51,8 +58,11 @@ echo "== rustdoc =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
 
 echo "== diesel-lint =="
-# Fails on any non-baselined R1–R4 finding; --baseline-check enforces the
-# ratchet (lint-baseline.txt may only ever shrink).
+# Fails on any non-baselined R1–R6 finding; --baseline-check enforces the
+# ratchet (lint-baseline.txt may only ever shrink). The full unfiltered
+# report is kept as a build artifact for dashboards and archaeology.
+mkdir -p results
+cargo run -q -p diesel-lint --offline -- --workspace --json > results/lint-report.json
 cargo run -q -p diesel-lint --offline -- --workspace --baseline lint-baseline.txt --baseline-check
 
 echo "CI gate passed."
