@@ -161,12 +161,13 @@ fn bench_cache_hit(c: &mut Criterion) {
     }
     let snap = svc.build_snapshot("ds").unwrap();
     let cache = TaskCache::new(
-        Topology::uniform(4, 4),
+        Topology::uniform(4, 4).unwrap(),
         store,
         "ds",
         snap.chunks.clone(),
         CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    );
+    )
+    .unwrap();
     cache.prefetch_all().unwrap();
     let metas: Vec<diesel_meta::FileMeta> = snap.files.iter().map(|f| f.meta).collect();
     let mut g = c.benchmark_group("task_cache");

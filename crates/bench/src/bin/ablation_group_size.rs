@@ -101,16 +101,19 @@ fn main() {
 
         // Real read-amplification run: fresh cache at 15% of the dataset.
         client.enable_shuffle(kind);
-        let cache = Arc::new(TaskCache::new(
-            Topology::uniform(2, 2),
-            server.store().clone(),
-            "ds",
-            chunks.clone(),
-            CacheConfig {
-                capacity_bytes_per_node: (FILES * FILE_SIZE) as u64 / 13,
-                policy: CachePolicy::OnDemand,
-            },
-        ));
+        let cache = Arc::new(
+            TaskCache::new(
+                Topology::uniform(2, 2).unwrap(),
+                server.store().clone(),
+                "ds",
+                chunks.clone(),
+                CacheConfig {
+                    capacity_bytes_per_node: (FILES * FILE_SIZE) as u64 / 13,
+                    policy: CachePolicy::OnDemand,
+                },
+            )
+            .unwrap(),
+        );
         client.attach_cache(cache.clone());
         let order = client.epoch_file_list(7, 1).unwrap();
         for path in &order {

@@ -32,7 +32,7 @@ fn main() {
         ],
     );
     for &(p, w) in &[(4usize, 4usize), (4, 8), (10, 16), (32, 8), (64, 16)] {
-        let t = Topology::uniform(p, w);
+        let t = Topology::uniform(p, w).unwrap();
         let d = t.diesel_connection_count();
         let m = t.full_mesh_connection_count();
         table.row(&[
@@ -50,7 +50,7 @@ fn main() {
 
     // One-hop property holds in every configuration.
     for &(p, w) in &[(4usize, 4usize), (10, 16), (64, 16)] {
-        let t = Topology::uniform(p, w);
+        let t = Topology::uniform(p, w).unwrap();
         let conns = t.diesel_connections();
         for &c in t.clients() {
             for node in 0..t.node_count() {

@@ -1,0 +1,215 @@
+//! Elastic-membership benchmark gate: the fixed suite behind
+//! `BENCH_8.json`.
+//!
+//! The elastic cache plane (DESIGN.md §13) earns its keep on three
+//! numbers, pinned here:
+//!
+//! * `ring_lookup_ns` — [`HashRing::owner_of`], the per-read placement
+//!   cost every `get_file` now pays instead of a `HashMap` probe
+//! * `rebalance_4_to_8_ms` — wall time for a warm 4-node cache to grow
+//!   to 8 (peer warm handoff for every moved chunk)
+//! * `rebalance_8_to_4_ms` — the matching shrink: leavers drain into
+//!   survivors
+//! * `store_read_amplification` — backing-store chunk reads for
+//!   warmup + grow + shrink, divided by the dataset's chunk count.
+//!   The peer-to-peer handoff keeps this at 1.0 (each chunk read once,
+//!   ever); the `naive_rewarm_amplification` key records what
+//!   re-warming moved chunks from the store would have cost instead.
+//!
+//! Results land in the same two-section JSON format as
+//! `payload_bench` (`baseline` seeded on first run and kept verbatim,
+//! `current` rewritten every run; `--check` enforces
+//! `current <= baseline * tolerance` per key).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use diesel_cache::{CacheConfig, CachePolicy, HashRing, TaskCache, Topology};
+use diesel_chunk::{ChunkBuilderConfig, ChunkId, ChunkIdGenerator, ChunkWriter};
+use diesel_kv::ShardedKv;
+use diesel_meta::recovery::chunk_object_key;
+use diesel_meta::MetaService;
+use diesel_store::{MemObjectStore, ObjectStore};
+
+/// Best-of-`reps` wall time for `iters` runs of `f`, in ns per iter.
+fn best_ns_per_iter(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn ring_lookup_ns() -> f64 {
+    let ring = HashRing::contiguous(8).unwrap();
+    let gen = ChunkIdGenerator::deterministic(3, 3, 33);
+    let chunks: Vec<ChunkId> = (0..4096).map(|_| gen.next_id()).collect();
+    best_ns_per_iter(5, 50, || {
+        let mut acc = 0usize;
+        for &c in &chunks {
+            acc = acc.wrapping_add(ring.owner_of(c));
+        }
+        assert!(acc < usize::MAX);
+    }) / 4096.0
+}
+
+/// A packed synthetic dataset: store + its chunk ids.
+fn packed_dataset(files: usize) -> (Arc<MemObjectStore>, Vec<ChunkId>) {
+    let store = Arc::new(MemObjectStore::new());
+    let svc = MetaService::new(Arc::new(ShardedKv::new()));
+    let ids = ChunkIdGenerator::deterministic(8, 8, 88);
+    let cfg = ChunkBuilderConfig { target_chunk_size: 64 << 10, ..Default::default() };
+    let mut w = ChunkWriter::new(cfg, &ids).with_clock(|| 1);
+    for i in 0..files {
+        w.add_file(&format!("f{i:05}"), &[(i % 251) as u8; 4096]).unwrap();
+    }
+    for sealed in w.finish() {
+        store.put(&chunk_object_key("ds", sealed.header.id), sealed.bytes.clone()).unwrap();
+        svc.ingest_chunk("ds", &sealed.header, sealed.bytes.len() as u64).unwrap();
+    }
+    let snap = svc.build_snapshot("ds").unwrap();
+    (store, snap.chunks)
+}
+
+fn warm_cache(
+    store: &Arc<MemObjectStore>,
+    chunks: &[ChunkId],
+    nodes: usize,
+) -> TaskCache<MemObjectStore> {
+    let cache = TaskCache::new(
+        Topology::uniform(nodes, 1).unwrap(),
+        store.clone(),
+        "ds",
+        chunks.to_vec(),
+        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+    )
+    .unwrap();
+    cache.prefetch_all().unwrap();
+    cache
+}
+
+/// `(grow_ms, shrink_ms, amplification, naive_amplification)` for the
+/// 4→8→4 membership dance over a warm cache.
+fn rebalance_suite() -> (f64, f64, f64, f64) {
+    let (store, chunks) = packed_dataset(2048);
+    let mut grow_ms = f64::INFINITY;
+    let mut shrink_ms = f64::INFINITY;
+    let mut amp = 0.0;
+    let mut naive_amp = 0.0;
+    for _ in 0..3 {
+        let cache = warm_cache(&store, &chunks, 4);
+        let warm_loads = cache.metrics().chunk_loads();
+        assert_eq!(warm_loads, chunks.len() as u64);
+
+        let t0 = Instant::now();
+        let up = cache.resize(8).unwrap();
+        grow_ms = grow_ms.min(t0.elapsed().as_nanos() as f64 / 1e6);
+        assert_eq!(up.store_fallbacks, 0, "warm grow must be all peer handoffs");
+
+        let t0 = Instant::now();
+        let down = cache.resize(4).unwrap();
+        shrink_ms = shrink_ms.min(t0.elapsed().as_nanos() as f64 / 1e6);
+        assert_eq!(down.store_fallbacks, 0);
+
+        // Store reads over warmup + both rebalances, per unique chunk.
+        amp = cache.metrics().chunk_loads() as f64 / chunks.len() as f64;
+        // A naive rebalance re-warms every moved chunk from the store.
+        naive_amp = (warm_loads + up.chunks_moved + down.chunks_moved) as f64 / chunks.len() as f64;
+    }
+    (grow_ms, shrink_ms, amp, naive_amp)
+}
+
+/// Flat `"key": number` pairs of one named JSON section.
+fn parse_section(text: &str, name: &str) -> Option<Vec<(String, f64)>> {
+    let start = text.find(&format!("\"{name}\""))?;
+    let open = start + text[start..].find('{')?;
+    let close = open + text[open..].find('}')?;
+    let mut out = Vec::new();
+    for part in text[open + 1..close].split(',') {
+        let (k, v) = part.split_once(':')?;
+        out.push((k.trim().trim_matches('"').to_string(), v.trim().parse().ok()?));
+    }
+    Some(out)
+}
+
+fn render_section(pairs: &[(String, f64)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")).collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+fn render(baseline: &[(String, f64)], current: &[(String, f64)]) -> String {
+    format!(
+        "{{\n  \"schema\": 1,\n  \"suite\": \"elastic_bench\",\n  \"baseline\": {},\n  \"current\": {}\n}}\n",
+        render_section(baseline),
+        render_section(current)
+    )
+}
+
+fn main() {
+    let mut json_path = "BENCH_8.json".to_string();
+    let mut check = false;
+    let mut tolerance = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--check" => check = true,
+            "--tolerance" => {
+                tolerance =
+                    args.next().and_then(|s| s.parse().ok()).expect("--tolerance needs a number")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let lookup = ring_lookup_ns();
+    let (grow, shrink, amp, naive_amp) = rebalance_suite();
+
+    let current: Vec<(String, f64)> = vec![
+        ("ring_lookup_ns".into(), lookup),
+        ("rebalance_4_to_8_ms".into(), grow),
+        ("rebalance_8_to_4_ms".into(), shrink),
+        ("store_read_amplification".into(), amp),
+        ("naive_rewarm_amplification".into(), naive_amp),
+    ];
+
+    // First run seeds the baseline; later runs keep it verbatim.
+    let baseline = std::fs::read_to_string(&json_path)
+        .ok()
+        .and_then(|t| parse_section(&t, "baseline"))
+        .unwrap_or_else(|| current.clone());
+    std::fs::write(&json_path, render(&baseline, &current)).expect("write json");
+
+    println!("elastic_bench -> {json_path}");
+    for (k, v) in &current {
+        let base = baseline.iter().find(|(bk, _)| bk == k).map(|(_, bv)| *bv);
+        match base {
+            Some(b) if b > 0.0 => {
+                println!("  {k:<28} {v:>12.3}  (baseline {b:.3}, {:+.1}%)", (v / b - 1.0) * 100.0)
+            }
+            _ => println!("  {k:<28} {v:>12.3}"),
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        for (k, v) in &current {
+            if let Some((_, b)) = baseline.iter().find(|(bk, _)| bk == k) {
+                if *b > 0.0 && *v > b * tolerance {
+                    eprintln!(
+                        "REGRESSION: {k} = {v:.3} exceeds baseline {b:.3} x tolerance {tolerance}"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("elastic_bench --check: all keys within {tolerance}x of baseline");
+    }
+}

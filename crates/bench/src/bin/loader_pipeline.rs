@@ -158,13 +158,16 @@ fn run_traced(out: &str) {
     // the cache, miss on the dead node, and fall back through the
     // channel to the server — every read-path shape shows up.
     let chunks = server.meta().chunk_ids("synth").expect("chunks");
-    let cache = Arc::new(TaskCache::new(
-        Topology::uniform(2, 2),
-        server.store().clone(),
-        "synth",
-        chunks,
-        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(2, 2).unwrap(),
+            server.store().clone(),
+            "synth",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .unwrap(),
+    );
     cache.prefetch_all().expect("prefetch");
     cache.kill_node(0);
     client.attach_cache(cache);

@@ -21,19 +21,23 @@
 //! Modules:
 //!
 //! * [`topology`] — ranks, master election, connection counting.
-//! * [`partition`] — chunk → owner-node assignment.
+//! * [`ring`] — the consistent-hash placement circle (virtual nodes).
+//! * [`partition`] — chunk → owner-node assignment over a ring
+//!   membership, plus moved-chunk deltas between memberships.
 //! * [`task_cache`] — [`TaskCache`]: the cache itself, with
 //!   [`CachePolicy::Oneshot`] prefetch and [`CachePolicy::OnDemand`]
 //!   fill, LRU eviction, node-failure injection and chunk-wise recovery.
 
 pub mod partition;
+pub mod ring;
 pub mod task_cache;
 pub mod topology;
 pub mod transport;
 
-pub use partition::ChunkPartition;
+pub use partition::{ChunkMove, ChunkPartition};
+pub use ring::{HashRing, DEFAULT_VNODES};
 pub use task_cache::{
-    CacheConfig, CacheMetrics, CachePolicy, LoadReport, PrefetchHandle, TaskCache,
+    CacheConfig, CacheMetrics, CachePolicy, LoadReport, PrefetchHandle, RebalanceReport, TaskCache,
 };
 pub use topology::{PeerId, Topology};
 pub use transport::{NetOptions, PeerHandle, PeerRequest, PeerServer, RpcCache};
@@ -55,6 +59,23 @@ pub enum CacheError {
     Backing(String),
     /// The cached chunk bytes could not be parsed.
     Corrupt(String),
+    /// A membership set was structurally invalid (empty ring, duplicate
+    /// join, removing the last node, a node index with no clients, …).
+    InvalidMembership(String),
+    /// The caller routed a request using an owner resolved under an
+    /// older membership epoch; re-resolve against the current ring and
+    /// retry (§13 stale-owner protocol).
+    StaleOwner {
+        /// The epoch the cache is currently at.
+        epoch: u64,
+    },
+    /// A peer was asked for a chunk it does not hold in memory
+    /// (resident-only fetch during warm handoff; the caller falls back
+    /// to the backing store).
+    NotResident {
+        /// The peer that did not hold the chunk.
+        node: usize,
+    },
 }
 
 impl std::fmt::Display for CacheError {
@@ -64,6 +85,13 @@ impl std::fmt::Display for CacheError {
             CacheError::UnknownChunk(id) => write!(f, "chunk not in partition map: {id}"),
             CacheError::Backing(e) => write!(f, "backing store error: {e}"),
             CacheError::Corrupt(e) => write!(f, "corrupt cached chunk: {e}"),
+            CacheError::InvalidMembership(e) => write!(f, "invalid cache membership: {e}"),
+            CacheError::StaleOwner { epoch } => {
+                write!(f, "owner resolved under a stale epoch (cache is at epoch {epoch})")
+            }
+            CacheError::NotResident { node } => {
+                write!(f, "chunk not resident on peer node {node}")
+            }
         }
     }
 }

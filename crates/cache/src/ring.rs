@@ -1,0 +1,310 @@
+//! Consistent-hash placement ring with virtual nodes.
+//!
+//! The placement authority for elastic cache membership (ROADMAP item 2,
+//! DESIGN.md §13). The old `ChunkPartition` dealt chunks round-robin over
+//! a *fixed* node count, so any membership change remapped almost every
+//! chunk and forced a full re-warm from the backing store. A consistent-
+//! hash ring instead hashes every (node, replica) pair onto a 64-bit
+//! circle; a chunk is owned by the first virtual node clockwise of the
+//! chunk's own hash. Adding a node therefore steals only the arc segments
+//! its virtual nodes land on — ≈ 1/n of all chunks — and removing one
+//! returns exactly its own segments to the survivors. The owner of every
+//! *unmoved* chunk is untouched, which is what makes peer-to-peer warm
+//! handoff (fetch the moved chunk from its previous owner, not the
+//! backing store) well-defined.
+//!
+//! Determinism: the ring is a pure function of the *membership set* —
+//! hash functions are fixed (FNV-1a folded through a SplitMix64
+//! finalizer), ties break on node id, and member order does not matter —
+//! so independently built rings on different peers agree on every owner
+//! without a directory service, exactly like the round-robin partition
+//! they replace (§4.2 "no directory, no extra hop").
+
+use diesel_chunk::ChunkId;
+
+use crate::{CacheError, Result};
+
+/// Virtual nodes per physical node. More virtual nodes flatten the load
+/// spread (stddev ≈ 1/√v of the mean share) at the cost of a larger
+/// sorted point array; 128 keeps per-node shares within a few percent
+/// while an 8-node ring still fits in a few cache lines of binary
+/// search.
+pub const DEFAULT_VNODES: usize = 128;
+
+/// SplitMix64 finalizer: a cheap, statistically strong 64-bit mixer.
+/// FNV alone clusters structured input (chunk IDs share their machine
+/// and pid bytes); the finalizer spreads those clusters over the whole
+/// circle.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a 64-bit over raw bytes.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Position of a chunk on the circle.
+fn chunk_point(chunk: ChunkId) -> u64 {
+    mix64(fnv1a(&chunk.0))
+}
+
+/// Position of virtual node `replica` of `node` on the circle.
+fn vnode_point(node: usize, replica: usize) -> u64 {
+    mix64((node as u64).wrapping_shl(32) ^ replica as u64 ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// A consistent-hash ring over a set of cache node ids.
+///
+/// Build one with [`HashRing::new`] (arbitrary member ids) or
+/// [`HashRing::contiguous`] (ids `0..n`, the common task layout), then
+/// derive changed memberships with [`add`](HashRing::add) /
+/// [`remove`](HashRing::remove) — the ring itself is immutable, so a
+/// placement epoch is always a concrete value that can be compared and
+/// handed to peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// (point, node), sorted by point then node (the tie-break keeps
+    /// lookup deterministic even under a hash collision).
+    points: Vec<(u64, usize)>,
+    /// Sorted, deduplicated member node ids.
+    members: Vec<usize>,
+    /// Virtual nodes per member.
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Ring over `members` with [`DEFAULT_VNODES`] virtual nodes each.
+    pub fn new(members: &[usize]) -> Result<Self> {
+        Self::with_vnodes(members, DEFAULT_VNODES)
+    }
+
+    /// Ring over the contiguous membership `0..nodes`.
+    pub fn contiguous(nodes: usize) -> Result<Self> {
+        let members: Vec<usize> = (0..nodes).collect();
+        Self::new(&members)
+    }
+
+    /// Ring with an explicit virtual-node count (tests, ablations).
+    pub fn with_vnodes(members: &[usize], vnodes: usize) -> Result<Self> {
+        // diesel-lint: allow(R6) member id list, not payload bytes
+        let mut sorted: Vec<usize> = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.is_empty() {
+            return Err(CacheError::InvalidMembership("a ring needs at least one node".into()));
+        }
+        if vnodes == 0 {
+            return Err(CacheError::InvalidMembership(
+                "a ring needs at least one virtual node per member".into(),
+            ));
+        }
+        let mut points = Vec::with_capacity(sorted.len() * vnodes);
+        for &node in &sorted {
+            for replica in 0..vnodes {
+                points.push((vnode_point(node, replica), node));
+            }
+        }
+        points.sort_unstable();
+        Ok(HashRing { points, members: sorted, vnodes })
+    }
+
+    /// Sorted member node ids.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of member nodes.
+    pub fn node_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Is `node` a member?
+    pub fn contains(&self, node: usize) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// The member owning `chunk`: the first virtual node clockwise of
+    /// the chunk's point, wrapping at the top of the circle.
+    pub fn owner_of(&self, chunk: ChunkId) -> usize {
+        let p = chunk_point(chunk);
+        let idx = self.points.partition_point(|&(point, _)| point < p);
+        match self.points.get(idx).or_else(|| self.points.first()) {
+            Some(&(_, node)) => node,
+            // Unreachable: construction rejects empty memberships.
+            None => 0,
+        }
+    }
+
+    /// A new ring with `node` joined. Errors if `node` is already a
+    /// member.
+    pub fn add(&self, node: usize) -> Result<Self> {
+        if self.contains(node) {
+            return Err(CacheError::InvalidMembership(format!("node {node} is already a member")));
+        }
+        let mut members = self.members.clone();
+        members.push(node);
+        Self::with_vnodes(&members, self.vnodes)
+    }
+
+    /// A new ring with `node` removed. Errors if `node` is not a member
+    /// or is the last one.
+    pub fn remove(&self, node: usize) -> Result<Self> {
+        if !self.contains(node) {
+            return Err(CacheError::InvalidMembership(format!("node {node} is not a member")));
+        }
+        if self.members.len() == 1 {
+            return Err(CacheError::InvalidMembership(
+                "cannot remove the last member of a ring".into(),
+            ));
+        }
+        let members: Vec<usize> = self.members.iter().copied().filter(|&m| m != node).collect();
+        Self::with_vnodes(&members, self.vnodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diesel_chunk::ChunkIdGenerator;
+    use proptest::prelude::*;
+
+    fn chunks(n: usize) -> Vec<ChunkId> {
+        let g = ChunkIdGenerator::deterministic(1, 1, 10);
+        (0..n).map(|_| g.next_id()).collect()
+    }
+
+    #[test]
+    fn empty_membership_rejected() {
+        assert!(matches!(HashRing::new(&[]), Err(CacheError::InvalidMembership(_))));
+        assert!(matches!(HashRing::contiguous(0), Err(CacheError::InvalidMembership(_))));
+        assert!(matches!(HashRing::with_vnodes(&[0], 0), Err(CacheError::InvalidMembership(_))));
+    }
+
+    #[test]
+    fn owners_are_members() {
+        let ring = HashRing::new(&[3, 7, 11]).unwrap();
+        for c in chunks(500) {
+            assert!(ring.contains(ring.owner_of(c)));
+        }
+    }
+
+    #[test]
+    fn member_order_does_not_matter() {
+        let a = HashRing::new(&[0, 1, 2, 3]).unwrap();
+        let b = HashRing::new(&[3, 1, 0, 2, 2]).unwrap();
+        assert_eq!(a, b);
+        for c in chunks(300) {
+            assert_eq!(a.owner_of(c), b.owner_of(c));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = HashRing::contiguous(4).unwrap();
+        let mut counts = [0usize; 4];
+        for c in chunks(4000) {
+            if let Some(slot) = counts.get_mut(ring.owner_of(c)) {
+                *slot += 1;
+            }
+        }
+        for &count in &counts {
+            // Mean share is 1000; 128 vnodes keep the skew well inside
+            // ±50 % even for structured (sequential-counter) chunk ids.
+            assert!((500..=1500).contains(&count), "skewed ring load: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn add_then_remove_roundtrips() {
+        let ring = HashRing::contiguous(4).unwrap();
+        let grown = ring.add(4).unwrap();
+        assert_eq!(grown.members(), &[0, 1, 2, 3, 4]);
+        let back = grown.remove(4).unwrap();
+        assert_eq!(back, ring, "membership is the sole input to the ring");
+        assert!(ring.add(2).is_err(), "double-join rejected");
+        assert!(ring.remove(9).is_err(), "unknown member rejected");
+        let one = HashRing::contiguous(1).unwrap();
+        assert!(one.remove(0).is_err(), "last member is irremovable");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// A join moves at most 2/n of chunks (expected 1/n), and every
+        /// moved chunk moves *to the joining node*: the owner of an
+        /// unmoved chunk is never changed by someone else's join.
+        #[test]
+        fn join_moves_at_most_two_over_n(nodes in 2usize..9, seed in 0u64..50) {
+            let g = ChunkIdGenerator::deterministic(seed + 1, 1, 10);
+            let cs: Vec<ChunkId> = (0..600).map(|_| g.next_id()).collect();
+            let before = HashRing::contiguous(nodes).unwrap();
+            let after = before.add(nodes).unwrap();
+            let n = after.node_count();
+            let mut moved = 0usize;
+            for &c in &cs {
+                let (old, new) = (before.owner_of(c), after.owner_of(c));
+                if old != new {
+                    moved += 1;
+                    prop_assert_eq!(new, nodes, "a moved chunk must move to the joining node");
+                }
+            }
+            prop_assert!(
+                moved <= 2 * cs.len() / n,
+                "join moved {}/{} chunks at n={} (bound {})",
+                moved, cs.len(), n, 2 * cs.len() / n
+            );
+        }
+
+        /// Cross-peer agreement: two independently built rings over the
+        /// same membership (any insertion order, duplicates included)
+        /// agree on every owner — the `peers must agree` property of the
+        /// old round-robin partition, generalized to the ring.
+        #[test]
+        fn independent_rings_agree_on_every_owner(
+            members in proptest::collection::vec(0usize..32, 1..10),
+            seed in 0u64..50,
+        ) {
+            let g = ChunkIdGenerator::deterministic(seed + 3, 2, 20);
+            let cs: Vec<ChunkId> = (0..200).map(|_| g.next_id()).collect();
+            let a = HashRing::new(&members).unwrap();
+            let mut reversed = members.clone();
+            reversed.reverse();
+            let b = HashRing::new(&reversed).unwrap();
+            for &c in &cs {
+                prop_assert_eq!(a.owner_of(c), b.owner_of(c));
+            }
+        }
+
+        /// A leave hands exactly the leaver's chunks to survivors; no
+        /// chunk between two surviving nodes ever moves.
+        #[test]
+        fn leave_only_moves_the_leavers_chunks(nodes in 2usize..9, seed in 0u64..50) {
+            let g = ChunkIdGenerator::deterministic(seed + 7, 3, 30);
+            let cs: Vec<ChunkId> = (0..400).map(|_| g.next_id()).collect();
+            let before = HashRing::contiguous(nodes).unwrap();
+            let leaver = seed as usize % nodes;
+            let after = before.remove(leaver).unwrap();
+            for &c in &cs {
+                let (old, new) = (before.owner_of(c), after.owner_of(c));
+                if old != leaver {
+                    prop_assert_eq!(old, new, "a surviving node's chunk moved");
+                } else {
+                    prop_assert!(new != leaver);
+                }
+            }
+        }
+    }
+}

@@ -6,14 +6,29 @@
 //! are loaded from the backing object store *whole* — the property that
 //! makes warm-up and recovery fast (Fig. 11b).
 //!
+//! Membership is *elastic* (DESIGN.md §13): the partition rides a
+//! consistent-hash ring, and [`TaskCache::resize`] /
+//! [`TaskCache::add_node`] / [`TaskCache::remove_node`] install a new
+//! membership epoch, then run a rebalance sweep that fills each moved
+//! chunk on its new owner — **from the previous owner's memory when the
+//! chunk is still resident there** (peer warm handoff), falling back to
+//! the backing store only when it is not. Reads that race a rebalance
+//! are protected by the epoch: a request routed with a stale owner gets
+//! [`CacheError::StaleOwner`] and re-resolves.
+//!
+//! Lock order (runtime lockdep classes, see also `LOCK_RANKS` in
+//! diesel-lint): `cache.rebalance` → `cache.membership` → `cache.node`,
+//! and never two `cache.node` guards at once — warm handoff copies out
+//! of the source node's guard before taking the destination's.
+//!
 //! Counters live in a `diesel-obs` registry under `cache.*`; related
 //! updates (a read and its hit, a load and its bytes) go through
 //! [`diesel_obs::Registry::batch`] so a snapshot never shows one without
 //! the other.
 
 use diesel_exec::{CancelToken, TaskHandle, WorkPool};
-use diesel_obs::{trace, Counter, Registry, RegistrySnapshot};
-use diesel_util::Mutex;
+use diesel_obs::{trace, Counter, Gauge, Registry, RegistrySnapshot};
+use diesel_util::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -23,7 +38,8 @@ use diesel_meta::recovery::chunk_object_key;
 use diesel_meta::FileMeta;
 use diesel_store::{Bytes, ObjectStore};
 
-use crate::partition::ChunkPartition;
+use crate::partition::{ChunkMove, ChunkPartition};
+use crate::ring::HashRing;
 use crate::topology::Topology;
 use crate::{CacheError, Result};
 
@@ -63,12 +79,20 @@ pub struct CacheMetrics {
     bytes_loaded: Counter,
     evictions: Counter,
     recoveries: Counter,
+    rebalance_moves: Counter,
+    rebalance_warm_hits: Counter,
+    rebalance_fallbacks: Counter,
+    rebalance_bytes: Counter,
+    stale_owner_retries: Counter,
+    membership_epoch: Gauge,
 }
 
 impl CacheMetrics {
     /// Register the cache counters (`cache.file_reads`,
     /// `cache.chunk_hits`, `cache.chunk_loads`, `cache.bytes_loaded`,
-    /// `cache.evictions`, `cache.recoveries`) in `registry`.
+    /// `cache.evictions`, `cache.recoveries`, the
+    /// `cache.rebalance.*` family, `cache.stale_owner_retries`) and the
+    /// `cache.membership_epoch` gauge in `registry`.
     pub fn new(registry: &Registry) -> Self {
         CacheMetrics {
             file_reads: registry.counter("cache.file_reads", &[]),
@@ -77,6 +101,12 @@ impl CacheMetrics {
             bytes_loaded: registry.counter("cache.bytes_loaded", &[]),
             evictions: registry.counter("cache.evictions", &[]),
             recoveries: registry.counter("cache.recoveries", &[]),
+            rebalance_moves: registry.counter("cache.rebalance.chunks_moved", &[]),
+            rebalance_warm_hits: registry.counter("cache.rebalance.peer_warm_hits", &[]),
+            rebalance_fallbacks: registry.counter("cache.rebalance.store_fallbacks", &[]),
+            rebalance_bytes: registry.counter("cache.rebalance.bytes_moved", &[]),
+            stale_owner_retries: registry.counter("cache.stale_owner_retries", &[]),
+            membership_epoch: registry.gauge("cache.membership_epoch", &[]),
         }
     }
 
@@ -109,6 +139,31 @@ impl CacheMetrics {
     pub fn recoveries(&self) -> u64 {
         self.recoveries.get()
     }
+
+    /// Chunks whose owner changed in a membership transition.
+    pub fn rebalance_moves(&self) -> u64 {
+        self.rebalance_moves.get()
+    }
+
+    /// Moved chunks filled from their previous owner's memory.
+    pub fn rebalance_warm_hits(&self) -> u64 {
+        self.rebalance_warm_hits.get()
+    }
+
+    /// Moved chunks that had to re-read the backing store.
+    pub fn rebalance_fallbacks(&self) -> u64 {
+        self.rebalance_fallbacks.get()
+    }
+
+    /// Bytes relocated across membership transitions (warm + fallback).
+    pub fn rebalance_bytes(&self) -> u64 {
+        self.rebalance_bytes.get()
+    }
+
+    /// Requests rejected with [`CacheError::StaleOwner`].
+    pub fn stale_owner_retries(&self) -> u64 {
+        self.stale_owner_retries.get()
+    }
 }
 
 /// Result of a prefetch/recovery sweep.
@@ -120,6 +175,24 @@ pub struct LoadReport {
     pub bytes_loaded: u64,
 }
 
+/// Result of one membership transition
+/// ([`TaskCache::resize`]/[`add_node`](TaskCache::add_node)/
+/// [`remove_node`](TaskCache::remove_node)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// The epoch installed by this transition.
+    pub epoch: u64,
+    /// Chunks whose owner changed (the ring bounds this at ≈ Δ/n of the
+    /// dataset).
+    pub chunks_moved: u64,
+    /// Moved chunks filled from the previous owner's memory.
+    pub peer_warm_hits: u64,
+    /// Moved chunks re-read from the backing store.
+    pub store_fallbacks: u64,
+    /// Bytes relocated (warm + fallback).
+    pub bytes_moved: u64,
+}
+
 /// A file fetched through the cache, with routing info for accounting.
 #[derive(Debug, Clone)]
 pub struct Fetched {
@@ -127,9 +200,20 @@ pub struct Fetched {
     pub data: Bytes,
     /// Node that served it.
     pub owner_node: usize,
-    /// Whether the chunk was already resident (false ⇒ a backing-store
-    /// chunk load happened on this access).
+    /// Whether the chunk was already resident (false ⇒ a chunk fill
+    /// happened on this access).
     pub chunk_hit: bool,
+}
+
+/// How a chunk became resident on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkFill {
+    /// Already there — someone else filled it first.
+    Resident,
+    /// Copied from the previous owner's memory (no store read).
+    Warm(u64),
+    /// Loaded from the backing store.
+    Store(u64),
 }
 
 /// A resident chunk: an owned [`ChunkView`] over the loaded buffer.
@@ -162,15 +246,31 @@ impl Default for NodeState {
     }
 }
 
+/// The mutable placement plane: which nodes exist, which chunks they
+/// own, and which moved-out chunks are still warm on their previous
+/// owner (the overlap window of an in-flight rebalance).
+#[derive(Debug)]
+struct Membership {
+    partition: ChunkPartition,
+    nodes: HashMap<usize, Arc<NodeState>>,
+    /// chunk → its *previous* owner's state, for every chunk whose
+    /// relocation has not completed yet. The entry keeps a removed
+    /// node's memory alive exactly until its chunks are handed off.
+    handoff: HashMap<ChunkId, Arc<NodeState>>,
+    epoch: u64,
+}
+
 /// The distributed cache of one DLT task.
 pub struct TaskCache<S> {
     topology: Topology,
-    partition: ChunkPartition,
+    membership: RwLock<Membership>,
+    /// Serializes membership transitions; held across the whole sweep so
+    /// two resizes can never interleave their handoff windows.
+    rebalance_lock: Mutex<()>,
     backing: Arc<S>,
     dataset: String,
     config: CacheConfig,
     verify_on_load: AtomicBool,
-    nodes: Vec<NodeState>,
     registry: Arc<Registry>,
     metrics: CacheMetrics,
     pool: WorkPool,
@@ -185,7 +285,7 @@ impl<S: ObjectStore> TaskCache<S> {
         dataset: impl Into<String>,
         chunks: Vec<ChunkId>,
         config: CacheConfig,
-    ) -> Self {
+    ) -> Result<Self> {
         Self::with_registry(
             topology,
             backing,
@@ -204,21 +304,26 @@ impl<S: ObjectStore> TaskCache<S> {
         chunks: Vec<ChunkId>,
         config: CacheConfig,
         registry: Arc<Registry>,
-    ) -> Self {
+    ) -> Result<Self> {
         let p = topology.node_count();
         let metrics = CacheMetrics::new(&registry);
-        TaskCache {
+        let partition = ChunkPartition::new(chunks, p)?;
+        let nodes = partition.members().iter().map(|&id| (id, Arc::default())).collect();
+        Ok(TaskCache {
             topology,
-            partition: ChunkPartition::new(chunks, p),
+            membership: RwLock::named(
+                "cache.membership",
+                Membership { partition, nodes, handoff: HashMap::new(), epoch: 0 },
+            ),
+            rebalance_lock: Mutex::named("cache.rebalance", ()),
             backing,
             dataset: dataset.into(),
             config,
             verify_on_load: AtomicBool::new(false),
-            nodes: (0..p).map(|_| NodeState::default()).collect(),
             registry,
             metrics,
             pool: diesel_exec::global().clone(),
-        }
+        })
     }
 
     /// Run this cache's prefetch/recovery sweeps on `pool` instead of
@@ -242,9 +347,23 @@ impl<S: ObjectStore> TaskCache<S> {
         &self.topology
     }
 
-    /// The chunk partition map.
-    pub fn partition(&self) -> &ChunkPartition {
-        &self.partition
+    /// A snapshot of the current chunk partition map. This is a copy:
+    /// membership can change under your feet, so pair any routing
+    /// decision made from it with [`TaskCache::get_file_routed`]'s epoch
+    /// check (take the epoch from [`TaskCache::membership_epoch`]).
+    pub fn partition(&self) -> ChunkPartition {
+        self.membership.read().partition.clone()
+    }
+
+    /// The current membership epoch (bumped by every transition).
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership.read().epoch
+    }
+
+    /// The current member node ids, sorted.
+    pub fn members(&self) -> Vec<usize> {
+        // diesel-lint: allow(R6) member id list, not payload bytes
+        self.membership.read().partition.members().to_vec()
     }
 
     /// Oneshot prefetch: fan chunk loads across the work pool, every
@@ -258,21 +377,30 @@ impl<S: ObjectStore> TaskCache<S> {
     }
 
     fn prefetch_sweep(&self, cancel: Option<&CancelToken>) -> Result<LoadReport> {
+        let partition = self.partition();
         // Fail fast on downed nodes, like the serial sweep did at the
         // start of each node's partition.
-        for node in 0..self.nodes.len() {
+        for &node in partition.members() {
             if self.is_node_down(node) {
                 return Err(CacheError::NodeDown { node });
             }
         }
-        let pairs: Vec<(usize, ChunkId)> = (0..self.nodes.len())
-            .flat_map(|node| self.partition.chunks_of(node).iter().map(move |&c| (node, c)))
+        let pairs: Vec<(usize, ChunkId)> = partition
+            .members()
+            .iter()
+            .flat_map(|&node| partition.chunks_of(node).iter().map(move |&c| (node, c)))
             .collect();
         let loads = self.pool.try_map(pairs, |_, (node, chunk)| {
             if cancel.is_some_and(CancelToken::is_cancelled) {
                 return Ok((false, 0));
             }
-            self.ensure_chunk(node, chunk)
+            match self.ensure_chunk(node, chunk) {
+                // A rebalance moved the chunk after this sweep
+                // snapshotted the partition; its new owner is filled by
+                // the rebalance sweep (or on demand), not by us.
+                Err(CacheError::StaleOwner { .. }) => Ok((false, 0)),
+                other => other,
+            }
         })?;
         let mut report = LoadReport::default();
         for (loaded, bytes) in loads {
@@ -300,31 +428,40 @@ impl<S: ObjectStore> TaskCache<S> {
     }
 
     /// Fraction of the dataset's chunks currently resident (the "cache
-    /// hit ratio" axis of Figs. 6/11b).
+    /// hit ratio" axis of Figs. 6/11b). During a rebalance overlap
+    /// window a moved chunk can be briefly resident on both its old and
+    /// new owner; the fraction counts residencies, so it can transiently
+    /// exceed 1.
     pub fn resident_fraction(&self) -> f64 {
-        let total = self.partition.chunk_count();
+        let m = self.membership.read();
+        let total = m.partition.chunk_count();
         if total == 0 {
             return 1.0;
         }
-        let resident: usize = self.nodes.iter().map(|n| n.inner.lock().chunks.len()).sum();
+        let states: Vec<Arc<NodeState>> = m.nodes.values().cloned().collect();
+        drop(m);
+        let resident: usize = states.iter().map(|n| n.inner.lock().chunks.len()).sum();
         resident as f64 / total as f64
     }
 
     /// The node state for `node`, or a `NodeDown` error when no such
-    /// node exists in the topology.
-    fn node(&self, node: usize) -> Result<&NodeState> {
-        self.nodes.get(node).ok_or(CacheError::NodeDown { node })
+    /// node exists in the current membership.
+    fn node_state(&self, node: usize) -> Result<Arc<NodeState>> {
+        self.membership.read().nodes.get(&node).cloned().ok_or(CacheError::NodeDown { node })
     }
 
-    /// Bytes resident on one node (0 for out-of-range nodes).
+    /// Bytes resident on one node (0 for non-members).
     pub fn node_resident_bytes(&self, node: usize) -> u64 {
-        self.nodes.get(node).map(|n| n.inner.lock().resident_bytes).unwrap_or(0)
+        match self.node_state(node) {
+            Ok(st) => st.inner.lock().resident_bytes,
+            Err(_) => 0,
+        }
     }
 
     /// Kill a node: its cached chunks are gone and requests routed to it
     /// fail until [`TaskCache::recover_node`].
     pub fn kill_node(&self, node: usize) {
-        if let Some(st) = self.nodes.get(node) {
+        if let Ok(st) = self.node_state(node) {
             st.down.store(true, Ordering::Release);
             *st.inner.lock() = NodeInner::default();
             self.registry.event("cache.kill_node", &[("node", &node.to_string())]);
@@ -333,14 +470,14 @@ impl<S: ObjectStore> TaskCache<S> {
 
     /// Is `node` down?
     pub fn is_node_down(&self, node: usize) -> bool {
-        self.nodes.get(node).is_some_and(|n| n.down.load(Ordering::Acquire))
+        self.node_state(node).is_ok_and(|st| st.down.load(Ordering::Acquire))
     }
 
     /// Bring a node back and reload its partition chunk-wise from the
     /// backing store. Returns what was loaded (the Fig. 11b recovery
     /// measurement).
     pub fn recover_node(&self, node: usize) -> Result<LoadReport> {
-        self.node(node)?.down.store(false, Ordering::Release);
+        self.node_state(node)?.down.store(false, Ordering::Release);
         let report = self.load_partition(node)?;
         self.metrics.recoveries.inc();
         self.registry.event(
@@ -357,8 +494,15 @@ impl<S: ObjectStore> TaskCache<S> {
             return Err(CacheError::NodeDown { node });
         }
         // diesel-lint: allow(R6) chunk-id list, not payload bytes
-        let chunks: Vec<ChunkId> = self.partition.chunks_of(node).to_vec();
-        let loads = self.pool.try_map(chunks, |_, chunk| self.ensure_chunk(node, chunk))?;
+        let chunks: Vec<ChunkId> = self.partition().chunks_of(node).to_vec();
+        let loads = self.pool.try_map(chunks, |_, chunk| {
+            match self.ensure_chunk(node, chunk) {
+                // A rebalance re-owned the chunk mid-recovery; its new
+                // owner is responsible for it now.
+                Err(CacheError::StaleOwner { .. }) => Ok((false, 0)),
+                other => other,
+            }
+        })?;
         let mut report = LoadReport::default();
         for (loaded, bytes) in loads {
             if loaded {
@@ -369,20 +513,225 @@ impl<S: ObjectStore> TaskCache<S> {
         Ok(report)
     }
 
-    /// Read a whole file through the cache.
+    /// Grow/shrink to the contiguous membership `0..nodes` and rebalance.
+    pub fn resize(&self, nodes: usize) -> Result<RebalanceReport> {
+        self.rebalance_to(HashRing::contiguous(nodes)?)
+    }
+
+    /// Join `node` to the membership and rebalance (steals ≈ 1/n of the
+    /// chunks, warm where possible).
+    pub fn add_node(&self, node: usize) -> Result<RebalanceReport> {
+        let ring = self.membership.read().partition.ring().add(node)?;
+        self.rebalance_to(ring)
+    }
+
+    /// Retire `node` from the membership and rebalance: its chunks are
+    /// handed to the survivors from its memory while it drains, then its
+    /// state is dropped.
+    pub fn remove_node(&self, node: usize) -> Result<RebalanceReport> {
+        let ring = self.membership.read().partition.ring().remove(node)?;
+        self.rebalance_to(ring)
+    }
+
+    /// Install `ring` as the new membership (epoch bump) and run the
+    /// rebalance sweep on the work pool: every moved chunk is filled on
+    /// its new owner from the previous owner's memory when still
+    /// resident there, else from the backing store. On-demand misses of
+    /// moved chunks run inline on the reader's thread (they don't queue
+    /// behind the sweep) and de-duplicate against it chunk-wise.
+    pub fn rebalance_to(&self, ring: HashRing) -> Result<RebalanceReport> {
+        let _serial = self.rebalance_lock.lock();
+        // Snapshot the handoff counters before the epoch is visible:
+        // once Phase 1 publishes the handoff map, a concurrent on-demand
+        // miss can complete a warm handoff before the sweep reaches that
+        // chunk, and its fill must count into this report's window.
+        let warm0 = self.metrics.rebalance_warm_hits();
+        let fallback0 = self.metrics.rebalance_fallbacks();
+        let bytes0 = self.metrics.rebalance_bytes();
+        // Phase 1: swing the placement plane in one write-locked step.
+        let (epoch, moves) = {
+            let mut m = self.membership.write();
+            if ring == *m.partition.ring() {
+                return Ok(RebalanceReport { epoch: m.epoch, ..RebalanceReport::default() });
+            }
+            let mm = &mut *m;
+            let next = mm.partition.with_membership(ring);
+            let moves = mm.partition.moved_to(&next);
+            let mut nodes: HashMap<usize, Arc<NodeState>> = HashMap::new();
+            for &id in next.members() {
+                nodes.insert(id, mm.nodes.get(&id).cloned().unwrap_or_default());
+            }
+            for mv in &moves {
+                // The previous owner stays reachable through the handoff
+                // entry even when it just left the membership.
+                if let Some(src) = mm.nodes.get(&mv.from) {
+                    mm.handoff.insert(mv.chunk, Arc::clone(src));
+                }
+            }
+            mm.nodes = nodes;
+            mm.partition = next;
+            mm.epoch += 1;
+            (mm.epoch, moves)
+        };
+        self.metrics.membership_epoch.set(epoch);
+        self.metrics.rebalance_moves.add(moves.len() as u64);
+        let mut span = if trace::active() {
+            trace::span("cache.rebalance", &[("epoch", epoch.to_string().as_str())])
+        } else {
+            trace::SpanGuard::default()
+        };
+        let chunks_moved = moves.len() as u64;
+        let move_keys: Vec<(ChunkId, usize)> = moves.iter().map(|m| (m.chunk, m.to)).collect();
+        // Phase 2: the sweep. `try_map` keeps the first error and a
+        // deterministic result order at any worker count.
+        self.pool.try_map(moves, |_, mv| self.move_chunk(mv))?;
+        // Wait out racing on-demand fills before reading the counters:
+        // a reader that won an install race may still sit between its
+        // install (which made the sweep's own fill return `Resident`)
+        // and its counter increments. Each winner removes its handoff
+        // entry only *after* counting, so once every live destination's
+        // entry is gone the window is complete. Downed destinations are
+        // skipped: nothing fills them, their entries persist for
+        // recovery. The fillers we wait on only take locks above our
+        // rank, so they always make progress.
+        loop {
+            let pending = {
+                let m = self.membership.read();
+                move_keys.iter().any(|&(chunk, to)| {
+                    m.handoff.contains_key(&chunk)
+                        && m.nodes.get(&to).is_some_and(|n| !n.down.load(Ordering::Acquire))
+                })
+            };
+            if !pending {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let report = RebalanceReport {
+            epoch,
+            chunks_moved,
+            peer_warm_hits: self.metrics.rebalance_warm_hits() - warm0,
+            store_fallbacks: self.metrics.rebalance_fallbacks() - fallback0,
+            bytes_moved: self.metrics.rebalance_bytes() - bytes0,
+        };
+        span.label("moved", &report.chunks_moved.to_string());
+        span.label("warm", &report.peer_warm_hits.to_string());
+        self.registry.event(
+            "cache.rebalance",
+            &[
+                ("epoch", &epoch.to_string()),
+                ("nodes", &self.members().len().to_string()),
+                ("moved", &report.chunks_moved.to_string()),
+                ("warm", &report.peer_warm_hits.to_string()),
+                ("fallback", &report.store_fallbacks.to_string()),
+            ],
+        );
+        Ok(report)
+    }
+
+    /// Relocate one moved chunk onto its new owner (a sweep step).
+    fn move_chunk(&self, mv: ChunkMove) -> Result<ChunkFill> {
+        if self.is_node_down(mv.to) {
+            // The sweep skips downed destinations; `recover_node` will
+            // reload their partition when they return.
+            return Ok(ChunkFill::Resident);
+        }
+        self.fill_chunk(mv.to, mv.chunk)
+    }
+
+    /// Resolve the owner of `chunk` under the current epoch. The pair
+    /// feeds [`TaskCache::get_file_routed`], which rejects it with
+    /// [`CacheError::StaleOwner`] if a rebalance lands in between.
+    pub fn resolve_owner(&self, chunk: ChunkId) -> Result<(usize, u64)> {
+        let m = self.membership.read();
+        match m.partition.owner_of(chunk) {
+            Some(owner) => Ok((owner, m.epoch)),
+            None => Err(CacheError::UnknownChunk(chunk.encode())),
+        }
+    }
+
+    /// Read a whole file through the cache, re-resolving the owner if a
+    /// membership transition invalidates the route mid-flight.
     pub fn get_file(&self, meta: &FileMeta) -> Result<Fetched> {
+        // Fast path: owner resolution and the hit probe under one
+        // membership read acquisition — the fully-warm steady state
+        // pays a single RwLock round instead of resolve-then-validate.
+        // Traced runs take the routed path below so every read still
+        // gets its `cache.get` span.
+        if !trace::active() {
+            // The membership guard is dropped before the node probe:
+            // the hit itself needs no route validation (chunk bytes are
+            // immutable, so a hit on a just-retired owner still serves
+            // the right data), and keeping the guard would nest every
+            // hot-path lock under it — one lockdep graph round per
+            // acquisition instead of per miss.
+            let route = {
+                let m = self.membership.read();
+                match m.partition.owner_of(meta.chunk) {
+                    None => {
+                        self.metrics.file_reads.inc();
+                        return Err(CacheError::UnknownChunk(meta.chunk.encode()));
+                    }
+                    Some(owner) => m.nodes.get(&owner).cloned().map(|dest| (owner, dest)),
+                }
+            };
+            if let Some((owner, dest)) = route {
+                if !dest.down.load(Ordering::Acquire) {
+                    let inner = dest.inner.lock();
+                    if let Some(c) = inner.chunks.get(&meta.chunk) {
+                        self.registry.batch(|| {
+                            self.metrics.file_reads.inc();
+                            self.metrics.chunk_hits.inc();
+                        });
+                        let data = slice_file(c, meta)?;
+                        return Ok(Fetched { data, owner_node: owner, chunk_hit: true });
+                    }
+                }
+            }
+        }
+        let mut attempts = 0;
+        loop {
+            let (owner, epoch) = match self.resolve_owner(meta.chunk) {
+                Ok(route) => route,
+                Err(e) => {
+                    self.metrics.file_reads.inc();
+                    return Err(e);
+                }
+            };
+            match self.get_file_routed(meta, owner, epoch) {
+                Err(CacheError::StaleOwner { .. }) if attempts < 2 => attempts += 1,
+                other => return other,
+            }
+        }
+    }
+
+    /// Read a whole file from `owner`, validating that the route was
+    /// resolved under the current `epoch`. Remote callers (the RPC
+    /// transport, clients holding a partition snapshot) use this to get
+    /// a typed [`CacheError::StaleOwner`] instead of a wrong-node read
+    /// when a rebalance raced their routing decision.
+    pub fn get_file_routed(&self, meta: &FileMeta, owner: usize, epoch: u64) -> Result<Fetched> {
         let mut span = if trace::active() {
             let chunk = meta.chunk.encode();
             trace::span("cache.get", &[("chunk", chunk.as_str())])
         } else {
             trace::SpanGuard::default()
         };
-        let Some(owner) = self.partition.owner_of(meta.chunk) else {
-            self.metrics.file_reads.inc();
-            span.label("outcome", "unknown_chunk");
-            return Err(CacheError::UnknownChunk(meta.chunk.encode()));
+        let dest = {
+            let m = self.membership.read();
+            if m.epoch != epoch || m.partition.owner_of(meta.chunk) != Some(owner) {
+                self.metrics.stale_owner_retries.inc();
+                span.label("outcome", "stale_owner");
+                return Err(CacheError::StaleOwner { epoch: m.epoch });
+            }
+            m.nodes.get(&owner).cloned()
         };
-        if self.is_node_down(owner) {
+        let Some(dest) = dest else {
+            self.metrics.file_reads.inc();
+            span.label("outcome", "node_down");
+            return Err(CacheError::NodeDown { node: owner });
+        };
+        if dest.down.load(Ordering::Acquire) {
             self.metrics.file_reads.inc();
             span.label("outcome", "node_down");
             return Err(CacheError::NodeDown { node: owner });
@@ -390,7 +739,7 @@ impl<S: ObjectStore> TaskCache<S> {
         // Fast path: chunk resident on its owner. The read and its hit
         // are one batch so a snapshot never sees hits > reads.
         {
-            let inner = self.node(owner)?.inner.lock();
+            let inner = dest.inner.lock();
             if let Some(c) = inner.chunks.get(&meta.chunk) {
                 self.registry.batch(|| {
                     self.metrics.file_reads.inc();
@@ -401,12 +750,22 @@ impl<S: ObjectStore> TaskCache<S> {
                 return Ok(Fetched { data, owner_node: owner, chunk_hit: true });
             }
         }
-        // Miss: load the whole chunk (any policy — Oneshot may have
-        // evicted under memory pressure), then serve.
+        // Miss: fill the whole chunk (any policy — Oneshot may have
+        // evicted under memory pressure), then serve. During a rebalance
+        // overlap this runs inline on the reader's thread and fills warm
+        // from the previous owner — the on-demand-miss-priority path.
         self.metrics.file_reads.inc();
         span.label("outcome", "miss");
-        self.ensure_chunk(owner, meta.chunk)?;
-        let inner = self.node(owner)?.inner.lock();
+        if let Err(e) = self.fill_chunk(owner, meta.chunk) {
+            if matches!(e, CacheError::StaleOwner { .. }) {
+                // A rebalance landed between route validation and the
+                // fill; surface the typed error so the caller re-routes.
+                self.metrics.stale_owner_retries.inc();
+                span.label("outcome", "stale_owner");
+            }
+            return Err(e);
+        }
+        let inner = dest.inner.lock();
         let c = inner
             .chunks
             .get(&meta.chunk)
@@ -416,14 +775,102 @@ impl<S: ObjectStore> TaskCache<S> {
     }
 
     /// Ensure `chunk` is resident on `node`; returns `(loaded now?,
-    /// chunk bytes)`.
+    /// chunk bytes)`. Prefetch/recovery sweeps use this shape.
     fn ensure_chunk(&self, node: usize, chunk: ChunkId) -> Result<(bool, u64)> {
-        {
-            let inner = self.node(node)?.inner.lock();
-            if inner.chunks.contains_key(&chunk) {
-                return Ok((false, 0));
-            }
+        match self.fill_chunk(node, chunk)? {
+            ChunkFill::Resident => Ok((false, 0)),
+            ChunkFill::Warm(b) | ChunkFill::Store(b) => Ok((true, b)),
         }
+    }
+
+    /// Make `chunk` resident on `node`, preferring the previous owner's
+    /// memory (warm handoff) when the chunk is mid-relocation, else the
+    /// backing store.
+    ///
+    /// Route validation, the residency check, and the handoff lookup
+    /// happen under one membership read guard: a rebalance's Phase 1
+    /// (which bumps the epoch and rewires the handoff map under the
+    /// write lock) cannot interleave between them. Without this, a
+    /// reader that resolved its route before a rebalance could fill the
+    /// *old* owner from the store after the sweep already drained it —
+    /// a ghost residency that a later resize mistakes for a completed
+    /// move (its fill returns `Resident`, silently skipping the warm
+    /// handoff).
+    fn fill_chunk(&self, node: usize, chunk: ChunkId) -> Result<ChunkFill> {
+        enum Plan {
+            Warm(Arc<NodeState>, ChunkView),
+            Fallback(Option<Arc<NodeState>>),
+        }
+        let (dest, plan) = {
+            let m = self.membership.read();
+            if m.partition.owner_of(chunk) != Some(node) {
+                // The route is stale: `node` no longer owns `chunk`.
+                // Callers re-resolve; filling anyway would plant the
+                // chunk on a non-owner.
+                return Err(CacheError::StaleOwner { epoch: m.epoch });
+            }
+            let Some(dest) = m.nodes.get(&node).cloned() else {
+                return Err(CacheError::NodeDown { node });
+            };
+            if dest.inner.lock().chunks.contains_key(&chunk) {
+                return Ok(ChunkFill::Resident);
+            }
+            // Warm handoff: if this chunk is mid-relocation, its
+            // previous owner may still hold it — a refcounted view
+            // clone, no store read, no payload copy.
+            let plan = match m.handoff.get(&chunk) {
+                Some(src) => {
+                    let warm = src.inner.lock().chunks.get(&chunk).map(|c| c.view.clone());
+                    match warm {
+                        Some(view) => Plan::Warm(Arc::clone(src), view),
+                        // The previous owner no longer holds it
+                        // (evicted, killed): fall back to the
+                        // authoritative store and close the window.
+                        None => Plan::Fallback(Some(Arc::clone(src))),
+                    }
+                }
+                None => Plan::Fallback(None),
+            };
+            (dest, plan)
+        };
+        // Exactly one racing filler wins the install; only the winner
+        // counts the fill and completes the handoff, and it counts
+        // *before* completing. The handoff entry's removal is therefore
+        // ordered after the winner's counters, which is what lets
+        // `rebalance_to` treat "every moved chunk's entry is gone" as
+        // "every fill in this window has been counted".
+        match plan {
+            Plan::Warm(src, view) => {
+                let size = view.chunk_len() as u64;
+                if !self.install_chunk(&dest, chunk, view) {
+                    return Ok(ChunkFill::Resident); // raced; winner counts
+                }
+                self.registry.batch(|| {
+                    self.metrics.rebalance_warm_hits.inc();
+                    self.metrics.rebalance_bytes.add(size);
+                });
+                self.complete_handoff(chunk, &src);
+                Ok(ChunkFill::Warm(size))
+            }
+            Plan::Fallback(Some(src)) => {
+                let size = self.load_from_store(&dest, chunk)?;
+                if size == 0 {
+                    return Ok(ChunkFill::Resident); // raced; winner counts
+                }
+                self.registry.batch(|| {
+                    self.metrics.rebalance_fallbacks.inc();
+                    self.metrics.rebalance_bytes.add(size);
+                });
+                self.complete_handoff(chunk, &src);
+                Ok(ChunkFill::Store(size))
+            }
+            Plan::Fallback(None) => Ok(ChunkFill::Store(self.load_from_store(&dest, chunk)?)),
+        }
+    }
+
+    /// Load `chunk` from the backing store into `dest`. Returns the
+    /// chunk size (0 when a racing fill installed it first).
+    fn load_from_store(&self, dest: &Arc<NodeState>, chunk: ChunkId) -> Result<u64> {
         let key = chunk_object_key(&self.dataset, chunk);
         // The miss path's fetch from the backing store (the peer/load
         // leg of a cache read) is its own child span.
@@ -449,9 +896,26 @@ impl<S: ObjectStore> TaskCache<S> {
             }
         }
         let size = view.chunk_len() as u64;
-        let mut inner = self.node(node)?.inner.lock();
+        if !self.install_chunk(dest, chunk, view) {
+            return Ok(0); // raced with another client
+        }
+        // A load and its bytes are one batch: a snapshot never shows a
+        // chunk counted without its bytes (the tearing the old
+        // `CacheStats::snapshot` allowed).
+        self.registry.batch(|| {
+            self.metrics.chunk_loads.inc();
+            self.metrics.bytes_loaded.add(size);
+        });
+        Ok(size)
+    }
+
+    /// Insert a resident chunk into `dest` under its LRU budget.
+    /// Returns false when the chunk was already there (racing fill).
+    fn install_chunk(&self, dest: &Arc<NodeState>, chunk: ChunkId, view: ChunkView) -> bool {
+        let size = view.chunk_len() as u64;
+        let mut inner = dest.inner.lock();
         if inner.chunks.contains_key(&chunk) {
-            return Ok((false, 0)); // raced with another client
+            return false;
         }
         // LRU eviction against the node budget.
         while inner.resident_bytes + size > self.config.capacity_bytes_per_node {
@@ -464,15 +928,24 @@ impl<S: ObjectStore> TaskCache<S> {
         inner.chunks.insert(chunk, CachedChunk { view });
         inner.lru.push_back(chunk);
         inner.resident_bytes += size;
-        drop(inner);
-        // A load and its bytes are one batch: a snapshot never shows a
-        // chunk counted without its bytes (the tearing the old
-        // `CacheStats::snapshot` allowed).
-        self.registry.batch(|| {
-            self.metrics.chunk_loads.inc();
-            self.metrics.bytes_loaded.add(size);
-        });
-        Ok((true, size))
+        true
+    }
+
+    /// Close one chunk's overlap window: forget the handoff entry, then
+    /// evict the moved-out residency from the previous owner. Idempotent
+    /// (racing fills of the same chunk may both get here).
+    fn complete_handoff(&self, chunk: ChunkId, src: &Arc<NodeState>) {
+        {
+            let mut m = self.membership.write();
+            m.handoff.remove(&chunk);
+        }
+        let mut inner = src.inner.lock();
+        if let Some(v) = inner.chunks.remove(&chunk) {
+            inner.resident_bytes -= v.view.chunk_len() as u64;
+            if let Some(pos) = inner.lru.iter().position(|&c| c == chunk) {
+                inner.lru.remove(pos);
+            }
+        }
     }
 }
 
@@ -557,10 +1030,12 @@ impl<S> TaskCache<S> {
 
 impl<S> std::fmt::Debug for TaskCache<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.membership.read();
         f.debug_struct("TaskCache")
             .field("dataset", &self.dataset)
-            .field("nodes", &self.nodes.len())
-            .field("chunks", &self.partition.chunk_count())
+            .field("nodes", &m.nodes.len())
+            .field("epoch", &m.epoch)
+            .field("chunks", &m.partition.chunk_count())
             .field("file_reads", &self.metrics.file_reads())
             .field("chunk_loads", &self.metrics.chunk_loads())
             .finish()
@@ -607,12 +1082,13 @@ mod tests {
         policy: CachePolicy,
     ) -> TaskCache<MemObjectStore> {
         TaskCache::new(
-            Topology::uniform(nodes, 4),
+            Topology::uniform(nodes, 4).unwrap(),
             store,
             "ds",
             chunks,
             CacheConfig { capacity_bytes_per_node: cap, policy },
         )
+        .unwrap()
     }
 
     #[test]
@@ -837,5 +1313,124 @@ mod tests {
         // Prefetch again: nothing new to load.
         let again = c.prefetch_all().unwrap();
         assert_eq!(again, LoadReport::default());
+    }
+
+    #[test]
+    fn grow_hands_off_warm_without_touching_the_store() {
+        let (store, metas, chunks) = dataset(60, 200, 1024);
+        let c = cache(store, chunks.clone(), 4, 1 << 30, CachePolicy::Oneshot);
+        c.prefetch_all().unwrap();
+        let loads_before = c.metrics().chunk_loads();
+        assert_eq!(c.membership_epoch(), 0);
+
+        let report = c.resize(8).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(c.membership_epoch(), 1);
+        assert_eq!(c.members(), (0..8).collect::<Vec<_>>());
+        assert!(report.chunks_moved > 0, "a doubling must move chunks");
+        assert!(report.chunks_moved as usize <= chunks.len(), "movement bounded by the dataset");
+        assert_eq!(
+            report.peer_warm_hits, report.chunks_moved,
+            "fully warm cache: every move is a peer handoff"
+        );
+        assert_eq!(report.store_fallbacks, 0);
+        assert_eq!(
+            c.metrics().chunk_loads(),
+            loads_before,
+            "warm handoff must not touch the backing store"
+        );
+        // The cache still serves every file, all hits, from the new
+        // placement.
+        for (_, meta) in &metas {
+            assert!(c.get_file(meta).unwrap().chunk_hit);
+        }
+        assert!((c.resident_fraction() - 1.0).abs() < 1e-9, "overlap windows all closed");
+    }
+
+    #[test]
+    fn shrink_drains_the_leavers_chunks_to_survivors() {
+        let (store, metas, chunks) = dataset(60, 200, 1024);
+        let c = cache(store, chunks, 4, 1 << 30, CachePolicy::Oneshot);
+        c.prefetch_all().unwrap();
+        let leaver_share = c.partition().chunks_of(3).len() as u64;
+        let report = c.remove_node(3).unwrap();
+        assert_eq!(c.members(), vec![0, 1, 2]);
+        assert_eq!(report.chunks_moved, leaver_share, "a shrink moves exactly the leaver's share");
+        assert_eq!(report.peer_warm_hits, report.chunks_moved, "drained from the leaver's memory");
+        for (_, meta) in &metas {
+            let f = c.get_file(meta).unwrap();
+            assert!(f.chunk_hit);
+            assert!(f.owner_node < 3, "nothing routes to the retired node");
+        }
+        // The retired node is gone from the membership entirely.
+        assert_eq!(c.node_resident_bytes(3), 0);
+        assert!(matches!(
+            c.resolve_owner(ChunkIdGenerator::deterministic(9, 9, 9).next_id()),
+            Err(CacheError::UnknownChunk(_))
+        ));
+    }
+
+    #[test]
+    fn cold_moves_fall_back_to_the_store() {
+        let (store, metas, chunks) = dataset(60, 200, 1024);
+        // OnDemand and never read: nothing is resident anywhere.
+        let c = cache(store, chunks, 4, 1 << 30, CachePolicy::OnDemand);
+        let report = c.resize(8).unwrap();
+        assert!(report.chunks_moved > 0);
+        assert_eq!(report.peer_warm_hits, 0, "cold cache has no warm source");
+        assert_eq!(
+            report.store_fallbacks, report.chunks_moved,
+            "every move falls back to the authoritative store"
+        );
+        for (_, meta) in &metas {
+            assert!(c.get_file(meta).is_ok());
+        }
+    }
+
+    #[test]
+    fn stale_owner_route_is_rejected_then_retried() {
+        let (store, metas, chunks) = dataset(20, 100, 1024);
+        let c = cache(store, chunks, 4, 1 << 30, CachePolicy::Oneshot);
+        c.prefetch_all().unwrap();
+        let meta = &metas[0].1;
+        let (owner, epoch) = c.resolve_owner(meta.chunk).unwrap();
+        // A membership transition lands between resolve and fetch.
+        c.resize(8).unwrap();
+        match c.get_file_routed(meta, owner, epoch) {
+            Err(CacheError::StaleOwner { epoch: current }) => assert_eq!(current, 1),
+            other => panic!("stale route must be rejected, got {other:?}"),
+        }
+        assert!(c.metrics().stale_owner_retries() >= 1);
+        // The self-resolving read path retries internally and succeeds.
+        assert!(c.get_file(meta).unwrap().chunk_hit);
+    }
+
+    #[test]
+    fn identical_membership_is_a_noop() {
+        let (store, _, chunks) = dataset(10, 100, 1024);
+        let c = cache(store, chunks, 4, 1 << 30, CachePolicy::Oneshot);
+        c.prefetch_all().unwrap();
+        let report = c.resize(4).unwrap();
+        assert_eq!(report.epoch, 0, "same ring ⇒ no epoch bump");
+        assert_eq!(report.chunks_moved, 0);
+    }
+
+    #[test]
+    fn grow_shrink_roundtrip_restores_placement() {
+        let (store, metas, chunks) = dataset(60, 200, 1024);
+        let c = cache(store, chunks, 4, 1 << 30, CachePolicy::Oneshot);
+        c.prefetch_all().unwrap();
+        let before = c.partition();
+        let up = c.resize(8).unwrap();
+        let down = c.resize(4).unwrap();
+        assert_eq!(down.epoch, 2);
+        let after = c.partition();
+        for (_, meta) in &metas {
+            assert_eq!(before.owner_of(meta.chunk), after.owner_of(meta.chunk));
+            assert!(c.get_file(meta).unwrap().chunk_hit, "roundtrip keeps the cache warm");
+        }
+        assert_eq!(up.chunks_moved, down.chunks_moved, "the same chunks move back");
+        assert_eq!(down.peer_warm_hits, down.chunks_moved);
+        assert!((c.resident_fraction() - 1.0).abs() < 1e-9);
     }
 }

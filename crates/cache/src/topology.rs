@@ -1,5 +1,7 @@
 //! Client ranks, master election and connection topology (§4.2, Fig. 7).
 
+use crate::{CacheError, Result};
+
 /// Identity of one DIESEL client instance: which physical node it runs
 /// on and its global rank within the task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -21,8 +23,13 @@ pub struct Topology {
 impl Topology {
     /// A uniform layout: `nodes` physical nodes, `clients_per_node` I/O
     /// workers each (e.g. PyTorch `num_workers`), ranked node-major.
-    pub fn uniform(nodes: usize, clients_per_node: usize) -> Self {
-        assert!(nodes >= 1 && clients_per_node >= 1);
+    pub fn uniform(nodes: usize, clients_per_node: usize) -> Result<Self> {
+        if nodes < 1 || clients_per_node < 1 {
+            return Err(CacheError::InvalidMembership(format!(
+                "a uniform topology needs at least one node and one client per node \
+                 (got {nodes} nodes × {clients_per_node} clients)"
+            )));
+        }
         let clients: Vec<PeerId> = (0..nodes)
             .flat_map(|node| {
                 (0..clients_per_node)
@@ -33,9 +40,11 @@ impl Topology {
     }
 
     /// Build from an explicit client list (ranks must be unique).
-    pub fn from_clients(clients: Vec<PeerId>) -> Self {
-        assert!(!clients.is_empty(), "a task needs at least one client");
-        // Non-empty is asserted above, so the fold has a base case.
+    pub fn from_clients(clients: Vec<PeerId>) -> Result<Self> {
+        if clients.is_empty() {
+            return Err(CacheError::InvalidMembership("a task needs at least one client".into()));
+        }
+        // Non-empty is checked above, so the fold has a base case.
         let max_node = clients.iter().map(|c| c.node).fold(0, usize::max);
         let mut masters = vec![usize::MAX; max_node + 1];
         for c in &clients {
@@ -43,11 +52,12 @@ impl Topology {
                 *m = (*m).min(c.rank);
             }
         }
-        assert!(
-            masters.iter().all(|&m| m != usize::MAX),
-            "every node index up to the max must host at least one client"
-        );
-        Topology { clients, masters }
+        if let Some(hole) = masters.iter().position(|&m| m == usize::MAX) {
+            return Err(CacheError::InvalidMembership(format!(
+                "node {hole} hosts no client but smaller-indexed nodes exist up to {max_node}"
+            )));
+        }
+        Ok(Topology { clients, masters })
     }
 
     /// Number of physical nodes (p).
@@ -82,7 +92,10 @@ impl Topology {
     pub fn diesel_connection_count(&self) -> usize {
         let p = self.node_count();
         let n = self.client_count();
-        p * (n - 1)
+        // `from_clients` rejects empty client lists, but that invariant
+        // lives far from this arithmetic — saturate so the formula is
+        // locally total instead of resting on a distant constructor.
+        p * n.saturating_sub(1)
     }
 
     /// Connection count under a full mesh of clients: `n × (n − 1)`.
@@ -112,7 +125,7 @@ mod tests {
 
     #[test]
     fn uniform_layout_elects_smallest_ranks() {
-        let t = Topology::uniform(4, 8);
+        let t = Topology::uniform(4, 8).unwrap();
         assert_eq!(t.node_count(), 4);
         assert_eq!(t.client_count(), 32);
         for node in 0..4 {
@@ -126,7 +139,7 @@ mod tests {
     fn connection_counts_match_paper_formulas() {
         // Fig. 7's example halves the connections; with p=10, n=160
         // (paper's read tests: 10 nodes × 16 threads) the saving is 16×.
-        let t = Topology::uniform(10, 16);
+        let t = Topology::uniform(10, 16).unwrap();
         assert_eq!(t.diesel_connection_count(), 10 * (160 - 1));
         assert_eq!(t.full_mesh_connection_count(), 160 * 159);
         assert_eq!(
@@ -141,7 +154,7 @@ mod tests {
         // Every client must hold a connection to every master (or be that
         // master) — the one-hop property the paper contrasts with
         // DeltaFS's multi-hop routing.
-        let t = Topology::uniform(3, 4);
+        let t = Topology::uniform(3, 4).unwrap();
         let conns = t.diesel_connections();
         for &c in t.clients() {
             for node in 0..t.node_count() {
@@ -156,7 +169,7 @@ mod tests {
 
     #[test]
     fn single_node_single_client() {
-        let t = Topology::uniform(1, 1);
+        let t = Topology::uniform(1, 1).unwrap();
         assert_eq!(t.diesel_connection_count(), 0);
         assert_eq!(t.full_mesh_connection_count(), 0);
         assert!(t.is_master(PeerId { node: 0, rank: 0 }));
@@ -168,15 +181,34 @@ mod tests {
             PeerId { node: 0, rank: 3 },
             PeerId { node: 0, rank: 7 },
             PeerId { node: 1, rank: 1 },
-        ]);
+        ])
+        .unwrap();
         assert_eq!(t.master_of(0), 3, "smallest rank on the node is master");
         assert_eq!(t.master_of(1), 1);
         assert_eq!(t.diesel_connection_count(), 2 * 2);
     }
 
     #[test]
-    #[should_panic(expected = "at least one client")]
     fn empty_topology_rejected() {
-        Topology::from_clients(vec![]);
+        assert!(matches!(Topology::from_clients(vec![]), Err(CacheError::InvalidMembership(_))));
+        assert!(Topology::uniform(0, 4).is_err());
+        assert!(Topology::uniform(4, 0).is_err());
+    }
+
+    #[test]
+    fn node_coverage_holes_rejected() {
+        // Node 0 hosts no client while node 1 does: the dense master
+        // table would have a hole, so construction must fail.
+        let r = Topology::from_clients(vec![PeerId { node: 1, rank: 0 }]);
+        assert!(matches!(r, Err(CacheError::InvalidMembership(_))));
+    }
+
+    #[test]
+    fn connection_count_is_total_even_for_degenerate_layouts() {
+        // Regression: `p * (n - 1)` underflowed for n = 0. The public
+        // constructors reject that layout, but the arithmetic must not
+        // depend on it — build the degenerate value directly.
+        let t = Topology { clients: vec![], masters: vec![usize::MAX] };
+        assert_eq!(t.diesel_connection_count(), 0, "no clients ⇒ no connections");
     }
 }

@@ -10,6 +10,13 @@
 //! `diesel-net` middleware; this module only maps transport failures to
 //! cache semantics ([`CacheError::NodeDown`] with the *correct* node id).
 //!
+//! Elastic membership rides the same channels: a resize copies each
+//! moved chunk between peers with [`PeerHandle::fetch_resident`] (warm
+//! handoff: memory-only, errors [`CacheError::NotResident`] instead of
+//! touching the store) and [`PeerHandle::install`], then
+//! [`PeerHandle::evict`]s the moved-out residency — the backing store is
+//! only read for chunks no peer still holds (DESIGN.md §13).
+//!
 //! The shared-memory [`TaskCache`](crate::task_cache::TaskCache) remains
 //! the fast path for single-process deployments; [`RpcCache`] composes
 //! peer servers into the same one-hop read protocol over channels, and
@@ -29,15 +36,28 @@ use diesel_obs::Registry;
 use diesel_store::{Bytes, ObjectStore};
 
 use crate::partition::ChunkPartition;
+use crate::ring::HashRing;
+use crate::task_cache::RebalanceReport;
 use crate::{CacheError, Result};
 
 /// A fetch request to a peer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PeerRequest {
     /// Read one file out of a chunk the peer owns.
     FetchFile(FileMeta),
-    /// Fetch a whole chunk (used by recovering peers / chunk-wise reads).
+    /// Fetch a whole chunk (used by recovering peers / chunk-wise
+    /// reads); loads from the backing store if not resident.
     FetchChunk(ChunkId),
+    /// Fetch a whole chunk **only if resident in memory** — the warm
+    /// leg of a rebalance handoff. Never touches the backing store;
+    /// replies [`CacheError::NotResident`] on a cold peer so the caller
+    /// can fall back deliberately.
+    FetchResident(ChunkId),
+    /// Install chunk bytes shipped from a previous owner (the receive
+    /// side of a warm handoff).
+    Install(ChunkId, Bytes),
+    /// Drop a moved-out chunk's residency after its handoff completes.
+    Evict(ChunkId),
 }
 
 /// A peer's application-level reply (transport errors live in
@@ -63,20 +83,37 @@ impl PeerHandle {
         self.node
     }
 
-    /// Fetch a file from the peer (one hop, blocking).
-    pub fn fetch_file(&self, meta: &FileMeta) -> Result<Bytes> {
-        match self.chan.call(PeerRequest::FetchFile(*meta)) {
+    fn call(&self, req: PeerRequest) -> Result<Bytes> {
+        match self.chan.call(req) {
             Ok(reply) => reply,
             Err(_) => Err(CacheError::NodeDown { node: self.node }),
         }
     }
 
+    /// Fetch a file from the peer (one hop, blocking).
+    pub fn fetch_file(&self, meta: &FileMeta) -> Result<Bytes> {
+        self.call(PeerRequest::FetchFile(*meta))
+    }
+
     /// Fetch a whole chunk from the peer.
     pub fn fetch_chunk(&self, chunk: ChunkId) -> Result<Bytes> {
-        match self.chan.call(PeerRequest::FetchChunk(chunk)) {
-            Ok(reply) => reply,
-            Err(_) => Err(CacheError::NodeDown { node: self.node }),
-        }
+        self.call(PeerRequest::FetchChunk(chunk))
+    }
+
+    /// Fetch a chunk only if the peer holds it in memory
+    /// ([`CacheError::NotResident`] otherwise).
+    pub fn fetch_resident(&self, chunk: ChunkId) -> Result<Bytes> {
+        self.call(PeerRequest::FetchResident(chunk))
+    }
+
+    /// Ship chunk bytes into the peer's residency (warm handoff).
+    pub fn install(&self, chunk: ChunkId, bytes: Bytes) -> Result<()> {
+        self.call(PeerRequest::Install(chunk, bytes)).map(|_| ())
+    }
+
+    /// Drop the peer's residency of a moved-out chunk.
+    pub fn evict(&self, chunk: ChunkId) -> Result<()> {
+        self.call(PeerRequest::Evict(chunk)).map(|_| ())
     }
 }
 
@@ -87,6 +124,7 @@ impl std::fmt::Debug for PeerHandle {
 }
 
 struct PeerState<S> {
+    node: usize,
     dataset: String,
     backing: Arc<S>,
     chunks: HashMap<ChunkId, (Bytes, u32)>, // bytes + header_len
@@ -123,6 +161,20 @@ impl<S: ObjectStore> PeerState<S> {
             PeerRequest::FetchChunk(chunk) => {
                 self.ensure_chunk(chunk).map(|(bytes, _)| bytes.clone())
             }
+            PeerRequest::FetchResident(chunk) => match self.chunks.get(&chunk) {
+                Some((bytes, _)) => Ok(bytes.clone()),
+                None => Err(CacheError::NotResident { node: self.node }),
+            },
+            PeerRequest::Install(chunk, bytes) => {
+                let header = ChunkHeader::decode(&bytes)
+                    .map_err(|er| CacheError::Corrupt(er.to_string()))?;
+                self.chunks.insert(chunk, (bytes, header.header_len));
+                Ok(Bytes::from_static(&[]))
+            }
+            PeerRequest::Evict(chunk) => {
+                self.chunks.remove(&chunk);
+                Ok(Bytes::from_static(&[]))
+            }
         }
     }
 }
@@ -141,7 +193,8 @@ impl PeerServer {
         dataset: impl Into<String>,
         backing: Arc<S>,
     ) -> Self {
-        let mut state = PeerState { dataset: dataset.into(), backing, chunks: HashMap::new() };
+        let mut state =
+            PeerState { node, dataset: dataset.into(), backing, chunks: HashMap::new() };
         let server = ThreadServer::spawn(Endpoint::new("peer", node), move |req| state.handle(req));
         PeerServer { node, server }
     }
@@ -178,6 +231,7 @@ impl std::fmt::Debug for PeerServer {
 
 /// Transport knobs for an [`RpcCache`]: deadline, retry schedule, clock
 /// and (for tests) a fault policy targeting one node.
+#[derive(Clone)]
 pub struct NetOptions {
     /// Per-call reply deadline, if any.
     pub timeout_ns: Option<u64>,
@@ -213,69 +267,86 @@ impl std::fmt::Debug for NetOptions {
 
 /// A task cache whose one-hop reads really cross threads: one
 /// [`PeerServer`] per node, clients routing via the shared partition.
-pub struct RpcCache {
+/// Membership is elastic: [`RpcCache::resize`] spawns/retires peer
+/// threads and relocates moved chunks peer-to-peer.
+pub struct RpcCache<S> {
+    dataset: String,
+    backing: Arc<S>,
+    opts: NetOptions,
     partition: ChunkPartition,
-    peers: Vec<PeerServer>,
-    handles: Vec<PeerHandle>,
+    epoch: u64,
+    peers: HashMap<usize, PeerServer>,
+    handles: HashMap<usize, PeerHandle>,
     registry: Arc<Registry>,
 }
 
-impl RpcCache {
+impl<S: ObjectStore + 'static> RpcCache<S> {
     /// Spawn `nodes` peer servers for `dataset` with default transport
     /// options (no deadline, no retries).
-    pub fn spawn<S: ObjectStore + 'static>(
+    pub fn spawn(
         nodes: usize,
         dataset: &str,
         backing: Arc<S>,
         chunks: Vec<ChunkId>,
-    ) -> Self {
+    ) -> Result<Self> {
         Self::spawn_with(nodes, dataset, backing, chunks, NetOptions::default())
     }
 
     /// Spawn with explicit transport options. Every peer channel is
     /// stacked as `Retry(Instrumented(Fault?(ThreadChannel)))`, sharing
     /// one registry with per-endpoint metric labels.
-    pub fn spawn_with<S: ObjectStore + 'static>(
+    pub fn spawn_with(
         nodes: usize,
         dataset: &str,
         backing: Arc<S>,
         chunks: Vec<ChunkId>,
         opts: NetOptions,
-    ) -> Self {
-        let partition = ChunkPartition::new(chunks, nodes);
-        let peers: Vec<PeerServer> =
-            (0..nodes).map(|n| PeerServer::spawn(n, dataset, backing.clone())).collect();
+    ) -> Result<Self> {
+        let partition = ChunkPartition::new(chunks, nodes)?;
         let registry = Arc::new(Registry::new(opts.clock.clone()));
-        let handles = peers
-            .iter()
-            .map(|peer| {
-                let mut raw = peer.channel();
-                if let Some(ns) = opts.timeout_ns {
-                    raw = raw.with_timeout_ns(ns);
-                }
-                let metrics = EndpointMetrics::new(&registry, &raw.endpoint());
-                let chan: Channel<PeerRequest, PeerReply> = match &opts.fault_node {
-                    Some((node, policy)) if *node == peer.node() => {
-                        let faulty = FaultChannel::new(raw, policy.clone(), opts.clock.clone());
-                        let measured =
-                            Instrumented::new(faulty, metrics.clone(), opts.clock.clone());
-                        Arc::new(
-                            Retry::new(measured, opts.retry.clone(), opts.clock.clone())
-                                .with_metrics(metrics),
-                        )
-                    }
-                    _ => {
-                        let measured = Instrumented::new(raw, metrics.clone(), opts.clock.clone());
-                        Arc::new(
-                            Retry::new(measured, opts.retry.clone(), opts.clock.clone())
-                                .with_metrics(metrics),
-                        )
-                    }
-                };
-                PeerHandle::new(peer.node(), chan)
-            })
-            .collect();
-        RpcCache { partition, peers, handles, registry }
+        let mut cache = RpcCache {
+            dataset: dataset.into(),
+            backing,
+            opts,
+            partition,
+            epoch: 0,
+            peers: HashMap::new(),
+            handles: HashMap::new(),
+            registry,
+        };
+        for n in 0..nodes {
+            cache.spawn_peer(n);
+        }
+        Ok(cache)
+    }
+
+    /// Spawn the serving thread and middleware stack for `node`.
+    fn spawn_peer(&mut self, node: usize) {
+        let peer = PeerServer::spawn(node, self.dataset.clone(), self.backing.clone());
+        let mut raw = peer.channel();
+        if let Some(ns) = self.opts.timeout_ns {
+            raw = raw.with_timeout_ns(ns);
+        }
+        let metrics = EndpointMetrics::new(&self.registry, &raw.endpoint());
+        let chan: Channel<PeerRequest, PeerReply> = match &self.opts.fault_node {
+            Some((fault, policy)) if *fault == node => {
+                let faulty = FaultChannel::new(raw, policy.clone(), self.opts.clock.clone());
+                let measured = Instrumented::new(faulty, metrics.clone(), self.opts.clock.clone());
+                Arc::new(
+                    Retry::new(measured, self.opts.retry.clone(), self.opts.clock.clone())
+                        .with_metrics(metrics),
+                )
+            }
+            _ => {
+                let measured = Instrumented::new(raw, metrics.clone(), self.opts.clock.clone());
+                Arc::new(
+                    Retry::new(measured, self.opts.retry.clone(), self.opts.clock.clone())
+                        .with_metrics(metrics),
+                )
+            }
+        };
+        self.handles.insert(node, PeerHandle::new(node, chan));
+        self.peers.insert(node, peer);
     }
 
     /// The partition map (all clients share it, so owner lookup is
@@ -284,16 +355,23 @@ impl RpcCache {
         &self.partition
     }
 
+    /// The current membership epoch (bumped by every
+    /// [`RpcCache::resize`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The registry holding per-endpoint transport metrics
-    /// (`net.requests{endpoint=peer@N}` and friends).
+    /// (`net.requests{endpoint=peer@N}` and friends) plus the
+    /// `cache.rebalance.*` counters.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
     }
 
     /// The instrumented connection to `node`, or a `NodeDown` error for
-    /// out-of-range nodes.
+    /// non-member nodes.
     pub fn handle(&self, node: usize) -> Result<PeerHandle> {
-        self.handles.get(node).cloned().ok_or(CacheError::NodeDown { node })
+        self.handles.get(&node).cloned().ok_or(CacheError::NodeDown { node })
     }
 
     /// Read a file via its owner peer (one message round trip).
@@ -307,15 +385,97 @@ impl RpcCache {
 
     /// Kill one node's peer server.
     pub fn kill_node(&mut self, node: usize) {
-        if let Some(peer) = self.peers.get_mut(node) {
+        if let Some(peer) = self.peers.get_mut(&node) {
             peer.kill();
         }
     }
+
+    /// Swing the membership to `0..nodes` and relocate moved chunks in
+    /// three phases: **copy** (warm peer-to-peer where the previous
+    /// owner still holds the chunk, backing store otherwise), **switch**
+    /// (install the new partition + epoch — reads route to new owners
+    /// from here on), **drain** (evict moved-out residencies and retire
+    /// departed peers' threads).
+    pub fn resize(&mut self, nodes: usize) -> Result<RebalanceReport> {
+        let next = self.partition.with_membership(HashRing::contiguous(nodes)?);
+        let moves = self.partition.moved_to(&next);
+        // New members get their serving threads before any copy.
+        for &n in next.members() {
+            if !self.peers.contains_key(&n) {
+                self.spawn_peer(n);
+            }
+        }
+        // Phase 1: copy every moved chunk onto its new owner.
+        let mut warm = 0u64;
+        let mut fallback = 0u64;
+        let mut bytes_moved = 0u64;
+        for mv in &moves {
+            let dest = self.handle(mv.to)?;
+            let warm_bytes = self.handle(mv.from).and_then(|src| src.fetch_resident(mv.chunk));
+            match warm_bytes {
+                Ok(bytes) => {
+                    bytes_moved += bytes.len() as u64;
+                    dest.install(mv.chunk, bytes)?;
+                    warm += 1;
+                }
+                Err(CacheError::NotResident { .. }) | Err(CacheError::NodeDown { .. }) => {
+                    // Cold or dead previous owner: the new owner reads
+                    // the authoritative store itself.
+                    let bytes = dest.fetch_chunk(mv.chunk)?;
+                    bytes_moved += bytes.len() as u64;
+                    fallback += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Phase 2: switch routing.
+        let departed: Vec<usize> = self
+            .partition
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| !next.members().contains(m))
+            .collect();
+        self.partition = next;
+        self.epoch += 1;
+        // Phase 3: drain moved-out residencies, retire departed peers.
+        for mv in &moves {
+            if self.handles.contains_key(&mv.from) {
+                if let Ok(src) = self.handle(mv.from) {
+                    let _ = src.evict(mv.chunk);
+                }
+            }
+        }
+        for node in departed {
+            if let Some(mut peer) = self.peers.remove(&node) {
+                peer.kill();
+            }
+            self.handles.remove(&node);
+        }
+        let report = RebalanceReport {
+            epoch: self.epoch,
+            chunks_moved: moves.len() as u64,
+            peer_warm_hits: warm,
+            store_fallbacks: fallback,
+            bytes_moved,
+        };
+        self.registry.batch(|| {
+            self.registry.counter("cache.rebalance.chunks_moved", &[]).add(report.chunks_moved);
+            self.registry.counter("cache.rebalance.peer_warm_hits", &[]).add(warm);
+            self.registry.counter("cache.rebalance.store_fallbacks", &[]).add(fallback);
+            self.registry.counter("cache.rebalance.bytes_moved", &[]).add(bytes_moved);
+        });
+        self.registry.gauge("cache.membership_epoch", &[]).set(self.epoch);
+        Ok(report)
+    }
 }
 
-impl std::fmt::Debug for RpcCache {
+impl<S> std::fmt::Debug for RpcCache<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RpcCache").field("nodes", &self.peers.len()).finish()
+        f.debug_struct("RpcCache")
+            .field("nodes", &self.peers.len())
+            .field("epoch", &self.epoch)
+            .finish()
     }
 }
 
@@ -351,7 +511,7 @@ mod tests {
     #[test]
     fn rpc_reads_cross_real_threads() {
         let (store, metas, chunks) = dataset(60);
-        let rpc = RpcCache::spawn(3, "ds", store, chunks);
+        let rpc = RpcCache::spawn(3, "ds", store, chunks).unwrap();
         for (name, meta) in &metas {
             let i: usize = name[1..].parse().unwrap();
             assert_eq!(rpc.get_file(meta).unwrap().as_ref(), &vec![(i % 251) as u8; 300][..]);
@@ -361,14 +521,15 @@ mod tests {
     #[test]
     fn rpc_and_shared_memory_caches_agree() {
         let (store, metas, chunks) = dataset(50);
-        let rpc = RpcCache::spawn(2, "ds", store.clone(), chunks.clone());
+        let rpc = RpcCache::spawn(2, "ds", store.clone(), chunks.clone()).unwrap();
         let shm = TaskCache::new(
-            Topology::uniform(2, 2),
+            Topology::uniform(2, 2).unwrap(),
             store,
             "ds",
             chunks,
             CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
-        );
+        )
+        .unwrap();
         for (_, meta) in &metas {
             assert_eq!(rpc.get_file(meta).unwrap(), shm.get_file(meta).unwrap().data);
         }
@@ -377,7 +538,7 @@ mod tests {
     #[test]
     fn concurrent_clients_share_peers() {
         let (store, metas, chunks) = dataset(80);
-        let rpc = Arc::new(RpcCache::spawn(4, "ds", store, chunks));
+        let rpc = Arc::new(RpcCache::spawn(4, "ds", store, chunks).unwrap());
         let metas = Arc::new(metas);
         let handles: Vec<_> = (0..8)
             .map(|t| {
@@ -400,7 +561,7 @@ mod tests {
     #[test]
     fn killed_peer_fails_its_partition_only() {
         let (store, metas, chunks) = dataset(60);
-        let mut rpc = RpcCache::spawn(3, "ds", store, chunks);
+        let mut rpc = RpcCache::spawn(3, "ds", store, chunks).unwrap();
         rpc.kill_node(1);
         let mut down = 0;
         let mut ok = 0;
@@ -420,7 +581,7 @@ mod tests {
         // Regression: handles used to lose the peer identity and report
         // `node: usize::MAX` on any transport failure.
         let (store, metas, chunks) = dataset(30);
-        let mut rpc = RpcCache::spawn(3, "ds", store, chunks);
+        let mut rpc = RpcCache::spawn(3, "ds", store, chunks).unwrap();
         for node in 0..3 {
             rpc.kill_node(node);
             let h = rpc.handle(node).unwrap();
@@ -433,7 +594,7 @@ mod tests {
     #[test]
     fn fetch_chunk_returns_parseable_chunk() {
         let (store, _, chunks) = dataset(40);
-        let rpc = RpcCache::spawn(2, "ds", store, chunks.clone());
+        let rpc = RpcCache::spawn(2, "ds", store, chunks.clone()).unwrap();
         for &c in &chunks {
             let owner = rpc.partition().owner_of(c).unwrap();
             let bytes = rpc.handle(owner).unwrap().fetch_chunk(c).unwrap();
@@ -445,11 +606,79 @@ mod tests {
     fn drop_shuts_peers_down_cleanly() {
         let (store, metas, chunks) = dataset(20);
         let handle = {
-            let rpc = RpcCache::spawn(2, "ds", store, chunks);
+            let rpc = RpcCache::spawn(2, "ds", store, chunks).unwrap();
             rpc.get_file(&metas[0].1).unwrap();
             rpc.handle(0).unwrap()
         }; // rpc dropped here: threads joined
         assert!(handle.fetch_file(&metas[0].1).is_err(), "dead peer must error");
+    }
+
+    #[test]
+    fn fetch_resident_never_touches_the_store() {
+        let (store, metas, chunks) = dataset(30);
+        let rpc = RpcCache::spawn(2, "ds", store, chunks.clone()).unwrap();
+        let chunk = metas[0].1.chunk;
+        let owner = rpc.partition().owner_of(chunk).unwrap();
+        let h = rpc.handle(owner).unwrap();
+        // Cold peer: resident-only fetch refuses rather than loading.
+        assert_eq!(h.fetch_resident(chunk).unwrap_err(), CacheError::NotResident { node: owner });
+        // Warm it through the normal read path, then the resident fetch
+        // serves from memory.
+        rpc.get_file(&metas[0].1).unwrap();
+        let bytes = h.fetch_resident(chunk).unwrap();
+        diesel_chunk::ChunkReader::parse(&bytes).unwrap();
+        // Evict drops the residency again.
+        h.evict(chunk).unwrap();
+        assert_eq!(h.fetch_resident(chunk).unwrap_err(), CacheError::NotResident { node: owner });
+    }
+
+    #[test]
+    fn resize_relocates_warm_chunks_peer_to_peer() {
+        let (store, metas, chunks) = dataset(80);
+        let mut rpc = RpcCache::spawn(2, "ds", store, chunks.clone()).unwrap();
+        // Warm every owner by reading the whole dataset once.
+        for (_, meta) in &metas {
+            rpc.get_file(meta).unwrap();
+        }
+        let report = rpc.resize(4).unwrap();
+        assert_eq!(rpc.epoch(), 1);
+        assert!(report.chunks_moved > 0, "a doubling must move chunks");
+        assert_eq!(
+            report.peer_warm_hits, report.chunks_moved,
+            "warm cluster: every relocation is peer-to-peer"
+        );
+        assert_eq!(report.store_fallbacks, 0);
+        // Reads still agree with the file contents from the new owners.
+        for (name, meta) in &metas {
+            let i: usize = name[1..].parse().unwrap();
+            assert_eq!(rpc.get_file(meta).unwrap().as_ref(), &vec![(i % 251) as u8; 300][..]);
+        }
+        // Shrink back: the departing peers drain into the survivors.
+        let report = rpc.resize(2).unwrap();
+        assert_eq!(rpc.epoch(), 2);
+        assert_eq!(report.peer_warm_hits, report.chunks_moved);
+        assert!(rpc.handle(3).is_err(), "retired peer is gone from the membership");
+        for (_, meta) in &metas {
+            rpc.get_file(meta).unwrap();
+        }
+        let snap = rpc.registry().snapshot();
+        assert!(snap.counter("cache.rebalance.peer_warm_hits") >= report.chunks_moved);
+        assert_eq!(snap.counter("cache.rebalance.store_fallbacks"), 0);
+        assert_eq!(snap.gauge("cache.membership_epoch"), 2);
+    }
+
+    #[test]
+    fn cold_resize_falls_back_to_the_store() {
+        let (store, metas, chunks) = dataset(60);
+        let mut rpc = RpcCache::spawn(2, "ds", store, chunks).unwrap();
+        // Nothing has been read: every peer is cold.
+        let report = rpc.resize(4).unwrap();
+        assert!(report.chunks_moved > 0);
+        assert_eq!(report.peer_warm_hits, 0);
+        assert_eq!(report.store_fallbacks, report.chunks_moved);
+        for (_, meta) in &metas {
+            rpc.get_file(meta).unwrap();
+        }
     }
 
     #[test]
@@ -466,7 +695,7 @@ mod tests {
             clock: clock.clone(),
             fault_node: Some((0, FaultPolicy::drops(21, 1.0, 5_000_000))),
         };
-        let rpc = RpcCache::spawn_with(2, "ds", store, chunks, opts);
+        let rpc = RpcCache::spawn_with(2, "ds", store, chunks, opts).unwrap();
         let (of_node0, of_node1): (Vec<_>, Vec<_>) =
             metas.iter().partition(|(_, m)| rpc.partition().owner_of(m.chunk).unwrap() == 0);
         assert!(!of_node0.is_empty() && !of_node1.is_empty());
@@ -503,14 +732,15 @@ mod tests {
             clock: clock.clone(),
             fault_node: Some((0, FaultPolicy::drops(7, 0.4, 1_000_000))),
         };
-        let rpc = RpcCache::spawn_with(2, "ds", store.clone(), chunks.clone(), opts);
+        let rpc = RpcCache::spawn_with(2, "ds", store.clone(), chunks.clone(), opts).unwrap();
         let shm = TaskCache::new(
-            Topology::uniform(2, 2),
+            Topology::uniform(2, 2).unwrap(),
             store,
             "ds",
             chunks,
             CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
-        );
+        )
+        .unwrap();
         for (_, meta) in &metas {
             assert_eq!(rpc.get_file(meta).unwrap(), shm.get_file(meta).unwrap().data);
         }
@@ -524,14 +754,15 @@ mod tests {
         // Under a dead node, both caches fail that node's partition with
         // NodeDown{node} and keep serving the rest identically.
         let (store, metas, chunks) = dataset(60);
-        let mut rpc = RpcCache::spawn(3, "ds", store.clone(), chunks.clone());
+        let mut rpc = RpcCache::spawn(3, "ds", store.clone(), chunks.clone()).unwrap();
         let shm = TaskCache::new(
-            Topology::uniform(3, 2),
+            Topology::uniform(3, 2).unwrap(),
             store,
             "ds",
             chunks,
             CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
-        );
+        )
+        .unwrap();
         rpc.kill_node(2);
         shm.kill_node(2);
         for (_, meta) in &metas {

@@ -312,6 +312,12 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
                 Ok(f) => return Ok(f.data),
                 Err(CacheError::NodeDown { .. }) => { /* fall through to server */ }
                 Err(CacheError::UnknownChunk(_)) => { /* stale snapshot; server path */ }
+                // The cache retries stale-owner routes internally; an
+                // escaping StaleOwner means membership is churning faster
+                // than we can re-resolve — the server is still
+                // authoritative, so serve from there rather than failing
+                // the read.
+                Err(CacheError::StaleOwner { .. }) => { /* rebalance in flight */ }
                 Err(e) => return Err(e.into()),
             }
         }
@@ -591,13 +597,16 @@ mod tests {
         c.download_meta().unwrap();
 
         let chunks = s.meta().chunk_ids("ds").unwrap();
-        let cache = Arc::new(TaskCache::new(
-            Topology::uniform(2, 2),
-            s.store().clone(),
-            "ds",
-            chunks,
-            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-        ));
+        let cache = Arc::new(
+            TaskCache::new(
+                Topology::uniform(2, 2).unwrap(),
+                s.store().clone(),
+                "ds",
+                chunks,
+                CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+            )
+            .unwrap(),
+        );
         cache.prefetch_all().unwrap();
         c.attach_cache(cache.clone());
 

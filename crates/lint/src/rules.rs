@@ -245,6 +245,12 @@ pub fn r4_format_hygiene(code: &str, out: &mut Vec<Finding>) {
 pub const LOCK_RANKS: &[(&str, u32)] = &[
     // obs registry: snapshot nests gate → metrics map → event ring.
     ("gate", 10),
+    // cache elastic membership: a rebalance serializes on
+    // rebalance_lock, swings the membership plane, then touches
+    // per-node inners (cache.rebalance → cache.membership →
+    // cache.node at runtime).
+    ("rebalance_lock", 12),
+    ("membership", 15),
     ("inner", 20),
     ("events", 30),
     // exec pool: worker spawn serializes on start_lock, then appends

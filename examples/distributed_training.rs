@@ -41,7 +41,7 @@ fn main() {
     // Task-grained distributed cache over 4 "nodes" with 4 I/O workers
     // each: topology gives p*(n-1) connections instead of a full mesh.
     let chunks = server.meta().chunk_ids("synth-imagenet").unwrap();
-    let topology = Topology::uniform(4, 4);
+    let topology = Topology::uniform(4, 4).unwrap();
     println!(
         "topology: {} clients on {} nodes -> {} connections (full mesh would need {})",
         topology.client_count(),
@@ -49,13 +49,16 @@ fn main() {
         topology.diesel_connection_count(),
         topology.full_mesh_connection_count()
     );
-    let cache = Arc::new(TaskCache::new(
-        topology,
-        server.store().clone(),
-        "synth-imagenet",
-        chunks.clone(),
-        CacheConfig { capacity_bytes_per_node: 64 << 20, policy: CachePolicy::Oneshot },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            topology,
+            server.store().clone(),
+            "synth-imagenet",
+            chunks.clone(),
+            CacheConfig { capacity_bytes_per_node: 64 << 20, policy: CachePolicy::Oneshot },
+        )
+        .unwrap(),
+    );
     let loaded = cache.prefetch_all().unwrap();
     println!(
         "oneshot prefetch: {} chunks / {} KiB loaded chunk-wise from the object store",

@@ -1,0 +1,109 @@
+//! Elastic cache membership walkthrough — the DESIGN.md §13 scenario:
+//!
+//! a DLT task's cache scales from 4 nodes to 8 in the middle of an
+//! epoch (more aggregate cache memory mid-training), then back down to
+//! 4, while the training loop keeps reading. Placement comes from the
+//! consistent-hash ring, so each swing relocates only the ring-bounded
+//! delta of chunks — and on a warm cluster every relocation is a
+//! peer-to-peer handoff: the backing store is never re-read.
+//!
+//! ```text
+//! cargo run --example elastic_membership
+//! ```
+
+use std::sync::Arc;
+
+use diesel_dlt::cache::{CacheConfig, CachePolicy, TaskCache, Topology};
+use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
+use diesel_dlt::kv::ShardedKv;
+use diesel_dlt::store::MemObjectStore;
+
+fn main() {
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
+    let client = DieselClient::connect_with(
+        server.clone(),
+        "ds",
+        ClientConfig {
+            chunk: diesel_dlt::chunk::ChunkBuilderConfig {
+                target_chunk_size: 8 << 10,
+                ..Default::default()
+            },
+        },
+    )
+    .with_deterministic_identity(1, 1, 2_000);
+
+    for i in 0..400 {
+        client.put(&format!("cls{}/img{i:04}.bin", i % 8), &vec![(i % 251) as u8; 256]).unwrap();
+    }
+    client.flush().unwrap();
+    client.download_meta().unwrap();
+
+    // A warm 4-node task cache.
+    let chunks = server.meta().chunk_ids("ds").unwrap();
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(4, 2).unwrap(),
+            server.store().clone(),
+            "ds",
+            chunks.clone(),
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .unwrap(),
+    );
+    cache.prefetch_all().unwrap();
+    client.attach_cache(cache.clone());
+    let loads_cold = cache.metrics().chunk_loads();
+    println!(
+        "4-node cache warm: {} chunks prefetched, epoch {}",
+        loads_cold,
+        cache.membership_epoch()
+    );
+
+    let read_all = |tag: &str| {
+        for i in 0..400 {
+            let name = format!("cls{}/img{i:04}.bin", i % 8);
+            assert_eq!(client.get(&name).unwrap().len(), 256, "{name}");
+        }
+        println!("  {tag}: all 400 files read through the cache");
+    };
+    read_all("before any resize");
+
+    // --- grow 4 → 8 mid-training --------------------------------------
+    let up = cache.resize(8).unwrap();
+    println!(
+        "grow 4→8 (epoch {}): {}/{} chunks moved, {} peer warm handoffs, {} store fallbacks, {} KiB shipped",
+        up.epoch,
+        up.chunks_moved,
+        chunks.len(),
+        up.peer_warm_hits,
+        up.store_fallbacks,
+        up.bytes_moved >> 10
+    );
+    assert_eq!(up.store_fallbacks, 0, "a warm cluster rebalances without the store");
+    read_all("after grow");
+
+    // --- shrink 8 → 4 --------------------------------------------------
+    let down = cache.resize(4).unwrap();
+    println!(
+        "shrink 8→4 (epoch {}): {} chunks drained from the leavers, {} warm, {} fallbacks",
+        down.epoch, down.chunks_moved, down.peer_warm_hits, down.store_fallbacks
+    );
+    assert_eq!(down.chunks_moved, up.chunks_moved, "the shrink undoes exactly the grow");
+    read_all("after shrink");
+
+    // The whole dance never re-read the backing store.
+    assert_eq!(
+        cache.metrics().chunk_loads(),
+        loads_cold,
+        "rebalances must be served from peer memory"
+    );
+    assert!((cache.resident_fraction() - 1.0).abs() < 1e-9);
+    println!(
+        "membership epoch {} | {} stale-owner retries absorbed | store loads still {}",
+        cache.membership_epoch(),
+        cache.metrics().stale_owner_retries(),
+        cache.metrics().chunk_loads()
+    );
+    println!("elastic membership OK");
+}

@@ -72,13 +72,16 @@ fn main() {
 
     // --- scenario 3: cache node failure (task containment) ------------
     let chunks = server.meta().chunk_ids("ds").unwrap();
-    let cache = Arc::new(TaskCache::new(
-        Topology::uniform(3, 2),
-        server.store().clone(),
-        "ds",
-        chunks,
-        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(3, 2).unwrap(),
+            server.store().clone(),
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .unwrap(),
+    );
     cache.prefetch_all().unwrap();
     client.attach_cache(cache.clone());
 

@@ -48,13 +48,16 @@ fn run(kind: ShuffleKind, label: &str) -> (u64, u64) {
     let dataset_bytes: u64 = FILES as u64 * FILE_SIZE as u64;
     // Cache budget: ~15% of the dataset across 2 nodes.
     let budget_per_node = dataset_bytes / 13;
-    let cache = Arc::new(TaskCache::new(
-        Topology::uniform(2, 4),
-        server.store().clone(),
-        "big",
-        chunks.clone(),
-        CacheConfig { capacity_bytes_per_node: budget_per_node, policy: CachePolicy::OnDemand },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(2, 4).unwrap(),
+            server.store().clone(),
+            "big",
+            chunks.clone(),
+            CacheConfig { capacity_bytes_per_node: budget_per_node, policy: CachePolicy::OnDemand },
+        )
+        .unwrap(),
+    );
     client.attach_cache(cache.clone());
     client.enable_shuffle(kind);
 

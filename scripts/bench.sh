@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# Payload-plane benchmark gate (DESIGN.md §11).
+# Benchmark gates (DESIGN.md §11, §13).
 #
-# Builds and runs the fixed `payload_bench` suite against BENCH_6.json:
-# the first ever run seeds the `baseline` section (kept verbatim
-# forever); every later run rewrites `current`. Pass `--check` to fail
-# if any wall-time key regresses past `--tolerance`× baseline — this is
-# how scripts/ci.sh ratchets the zero-copy read path.
+# Runs the fixed bench suites against their JSON ledgers:
+#   payload_bench -> BENCH_6.json  (zero-copy payload plane)
+#   elastic_bench -> BENCH_8.json  (ring lookup + 4→8→4 rebalance +
+#                                   store read amplification)
+# The first ever run of each suite seeds its `baseline` section (kept
+# verbatim forever); every later run rewrites `current`. Pass `--check`
+# to fail if any key regresses past `--tolerance`× baseline — this is
+# how scripts/ci.sh ratchets both planes.
 #
 # Usage:
-#   scripts/bench.sh                     # refresh `current` in BENCH_6.json
-#   scripts/bench.sh --check             # also enforce the regression gate
+#   scripts/bench.sh                     # refresh `current` in both ledgers
+#   scripts/bench.sh --check             # also enforce the regression gates
 #   scripts/bench.sh --check --tolerance 2.5
-#   scripts/bench.sh --json OTHER.json   # write somewhere else
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build -q --release -p diesel-bench --bin payload_bench
-exec target/release/payload_bench "$@"
+cargo build -q --release -p diesel-bench --bin payload_bench --bin elastic_bench
+target/release/payload_bench "$@"
+target/release/elastic_bench "$@"

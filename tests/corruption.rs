@@ -44,12 +44,13 @@ fn cache_verify_on_load_catches_bit_rot() {
         FaultConfig { io_error_rate: 0.0, corruption_rate: 1.0, seed: 7 },
     ));
     let cache = TaskCache::new(
-        Topology::uniform(2, 2),
+        Topology::uniform(2, 2).unwrap(),
         faulty,
         "ds",
         chunks,
         CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    );
+    )
+    .unwrap();
     cache.set_verify_on_load(true);
     // Every chunk load must detect the flip — either the header CRC or
     // a per-file CRC fires; no corrupt payload is ever cached.
@@ -63,12 +64,13 @@ fn clean_store_passes_verify_on_load() {
     let (server, names) = populated_server(60);
     let chunks = server.meta().chunk_ids("ds").unwrap();
     let cache = TaskCache::new(
-        Topology::uniform(2, 2),
+        Topology::uniform(2, 2).unwrap(),
         server.store().clone(),
         "ds",
         chunks.clone(),
         CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    );
+    )
+    .unwrap();
     cache.set_verify_on_load(true);
     let report = cache.prefetch_all().unwrap();
     assert_eq!(report.chunks_loaded as usize, chunks.len());
@@ -88,12 +90,13 @@ fn transient_errors_fail_retriably_and_eventually_succeed() {
         FaultConfig { io_error_rate: 0.5, corruption_rate: 0.0, seed: 3 },
     ));
     let cache = TaskCache::new(
-        Topology::uniform(2, 2),
+        Topology::uniform(2, 2).unwrap(),
         faulty.clone(),
         "ds",
         chunks.clone(),
         CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    );
+    )
+    .unwrap();
     // Retry the prefetch until the flaky store lets every chunk through.
     let mut attempts = 0;
     loop {

@@ -74,12 +74,13 @@ fn cached_loader_over(pool: WorkPool) -> DataLoader<ShardedKv, MemObjectStore> {
     let chunks = server.meta().chunk_ids("synth").unwrap();
     let cache = Arc::new(
         TaskCache::new(
-            Topology::uniform(1, 1),
+            Topology::uniform(1, 1).unwrap(),
             server.store().clone(),
             "synth",
             chunks,
             CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
         )
+        .unwrap()
         .with_pool(pool.clone()),
     );
     cache.prefetch_all().unwrap();
@@ -87,10 +88,13 @@ fn cached_loader_over(pool: WorkPool) -> DataLoader<ShardedKv, MemObjectStore> {
     DataLoader::new(Arc::new(client), 8, 17).with_pool(pool).with_prefetch_depth(3)
 }
 
+/// One epoch's observable output: per-batch `(labels, tensor bits)`.
+type Fingerprint = Vec<(Vec<usize>, Vec<u32>)>;
+
 fn epoch_fingerprint<S: ObjectStore + 'static>(
     loader: &DataLoader<ShardedKv, S>,
     epoch: u64,
-) -> Vec<(Vec<usize>, Vec<u32>)> {
+) -> Fingerprint {
     loader
         .epoch_iter(epoch)
         .unwrap()
@@ -233,12 +237,13 @@ fn cache_over<S: ObjectStore + 'static>(
     client.flush().unwrap();
     let chunks = server.meta().chunk_ids("ds").unwrap();
     TaskCache::new(
-        Topology::uniform(2, 2),
+        Topology::uniform(2, 2).unwrap(),
         store,
         "ds",
         chunks,
         CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
     )
+    .unwrap()
     .with_pool(pool)
 }
 
@@ -287,6 +292,108 @@ fn total_backing_failure_is_reported_identically_for_any_worker_count() {
         );
         assert_eq!(cache.metrics().chunk_loads(), 0, "workers={workers}");
         assert_eq!(cache.metrics().bytes_loaded(), 0, "workers={workers}");
+    }
+}
+
+/// Like [`cached_loader_over`], but on a `nodes`-wide cache and handing
+/// back the cache so the test can resize it mid-epoch.
+fn elastic_cached_stack(
+    pool: WorkPool,
+    nodes: usize,
+) -> (DataLoader<ShardedKv, MemObjectStore>, Arc<TaskCache<MemObjectStore>>) {
+    let store = Arc::new(MemObjectStore::new());
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store).with_pool(pool.clone()));
+    let client = DieselClient::connect_with(
+        server.clone(),
+        "synth",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 100);
+    let samples = SyntheticSpec::cifar_like().generate(83);
+    upload_samples(&client, &samples).unwrap();
+    client.download_meta().unwrap();
+    client.enable_shuffle(diesel_dlt::shuffle::ShuffleKind::ChunkWise { group_size: 2 });
+    let chunks = server.meta().chunk_ids("synth").unwrap();
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(nodes, 1).unwrap(),
+            server.store().clone(),
+            "synth",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .unwrap()
+        .with_pool(pool.clone()),
+    );
+    cache.prefetch_all().unwrap();
+    client.attach_cache(cache.clone());
+    (DataLoader::new(Arc::new(client), 8, 17).with_pool(pool).with_prefetch_depth(3), cache)
+}
+
+/// Fingerprint one epoch, resizing the cache to `to` nodes right before
+/// batch `resize_at` is pulled — membership swings while the loader's
+/// prefetch pipeline is mid-flight.
+fn epoch_fingerprint_with_resize(
+    loader: &DataLoader<ShardedKv, MemObjectStore>,
+    cache: &TaskCache<MemObjectStore>,
+    epoch: u64,
+    resize_at: usize,
+    to: usize,
+) -> (Fingerprint, diesel_dlt::cache::RebalanceReport) {
+    let mut out = Vec::new();
+    let mut report = None;
+    for (i, b) in loader.epoch_iter(epoch).unwrap().enumerate() {
+        if i == resize_at {
+            report = Some(cache.resize(to).unwrap());
+        }
+        let (x, labels) = b.unwrap();
+        out.push((labels, x.data.iter().map(|f| f.to_bits()).collect()));
+    }
+    (out, report.unwrap())
+}
+
+#[test]
+fn mid_epoch_resize_keeps_batches_byte_identical() {
+    // The elastic-membership scenario (DESIGN.md §13): a warm 4-node
+    // cache grows to 8 in the middle of epoch 0 and shrinks back to 4 in
+    // the middle of epoch 1 while training reads stream through it.
+    // Placement is a performance concern only — every batch must equal
+    // the static, server-served run bit-for-bit, at every worker count —
+    // and a fully warm cluster must relocate peer-to-peer, never
+    // re-reading the backing store.
+    let baseline = {
+        let loader = loader_over(Arc::new(MemObjectStore::new()), pool(1));
+        (0..2).map(|e| epoch_fingerprint(&loader, e)).collect::<Vec<_>>()
+    };
+    assert!(baseline[0].len() > 5, "expect a multi-batch epoch");
+    for workers in WORKER_GRID {
+        let (loader, cache) = elastic_cached_stack(pool(workers), 4);
+        let loads_before = cache.metrics().chunk_loads();
+
+        let (got0, up) = epoch_fingerprint_with_resize(&loader, &cache, 0, 3, 8);
+        assert_eq!(got0, baseline[0], "grow mid-epoch diverges at workers={workers}");
+        assert!(up.chunks_moved > 0, "a doubling must move chunks");
+        assert_eq!(
+            up.peer_warm_hits, up.chunks_moved,
+            "warm grow must be all peer handoffs at workers={workers}"
+        );
+        assert_eq!(up.store_fallbacks, 0);
+
+        let (got1, down) = epoch_fingerprint_with_resize(&loader, &cache, 1, 3, 4);
+        assert_eq!(got1, baseline[1], "shrink mid-epoch diverges at workers={workers}");
+        assert_eq!(down.peer_warm_hits, down.chunks_moved);
+        assert_eq!(down.chunks_moved, up.chunks_moved, "4→8→4 must undo exactly the grow moves");
+
+        assert_eq!(cache.membership_epoch(), 2);
+        assert_eq!(
+            cache.metrics().chunk_loads(),
+            loads_before,
+            "rebalances must not touch the backing store on a warm cluster (workers={workers})"
+        );
+        assert!((cache.resident_fraction() - 1.0).abs() < 1e-9, "survivors hold everything");
     }
 }
 

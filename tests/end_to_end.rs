@@ -95,13 +95,16 @@ fn fuse_and_api_agree_through_cache_and_shuffle() {
     c.download_meta().unwrap();
 
     let chunks = server.meta().chunk_ids("ds").unwrap();
-    let cache = Arc::new(TaskCache::new(
-        Topology::uniform(2, 2),
-        server.store().clone(),
-        "ds",
-        chunks,
-        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(2, 2).unwrap(),
+            server.store().clone(),
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
+        )
+        .unwrap(),
+    );
     c.attach_cache(cache.clone());
     c.enable_shuffle(ShuffleKind::ChunkWise { group_size: 2 });
 
@@ -132,13 +135,16 @@ fn training_through_full_stack_converges() {
     c.enable_shuffle(ShuffleKind::ChunkWise { group_size: 3 });
 
     let chunks = server.meta().chunk_ids("synth").unwrap();
-    let cache = Arc::new(TaskCache::new(
-        Topology::uniform(2, 2),
-        server.store().clone(),
-        "synth",
-        chunks,
-        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(2, 2).unwrap(),
+            server.store().clone(),
+            "synth",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .unwrap(),
+    );
     cache.prefetch_all().unwrap();
     c.attach_cache(cache);
 

@@ -105,13 +105,16 @@ fn cache_failures_cascade_correctly() {
     client.download_meta().unwrap();
 
     let chunks = server.meta().chunk_ids("ds").unwrap();
-    let cache = Arc::new(TaskCache::new(
-        Topology::uniform(4, 2),
-        server.store().clone(),
-        "ds",
-        chunks,
-        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(4, 2).unwrap(),
+            server.store().clone(),
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .unwrap(),
+    );
     cache.prefetch_all().unwrap();
     client.attach_cache(cache.clone());
 
@@ -151,13 +154,16 @@ fn concurrent_readers_during_node_failure() {
     let (_, server) = cluster_server(2);
     let names = Arc::new(populate(&server, 200));
     let chunks = server.meta().chunk_ids("ds").unwrap();
-    let cache = Arc::new(TaskCache::new(
-        Topology::uniform(3, 2),
-        server.store().clone(),
-        "ds",
-        chunks,
-        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(3, 2).unwrap(),
+            server.store().clone(),
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .unwrap(),
+    );
     cache.prefetch_all().unwrap();
 
     let make_client = || {

@@ -50,13 +50,16 @@ fn prefetched_cache(
     server: &Arc<DieselServer<ShardedKv, MemObjectStore>>,
 ) -> Arc<TaskCache<MemObjectStore>> {
     let chunks = server.meta().chunk_ids("synth").expect("chunks");
-    let cache = Arc::new(TaskCache::new(
-        Topology::uniform(1, 1),
-        server.store().clone(),
-        "synth",
-        chunks,
-        CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
-    ));
+    let cache = Arc::new(
+        TaskCache::new(
+            Topology::uniform(1, 1).unwrap(),
+            server.store().clone(),
+            "synth",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::Oneshot },
+        )
+        .unwrap(),
+    );
     cache.prefetch_all().expect("prefetch");
     cache
 }
