@@ -28,17 +28,18 @@
 
 use diesel_exec::{CancelToken, TaskHandle, WorkPool};
 use diesel_obs::{trace, Counter, Gauge, Registry, RegistrySnapshot};
-use diesel_util::{Mutex, RwLock};
+use diesel_util::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use diesel_chunk::{ChunkHeader, ChunkId, ChunkView};
 use diesel_meta::recovery::chunk_object_key;
 use diesel_meta::FileMeta;
 use diesel_store::{Bytes, ObjectStore};
 
-use crate::partition::{ChunkMove, ChunkPartition};
+use crate::partition::ChunkPartition;
 use crate::ring::HashRing;
 use crate::topology::Topology;
 use crate::{CacheError, Result};
@@ -267,6 +268,12 @@ pub struct TaskCache<S> {
     /// Serializes membership transitions; held across the whole sweep so
     /// two resizes can never interleave their handoff windows.
     rebalance_lock: Mutex<()>,
+    /// Signal for the post-sweep drain: [`TaskCache::complete_handoff`]
+    /// notifies under this mutex after removing a handoff entry, so the
+    /// rebalance coordinator sleeps instead of spinning while racing
+    /// on-demand fillers finish counting.
+    drain_mutex: Mutex<()>,
+    drain_cv: Condvar,
     backing: Arc<S>,
     dataset: String,
     config: CacheConfig,
@@ -316,6 +323,8 @@ impl<S: ObjectStore> TaskCache<S> {
                 Membership { partition, nodes, handoff: HashMap::new(), epoch: 0 },
             ),
             rebalance_lock: Mutex::named("cache.rebalance", ()),
+            drain_mutex: Mutex::named("cache.rebalance_drain", ()),
+            drain_cv: Condvar::new(),
             backing,
             dataset: dataset.into(),
             config,
@@ -429,9 +438,14 @@ impl<S: ObjectStore> TaskCache<S> {
 
     /// Fraction of the dataset's chunks currently resident (the "cache
     /// hit ratio" axis of Figs. 6/11b). During a rebalance overlap
-    /// window a moved chunk can be briefly resident on both its old and
-    /// new owner; the fraction counts residencies, so it can transiently
-    /// exceed 1.
+    /// window a moved chunk can be resident on both its old and new
+    /// owner; the fraction counts residencies, so it can exceed 1.
+    /// That excess is normally transient, but after a rebalance sweep
+    /// *fails* partway it persists — the unfinished chunks' warm copies
+    /// stay pinned on their previous owners (see
+    /// [`TaskCache::pending_handoffs`]) until the transition is retried,
+    /// a later transition supersedes it, or the chunks are read on
+    /// demand.
     pub fn resident_fraction(&self) -> f64 {
         let m = self.membership.read();
         let total = m.partition.chunk_count();
@@ -539,6 +553,20 @@ impl<S: ObjectStore> TaskCache<S> {
     /// resident there, else from the backing store. On-demand misses of
     /// moved chunks run inline on the reader's thread (they don't queue
     /// behind the sweep) and de-duplicate against it chunk-wise.
+    ///
+    /// # Failure and repair
+    ///
+    /// If the sweep errors partway (e.g. a transient backing-store
+    /// failure on a cold fallback), the new epoch stays installed and
+    /// the unfinished chunks keep their handoff windows open: their
+    /// warm copies stay resident on the previous owners (so
+    /// [`TaskCache::resident_fraction`] can exceed 1 until they drain)
+    /// and each window is closed by whichever comes first — an
+    /// on-demand read of the chunk, a later membership transition, or a
+    /// *retry*: calling `rebalance_to`/[`resize`](TaskCache::resize)
+    /// again with the **same** ring runs a repair sweep over the open
+    /// windows instead of returning early, and its report counts
+    /// exactly the chunks it finished.
     pub fn rebalance_to(&self, ring: HashRing) -> Result<RebalanceReport> {
         let _serial = self.rebalance_lock.lock();
         // Snapshot the handoff counters before the epoch is visible:
@@ -549,64 +577,114 @@ impl<S: ObjectStore> TaskCache<S> {
         let fallback0 = self.metrics.rebalance_fallbacks();
         let bytes0 = self.metrics.rebalance_bytes();
         // Phase 1: swing the placement plane in one write-locked step.
-        let (epoch, moves) = {
+        // `moves` comes out as `(chunk, destination)` pairs: a fresh
+        // transition's moved-chunk delta, or — when `ring` is already
+        // installed — the repair set of still-open handoff windows.
+        let (epoch, repair, moves) = {
             let mut m = self.membership.write();
-            if ring == *m.partition.ring() {
-                return Ok(RebalanceReport { epoch: m.epoch, ..RebalanceReport::default() });
-            }
             let mm = &mut *m;
-            let next = mm.partition.with_membership(ring);
-            let moves = mm.partition.moved_to(&next);
-            let mut nodes: HashMap<usize, Arc<NodeState>> = HashMap::new();
-            for &id in next.members() {
-                nodes.insert(id, mm.nodes.get(&id).cloned().unwrap_or_default());
-            }
-            for mv in &moves {
-                // The previous owner stays reachable through the handoff
-                // entry even when it just left the membership.
-                if let Some(src) = mm.nodes.get(&mv.from) {
-                    mm.handoff.insert(mv.chunk, Arc::clone(src));
+            if ring == *mm.partition.ring() {
+                // Same membership: nothing to move, but an earlier
+                // sweep that failed partway may have left handoff
+                // windows open. Finish those instead of returning
+                // early, so a failed `resize` can simply be retried.
+                let mut pending: Vec<(ChunkId, usize)> = mm
+                    .handoff
+                    .keys()
+                    .filter_map(|&chunk| {
+                        // Windows whose destination is down stay parked
+                        // for `recover_node`; repairing them here would
+                        // report moves that never happened.
+                        let to = mm.partition.owner_of(chunk)?;
+                        let up = mm.nodes.get(&to).is_some_and(|n| !n.down.load(Ordering::Acquire));
+                        up.then_some((chunk, to))
+                    })
+                    .collect();
+                if pending.is_empty() {
+                    return Ok(RebalanceReport { epoch: mm.epoch, ..RebalanceReport::default() });
                 }
+                pending.sort();
+                (mm.epoch, true, pending)
+            } else {
+                let next = mm.partition.with_membership(ring);
+                let moves = mm.partition.moved_to(&next);
+                let mut nodes: HashMap<usize, Arc<NodeState>> = HashMap::new();
+                for &id in next.members() {
+                    nodes.insert(id, mm.nodes.get(&id).cloned().unwrap_or_default());
+                }
+                for mv in &moves {
+                    // Normalize this chunk's window before opening a new
+                    // one. A pre-existing entry is an unfinished window
+                    // from an earlier transition (failed sweep, downed
+                    // destination); stacking a fresh entry on top of it
+                    // blindly would leak its warm copy — or worse, leave
+                    // an entry that no fill will ever complete.
+                    let dest = nodes.get(&mv.to);
+                    let resident =
+                        dest.is_some_and(|d| d.inner.lock().chunks.contains_key(&mv.chunk));
+                    let prev = mm.handoff.remove(&mv.chunk);
+                    if resident {
+                        // The destination already holds the bytes (a
+                        // chunk moving back onto a node whose earlier
+                        // move-out never completed). Close the window
+                        // here, under the write lock: the sweep's fill
+                        // will return `Resident`, so nothing downstream
+                        // would ever complete it — the old drain loop
+                        // deadlocked on exactly this state.
+                        let Some(dest) = dest else { continue };
+                        for stale in prev.iter().chain(mm.nodes.get(&mv.from)) {
+                            if !Arc::ptr_eq(stale, dest) {
+                                evict_residency(stale, mv.chunk);
+                            }
+                        }
+                        continue;
+                    }
+                    // Pick the warm source: an open window's source
+                    // still holds the bytes (chained handoff across two
+                    // transitions) — unless it *is* the new destination,
+                    // in which case only the store can fill it. With no
+                    // history, the outgoing owner is the source.
+                    let src = match prev {
+                        Some(p) if dest.is_some_and(|d| Arc::ptr_eq(&p, d)) => None,
+                        Some(p) => Some(p),
+                        None => mm.nodes.get(&mv.from).cloned(),
+                    };
+                    if let Some(src) = src {
+                        mm.handoff.insert(mv.chunk, src);
+                    }
+                }
+                mm.nodes = nodes;
+                mm.partition = next;
+                mm.epoch += 1;
+                let keys = moves.iter().map(|mv| (mv.chunk, mv.to)).collect();
+                (mm.epoch, false, keys)
             }
-            mm.nodes = nodes;
-            mm.partition = next;
-            mm.epoch += 1;
-            (mm.epoch, moves)
         };
-        self.metrics.membership_epoch.set(epoch);
-        self.metrics.rebalance_moves.add(moves.len() as u64);
+        if !repair {
+            self.metrics.membership_epoch.set(epoch);
+            self.metrics.rebalance_moves.add(moves.len() as u64);
+        }
         let mut span = if trace::active() {
             trace::span("cache.rebalance", &[("epoch", epoch.to_string().as_str())])
         } else {
             trace::SpanGuard::default()
         };
         let chunks_moved = moves.len() as u64;
-        let move_keys: Vec<(ChunkId, usize)> = moves.iter().map(|m| (m.chunk, m.to)).collect();
+        let move_keys = moves.clone();
         // Phase 2: the sweep. `try_map` keeps the first error and a
         // deterministic result order at any worker count.
-        self.pool.try_map(moves, |_, mv| self.move_chunk(mv))?;
-        // Wait out racing on-demand fills before reading the counters:
-        // a reader that won an install race may still sit between its
-        // install (which made the sweep's own fill return `Resident`)
-        // and its counter increments. Each winner removes its handoff
-        // entry only *after* counting, so once every live destination's
-        // entry is gone the window is complete. Downed destinations are
-        // skipped: nothing fills them, their entries persist for
-        // recovery. The fillers we wait on only take locks above our
-        // rank, so they always make progress.
-        loop {
-            let pending = {
-                let m = self.membership.read();
-                move_keys.iter().any(|&(chunk, to)| {
-                    m.handoff.contains_key(&chunk)
-                        && m.nodes.get(&to).is_some_and(|n| !n.down.load(Ordering::Acquire))
-                })
-            };
-            if !pending {
-                break;
-            }
-            std::thread::yield_now();
+        let sweep = self.pool.try_map(moves, |_, (chunk, to)| self.move_chunk(chunk, to));
+        if let Err(e) = sweep {
+            // The unfinished windows stay open (see "Failure and
+            // repair" above); surface the first error so the caller
+            // can retry the same transition.
+            self.registry.event(
+                "cache.rebalance_failed",
+                &[("epoch", &epoch.to_string()), ("error", &e.to_string())],
+            );
+            return Err(e);
         }
+        self.drain_moved(&move_keys);
         let report = RebalanceReport {
             epoch,
             chunks_moved,
@@ -629,14 +707,81 @@ impl<S: ObjectStore> TaskCache<S> {
         Ok(report)
     }
 
+    /// Wait out racing on-demand fills before reading the report
+    /// counters: a reader that won an install race may still sit
+    /// between its install (which made the sweep's own fill return
+    /// `Resident`) and its counter increments. Each winner removes its
+    /// handoff entry only *after* counting, so once every moved chunk
+    /// with a live destination has its entry gone the window is
+    /// complete. Downed destinations are skipped: nothing fills them,
+    /// their entries persist for recovery.
+    ///
+    /// Waiters park on `drain_cv` (notified by every
+    /// [`TaskCache::complete_handoff`]) instead of spinning; the
+    /// bounded `wait_timeout` re-checks the `down` flags, and if no
+    /// entry completes across many consecutive timeouts the drain gives
+    /// up with a `cache.rebalance.drain_stalled` event rather than
+    /// wedging every future membership transition — the stragglers'
+    /// fills still complete their windows, only the report's counter
+    /// window closes early.
+    fn drain_moved(&self, move_keys: &[(ChunkId, usize)]) {
+        let mut stalled_rounds = 0u32;
+        let mut last_pending = usize::MAX;
+        let mut guard = self.drain_mutex.lock();
+        loop {
+            let pending = {
+                let m = self.membership.read();
+                move_keys
+                    .iter()
+                    .filter(|&&(chunk, to)| {
+                        m.handoff.contains_key(&chunk)
+                            && m.nodes.get(&to).is_some_and(|n| !n.down.load(Ordering::Acquire))
+                    })
+                    .count()
+            };
+            if pending == 0 {
+                return;
+            }
+            if pending < last_pending {
+                last_pending = pending;
+                stalled_rounds = 0;
+            }
+            let (g, timed_out) = self.drain_cv.wait_timeout(guard, Duration::from_millis(50));
+            guard = g;
+            if timed_out {
+                stalled_rounds += 1;
+                // ~5 s with zero completions: a filler is wedged (or an
+                // unforeseen state slipped in). Give up on the exact
+                // counter window instead of holding `rebalance_lock`
+                // forever.
+                if stalled_rounds >= 100 {
+                    self.registry.event(
+                        "cache.rebalance.drain_stalled",
+                        &[("pending", &pending.to_string())],
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
     /// Relocate one moved chunk onto its new owner (a sweep step).
-    fn move_chunk(&self, mv: ChunkMove) -> Result<ChunkFill> {
-        if self.is_node_down(mv.to) {
+    fn move_chunk(&self, chunk: ChunkId, to: usize) -> Result<ChunkFill> {
+        if self.is_node_down(to) {
             // The sweep skips downed destinations; `recover_node` will
             // reload their partition when they return.
             return Ok(ChunkFill::Resident);
         }
-        self.fill_chunk(mv.to, mv.chunk)
+        self.fill_chunk(to, chunk)
+    }
+
+    /// Handoff windows still open: moved chunks whose relocation has
+    /// not completed yet (their warm copies are still pinned on the
+    /// previous owners). Nonzero after a failed or partially-drained
+    /// transition; retrying the same transition (or any later one, or
+    /// an on-demand read of each chunk) closes them.
+    pub fn pending_handoffs(&self) -> usize {
+        self.membership.read().handoff.len()
     }
 
     /// Resolve the owner of `chunk` under the current epoch. The pair
@@ -933,18 +1078,31 @@ impl<S: ObjectStore> TaskCache<S> {
 
     /// Close one chunk's overlap window: forget the handoff entry, then
     /// evict the moved-out residency from the previous owner. Idempotent
-    /// (racing fills of the same chunk may both get here).
+    /// (racing fills of the same chunk may both get here). Counters for
+    /// the fill must be incremented *before* calling this — the removal
+    /// is what releases [`TaskCache::drain_moved`]'s wait.
     fn complete_handoff(&self, chunk: ChunkId, src: &Arc<NodeState>) {
         {
             let mut m = self.membership.write();
             m.handoff.remove(&chunk);
         }
-        let mut inner = src.inner.lock();
-        if let Some(v) = inner.chunks.remove(&chunk) {
-            inner.resident_bytes -= v.view.chunk_len() as u64;
-            if let Some(pos) = inner.lru.iter().position(|&c| c == chunk) {
-                inner.lru.remove(pos);
-            }
+        evict_residency(src, chunk);
+        // Taken empty-handed (both guards above released): pairs with
+        // the drain waiter's predicate check under the same mutex so a
+        // completion can never slip between its check and its park.
+        let _g = self.drain_mutex.lock();
+        self.drain_cv.notify_all();
+    }
+}
+
+/// Drop `chunk`'s residency on `st`, retiring its LRU slot and byte
+/// accounting. No-op when the chunk is not resident there.
+fn evict_residency(st: &NodeState, chunk: ChunkId) {
+    let mut inner = st.inner.lock();
+    if let Some(v) = inner.chunks.remove(&chunk) {
+        inner.resident_bytes -= v.view.chunk_len() as u64;
+        if let Some(pos) = inner.lru.iter().position(|&c| c == chunk) {
+            inner.lru.remove(pos);
         }
     }
 }
@@ -1432,5 +1590,180 @@ mod tests {
         assert_eq!(up.chunks_moved, down.chunks_moved, "the same chunks move back");
         assert_eq!(down.peer_warm_hits, down.chunks_moved);
         assert!((c.resident_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    /// A `MemObjectStore` whose read path can be switched to fail — the
+    /// deterministic stand-in for a transient backing-store outage mid
+    /// rebalance sweep.
+    struct TogglingStore {
+        inner: Arc<MemObjectStore>,
+        fail: AtomicBool,
+    }
+
+    impl TogglingStore {
+        fn new(inner: Arc<MemObjectStore>) -> Self {
+            TogglingStore { inner, fail: AtomicBool::new(false) }
+        }
+
+        fn set_fail(&self, on: bool) {
+            self.fail.store(on, Ordering::Release);
+        }
+    }
+
+    impl diesel_store::ObjectStore for TogglingStore {
+        fn put(&self, key: &str, value: Bytes) -> diesel_store::Result<()> {
+            self.inner.put(key, value)
+        }
+        fn get(&self, key: &str) -> diesel_store::Result<Bytes> {
+            if self.fail.load(Ordering::Acquire) {
+                return Err(diesel_store::StoreError::Io(format!("injected outage reading {key}")));
+            }
+            self.inner.get(key)
+        }
+        fn delete(&self, key: &str) -> diesel_store::Result<bool> {
+            self.inner.delete(key)
+        }
+        fn contains(&self, key: &str) -> bool {
+            self.inner.contains(key)
+        }
+        fn list_prefix(&self, prefix: &str) -> Vec<String> {
+            self.inner.list_prefix(prefix)
+        }
+        fn size_of(&self, key: &str) -> Option<usize> {
+            self.inner.size_of(key)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn total_bytes(&self) -> u64 {
+            self.inner.total_bytes()
+        }
+    }
+
+    #[test]
+    fn stale_handoff_window_cannot_wedge_the_next_resize() {
+        // Regression: an interrupted transition can leave a chunk with
+        // an open handoff window *and* bytes already resident on the
+        // node a later transition moves it back to. The sweep's fill
+        // then returns `Resident` without ever completing the window,
+        // and the old drain loop spun forever on the orphaned entry
+        // (holding `cache.rebalance`, wedging every future transition).
+        let (store, metas, chunks) = dataset(60, 200, 1024);
+        let c = cache(store, chunks, 4, 1 << 30, CachePolicy::Oneshot);
+        c.prefetch_all().unwrap();
+        let before = c.partition();
+        c.resize(8).unwrap();
+        // Pick a chunk the coming shrink will move back: owner differs
+        // between the 4-node and 8-node rings (the roundtrip property
+        // returns it to its 4-node owner).
+        let (chunk, back_to) = before
+            .chunks()
+            .iter()
+            .map(|&ch| (ch, before.owner_of(ch).unwrap()))
+            .find(|&(ch, owner)| c.partition().owner_of(ch) != Some(owner))
+            .expect("a 4→8 grow must move some chunk");
+        // Forge the interrupted state: the chunk's bytes already sit on
+        // the future destination, and a leftover handoff entry points
+        // at some third node that no fill will ever touch.
+        {
+            let m = c.membership.read();
+            let cur_owner = m.partition.owner_of(chunk).unwrap();
+            let view = m.nodes[&cur_owner].inner.lock().chunks[&chunk].view.clone();
+            let dest = Arc::clone(&m.nodes[&back_to]);
+            let orphan_src = Arc::clone(&m.nodes[&7]);
+            drop(m);
+            assert!(c.install_chunk(&dest, chunk, view));
+            c.membership.write().handoff.insert(chunk, orphan_src);
+        }
+        // Old code: this call never returns. New code: Phase 1 closes
+        // the window under the write lock and the shrink completes.
+        let report = c.resize(4).unwrap();
+        assert!(report.chunks_moved > 0);
+        assert_eq!(c.pending_handoffs(), 0, "no orphaned handoff windows survive");
+        assert!((c.resident_fraction() - 1.0).abs() < 1e-9, "no double residency either");
+        for (_, meta) in &metas {
+            assert!(c.get_file(meta).unwrap().chunk_hit);
+        }
+        // And the membership plane still transitions freely afterwards.
+        c.resize(8).unwrap();
+        c.resize(4).unwrap();
+        assert_eq!(c.pending_handoffs(), 0);
+    }
+
+    #[test]
+    fn failed_sweep_is_repaired_by_retrying_the_same_resize() {
+        let (mem, metas, chunks) = dataset(60, 200, 1024);
+        let store = Arc::new(TogglingStore::new(mem));
+        let c = TaskCache::new(
+            Topology::uniform(2, 4).unwrap(),
+            Arc::clone(&store),
+            "ds",
+            chunks.clone(),
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
+        )
+        .unwrap();
+        // Warm half the chunks so the failing sweep is mixed: warm
+        // moves succeed peer-to-peer, cold moves hit the dead store.
+        let warm: std::collections::HashSet<ChunkId> =
+            chunks.iter().copied().take(chunks.len() / 2).collect();
+        for (_, meta) in &metas {
+            if warm.contains(&meta.chunk) {
+                c.get_file(meta).unwrap();
+            }
+        }
+        store.set_fail(true);
+        let err = c.resize(4).expect_err("cold fallbacks must surface the store outage");
+        assert!(matches!(err, CacheError::Backing(_)), "got {err:?}");
+        // The epoch is installed; the unfinished chunks keep their
+        // windows open and are reported by `pending_handoffs`.
+        assert_eq!(c.membership_epoch(), 1);
+        let open = c.pending_handoffs();
+        assert!(open > 0, "a failed sweep leaves its unfinished windows open");
+        // Retrying the *same* membership repairs instead of no-opping.
+        store.set_fail(false);
+        let report = c.resize(4).unwrap();
+        assert_eq!(report.epoch, 1, "repair does not bump the epoch");
+        assert_eq!(report.chunks_moved as usize, open, "repair covers exactly the open windows");
+        assert_eq!(report.store_fallbacks, report.chunks_moved, "unfinished chunks were all cold");
+        assert_eq!(c.pending_handoffs(), 0);
+        assert!(c.resident_fraction() <= 1.0 + 1e-9, "no ghost residencies after repair");
+        // A second retry is a true no-op.
+        let again = c.resize(4).unwrap();
+        assert_eq!(again.chunks_moved, 0);
+        for (name, meta) in &metas {
+            let i: usize = name[1..].parse().unwrap();
+            assert_eq!(c.get_file(meta).unwrap().data.as_ref(), &vec![(i % 251) as u8; 200][..]);
+        }
+    }
+
+    #[test]
+    fn failed_sweep_windows_also_heal_through_later_transitions() {
+        // The other two repair routes: a failed grow's windows are
+        // absorbed by a subsequent shrink (the chunks move back onto
+        // nodes still holding them), and on-demand reads complete
+        // windows chunk-wise.
+        let (mem, metas, chunks) = dataset(60, 200, 1024);
+        let store = Arc::new(TogglingStore::new(mem));
+        let c = TaskCache::new(
+            Topology::uniform(2, 4).unwrap(),
+            Arc::clone(&store),
+            "ds",
+            chunks,
+            CacheConfig { capacity_bytes_per_node: 1 << 30, policy: CachePolicy::OnDemand },
+        )
+        .unwrap();
+        store.set_fail(true);
+        assert!(c.resize(4).is_err(), "fully cold grow against a dead store must fail");
+        assert!(c.pending_handoffs() > 0);
+        store.set_fail(false);
+        // Shrinking back moves every unfinished chunk onto its original
+        // owner; the open windows must not wedge or double-count.
+        let report = c.resize(2).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(c.pending_handoffs(), 0, "the shrink absorbs the failed grow's windows");
+        for (_, meta) in &metas {
+            c.get_file(meta).unwrap();
+        }
+        assert!(c.resident_fraction() <= 1.0 + 1e-9);
     }
 }

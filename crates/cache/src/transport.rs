@@ -127,22 +127,55 @@ struct PeerState<S> {
     node: usize,
     dataset: String,
     backing: Arc<S>,
+    /// Memory budget for resident chunks; LRU-evicted past it on every
+    /// insert path (store loads *and* shipped installs), mirroring
+    /// `TaskCache`'s per-node `capacity_bytes_per_node`.
+    capacity_bytes: u64,
     chunks: HashMap<ChunkId, (Bytes, u32)>, // bytes + header_len
+    lru: std::collections::VecDeque<ChunkId>,
+    resident_bytes: u64,
 }
 
 impl<S: ObjectStore> PeerState<S> {
-    fn ensure_chunk(&mut self, chunk: ChunkId) -> Result<&(Bytes, u32)> {
-        match self.chunks.entry(chunk) {
-            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let key = chunk_object_key(&self.dataset, chunk);
-                let bytes =
-                    self.backing.get(&key).map_err(|er| CacheError::Backing(er.to_string()))?;
-                let header = ChunkHeader::decode(&bytes)
-                    .map_err(|er| CacheError::Corrupt(er.to_string()))?;
-                Ok(e.insert((bytes, header.header_len)))
+    /// Make `chunk` resident under the byte budget. Replaces any
+    /// existing residency of the same chunk, then LRU-evicts others
+    /// until the new total fits (the incoming chunk itself is never
+    /// the victim).
+    fn insert_budgeted(&mut self, chunk: ChunkId, bytes: Bytes, header_len: u32) {
+        self.evict(chunk);
+        let size = bytes.len() as u64;
+        while self.resident_bytes + size > self.capacity_bytes {
+            let Some(victim) = self.lru.pop_front() else { break };
+            if let Some((b, _)) = self.chunks.remove(&victim) {
+                self.resident_bytes -= b.len() as u64;
             }
         }
+        self.chunks.insert(chunk, (bytes, header_len));
+        self.lru.push_back(chunk);
+        self.resident_bytes += size;
+    }
+
+    /// Drop `chunk`'s residency (no-op when absent).
+    fn evict(&mut self, chunk: ChunkId) {
+        if let Some((b, _)) = self.chunks.remove(&chunk) {
+            self.resident_bytes -= b.len() as u64;
+            if let Some(pos) = self.lru.iter().position(|&c| c == chunk) {
+                self.lru.remove(pos);
+            }
+        }
+    }
+
+    fn ensure_chunk(&mut self, chunk: ChunkId) -> Result<&(Bytes, u32)> {
+        if !self.chunks.contains_key(&chunk) {
+            let key = chunk_object_key(&self.dataset, chunk);
+            let bytes = self.backing.get(&key).map_err(|er| CacheError::Backing(er.to_string()))?;
+            let header =
+                ChunkHeader::decode(&bytes).map_err(|er| CacheError::Corrupt(er.to_string()))?;
+            self.insert_budgeted(chunk, bytes, header.header_len);
+        }
+        self.chunks
+            .get(&chunk)
+            .ok_or_else(|| CacheError::Backing(format!("chunk {chunk} evicted during insert")))
     }
 
     fn handle(&mut self, req: PeerRequest) -> PeerReply {
@@ -168,11 +201,13 @@ impl<S: ObjectStore> PeerState<S> {
             PeerRequest::Install(chunk, bytes) => {
                 let header = ChunkHeader::decode(&bytes)
                     .map_err(|er| CacheError::Corrupt(er.to_string()))?;
-                self.chunks.insert(chunk, (bytes, header.header_len));
+                // Same budget as a store load: a large rebalance cannot
+                // grow a peer past its capacity.
+                self.insert_budgeted(chunk, bytes, header.header_len);
                 Ok(Bytes::from_static(&[]))
             }
             PeerRequest::Evict(chunk) => {
-                self.chunks.remove(&chunk);
+                self.evict(chunk);
                 Ok(Bytes::from_static(&[]))
             }
         }
@@ -187,14 +222,35 @@ pub struct PeerServer {
 
 impl PeerServer {
     /// Spawn a serving thread for node `node`, loading chunks lazily
-    /// from `backing`.
+    /// from `backing`, with no memory budget (use
+    /// [`PeerServer::spawn_budgeted`] to bound residency).
     pub fn spawn<S: ObjectStore + 'static>(
         node: usize,
         dataset: impl Into<String>,
         backing: Arc<S>,
     ) -> Self {
-        let mut state =
-            PeerState { node, dataset: dataset.into(), backing, chunks: HashMap::new() };
+        Self::spawn_budgeted(node, dataset, backing, u64::MAX)
+    }
+
+    /// Spawn a serving thread whose resident chunks are LRU-bounded at
+    /// `capacity_bytes` — enforced on every path that makes a chunk
+    /// resident, including chunks shipped in by a rebalance
+    /// ([`PeerRequest::Install`]).
+    pub fn spawn_budgeted<S: ObjectStore + 'static>(
+        node: usize,
+        dataset: impl Into<String>,
+        backing: Arc<S>,
+        capacity_bytes: u64,
+    ) -> Self {
+        let mut state = PeerState {
+            node,
+            dataset: dataset.into(),
+            backing,
+            capacity_bytes,
+            chunks: HashMap::new(),
+            lru: std::collections::VecDeque::new(),
+            resident_bytes: 0,
+        };
         let server = ThreadServer::spawn(Endpoint::new("peer", node), move |req| state.handle(req));
         PeerServer { node, server }
     }
@@ -241,16 +297,21 @@ pub struct NetOptions {
     pub clock: Arc<dyn Clock>,
     /// Inject faults on calls to one node: `(node, policy)`.
     pub fault_node: Option<(usize, FaultPolicy)>,
+    /// Memory budget per peer for resident chunks (LRU-evicted past
+    /// it, on store loads and rebalance installs alike). Matches
+    /// `CacheConfig::default`'s per-node budget.
+    pub capacity_bytes_per_node: u64,
 }
 
 impl Default for NetOptions {
-    /// No deadline, no retries, no faults, real time.
+    /// No deadline, no retries, no faults, real time, 8 GiB per peer.
     fn default() -> Self {
         NetOptions {
             timeout_ns: None,
             retry: RetryPolicy::none(),
             clock: Arc::new(SystemClock::new()),
             fault_node: None,
+            capacity_bytes_per_node: 8 << 30,
         }
     }
 }
@@ -261,6 +322,7 @@ impl std::fmt::Debug for NetOptions {
             .field("timeout_ns", &self.timeout_ns)
             .field("retry", &self.retry)
             .field("fault_node", &self.fault_node)
+            .field("capacity_bytes_per_node", &self.capacity_bytes_per_node)
             .finish_non_exhaustive()
     }
 }
@@ -322,7 +384,12 @@ impl<S: ObjectStore + 'static> RpcCache<S> {
 
     /// Spawn the serving thread and middleware stack for `node`.
     fn spawn_peer(&mut self, node: usize) {
-        let peer = PeerServer::spawn(node, self.dataset.clone(), self.backing.clone());
+        let peer = PeerServer::spawn_budgeted(
+            node,
+            self.dataset.clone(),
+            self.backing.clone(),
+            self.opts.capacity_bytes_per_node,
+        );
         let mut raw = peer.channel();
         if let Some(ns) = self.opts.timeout_ns {
             raw = raw.with_timeout_ns(ns);
@@ -633,6 +700,48 @@ mod tests {
     }
 
     #[test]
+    fn install_respects_the_peer_byte_budget() {
+        // Regression: Install used to bypass the capacity policy, so a
+        // large rebalance could grow a peer's memory without bound.
+        let (store, _, chunks) = dataset(60);
+        assert!(chunks.len() >= 3, "need several chunks to thrash");
+        let sizes: Vec<u64> = chunks
+            .iter()
+            .map(|&c| store.size_of(&chunk_object_key("ds", c)).unwrap() as u64)
+            .collect();
+        let budget = sizes[0] + sizes[1]; // fits ~2 chunks
+        let peer = PeerServer::spawn_budgeted(0, "ds", store.clone(), budget);
+        let h = peer.handle();
+        // Ship every chunk in: the peer must keep at most the budget's
+        // worth resident, LRU-evicting the oldest installs.
+        for &c in &chunks {
+            let bytes = store.get(&chunk_object_key("ds", c)).unwrap();
+            h.install(c, bytes).unwrap();
+        }
+        let resident: Vec<&ChunkId> =
+            chunks.iter().filter(|&&c| h.fetch_resident(c).is_ok()).collect();
+        assert!(resident.len() < chunks.len(), "a bounded peer cannot hold everything");
+        let resident_bytes: u64 = resident
+            .iter()
+            .map(|&&c| store.size_of(&chunk_object_key("ds", c)).unwrap() as u64)
+            .sum();
+        assert!(resident_bytes <= budget, "resident {resident_bytes} exceeds budget {budget}");
+        // The most recently installed chunk survived (LRU, not random).
+        assert!(h.fetch_resident(*chunks.last().unwrap()).is_ok());
+        // Store loads obey the same budget: reads still work, memory
+        // still bounded.
+        for &c in &chunks {
+            h.fetch_chunk(c).unwrap();
+        }
+        let resident: u64 = chunks
+            .iter()
+            .filter(|&&c| h.fetch_resident(c).is_ok())
+            .map(|&c| store.size_of(&chunk_object_key("ds", c)).unwrap() as u64)
+            .sum();
+        assert!(resident <= budget);
+    }
+
+    #[test]
     fn resize_relocates_warm_chunks_peer_to_peer() {
         let (store, metas, chunks) = dataset(80);
         let mut rpc = RpcCache::spawn(2, "ds", store, chunks.clone()).unwrap();
@@ -694,6 +803,7 @@ mod tests {
             retry: RetryPolicy::default(), // 3 attempts
             clock: clock.clone(),
             fault_node: Some((0, FaultPolicy::drops(21, 1.0, 5_000_000))),
+            ..NetOptions::default()
         };
         let rpc = RpcCache::spawn_with(2, "ds", store, chunks, opts).unwrap();
         let (of_node0, of_node1): (Vec<_>, Vec<_>) =
@@ -731,6 +841,7 @@ mod tests {
             retry: RetryPolicy { max_attempts: 5, ..Default::default() },
             clock: clock.clone(),
             fault_node: Some((0, FaultPolicy::drops(7, 0.4, 1_000_000))),
+            ..NetOptions::default()
         };
         let rpc = RpcCache::spawn_with(2, "ds", store.clone(), chunks.clone(), opts).unwrap();
         let shm = TaskCache::new(

@@ -250,6 +250,10 @@ pub const LOCK_RANKS: &[(&str, u32)] = &[
     // per-node inners (cache.rebalance → cache.membership →
     // cache.node at runtime).
     ("rebalance_lock", 12),
+    // The rebalance drain parks on this while re-reading the handoff
+    // map, so it sits between the transition serializer and the
+    // membership plane.
+    ("drain_mutex", 13),
     ("membership", 15),
     ("inner", 20),
     ("events", 30),
