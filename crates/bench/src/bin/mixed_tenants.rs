@@ -1,0 +1,190 @@
+//! Multi-tenant serving benchmark gate: the fixed suite behind
+//! `BENCH_9.json`.
+//!
+//! The multi-tenant plane (DESIGN.md §14) earns its keep on isolation
+//! numbers, pinned here over the deterministic simulator:
+//!
+//! * `light_solo_goodput` — SLO-qualified ops/s of the light tenant
+//!   alone on the pool (the reference point)
+//! * `light_slowdown_unthrottled` — solo ÷ in-mix goodput when a 10×
+//!   neighbour shares the pool with no admission control; the pool
+//!   overloads and this must be ≥ 3 (the failure mode the feature
+//!   exists to fix)
+//! * `light_slowdown_throttled` — same ratio with per-tenant token
+//!   buckets in front of the pool; must stay ≤ 1.5
+//! * `fairness_ratio_throttled` — max/min per-tenant goodput under the
+//!   throttled skewed mix
+//! * `kv_ceiling_mqps` — closed-loop KV sweep at 10⁶ simulated clients
+//!   over 16 instances × 60 kQPS, reproducing the ~0.96 MQPS ceiling of
+//!   Fig. 10a
+//!
+//! Every key is simulator-derived and therefore deterministic, so the
+//! ratchet (`--check`: `current <= baseline * tolerance` per key) never
+//! flakes; the isolation bounds are additionally asserted outright.
+
+use diesel_simnet::{
+    kv_closed_loop_qps, run_multi_tenant, MultiTenantConfig, OpMix, ServiceModel, SimAdmission,
+    SimTime, TenantSpec,
+};
+
+const LIGHT_RATE: f64 = 800.0;
+const HEAVY_RATE: f64 = 8_000.0; // the 10× skewed neighbour
+const LIGHT_OPS: u64 = 8_000;
+const HEAVY_OPS: u64 = 80_000;
+const SERVERS: usize = 4;
+const SEED: u64 = 9;
+
+fn scenario(tenants: Vec<TenantSpec>, admission: Option<SimAdmission>) -> MultiTenantConfig {
+    MultiTenantConfig {
+        tenants,
+        servers: SERVERS,
+        service: ServiceModel::default(),
+        slo: SimTime::from_millis(20),
+        admission,
+        seed: SEED,
+    }
+}
+
+fn light() -> TenantSpec {
+    TenantSpec {
+        name: "light".into(),
+        rate_per_sec: LIGHT_RATE,
+        ops: LIGHT_OPS,
+        mix: OpMix::default(),
+    }
+}
+
+fn heavy() -> TenantSpec {
+    TenantSpec {
+        name: "heavy".into(),
+        rate_per_sec: HEAVY_RATE,
+        ops: HEAVY_OPS,
+        mix: OpMix::default(),
+    }
+}
+
+/// Flat `"key": number` pairs of one named JSON section.
+fn parse_section(text: &str, name: &str) -> Option<Vec<(String, f64)>> {
+    let start = text.find(&format!("\"{name}\""))?;
+    let open = start + text[start..].find('{')?;
+    let close = open + text[open..].find('}')?;
+    let mut out = Vec::new();
+    for part in text[open + 1..close].split(',') {
+        let (k, v) = part.split_once(':')?;
+        out.push((k.trim().trim_matches('"').to_string(), v.trim().parse().ok()?));
+    }
+    Some(out)
+}
+
+fn render_section(pairs: &[(String, f64)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")).collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+fn render(baseline: &[(String, f64)], current: &[(String, f64)]) -> String {
+    format!(
+        "{{\n  \"schema\": 1,\n  \"suite\": \"mixed_tenants\",\n  \"baseline\": {},\n  \"current\": {}\n}}\n",
+        render_section(baseline),
+        render_section(current)
+    )
+}
+
+fn main() {
+    let mut json_path = "BENCH_9.json".to_string();
+    let mut check = false;
+    let mut tolerance = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--check" => check = true,
+            "--tolerance" => {
+                tolerance =
+                    args.next().and_then(|s| s.parse().ok()).expect("--tolerance needs a number")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    // Reference: the light tenant alone on the pool.
+    let solo = run_multi_tenant(&scenario(vec![light()], None));
+    let solo_good = solo.tenant("light").unwrap().goodput();
+
+    // Skewed mix, no admission control: the 10× neighbour overloads the
+    // pool and the light tenant's SLO goodput collapses.
+    let open = run_multi_tenant(&scenario(vec![light(), heavy()], None));
+    let open_good = open.tenant("light").unwrap().goodput();
+    let slowdown_open = if open_good > 0.0 { solo_good / open_good } else { f64::INFINITY };
+
+    // Same mix behind per-tenant token buckets: the heavy tenant is
+    // clamped to its share and the light tenant keeps its goodput.
+    let adm = SimAdmission { rate_per_sec: 3_000.0, burst: 50.0 };
+    let fair = run_multi_tenant(&scenario(vec![light(), heavy()], Some(adm)));
+    let fair_good = fair.tenant("light").unwrap().goodput();
+    let slowdown_fair = if fair_good > 0.0 { solo_good / fair_good } else { f64::INFINITY };
+
+    // Closed-loop KV ceiling at a million simulated clients (Fig. 10a).
+    let kv_mqps = kv_closed_loop_qps(16, 60_000.0, 1_000_000, 2) / 1e6;
+
+    // The isolation contract, asserted outright (deterministic inputs,
+    // so these are hard gates rather than tolerance-ratcheted).
+    assert!(
+        slowdown_open >= 3.0,
+        "unthrottled 10x neighbour must degrade the light tenant >= 3x, got {slowdown_open:.2}"
+    );
+    assert!(
+        slowdown_fair <= 1.5,
+        "admission control must keep the light tenant within 1.5x of solo, got {slowdown_fair:.2}"
+    );
+    assert!(kv_mqps > 0.90 && kv_mqps < 0.98, "kv ceiling {kv_mqps:.3} MQPS out of range");
+
+    let slowdown_open_key = if slowdown_open.is_finite() { slowdown_open } else { 1e9 };
+    let current: Vec<(String, f64)> = vec![
+        ("light_solo_goodput".into(), solo_good),
+        ("light_slowdown_unthrottled".into(), slowdown_open_key),
+        ("light_slowdown_throttled".into(), slowdown_fair),
+        ("fairness_ratio_throttled".into(), fair.fairness_ratio()),
+        ("kv_ceiling_mqps".into(), kv_mqps),
+    ];
+
+    // First run seeds the baseline; later runs keep it verbatim.
+    let baseline = std::fs::read_to_string(&json_path)
+        .ok()
+        .and_then(|t| parse_section(&t, "baseline"))
+        .unwrap_or_else(|| current.clone());
+    std::fs::write(&json_path, render(&baseline, &current)).expect("write json");
+
+    println!("mixed_tenants -> {json_path}");
+    for (k, v) in &current {
+        let base = baseline.iter().find(|(bk, _)| bk == k).map(|(_, bv)| *bv);
+        match base {
+            Some(b) if b > 0.0 => {
+                println!("  {k:<28} {v:>12.3}  (baseline {b:.3}, {:+.1}%)", (v / b - 1.0) * 100.0)
+            }
+            _ => println!("  {k:<28} {v:>12.3}"),
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        for (k, v) in &current {
+            // Goodput and slowdown-headroom keys are floors, not costs;
+            // only the cost-like keys ratchet against the baseline.
+            if k == "light_solo_goodput" || k == "light_slowdown_unthrottled" {
+                continue;
+            }
+            if let Some((_, b)) = baseline.iter().find(|(bk, _)| bk == k) {
+                if *b > 0.0 && *v > b * tolerance {
+                    eprintln!(
+                        "REGRESSION: {k} = {v:.3} exceeds baseline {b:.3} x tolerance {tolerance}"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("mixed_tenants --check: all keys within {tolerance}x of baseline");
+    }
+}

@@ -27,10 +27,14 @@
 //! * [`task_cache`] — [`TaskCache`]: the cache itself, with
 //!   [`CachePolicy::Oneshot`] prefetch and [`CachePolicy::OnDemand`]
 //!   fill, LRU eviction, node-failure injection and chunk-wise recovery.
+//! * [`tenant`] — [`TenantCacheMap`]: one `TaskCache` per tenant over a
+//!   shared node plane, with weighted per-tenant byte budgets carved
+//!   out of the node LRU budget (multi-tenant isolation).
 
 pub mod partition;
 pub mod ring;
 pub mod task_cache;
+pub mod tenant;
 pub mod topology;
 pub mod transport;
 
@@ -39,6 +43,7 @@ pub use ring::{HashRing, DEFAULT_VNODES};
 pub use task_cache::{
     CacheConfig, CacheMetrics, CachePolicy, LoadReport, PrefetchHandle, RebalanceReport, TaskCache,
 };
+pub use tenant::{TenantCacheMap, TenantUsage};
 pub use topology::{PeerId, Topology};
 pub use transport::{NetOptions, PeerHandle, PeerRequest, PeerServer, RpcCache};
 
@@ -76,6 +81,14 @@ pub enum CacheError {
         /// The peer that did not hold the chunk.
         node: usize,
     },
+    /// The serving plane's admission controller rejected the request —
+    /// the tenant's token bucket is empty or its queue overflowed. The
+    /// client should back off for `retry_after_ms` and retry
+    /// (`DieselClient` obeys this automatically).
+    Throttled {
+        /// How long to back off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for CacheError {
@@ -91,6 +104,9 @@ impl std::fmt::Display for CacheError {
             }
             CacheError::NotResident { node } => {
                 write!(f, "chunk not resident on peer node {node}")
+            }
+            CacheError::Throttled { retry_after_ms } => {
+                write!(f, "tenant throttled; retry after {retry_after_ms} ms")
             }
         }
     }

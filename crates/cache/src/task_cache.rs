@@ -30,7 +30,7 @@ use diesel_exec::{CancelToken, TaskHandle, WorkPool};
 use diesel_obs::{trace, Counter, Gauge, Registry, RegistrySnapshot};
 use diesel_util::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -59,7 +59,9 @@ pub enum CachePolicy {
 /// Cache construction parameters.
 #[derive(Debug, Clone)]
 pub struct CacheConfig {
-    /// Memory budget per node for cached chunks.
+    /// Memory budget per node for cached chunks. This is the *initial*
+    /// budget; a [`TenantCacheMap`](crate::TenantCacheMap) re-partitions
+    /// it at runtime via [`TaskCache::set_capacity_bytes_per_node`].
     pub capacity_bytes_per_node: u64,
     /// Fill policy.
     pub policy: CachePolicy,
@@ -93,21 +95,26 @@ impl CacheMetrics {
     /// `cache.chunk_hits`, `cache.chunk_loads`, `cache.bytes_loaded`,
     /// `cache.evictions`, `cache.recoveries`, the
     /// `cache.rebalance.*` family, `cache.stale_owner_retries`) and the
-    /// `cache.membership_epoch` gauge in `registry`.
-    pub fn new(registry: &Registry) -> Self {
+    /// `cache.membership_epoch` gauge in `registry`, each carrying a
+    /// `{dataset=…}` label so that tenants sharing one registry stay
+    /// separable (snapshot merge sums per labelled id, so per-tenant
+    /// cells never double-count; cross-tenant totals come from
+    /// [`diesel_obs::RegistrySnapshot::sum_counter`]).
+    pub fn new(registry: &Registry, dataset: &str) -> Self {
+        let labels = &[("dataset", dataset)];
         CacheMetrics {
-            file_reads: registry.counter("cache.file_reads", &[]),
-            chunk_hits: registry.counter("cache.chunk_hits", &[]),
-            chunk_loads: registry.counter("cache.chunk_loads", &[]),
-            bytes_loaded: registry.counter("cache.bytes_loaded", &[]),
-            evictions: registry.counter("cache.evictions", &[]),
-            recoveries: registry.counter("cache.recoveries", &[]),
-            rebalance_moves: registry.counter("cache.rebalance.chunks_moved", &[]),
-            rebalance_warm_hits: registry.counter("cache.rebalance.peer_warm_hits", &[]),
-            rebalance_fallbacks: registry.counter("cache.rebalance.store_fallbacks", &[]),
-            rebalance_bytes: registry.counter("cache.rebalance.bytes_moved", &[]),
-            stale_owner_retries: registry.counter("cache.stale_owner_retries", &[]),
-            membership_epoch: registry.gauge("cache.membership_epoch", &[]),
+            file_reads: registry.counter("cache.file_reads", labels),
+            chunk_hits: registry.counter("cache.chunk_hits", labels),
+            chunk_loads: registry.counter("cache.chunk_loads", labels),
+            bytes_loaded: registry.counter("cache.bytes_loaded", labels),
+            evictions: registry.counter("cache.evictions", labels),
+            recoveries: registry.counter("cache.recoveries", labels),
+            rebalance_moves: registry.counter("cache.rebalance.chunks_moved", labels),
+            rebalance_warm_hits: registry.counter("cache.rebalance.peer_warm_hits", labels),
+            rebalance_fallbacks: registry.counter("cache.rebalance.store_fallbacks", labels),
+            rebalance_bytes: registry.counter("cache.rebalance.bytes_moved", labels),
+            stale_owner_retries: registry.counter("cache.stale_owner_retries", labels),
+            membership_epoch: registry.gauge("cache.membership_epoch", labels),
         }
     }
 
@@ -277,6 +284,11 @@ pub struct TaskCache<S> {
     backing: Arc<S>,
     dataset: String,
     config: CacheConfig,
+    /// The live per-node byte budget. Starts at
+    /// `config.capacity_bytes_per_node`; a tenant map re-partitions it
+    /// at runtime, and `install_chunk`'s eviction loop reads it fresh on
+    /// every install so shrinks take effect immediately.
+    capacity_bytes: AtomicU64,
     verify_on_load: AtomicBool,
     registry: Arc<Registry>,
     metrics: CacheMetrics,
@@ -313,7 +325,8 @@ impl<S: ObjectStore> TaskCache<S> {
         registry: Arc<Registry>,
     ) -> Result<Self> {
         let p = topology.node_count();
-        let metrics = CacheMetrics::new(&registry);
+        let dataset = dataset.into();
+        let metrics = CacheMetrics::new(&registry, &dataset);
         let partition = ChunkPartition::new(chunks, p)?;
         let nodes = partition.members().iter().map(|&id| (id, Arc::default())).collect();
         Ok(TaskCache {
@@ -326,7 +339,8 @@ impl<S: ObjectStore> TaskCache<S> {
             drain_mutex: Mutex::named("cache.rebalance_drain", ()),
             drain_cv: Condvar::new(),
             backing,
-            dataset: dataset.into(),
+            dataset,
+            capacity_bytes: AtomicU64::new(config.capacity_bytes_per_node),
             config,
             verify_on_load: AtomicBool::new(false),
             registry,
@@ -354,6 +368,45 @@ impl<S: ObjectStore> TaskCache<S> {
     /// The task topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The dataset (tenant) this cache serves.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The construction-time configuration (the *initial* budget; the
+    /// live one is [`TaskCache::capacity_bytes_per_node`]).
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The live per-node byte budget.
+    pub fn capacity_bytes_per_node(&self) -> u64 {
+        self.capacity_bytes.load(Ordering::Acquire)
+    }
+
+    /// Re-point the per-node byte budget (a tenant map re-partitioning
+    /// weighted shares) and immediately shrink every node's residency
+    /// down to it, LRU-first. Growing never evicts; shrinking evicts
+    /// synchronously so one tenant's new cap can never be violated by
+    /// residency installed under the old one.
+    pub fn set_capacity_bytes_per_node(&self, bytes: u64) {
+        self.capacity_bytes.store(bytes, Ordering::Release);
+        let states: Vec<Arc<NodeState>> = {
+            let m = self.membership.read();
+            m.nodes.values().cloned().collect()
+        };
+        for st in states {
+            let mut inner = st.inner.lock();
+            while inner.resident_bytes > bytes {
+                let Some(victim) = inner.lru.pop_front() else { break };
+                if let Some(v) = inner.chunks.remove(&victim) {
+                    inner.resident_bytes -= v.view.chunk_len() as u64;
+                    self.metrics.evictions.inc();
+                }
+            }
+        }
     }
 
     /// A snapshot of the current chunk partition map. This is a copy:
@@ -433,7 +486,11 @@ impl<S: ObjectStore> TaskCache<S> {
     {
         let me = Arc::clone(self);
         let task = self.pool.spawn_cancellable(move |token| me.prefetch_sweep(Some(token)));
-        PrefetchHandle { task: Some(task), registry: Arc::clone(&self.registry) }
+        PrefetchHandle {
+            task: Some(task),
+            registry: Arc::clone(&self.registry),
+            dataset: self.dataset.clone(),
+        }
     }
 
     /// Fraction of the dataset's chunks currently resident (the "cache
@@ -478,7 +535,10 @@ impl<S: ObjectStore> TaskCache<S> {
         if let Ok(st) = self.node_state(node) {
             st.down.store(true, Ordering::Release);
             *st.inner.lock() = NodeInner::default();
-            self.registry.event("cache.kill_node", &[("node", &node.to_string())]);
+            self.registry.event(
+                "cache.kill_node",
+                &[("dataset", &self.dataset), ("node", &node.to_string())],
+            );
         }
     }
 
@@ -496,7 +556,11 @@ impl<S: ObjectStore> TaskCache<S> {
         self.metrics.recoveries.inc();
         self.registry.event(
             "cache.recover_node",
-            &[("node", &node.to_string()), ("chunks", &report.chunks_loaded.to_string())],
+            &[
+                ("dataset", &self.dataset),
+                ("node", &node.to_string()),
+                ("chunks", &report.chunks_loaded.to_string()),
+            ],
         );
         Ok(report)
     }
@@ -680,7 +744,11 @@ impl<S: ObjectStore> TaskCache<S> {
             // can retry the same transition.
             self.registry.event(
                 "cache.rebalance_failed",
-                &[("epoch", &epoch.to_string()), ("error", &e.to_string())],
+                &[
+                    ("dataset", &self.dataset),
+                    ("epoch", &epoch.to_string()),
+                    ("error", &e.to_string()),
+                ],
             );
             return Err(e);
         }
@@ -697,6 +765,7 @@ impl<S: ObjectStore> TaskCache<S> {
         self.registry.event(
             "cache.rebalance",
             &[
+                ("dataset", &self.dataset),
                 ("epoch", &epoch.to_string()),
                 ("nodes", &self.members().len().to_string()),
                 ("moved", &report.chunks_moved.to_string()),
@@ -757,7 +826,7 @@ impl<S: ObjectStore> TaskCache<S> {
                 if stalled_rounds >= 100 {
                     self.registry.event(
                         "cache.rebalance.drain_stalled",
-                        &[("pending", &pending.to_string())],
+                        &[("dataset", &self.dataset), ("pending", &pending.to_string())],
                     );
                     return;
                 }
@@ -1062,8 +1131,10 @@ impl<S: ObjectStore> TaskCache<S> {
         if inner.chunks.contains_key(&chunk) {
             return false;
         }
-        // LRU eviction against the node budget.
-        while inner.resident_bytes + size > self.config.capacity_bytes_per_node {
+        // LRU eviction against the node budget (read fresh: a tenant
+        // map may have re-partitioned it since the last install).
+        let capacity = self.capacity_bytes.load(Ordering::Acquire);
+        while inner.resident_bytes + size > capacity {
             let Some(victim) = inner.lru.pop_front() else { break };
             if let Some(v) = inner.chunks.remove(&victim) {
                 inner.resident_bytes -= v.view.chunk_len() as u64;
@@ -1121,6 +1192,7 @@ fn slice_file(c: &CachedChunk, meta: &FileMeta) -> Result<Bytes> {
 pub struct PrefetchHandle {
     task: Option<TaskHandle<Result<LoadReport>>>,
     registry: Arc<Registry>,
+    dataset: String,
 }
 
 impl PrefetchHandle {
@@ -1154,7 +1226,7 @@ impl Drop for PrefetchHandle {
     fn drop(&mut self) {
         if let Some(task) = self.task.take() {
             if !task.is_finished() {
-                self.registry.event("cache.prefetch_cancelled", &[]);
+                self.registry.event("cache.prefetch_cancelled", &[("dataset", &self.dataset)]);
             }
             // `TaskHandle`'s drop flips the cancel token; the sweep
             // winds down at its next chunk boundary.
@@ -1262,9 +1334,9 @@ mod tests {
             assert_eq!(f.data.len(), 200);
         }
         let snap = c.stats();
-        assert_eq!(snap.counter("cache.file_reads"), 60);
-        assert_eq!(snap.counter("cache.chunk_hits"), 60);
-        assert_eq!(snap.counter("cache.chunk_loads") as usize, chunks.len());
+        assert_eq!(snap.counter("cache.file_reads{dataset=ds}"), 60);
+        assert_eq!(snap.counter("cache.chunk_hits{dataset=ds}"), 60);
+        assert_eq!(snap.counter("cache.chunk_loads{dataset=ds}") as usize, chunks.len());
     }
 
     #[test]
@@ -1450,13 +1522,16 @@ mod tests {
             c.get_file(meta).unwrap();
         }
         let snap = c.stats();
-        assert!(snap.counter("cache.chunk_hits") <= snap.counter("cache.file_reads"));
-        assert!(snap.counter("cache.chunk_loads") > 0);
-        assert!(snap.counter("cache.bytes_loaded") > 0);
+        assert!(
+            snap.counter("cache.chunk_hits{dataset=ds}")
+                <= snap.counter("cache.file_reads{dataset=ds}")
+        );
+        assert!(snap.counter("cache.chunk_loads{dataset=ds}") > 0);
+        assert!(snap.counter("cache.bytes_loaded{dataset=ds}") > 0);
         c.kill_node(0);
         c.recover_node(0).unwrap();
         let snap = c.stats();
-        assert_eq!(snap.counter("cache.recoveries"), 1);
+        assert_eq!(snap.counter("cache.recoveries{dataset=ds}"), 1);
         let scopes: Vec<&str> = snap.events.iter().map(|e| e.scope.as_str()).collect();
         assert_eq!(scopes, vec!["cache.kill_node", "cache.recover_node"]);
     }

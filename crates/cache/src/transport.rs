@@ -526,13 +526,14 @@ impl<S: ObjectStore + 'static> RpcCache<S> {
             store_fallbacks: fallback,
             bytes_moved,
         };
+        let labels = &[("dataset", self.dataset.as_str())];
         self.registry.batch(|| {
-            self.registry.counter("cache.rebalance.chunks_moved", &[]).add(report.chunks_moved);
-            self.registry.counter("cache.rebalance.peer_warm_hits", &[]).add(warm);
-            self.registry.counter("cache.rebalance.store_fallbacks", &[]).add(fallback);
-            self.registry.counter("cache.rebalance.bytes_moved", &[]).add(bytes_moved);
+            self.registry.counter("cache.rebalance.chunks_moved", labels).add(report.chunks_moved);
+            self.registry.counter("cache.rebalance.peer_warm_hits", labels).add(warm);
+            self.registry.counter("cache.rebalance.store_fallbacks", labels).add(fallback);
+            self.registry.counter("cache.rebalance.bytes_moved", labels).add(bytes_moved);
         });
-        self.registry.gauge("cache.membership_epoch", &[]).set(self.epoch);
+        self.registry.gauge("cache.membership_epoch", labels).set(self.epoch);
         Ok(report)
     }
 }
@@ -771,9 +772,9 @@ mod tests {
             rpc.get_file(meta).unwrap();
         }
         let snap = rpc.registry().snapshot();
-        assert!(snap.counter("cache.rebalance.peer_warm_hits") >= report.chunks_moved);
-        assert_eq!(snap.counter("cache.rebalance.store_fallbacks"), 0);
-        assert_eq!(snap.gauge("cache.membership_epoch"), 2);
+        assert!(snap.counter("cache.rebalance.peer_warm_hits{dataset=ds}") >= report.chunks_moved);
+        assert_eq!(snap.counter("cache.rebalance.store_fallbacks{dataset=ds}"), 0);
+        assert_eq!(snap.gauge("cache.membership_epoch{dataset=ds}"), 2);
     }
 
     #[test]

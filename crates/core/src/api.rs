@@ -135,6 +135,30 @@ impl ServerRequest {
             ServerRequest::Trace => "Trace",
         }
     }
+
+    /// The tenant this request belongs to — the dataset it targets.
+    /// Tenant identity *is* dataset identity in DIESEL (the paper's
+    /// task-grained isolation, §4.2), so every data-plane request
+    /// carries it already; only the control-plane requests
+    /// ([`Stats`](ServerRequest::Stats)/[`Trace`](ServerRequest::Trace))
+    /// are tenant-less and bypass admission control.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            ServerRequest::IngestChunk { dataset, .. }
+            | ServerRequest::ReadFile { dataset, .. }
+            | ServerRequest::ReadByMeta { dataset, .. }
+            | ServerRequest::ReadChunk { dataset, .. }
+            | ServerRequest::ReadFilesMerged { dataset, .. }
+            | ServerRequest::Stat { dataset, .. }
+            | ServerRequest::Readdir { dataset, .. }
+            | ServerRequest::BuildSnapshot { dataset }
+            | ServerRequest::DatasetRecord { dataset }
+            | ServerRequest::DeleteFile { dataset, .. }
+            | ServerRequest::PurgeDataset { dataset, .. }
+            | ServerRequest::DeleteDataset { dataset } => Some(dataset),
+            ServerRequest::Stats | ServerRequest::Trace => None,
+        }
+    }
 }
 
 /// A successful server reply; variants mirror [`ServerRequest`].
@@ -270,6 +294,14 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         // channel), the handle span parents the caller's span.
         let _tracer = trace::install_tracer(self.tracer());
         let _span = trace::span("server.handle", &[("endpoint", req.kind())]);
+        // Admission control (DESIGN.md §14): tenant-carrying requests
+        // pass the per-tenant token bucket + DRR fair-share queue before
+        // touching the exec pool; the permit is held for the whole
+        // dispatch so the global concurrency cap bounds real work.
+        let _permit = match (self.admission(), req.tenant()) {
+            (Some(adm), Some(tenant)) => Some(adm.admit(tenant).map_err(DieselError::Cache)?),
+            _ => None,
+        };
         match req {
             ServerRequest::IngestChunk { dataset, chunk } => {
                 self.ingest_chunk(&dataset, chunk).map(|()| ServerResponse::Unit)
@@ -423,7 +455,7 @@ mod tests {
             2
         );
         let stats = conn.call(ServerRequest::Stats).unwrap().unwrap().into_stats().unwrap();
-        assert!(stats.counter("server.file_reads") >= 2, "reads counted: {stats:?}");
+        assert!(stats.sum_counter("server.file_reads") >= 2, "reads counted: {stats:?}");
         assert_eq!(stats.counter("server.chunks_ingested"), 1);
         assert!(stats.sum_counter("kv.puts") > 0, "kv backend metrics merged in");
         conn.call(ServerRequest::DeleteFile { dataset: ds(), path: "a".into(), now_ms: 2_000 })

@@ -47,7 +47,10 @@ fn usage() -> ExitCode {
            purge <dataset>                compact chunks with holes\n  \
            snapshot <dataset> <out-file>  save the metadata snapshot\n  \
            datasets                       list datasets in the store\n  \
-           stats                          dump server observability metrics\n  \
+           stats [--dataset <name>]       dump server observability metrics,\n  \
+                                          optionally only one tenant's slice\n  \
+           tenants                        per-tenant cache bytes, hit rate\n  \
+                                          and throttle counts\n  \
            trace <dataset> [out.json]     trace a full read sweep; print the\n  \
                                           critical-path summary and optionally\n  \
                                           write chrome-trace JSON"
@@ -189,6 +192,38 @@ fn run(args: &[String]) -> Result<(), Cli> {
             // merged into one consistent snapshot.
             let snap = server.handle(ServerRequest::Stats).map_err(Cli::from)?.into_stats()?;
             print!("{}", snap.render());
+            Ok(())
+        }
+        ("stats", ["--dataset", ds]) => {
+            let snap = server.handle(ServerRequest::Stats).map_err(Cli::from)?.into_stats()?;
+            print!("{}", dlcmd::filter_stats(&snap, ds).render());
+            Ok(())
+        }
+        ("tenants", []) => {
+            let snap = server.handle(ServerRequest::Stats).map_err(Cli::from)?.into_stats()?;
+            let rows = dlcmd::tenant_stats(&snap);
+            println!(
+                "{:<24} {:>14} {:>14} {:>10} {:>9} {:>9} {:>9}",
+                "dataset",
+                "budget_bytes",
+                "bytes_loaded",
+                "reads",
+                "hit_rate",
+                "admitted",
+                "throttled"
+            );
+            for r in rows {
+                println!(
+                    "{:<24} {:>14} {:>14} {:>10} {:>8.1}% {:>9} {:>9}",
+                    r.dataset,
+                    r.budget_bytes,
+                    r.bytes_loaded,
+                    r.file_reads,
+                    r.hit_rate() * 100.0,
+                    r.admitted,
+                    r.throttled
+                );
+            }
             Ok(())
         }
         ("trace", [dataset]) | ("trace", [dataset, _]) => {

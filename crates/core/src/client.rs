@@ -69,6 +69,11 @@ pub struct DieselClient<K, S> {
     cache: RwLock<Option<Arc<TaskCache<S>>>>,
     shuffle: RwLock<Option<ShuffleKind>>,
     clock_ms: Box<dyn Fn() -> u64 + Send + Sync>,
+    /// Back-off sleeper for obeying [`CacheError::Throttled`] replies.
+    clock: Arc<dyn Clock>,
+    /// How many throttled replies to obey (sleep + retry) before
+    /// surfacing the error.
+    throttle_retries: u32,
     tracer: Option<Tracer>,
 }
 
@@ -126,8 +131,26 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
                 let clock = diesel_util::SystemClock::new();
                 Box::new(move || clock.epoch_ms())
             },
+            clock: Arc::new(diesel_util::SystemClock::new()),
+            throttle_retries: 8,
             tracer: None,
         }
+    }
+
+    /// Sleep throttle back-offs on `clock` (a
+    /// [`MockClock`](diesel_util::MockClock) makes retry schedules
+    /// instant and exactly assertable).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// How many [`CacheError::Throttled`] replies to obey (sleep for the
+    /// server-advised back-off, then retry) before surfacing the error.
+    /// Default 8; 0 disables the retry loop.
+    pub fn with_throttle_retries(mut self, retries: u32) -> Self {
+        self.throttle_retries = retries;
+        self
     }
 
     /// Deterministic identity and clock (tests / simulations).
@@ -163,9 +186,28 @@ impl<K: KvStore + 'static, S: ObjectStore + 'static> DieselClient<K, S> {
     }
 
     /// One request over the server channel. Transport failures surface
-    /// as [`DieselError::Net`]; application errors pass through.
+    /// as [`DieselError::Net`]; application errors pass through — except
+    /// [`CacheError::Throttled`], which the client *obeys*: it sleeps
+    /// for the server-advised back-off and retries, up to
+    /// [`with_throttle_retries`](Self::with_throttle_retries) times.
+    /// (The net layer's `Retry` only re-sends on retryable transport
+    /// errors; an admission rejection is an application reply, so the
+    /// back-off loop lives here.)
     fn call(&self, req: ServerRequest) -> Result<ServerResponse> {
-        self.conn.call(req).map_err(DieselError::Net)?
+        let mut attempts = 0u32;
+        loop {
+            // Requests hold refcounted payloads, so the per-attempt
+            // clone is pointer-sized per field, not a byte copy.
+            match self.conn.call(req.clone()).map_err(DieselError::Net)? {
+                Err(DieselError::Cache(CacheError::Throttled { retry_after_ms }))
+                    if attempts < self.throttle_retries =>
+                {
+                    attempts += 1;
+                    self.clock.sleep_ns(retry_after_ms.saturating_mul(1_000_000));
+                }
+                other => return other,
+            }
+        }
     }
 
     // ---- write path ----

@@ -100,6 +100,115 @@ pub fn usage<K: KvStore, S: ObjectStore>(
     Ok((rec.chunk_count, rec.file_count, rec.total_bytes))
 }
 
+/// The `dataset` label of a canonical metric id (`name{…,dataset=x,…}`),
+/// if present.
+pub fn dataset_label(id: &str) -> Option<&str> {
+    let open = id.find('{')?;
+    let inner = id.get(open + 1..)?.strip_suffix('}')?;
+    inner.split(',').find_map(|kv| kv.strip_prefix("dataset="))
+}
+
+/// `dlcmd stats --dataset <name>` — restrict a stats snapshot to the
+/// metrics and events carrying `{dataset=<name>}`. Unlabelled
+/// (cluster-wide) metrics are dropped, so the view shows exactly one
+/// tenant's slice.
+pub fn filter_stats(
+    snap: &diesel_obs::RegistrySnapshot,
+    dataset: &str,
+) -> diesel_obs::RegistrySnapshot {
+    let keep = |id: &str| dataset_label(id) == Some(dataset);
+    let mut out = diesel_obs::RegistrySnapshot {
+        counters: snap
+            .counters
+            .iter()
+            .filter(|(id, _)| keep(id))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        gauges: snap
+            .gauges
+            .iter()
+            .filter(|(id, _)| keep(id))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        histograms: snap
+            .histograms
+            .iter()
+            .filter(|(id, _)| keep(id))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+        events: Vec::new(),
+        dropped_events: snap.dropped_events,
+    };
+    out.events = snap
+        .events
+        .iter()
+        .filter(|e| e.kv.iter().any(|(k, v)| k == "dataset" && v == dataset))
+        .cloned()
+        .collect();
+    out
+}
+
+/// One tenant's line in `dlcmd tenants`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStatsRow {
+    /// Tenant name (the dataset).
+    pub dataset: String,
+    /// Per-node cache byte budget (`cache.tenant.budget_bytes`).
+    pub budget_bytes: u64,
+    /// Bytes loaded into the tenant's cache so far.
+    pub bytes_loaded: u64,
+    /// File reads served through the tenant's cache.
+    pub file_reads: u64,
+    /// Reads satisfied by a resident chunk.
+    pub chunk_hits: u64,
+    /// Requests admitted by the server's admission controller.
+    pub admitted: u64,
+    /// Requests rejected with `Throttled`.
+    pub throttled: u64,
+}
+
+impl TenantStatsRow {
+    /// Cache hit rate over file reads, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.file_reads == 0 {
+            0.0
+        } else {
+            self.chunk_hits as f64 / self.file_reads as f64
+        }
+    }
+}
+
+/// `dlcmd tenants` — collect every dataset that appears as a
+/// `{dataset=…}` label anywhere in the snapshot and summarise its
+/// cache footprint, hit rate and throttle counts.
+pub fn tenant_stats(snap: &diesel_obs::RegistrySnapshot) -> Vec<TenantStatsRow> {
+    let mut names: Vec<String> = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .filter_map(|id| dataset_label(id))
+        .map(|d| d.to_owned())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|dataset| {
+            let c = |name: &str| snap.counter(&format!("{name}{{dataset={dataset}}}"));
+            let g = |name: &str| snap.gauge(&format!("{name}{{dataset={dataset}}}"));
+            TenantStatsRow {
+                budget_bytes: g("cache.tenant.budget_bytes"),
+                bytes_loaded: c("cache.bytes_loaded"),
+                file_reads: c("cache.file_reads"),
+                chunk_hits: c("cache.chunk_hits"),
+                admitted: c("server.tenant.admitted"),
+                throttled: c("server.tenant.throttled"),
+                dataset,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +265,48 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&src);
         let _ = std::fs::remove_dir_all(&dst);
+    }
+
+    #[test]
+    fn dataset_label_parses_canonical_ids() {
+        assert_eq!(dataset_label("cache.chunk_hits{dataset=imagenet}"), Some("imagenet"));
+        assert_eq!(dataset_label("kv.gets{dataset=a,instance=3}"), Some("a"));
+        assert_eq!(dataset_label("server.reads"), None);
+        assert_eq!(dataset_label("kv.gets{instance=3}"), None);
+    }
+
+    #[test]
+    fn filter_and_tenant_stats_slice_by_dataset() {
+        let reg = diesel_obs::Registry::new(Arc::new(diesel_util::MockClock::new()));
+        reg.counter("cache.file_reads", &[("dataset", "a")]).add(10);
+        reg.counter("cache.chunk_hits", &[("dataset", "a")]).add(8);
+        reg.counter("cache.bytes_loaded", &[("dataset", "a")]).add(4096);
+        reg.gauge("cache.tenant.budget_bytes", &[("dataset", "a")]).set(1 << 20);
+        reg.counter("server.tenant.throttled", &[("dataset", "a")]).add(3);
+        reg.counter("cache.file_reads", &[("dataset", "b")]).add(2);
+        reg.counter("server.reads", &[]).add(99);
+        reg.event("cache.rebalance", &[("dataset", "a"), ("moved", "5")]);
+        reg.event("cache.rebalance", &[("dataset", "b"), ("moved", "1")]);
+        let snap = reg.snapshot();
+
+        let only_a = filter_stats(&snap, "a");
+        assert_eq!(only_a.counter("cache.file_reads{dataset=a}"), 10);
+        assert_eq!(only_a.counter("cache.file_reads{dataset=b}"), 0);
+        assert_eq!(only_a.counter("server.reads"), 0, "unlabelled metrics are dropped");
+        assert_eq!(only_a.gauge("cache.tenant.budget_bytes{dataset=a}"), 1 << 20);
+        assert_eq!(only_a.events.len(), 1);
+
+        let rows = tenant_stats(&snap);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].dataset, "a");
+        assert_eq!(rows[0].file_reads, 10);
+        assert_eq!(rows[0].chunk_hits, 8);
+        assert_eq!(rows[0].bytes_loaded, 4096);
+        assert_eq!(rows[0].budget_bytes, 1 << 20);
+        assert_eq!(rows[0].throttled, 3);
+        assert!((rows[0].hit_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(rows[1].dataset, "b");
+        assert_eq!(rows[1].hit_rate(), 0.0);
     }
 
     #[test]

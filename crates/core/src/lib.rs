@@ -23,6 +23,7 @@
 //! * [`config`] — the ETCD stand-in of Fig. 2: versioned configuration
 //!   KV with compare-and-swap and blocking watches.
 
+pub mod admission;
 pub mod api;
 pub mod client;
 pub mod config;
@@ -32,6 +33,7 @@ pub mod fuse;
 pub mod pool;
 pub mod server;
 
+pub use admission::{AdmissionConfig, AdmissionController, Permit};
 pub use api::{ServerConn, ServerReply, ServerRequest, ServerResponse};
 pub use client::{ClientConfig, DieselClient};
 pub use config::{ConfigEntry, ConfigService};

@@ -248,20 +248,20 @@ mod tests {
         }
         for i in 0..3u64 {
             let own = p.server(i as usize).own_snapshot();
-            assert_eq!(own.counter("server.file_reads"), i + 1, "server {i} front-end counter");
+            assert_eq!(own.sum_counter("server.file_reads"), i + 1, "server {i} front-end counter");
         }
 
         // The wire endpoint on each server reports its own front-end
         // counters plus the shared backend, merged into one snapshot.
         let via_rpc =
             p.server(1).handle(crate::api::ServerRequest::Stats).unwrap().into_stats().unwrap();
-        assert_eq!(via_rpc.counter("server.file_reads"), 2);
+        assert_eq!(via_rpc.sum_counter("server.file_reads"), 2);
         let backend_puts = via_rpc.sum_counter("kv.puts");
         assert!(backend_puts > 0, "shared KV metrics ride along in the reply");
 
         // Pool aggregate: front-end counters sum, backend counted once.
         let agg = p.stats();
-        assert_eq!(agg.counter("server.file_reads"), 1 + 2 + 3);
+        assert_eq!(agg.sum_counter("server.file_reads"), 1 + 2 + 3);
         assert_eq!(agg.sum_counter("kv.puts"), backend_puts, "backend must not be multiplied");
     }
 

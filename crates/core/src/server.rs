@@ -15,6 +15,7 @@ use diesel_obs::{trace, Counter, Registry, RegistrySnapshot, Tracer};
 use diesel_store::{Bytes, ObjectStore};
 use diesel_util::Mutex;
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::executor::plan_chunk_reads;
 use crate::{DieselError, Result};
 
@@ -29,11 +30,13 @@ pub struct PurgeReport {
     pub bytes_reclaimed: u64,
 }
 
-/// Per-server executor counters, registered under `server.*`.
+/// Per-server executor counters, registered under `server.*`. The
+/// read-path counters (`server.file_reads`, `server.chunks_fetched`)
+/// are *not* held here: they carry a `{dataset=…}` label per tenant and
+/// are resolved from the registry at the call site, so per-tenant QPS
+/// is attributable and cluster totals come from `sum_counter`.
 struct Metrics {
     chunks_ingested: Counter,
-    file_reads: Counter,
-    chunks_fetched: Counter,
     merged_reads: Counter,
     merged_requests: Counter,
     purge_chunks_compacted: Counter,
@@ -51,8 +54,6 @@ impl Metrics {
     fn new(registry: &Registry) -> Self {
         Metrics {
             chunks_ingested: registry.counter("server.chunks_ingested", &[]),
-            file_reads: registry.counter("server.file_reads", &[]),
-            chunks_fetched: registry.counter("server.chunks_fetched", &[]),
             merged_reads: registry.counter("server.merged_reads", &[]),
             merged_requests: registry.counter("server.merged_requests", &[]),
             purge_chunks_compacted: registry.counter("server.purge.chunks_compacted", &[]),
@@ -82,6 +83,7 @@ pub struct DieselServer<K, S> {
     metrics: Metrics,
     pool: WorkPool,
     tracer: Tracer,
+    admission: Option<AdmissionController>,
 }
 
 impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
@@ -104,7 +106,33 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             metrics,
             pool: diesel_exec::global().clone(),
             tracer,
+            admission: None,
         }
+    }
+
+    /// Gate tenant-carrying requests behind an admission controller
+    /// (per-tenant token bucket + global concurrency cap + DRR
+    /// fair-share queue, DESIGN.md §14) whose `server.tenant.*` metrics
+    /// land in this server's registry.
+    pub fn with_admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = Some(AdmissionController::with_registry(cfg, Arc::clone(&self.registry)));
+        self
+    }
+
+    /// Like [`DieselServer::with_admission`], but with a caller-built
+    /// controller — e.g. one driven by a
+    /// [`MockClock`](diesel_util::MockClock), or shared across the
+    /// front-ends of a [`ServerPool`](crate::ServerPool) so the global
+    /// concurrency cap spans the whole fleet.
+    pub fn with_admission_controller(mut self, admission: AdmissionController) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// The admission controller gating this server's tenant requests,
+    /// if one is installed.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
     }
 
     /// Deterministic ID generation for compaction (tests/simulations).
@@ -218,7 +246,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// Read one file when the caller already holds its metadata (clients
     /// with a snapshot skip the server-side lookup entirely).
     pub fn read_by_meta(&self, dataset: &str, meta: &FileMeta) -> Result<Bytes> {
-        self.metrics.file_reads.inc();
+        self.registry.counter("server.file_reads", &[("dataset", dataset)]).inc();
         let key = chunk_object_key(dataset, meta.chunk);
         // The payload offset is relative to the chunk payload; the chunk
         // header precedes it.
@@ -235,7 +263,7 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// Read a whole chunk (what the task-grained cache and the chunk-wise
     /// shuffle issue).
     pub fn read_chunk(&self, dataset: &str, chunk: ChunkId) -> Result<Bytes> {
-        self.metrics.chunks_fetched.inc();
+        self.registry.counter("server.chunks_fetched", &[("dataset", dataset)]).inc();
         let key = chunk_object_key(dataset, chunk);
         let _span = if trace::active() {
             trace::span("store.get", &[("key", key.as_str())])

@@ -243,6 +243,14 @@ pub fn r4_format_hygiene(code: &str, out: &mut Vec<Finding>) {
 /// un-nested — a nested acquisition of an unranked receiver is itself
 /// a finding (add it here, deliberately, with the right rank).
 pub const LOCK_RANKS: &[(&str, u32)] = &[
+    // admission controller: the DRR lane mutex publishes per-tenant
+    // gauges (obs registry `inner`) while held, so it ranks below the
+    // registry.
+    ("lanes", 5),
+    // tenant cache map: the tenant table is consulted before any
+    // per-tenant cache work, so it ranks below the cache's membership
+    // plane and the registry.
+    ("tenants", 8),
     // obs registry: snapshot nests gate → metrics map → event ring.
     ("gate", 10),
     // cache elastic membership: a rebalance serializes on

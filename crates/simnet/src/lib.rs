@@ -24,6 +24,7 @@
 //! benchmark harness prints.
 
 pub mod driver;
+pub mod multitenant;
 pub mod net;
 pub mod openloop;
 pub mod resource;
@@ -31,6 +32,10 @@ pub mod stats;
 pub mod time;
 
 pub use driver::{run_actors, SimActor, SimReport};
+pub use multitenant::{
+    kv_closed_loop_qps, run_multi_tenant, MultiTenantConfig, MultiTenantReport, OpMix,
+    ServiceModel, SimAdmission, TenantReport, TenantSpec,
+};
 pub use net::{Fabric, NetworkModel, NodeNet};
 pub use openloop::{run_open_loop, OpenLoopReport};
 pub use resource::{Grant, Resource};

@@ -5,6 +5,9 @@
 #   payload_bench -> BENCH_6.json  (zero-copy payload plane)
 #   elastic_bench -> BENCH_8.json  (ring lookup + 4→8→4 rebalance +
 #                                   store read amplification)
+#   mixed_tenants -> BENCH_9.json  (multi-tenant isolation: slowdown
+#                                   under a skewed neighbour, fairness,
+#                                   simulated KV QPS ceiling)
 # The first ever run of each suite seeds its `baseline` section (kept
 # verbatim forever); every later run rewrites `current`. Pass `--check`
 # to fail if any key regresses past `--tolerance`× baseline — this is
@@ -17,6 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build -q --release -p diesel-bench --bin payload_bench --bin elastic_bench
+cargo build -q --release -p diesel-bench --bin payload_bench --bin elastic_bench --bin mixed_tenants
 target/release/payload_bench "$@"
 target/release/elastic_bench "$@"
+target/release/mixed_tenants "$@"

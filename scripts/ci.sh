@@ -36,6 +36,19 @@ DIESEL_LOCKDEP=fail DIESEL_EXEC_WORKERS=1 \
 DIESEL_LOCKDEP=fail DIESEL_EXEC_WORKERS=8 \
     cargo test -q --test determinism mid_epoch_resize_keeps_batches_byte_identical
 
+echo "== multi-tenant: isolation + determinism under lockdep =="
+# The multi-tenant plane (DESIGN.md §14): two tenants over one shared
+# TenantCacheMap. Tenant A's nodes die and its backing chunks are
+# corrupted mid-epoch; tenant B's batches must stay byte-identical and
+# its residency untouched — inline and under scheduling pressure, with
+# the lock-order witness armed (tenant map + DRR lanes are ranked locks).
+DIESEL_LOCKDEP=fail DIESEL_EXEC_WORKERS=1 \
+    cargo test -q --test determinism two_tenant_epochs_are_byte_identical_across_worker_counts
+DIESEL_LOCKDEP=fail DIESEL_EXEC_WORKERS=8 \
+    cargo test -q --test determinism two_tenant_epochs_are_byte_identical_across_worker_counts
+DIESEL_LOCKDEP=fail \
+    cargo test -q --test fault_tolerance tenant_a_corruption_leaves_tenant_b_byte_identical
+
 echo "== tracing: determinism =="
 # Trace export obeys the same replayability contract as the data path:
 # two identical MockClock'd single-worker runs → byte-identical JSON.
@@ -49,11 +62,13 @@ trace_out="$(mktemp /tmp/diesel-trace.XXXXXX.json)"
 cargo run -q --release -p diesel-bench --bin loader_pipeline -- --trace "$trace_out"
 rm -f "$trace_out"
 
-echo "== bench gates (payload + elastic) =="
-# Perf ratchets (DESIGN.md §11, §13): rerun the fixed suites and fail if
-# any key drifts past tolerance× the recorded baselines in BENCH_6.json
-# (zero-copy payload plane) and BENCH_8.json (ring lookup, 4→8→4
-# rebalance wall time, store read amplification). The tolerance is wide
+echo "== bench gates (payload + elastic + mixed tenants) =="
+# Perf ratchets (DESIGN.md §11, §13, §14): rerun the fixed suites and
+# fail if any key drifts past tolerance× the recorded baselines in
+# BENCH_6.json (zero-copy payload plane), BENCH_8.json (ring lookup,
+# 4→8→4 rebalance wall time, store read amplification) and BENCH_9.json
+# (multi-tenant isolation: light-tenant slowdown under a 10× neighbour,
+# fairness ratio, simulated KV QPS ceiling). The tolerance is wide
 # because CI machines are noisy; the point is catching accidental
 # copies and store re-reads (2×+ jumps), not 5% jitter.
 scripts/bench.sh --check --tolerance 2.5

@@ -7,7 +7,9 @@
 
 use std::sync::Arc;
 
-use diesel_dlt::cache::{CacheConfig, CachePolicy, LoadReport, TaskCache, Topology};
+use diesel_dlt::cache::{
+    CacheConfig, CachePolicy, LoadReport, TaskCache, TenantCacheMap, Topology,
+};
 use diesel_dlt::chunk::ChunkBuilderConfig;
 use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
 use diesel_dlt::exec::{ExecConfig, WorkPool};
@@ -394,6 +396,103 @@ fn mid_epoch_resize_keeps_batches_byte_identical() {
             "rebalances must not touch the backing store on a warm cluster (workers={workers})"
         );
         assert!((cache.resident_fraction() - 1.0).abs() < 1e-9, "survivors hold everything");
+    }
+}
+
+/// Loaders for tenants A and B plus tenant A's cache handle (the one
+/// the test kills and recovers mid-epoch).
+type TwoTenantStack = (
+    DataLoader<ShardedKv, MemObjectStore>,
+    DataLoader<ShardedKv, MemObjectStore>,
+    Arc<diesel_dlt::cache::TaskCache<MemObjectStore>>,
+);
+
+/// Two tenants over one shared `TenantCacheMap` plane: independent
+/// synthetic datasets, one loader each, both caches fully prefetched.
+fn two_tenant_stack(pool: WorkPool) -> TwoTenantStack {
+    let store = Arc::new(MemObjectStore::new());
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), store).with_pool(pool.clone()));
+    let mut loaders = Vec::new();
+    let tenants = TenantCacheMap::new(
+        Topology::uniform(2, 2).unwrap(),
+        server.store().clone(),
+        1 << 30,
+        CachePolicy::Oneshot,
+    )
+    .with_pool(pool.clone());
+    for (idx, (ds, sample_seed)) in [("synth-a", 83usize), ("synth-b", 29)].into_iter().enumerate()
+    {
+        let client = DieselClient::connect_with(
+            server.clone(),
+            ds,
+            ClientConfig {
+                chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+            },
+        )
+        .with_deterministic_identity(
+            idx as u64 + 1,
+            idx as u32 + 1,
+            100 * (idx as u32 + 1),
+        );
+        let samples = SyntheticSpec::cifar_like().generate(sample_seed);
+        upload_samples(&client, &samples).unwrap();
+        client.download_meta().unwrap();
+        client.enable_shuffle(diesel_dlt::shuffle::ShuffleKind::ChunkWise { group_size: 2 });
+        let chunks = server.meta().chunk_ids(ds).unwrap();
+        let cache = tenants.register(ds, chunks, 1).unwrap();
+        cache.prefetch_all().unwrap();
+        client.attach_cache(cache);
+        loaders.push(
+            DataLoader::new(Arc::new(client), 8, 17).with_pool(pool.clone()).with_prefetch_depth(3),
+        );
+    }
+    let cache_a = tenants.get("synth-a").unwrap();
+    let loader_b = loaders.pop().unwrap();
+    let loader_a = loaders.pop().unwrap();
+    (loader_a, loader_b, cache_a)
+}
+
+#[test]
+fn two_tenant_epochs_are_byte_identical_across_worker_counts() {
+    // Tenant isolation × determinism: two tenants share one
+    // `TenantCacheMap` plane; tenant A's cache nodes are killed and
+    // recovered *while tenant B's epoch streams*. B's batches must equal
+    // its workers=1 run bit-for-bit at every worker count — and A's too,
+    // once its nodes are back.
+    let (base_a, base_b) = {
+        let (loader_a, loader_b, _) = two_tenant_stack(pool(1));
+        (
+            (0..2).map(|e| epoch_fingerprint(&loader_a, e)).collect::<Vec<_>>(),
+            (0..2).map(|e| epoch_fingerprint(&loader_b, e)).collect::<Vec<_>>(),
+        )
+    };
+    assert!(base_a[0].len() > 5, "expect a multi-batch epoch");
+    assert_ne!(base_a[0], base_b[0], "tenants train on different data");
+    for workers in WORKER_GRID {
+        let (loader_a, loader_b, cache_a) = two_tenant_stack(pool(workers));
+        // Epoch 0 for B, with tenant A churning mid-epoch.
+        let mut got = Vec::new();
+        for (i, b) in loader_b.epoch_iter(0).unwrap().enumerate() {
+            if i == 2 {
+                cache_a.kill_node(0);
+            }
+            if i == 4 {
+                cache_a.recover_node(0).unwrap();
+            }
+            let (x, labels) = b.unwrap();
+            got.push((labels, x.data.iter().map(|f| f.to_bits()).collect::<Vec<u32>>()));
+        }
+        assert_eq!(got, base_b[0], "B's epoch 0 diverges under A churn at workers={workers}");
+        assert_eq!(
+            epoch_fingerprint(&loader_b, 1),
+            base_b[1],
+            "B's epoch 1 diverges at workers={workers}"
+        );
+        for (e, want) in base_a.iter().enumerate() {
+            let got = epoch_fingerprint(&loader_a, e as u64);
+            assert_eq!(&got, want, "A's epoch {e} diverges at workers={workers}");
+        }
     }
 }
 

@@ -4,11 +4,11 @@
 
 use std::sync::Arc;
 
-use diesel_dlt::cache::{CacheConfig, CachePolicy, TaskCache, Topology};
+use diesel_dlt::cache::{CacheConfig, CachePolicy, TaskCache, TenantCacheMap, Topology};
 use diesel_dlt::chunk::ChunkBuilderConfig;
 use diesel_dlt::core::{ClientConfig, DieselClient, DieselServer};
 use diesel_dlt::kv::{ClusterConfig, KvCluster, KvStore};
-use diesel_dlt::store::MemObjectStore;
+use diesel_dlt::store::{MemObjectStore, ObjectStore};
 
 type ClusterServer = DieselServer<KvCluster, MemObjectStore>;
 
@@ -191,6 +191,102 @@ fn concurrent_readers_during_node_failure() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+/// Populate `dataset` on `server` with `files` 200-byte files using a
+/// per-tenant deterministic identity, so tenants never share chunk ids.
+fn populate_tenant(
+    server: &Arc<ClusterServer>,
+    dataset: &str,
+    files: usize,
+    seed: u64,
+) -> Vec<String> {
+    let c = DieselClient::connect_with(
+        server.clone(),
+        dataset,
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 4096, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(seed, seed as u32, 5_000 + seed as u32);
+    let mut names = Vec::new();
+    for i in 0..files {
+        let name = format!("c{}/f{i:05}", i % 4);
+        c.put(&name, &[(i % 251) as u8; 200]).unwrap();
+        names.push(name);
+    }
+    c.flush().unwrap();
+    names
+}
+
+#[test]
+fn tenant_a_corruption_leaves_tenant_b_byte_identical() {
+    // The §4.2 failure-containment story, multi-tenant edition: tenant A
+    // loses its cache nodes *and* its backing chunks are corrupted
+    // mid-epoch. Tenant B — its own `TaskCache` over the same shared
+    // plane via `TenantCacheMap` — must keep serving byte-identical
+    // batches from fully resident chunks, untouched by A's chaos.
+    let (_, server) = cluster_server(2);
+    let names_a = populate_tenant(&server, "tenant-a", 160, 3);
+    let names_b = populate_tenant(&server, "tenant-b", 160, 7);
+
+    let tenants = TenantCacheMap::new(
+        Topology::uniform(4, 2).unwrap(),
+        server.store().clone(),
+        1 << 30,
+        CachePolicy::Oneshot,
+    );
+    let cache_a =
+        tenants.register("tenant-a", server.meta().chunk_ids("tenant-a").unwrap(), 1).unwrap();
+    let cache_b =
+        tenants.register("tenant-b", server.meta().chunk_ids("tenant-b").unwrap(), 1).unwrap();
+    cache_a.prefetch_all().unwrap();
+    cache_b.prefetch_all().unwrap();
+
+    let client_a = DieselClient::connect(server.clone(), "tenant-a");
+    client_a.download_meta().unwrap();
+    client_a.attach_cache(cache_a.clone());
+    let client_b = DieselClient::connect(server.clone(), "tenant-b");
+    client_b.download_meta().unwrap();
+    client_b.attach_cache(cache_b.clone());
+
+    // Reference epoch for tenant B before any fault.
+    let baseline: Vec<Vec<u8>> =
+        names_b.iter().map(|n| client_b.get(n).unwrap().to_vec()).collect();
+    let loads_before = cache_b.metrics().chunk_loads();
+    assert!((cache_b.resident_fraction() - 1.0).abs() < 1e-9);
+
+    // Mid-epoch chaos in tenant A: half way through B's sweep, kill all
+    // of A's cache nodes and overwrite A's backing chunks with garbage.
+    let mid = names_b.len() / 2;
+    let mut epoch: Vec<Vec<u8>> = Vec::new();
+    for (i, n) in names_b.iter().enumerate() {
+        if i == mid {
+            for node in 0..4 {
+                cache_a.kill_node(node);
+            }
+            for id in server.meta().chunk_ids("tenant-a").unwrap() {
+                let key = diesel_dlt::meta::recovery::chunk_object_key("tenant-a", id);
+                server.store().put(&key, vec![0xde; 64].into()).unwrap();
+            }
+        }
+        epoch.push(client_b.get(n).unwrap().to_vec());
+    }
+    assert_eq!(epoch, baseline, "tenant B's batches must be byte-identical through A's failure");
+
+    // B's residency and load counters are untouched: nothing was evicted
+    // or re-fetched because of A.
+    assert!((cache_b.resident_fraction() - 1.0).abs() < 1e-9, "B's residency must be untouched");
+    assert_eq!(cache_b.metrics().chunk_loads(), loads_before);
+    assert_eq!(cache_b.metrics().evictions(), 0);
+
+    // Tenant A, by contrast, really is broken: its cache is dead and the
+    // server-side fallback now reads corrupted chunks.
+    assert!(names_a.iter().any(|n| client_a.get(n).is_err()), "tenant A should be failing");
+
+    // B's budget share is exactly half the node budget under equal
+    // weights, and survives A's failure.
+    assert_eq!(tenants.budget_of("tenant-b"), Some((1u64 << 30) / 2));
 }
 
 #[test]
