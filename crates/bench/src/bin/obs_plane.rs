@@ -1,0 +1,325 @@
+//! Telemetry-plane benchmark gate: the fixed suite behind
+//! `BENCH_10.json`.
+//!
+//! The flight recorder / SLO monitor / Prometheus renderer (DESIGN.md
+//! §15) are monitoring machinery — they must observe the data plane
+//! without perturbing it. This suite pins their costs:
+//!
+//! * `recorder_tick_us_500series` — one recorder tick (snapshot +
+//!   delta-encode) over a registry with ~500 live series, µs
+//! * `prom_render_us_500series` — one Prometheus text exposition of the
+//!   same snapshot, µs
+//! * `slo_eval_us` — one SLO evaluation (8 tenants × 4 objectives) over
+//!   a populated recording, µs
+//! * `recorder_overhead_ratio` — cache-hit read sweep wall time with a
+//!   live 100 ms recorder driver attached ÷ without; asserted ≤ 1.05
+//!   outright (the ≤5 % hot-path overhead contract), and ratcheted
+//! * `slo_health_light_fair` / `slo_health_light_open` — the final
+//!   `slo.health{dataset=light}` gauge of the deterministic
+//!   noisy-neighbour scenario with and without admission control;
+//!   asserted to be exactly 1 and 0
+//!
+//! The run also archives the fair scenario's Prometheus scrape to
+//! `results/scrape.prom` and re-parses it with the round-trip parser,
+//! so the exposition format is validated on every bench run.
+//!
+//! Ledger protocol matches the other suites: first run seeds
+//! `baseline`, later runs rewrite `current`; with `--check`, cost keys
+//! must stay within `--tolerance`× of baseline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use diesel_chunk::ChunkBuilderConfig;
+use diesel_core::{ClientConfig, DieselClient, DieselServer};
+use diesel_kv::ShardedKv;
+use diesel_obs::{FlightRecorder, RecorderConfig, Registry, SloMonitor, SloTarget};
+use diesel_simnet::{noisy_neighbour_config, run_telemetry};
+use diesel_store::MemObjectStore;
+use diesel_util::SystemClock;
+
+const FILES: usize = 200;
+const TENANTS: usize = 8;
+
+/// Best-of-`reps` wall time for `iters` runs of `f`, in ns per iter.
+fn best_ns_per_iter(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// A registry with ~500 live series: 200 labelled counters, 100 gauges,
+/// 200 labelled histograms with recorded samples — the shape of a busy
+/// multi-tenant server.
+fn populated_registry() -> Arc<Registry> {
+    let reg = Arc::new(Registry::new(Arc::new(SystemClock::new())));
+    for i in 0..200u64 {
+        let tag = format!("t{i:03}");
+        reg.counter("bench.ops", &[("series", &tag)]).add(i * 17 + 1);
+    }
+    for i in 0..100u64 {
+        let tag = format!("t{i:03}");
+        reg.gauge("bench.depth", &[("series", &tag)]).set(i * 3);
+    }
+    for i in 0..200u64 {
+        let tag = format!("t{i:03}");
+        let h = reg.histogram("bench.latency", &[("series", &tag)]);
+        for k in 0..8 {
+            h.record_ns(1_000 * (i + 1) * (k + 1));
+        }
+    }
+    reg
+}
+
+/// Tick cost over the populated registry, with a light mutation between
+/// ticks so every frame carries real deltas (an idle registry would
+/// delta-encode to nothing and flatter the number).
+fn recorder_tick_us(reg: &Arc<Registry>) -> f64 {
+    let rec = FlightRecorder::new(
+        reg.clone(),
+        RecorderConfig { max_frames: 256, max_bytes: 32 << 20, ..Default::default() },
+    );
+    let mut i = 0u64;
+    best_ns_per_iter(3, 200, || {
+        i += 1;
+        reg.counter("bench.ops", &[("series", "t000")]).add(i);
+        reg.histogram("bench.latency", &[("series", "t000")]).record_ns(i * 100);
+        rec.tick();
+    }) / 1e3
+}
+
+fn prom_render_us(reg: &Arc<Registry>) -> f64 {
+    let snap = reg.snapshot();
+    best_ns_per_iter(3, 100, || {
+        let text = diesel_obs::render_prometheus(&snap);
+        assert!(!text.is_empty());
+    }) / 1e3
+}
+
+/// SLO evaluation cost: 8 tenants × 4 objectives over a recording with
+/// live per-tenant series.
+fn slo_eval_us() -> f64 {
+    let reg = Arc::new(Registry::new(Arc::new(SystemClock::new())));
+    let rec = Arc::new(FlightRecorder::new(reg.clone(), RecorderConfig::default()));
+    let targets: Vec<SloTarget> = (0..TENANTS)
+        .map(|i| SloTarget {
+            read_p99_ns: Some(5_000_000),
+            max_error_ratio: Some(0.01),
+            min_hit_rate: Some(0.5),
+            max_throttle_ratio: Some(0.2),
+            ..SloTarget::new(&format!("tenant{i}"))
+        })
+        .collect();
+    let monitor = SloMonitor::new(reg.clone(), rec.clone(), targets);
+    for _round in 0..10u64 {
+        for i in 0..TENANTS {
+            let name = format!("tenant{i}");
+            let labels = &[("dataset", name.as_str())][..];
+            reg.counter("server.file_reads", labels).add(50);
+            reg.counter("cache.file_reads", labels).add(50);
+            reg.counter("cache.chunk_hits", labels).add(45);
+            reg.counter("server.tenant.admitted", labels).add(50);
+            for k in 0..50 {
+                reg.histogram("server.read_latency", labels).record_ns(100_000 + k * 10_000);
+            }
+        }
+        rec.tick();
+    }
+    best_ns_per_iter(3, 100, || {
+        let reports = monitor.evaluate();
+        assert_eq!(reports.len(), TENANTS);
+    }) / 1e3
+}
+
+type Stack =
+    (Arc<DieselServer<ShardedKv, MemObjectStore>>, DieselClient<ShardedKv, MemObjectStore>);
+
+/// Server + client with a small dataset uploaded and meta loaded; reads
+/// go through the wire path, so the server's registry sees every op.
+fn stack() -> Stack {
+    let server =
+        Arc::new(DieselServer::new(Arc::new(ShardedKv::new()), Arc::new(MemObjectStore::new())));
+    let client = DieselClient::connect_with(
+        server.clone(),
+        "synth",
+        ClientConfig {
+            chunk: ChunkBuilderConfig { target_chunk_size: 1 << 16, ..Default::default() },
+        },
+    )
+    .with_deterministic_identity(1, 1, 100);
+    for i in 0..FILES {
+        client.put(&format!("f{i:04}"), &[(i % 251) as u8; 512]).expect("put");
+    }
+    client.flush().expect("flush");
+    client.download_meta().expect("meta");
+    (server, client)
+}
+
+/// Read-path overhead of a live recorder: sweep cost with a 10 ms
+/// recorder driver sampling the server's registry ÷ cost without. Each
+/// tick snapshots the registry under its write gate, so sampling *does*
+/// contend with the hot path — 10 ms is 100× the default 1 s cadence,
+/// and the contract is that even that stays under 5 %.
+///
+/// Bare/attached sweeps are measured back-to-back in pairs and the
+/// smallest ratio wins: ambient machine noise drifts on a timescale
+/// longer than one pair, so at least one pair sees both sides under the
+/// same conditions, and the min cancels the drift while an actual
+/// recorder cost shows up in *every* pair.
+fn recorder_overhead_ratio() -> f64 {
+    let (server, client) = stack();
+    let paths: Vec<String> = (0..FILES).map(|i| format!("f{i:04}")).collect();
+    let sweep = |iters: usize| {
+        best_ns_per_iter(1, iters, || {
+            for p in &paths {
+                assert!(!client.get(p).expect("read").is_empty());
+            }
+        }) / FILES as f64
+    };
+    sweep(200); // warm-up
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..4 {
+        let bare = sweep(600);
+        let rec = Arc::new(FlightRecorder::new(
+            server.registry().clone(),
+            RecorderConfig { interval_ns: 10_000_000, max_frames: 512, ..Default::default() },
+        ));
+        let driver = rec.spawn();
+        let attached = sweep(600);
+        driver.stop();
+        assert!(rec.ticks() > 0, "driver must actually have sampled during the sweep");
+        best_ratio = best_ratio.min(attached / bare);
+    }
+    best_ratio
+}
+
+/// Flat `"key": number` pairs of one named JSON section.
+fn parse_section(text: &str, name: &str) -> Option<Vec<(String, f64)>> {
+    let start = text.find(&format!("\"{name}\""))?;
+    let open = start + text[start..].find('{')?;
+    let close = open + text[open..].find('}')?;
+    let mut out = Vec::new();
+    for part in text[open + 1..close].split(',') {
+        let (k, v) = part.split_once(':')?;
+        out.push((k.trim().trim_matches('"').to_string(), v.trim().parse().ok()?));
+    }
+    Some(out)
+}
+
+fn render_section(pairs: &[(String, f64)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")).collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+fn render(baseline: &[(String, f64)], current: &[(String, f64)]) -> String {
+    format!(
+        "{{\n  \"schema\": 1,\n  \"suite\": \"obs_plane\",\n  \"baseline\": {},\n  \"current\": {}\n}}\n",
+        render_section(baseline),
+        render_section(current)
+    )
+}
+
+fn main() {
+    let mut json_path = "BENCH_10.json".to_string();
+    let mut check = false;
+    let mut tolerance = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--check" => check = true,
+            "--tolerance" => {
+                tolerance =
+                    args.next().and_then(|s| s.parse().ok()).expect("--tolerance needs a number")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let reg = populated_registry();
+    let tick_us = recorder_tick_us(&reg);
+    let render_us = prom_render_us(&reg);
+    let eval_us = slo_eval_us();
+    let overhead = recorder_overhead_ratio();
+
+    // The deterministic SLO acceptance scenario: light tenant beside a
+    // 10× neighbour, green with admission control and red without.
+    let fair = run_telemetry(&noisy_neighbour_config(true));
+    let open = run_telemetry(&noisy_neighbour_config(false));
+    let health_fair = *fair.health.get("light").expect("light tenant present") as f64;
+    let health_open = *open.health.get("light").expect("light tenant present") as f64;
+
+    // Hard contracts, asserted outright (the ratchet only bounds drift).
+    assert!(
+        overhead <= 1.05,
+        "recorder must cost <= 5% on the cache-hit read path, measured {overhead:.4}x"
+    );
+    assert_eq!(health_fair, 1.0, "admission control must keep the light tenant green");
+    assert_eq!(health_open, 0.0, "disabled admission must breach the light tenant");
+
+    // Archive the fair scenario's scrape and round-trip it through the
+    // parser: the exposition format is validated on every bench run.
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/scrape.prom", &fair.scrape).expect("write scrape");
+    let samples = diesel_obs::parse_prometheus(&fair.scrape).expect("scrape must round-trip");
+    assert!(
+        samples.iter().any(|s| s.name == "slo_health" && s.label("dataset") == Some("light")),
+        "archived scrape must carry the health gauge"
+    );
+
+    let current: Vec<(String, f64)> = vec![
+        ("recorder_tick_us_500series".into(), tick_us),
+        ("prom_render_us_500series".into(), render_us),
+        ("slo_eval_us".into(), eval_us),
+        ("recorder_overhead_ratio".into(), overhead),
+        ("slo_health_light_fair".into(), health_fair),
+        ("slo_health_light_open".into(), health_open),
+    ];
+
+    // First run seeds the baseline; later runs keep it verbatim.
+    let baseline = std::fs::read_to_string(&json_path)
+        .ok()
+        .and_then(|t| parse_section(&t, "baseline"))
+        .unwrap_or_else(|| current.clone());
+    std::fs::write(&json_path, render(&baseline, &current)).expect("write json");
+
+    println!("obs_plane -> {json_path}");
+    for (k, v) in &current {
+        let base = baseline.iter().find(|(bk, _)| bk == k).map(|(_, bv)| *bv);
+        match base {
+            Some(b) if b > 0.0 => {
+                println!("  {k:<28} {v:>12.3}  (baseline {b:.3}, {:+.1}%)", (v / b - 1.0) * 100.0)
+            }
+            _ => println!("  {k:<28} {v:>12.3}"),
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        for (k, v) in &current {
+            // The health gauges are exact contracts asserted above, not
+            // costs; everything else ratchets against the baseline.
+            if k.starts_with("slo_health") {
+                continue;
+            }
+            if let Some((_, b)) = baseline.iter().find(|(bk, _)| bk == k) {
+                if *b > 0.0 && *v > b * tolerance {
+                    eprintln!(
+                        "REGRESSION: {k} = {v:.3} exceeds baseline {b:.3} x tolerance {tolerance}"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("obs_plane --check: all keys within {tolerance}x of baseline");
+    }
+}

@@ -108,6 +108,11 @@ pub enum ServerRequest {
     /// A point-in-time snapshot of the server's metric registry, merged
     /// with its KV and store backends (remote observability).
     Stats,
+    /// The same merged snapshot as [`Stats`](ServerRequest::Stats),
+    /// rendered in the Prometheus text exposition format
+    /// ([`diesel_obs::prom`]) — what `dlcmd scrape` and external
+    /// monitoring pull.
+    Scrape,
     /// Drain the server-side tracer's recorded spans (remote tracing;
     /// see [`diesel_obs::trace`]). Draining empties the buffer, so each
     /// span is returned exactly once.
@@ -132,6 +137,7 @@ impl ServerRequest {
             ServerRequest::PurgeDataset { .. } => "PurgeDataset",
             ServerRequest::DeleteDataset { .. } => "DeleteDataset",
             ServerRequest::Stats => "Stats",
+            ServerRequest::Scrape => "Scrape",
             ServerRequest::Trace => "Trace",
         }
     }
@@ -156,7 +162,7 @@ impl ServerRequest {
             | ServerRequest::DeleteFile { dataset, .. }
             | ServerRequest::PurgeDataset { dataset, .. }
             | ServerRequest::DeleteDataset { dataset } => Some(dataset),
-            ServerRequest::Stats | ServerRequest::Trace => None,
+            ServerRequest::Stats | ServerRequest::Scrape | ServerRequest::Trace => None,
         }
     }
 }
@@ -184,6 +190,8 @@ pub enum ServerResponse {
     Removed(u64),
     /// A metric-registry snapshot.
     Stats(RegistrySnapshot),
+    /// Rendered text (a Prometheus scrape).
+    Text(String),
     /// Spans drained from the server-side tracer.
     Trace(Vec<Span>),
 }
@@ -272,6 +280,14 @@ impl ServerResponse {
         }
     }
 
+    /// Unwrap [`ServerResponse::Text`].
+    pub fn into_text(self) -> Result<String> {
+        match self {
+            ServerResponse::Text(t) => Ok(t),
+            other => Err(unexpected("rendered text", &other)),
+        }
+    }
+
     /// Unwrap [`ServerResponse::Trace`].
     pub fn into_trace(self) -> Result<Vec<Span>> {
         match self {
@@ -289,6 +305,12 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
         if matches!(req, ServerRequest::Trace) {
             return Ok(ServerResponse::Trace(self.tracer().drain()));
         }
+        // Scrapes render outside the span/admission machinery too: a
+        // monitoring pull must not perturb (or be blocked by) the
+        // tenant data plane it observes.
+        if matches!(req, ServerRequest::Scrape) {
+            return Ok(ServerResponse::Text(diesel_obs::render_prometheus(&self.stats_snapshot())));
+        }
         // Installing a disabled tracer is one thread-local read; when a
         // caller context arrived in the envelope (or via a direct
         // channel), the handle span parents the caller's span.
@@ -302,7 +324,22 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             (Some(adm), Some(tenant)) => Some(adm.admit(tenant).map_err(DieselError::Cache)?),
             _ => None,
         };
-        match req {
+        // Per-tenant telemetry around the dispatch: read-class requests
+        // time into `server.read_latency{dataset=…}` (what the SLO
+        // monitor's p99 objective reads) and any admitted request that
+        // fails counts into `server.request_errors{dataset=…}`.
+        // Throttles never reach this point — they are a separate budget
+        // (`server.tenant.throttled`), not a request error.
+        let read_class = matches!(
+            req,
+            ServerRequest::ReadFile { .. }
+                | ServerRequest::ReadByMeta { .. }
+                | ServerRequest::ReadChunk { .. }
+                | ServerRequest::ReadFilesMerged { .. }
+        );
+        let dataset = req.tenant().map(str::to_owned);
+        let start_ns = if read_class { Some(self.registry().clock().now_ns()) } else { None };
+        let reply = match req {
             ServerRequest::IngestChunk { dataset, chunk } => {
                 self.ingest_chunk(&dataset, chunk).map(|()| ServerResponse::Unit)
             }
@@ -341,9 +378,24 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
                 self.delete_dataset(&dataset).map(ServerResponse::Removed)
             }
             ServerRequest::Stats => Ok(ServerResponse::Stats(self.stats_snapshot())),
-            // Handled by the early return above; kept for exhaustiveness.
+            // Handled by the early returns above; kept for exhaustiveness.
+            ServerRequest::Scrape => {
+                Ok(ServerResponse::Text(diesel_obs::render_prometheus(&self.stats_snapshot())))
+            }
             ServerRequest::Trace => Ok(ServerResponse::Trace(self.tracer().drain())),
+        };
+        if let Some(dataset) = dataset.as_deref() {
+            if let Some(start) = start_ns {
+                let elapsed = self.registry().clock().now_ns().saturating_sub(start);
+                self.registry()
+                    .histogram("server.read_latency", &[("dataset", dataset)])
+                    .record_ns(elapsed);
+            }
+            if reply.is_err() {
+                self.registry().counter("server.request_errors", &[("dataset", dataset)]).inc();
+            }
         }
+        reply
     }
 
     /// An in-process [`ServerConn`] to this server: direct dispatch, no

@@ -209,6 +209,101 @@ pub fn tenant_stats(snap: &diesel_obs::RegistrySnapshot) -> Vec<TenantStatsRow> 
         .collect()
 }
 
+/// One tenant's line in `dlcmd top`: live rates and SLO posture from the
+/// flight recorder over one query window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopRow {
+    /// Tenant name (the dataset).
+    pub dataset: String,
+    /// File reads per second served over the window.
+    pub qps: f64,
+    /// p99 read latency over the window, in nanoseconds (0 = no reads).
+    pub p99_ns: u64,
+    /// Cache hit rate over the window's file reads, in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Worst fast-window burn rate across the tenant's objectives
+    /// (1.0 = exactly at target).
+    pub burn: f64,
+    /// True when every objective is in the `Ok` state.
+    pub healthy: bool,
+}
+
+/// `dlcmd top` — join recorder window queries with the latest SLO
+/// reports into one row per tenant, busiest first.
+pub fn top_rows(
+    recorder: &diesel_obs::FlightRecorder,
+    reports: &[diesel_obs::SloReport],
+    window_ns: u64,
+) -> Vec<TopRow> {
+    let mut rows: Vec<TopRow> = reports
+        .iter()
+        .map(|report| {
+            let d = &report.dataset;
+            let hits = recorder.delta(&format!("cache.chunk_hits{{dataset={d}}}"), window_ns);
+            let cached = recorder.delta(&format!("cache.file_reads{{dataset={d}}}"), window_ns);
+            TopRow {
+                dataset: d.clone(),
+                qps: recorder.rate(&format!("server.file_reads{{dataset={d}}}"), window_ns),
+                p99_ns: recorder.percentile_over(
+                    &format!("server.read_latency{{dataset={d}}}"),
+                    0.99,
+                    window_ns,
+                ),
+                hit_rate: if cached == 0 { 0.0 } else { hits as f64 / cached as f64 },
+                burn: report.objectives.iter().map(|o| o.fast_burn).fold(0.0, f64::max),
+                healthy: report.healthy(),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.qps
+            .partial_cmp(&a.qps)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.dataset.cmp(&b.dataset))
+    });
+    rows
+}
+
+/// Render `dlcmd top` rows as an aligned text table.
+pub fn render_top(rows: &[TopRow]) -> String {
+    let mut out = String::from("DATASET              QPS     P99_READ   HIT%   BURN  HEALTH\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>7.1} {:>12} {:>5.1} {:>6.2}  {}\n",
+            r.dataset,
+            r.qps,
+            diesel_obs::fmt_ns(r.p99_ns),
+            r.hit_rate * 100.0,
+            r.burn,
+            if r.healthy { "ok" } else { "BREACH" },
+        ));
+    }
+    out
+}
+
+/// Render one tenant's SLO report (`dlcmd slo <dataset>`): one line per
+/// objective with both burn windows and the current state.
+pub fn render_slo(report: &diesel_obs::SloReport) -> String {
+    let mut out = format!(
+        "dataset {}: {}\n",
+        report.dataset,
+        if report.healthy() { "healthy" } else { "BREACHED" }
+    );
+    for o in &report.objectives {
+        out.push_str(&format!(
+            "  {:<16} fast_burn={:>7.2} slow_burn={:>7.2}  {}\n",
+            o.slo,
+            o.fast_burn,
+            o.slow_burn,
+            match o.state {
+                diesel_obs::SloState::Ok => "ok",
+                diesel_obs::SloState::Breached => "BREACH",
+            },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +402,111 @@ mod tests {
         assert!((rows[0].hit_rate() - 0.8).abs() < 1e-9);
         assert_eq!(rows[1].dataset, "b");
         assert_eq!(rows[1].hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn filter_stats_slices_histograms_and_drops_no_match() {
+        let reg = diesel_obs::Registry::new(Arc::new(diesel_util::MockClock::new()));
+        reg.histogram("server.read_latency", &[("dataset", "a")]).record_ns(1_000);
+        reg.histogram("server.read_latency", &[("dataset", "a")]).record_ns(3_000);
+        reg.histogram("server.read_latency", &[("dataset", "b")]).record_ns(9_000);
+        reg.histogram("exec.queue_wait", &[]).record_ns(50);
+        let snap = reg.snapshot();
+
+        let only_a = filter_stats(&snap, "a");
+        assert_eq!(only_a.histograms.len(), 1, "only tenant a's latency series survives");
+        let h = only_a.histogram("server.read_latency{dataset=a}").expect("a's histogram kept");
+        assert_eq!(h.count(), 2);
+        assert!(only_a.histogram("server.read_latency{dataset=b}").is_none());
+        assert!(only_a.histogram("exec.queue_wait").is_none(), "unlabelled series dropped");
+
+        // A dataset that appears nowhere filters to an empty view — not
+        // an error, and not someone else's metrics.
+        let nothing = filter_stats(&snap, "ghost");
+        assert!(nothing.counters.is_empty());
+        assert!(nothing.gauges.is_empty());
+        assert!(nothing.histograms.is_empty());
+        assert!(nothing.events.is_empty());
+    }
+
+    #[test]
+    fn filter_stats_and_prom_renderer_agree_on_label_escaping() {
+        // The dataset label travels two paths out of a snapshot: the
+        // dlcmd slice (raw metric ids) and the Prometheus renderer
+        // (escaped label values). A hostile-but-representable dataset
+        // name (quotes, backslashes — `,`/`=` can't appear in a metric
+        // id's label values) must round-trip identically through both.
+        let hostile = "train\"v2\\final";
+        let reg = diesel_obs::Registry::new(Arc::new(diesel_util::MockClock::new()));
+        reg.counter("cache.file_reads", &[("dataset", hostile)]).add(7);
+        reg.counter("cache.file_reads", &[("dataset", "other")]).add(3);
+        let snap = reg.snapshot();
+
+        // dlcmd path: the raw id keeps the literal value.
+        let sliced = filter_stats(&snap, hostile);
+        assert_eq!(sliced.counters.len(), 1);
+        assert_eq!(sliced.counter(&format!("cache.file_reads{{dataset={hostile}}}")), 7);
+
+        // Prometheus path: render the slice, parse it back, and recover
+        // the identical literal value through the escape rules.
+        let text = diesel_obs::render_prometheus(&sliced);
+        let samples = diesel_obs::parse_prometheus(&text).expect("renderer output parses");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "cache_file_reads");
+        assert_eq!(samples[0].label("dataset"), Some(hostile));
+        assert_eq!(samples[0].value, 7.0);
+    }
+
+    #[test]
+    fn top_rows_and_renderers() {
+        use diesel_obs::{FlightRecorder, RecorderConfig, SloMonitor, SloTarget};
+        let clock = Arc::new(diesel_util::MockClock::new());
+        let reg = Arc::new(diesel_obs::Registry::new(clock.clone()));
+        let rec = Arc::new(FlightRecorder::new(
+            reg.clone(),
+            RecorderConfig { interval_ns: 1_000_000_000, ..Default::default() },
+        ));
+        let monitor = SloMonitor::with_windows(
+            reg.clone(),
+            rec.clone(),
+            vec![
+                SloTarget { min_hit_rate: Some(0.5), ..SloTarget::new("hot") },
+                SloTarget::new("cold"),
+            ],
+            2_000_000_000,
+            4_000_000_000,
+        );
+        rec.tick();
+        for _ in 0..20 {
+            reg.counter("server.file_reads", &[("dataset", "hot")]).inc();
+            reg.histogram("server.read_latency", &[("dataset", "hot")]).record_ns(2_000_000);
+        }
+        reg.counter("cache.file_reads", &[("dataset", "hot")]).add(20);
+        reg.counter("cache.chunk_hits", &[("dataset", "hot")]).add(15);
+        reg.counter("server.file_reads", &[("dataset", "cold")]).inc();
+        clock.advance(1_000_000_000);
+        rec.tick();
+        let reports = monitor.evaluate();
+
+        let rows = top_rows(&rec, &reports, 2_000_000_000);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].dataset, "hot", "busiest tenant sorts first");
+        assert!(rows[0].qps > rows[1].qps);
+        assert!((rows[0].hit_rate - 0.75).abs() < 1e-9);
+        assert_eq!(
+            rows[0].p99_ns,
+            rec.percentile_over("server.read_latency{dataset=hot}", 0.99, 2_000_000_000,)
+        );
+        assert!(rows[0].healthy && rows[1].healthy);
+
+        let table = render_top(&rows);
+        assert!(table.contains("DATASET"));
+        assert!(table.contains("hot"));
+        assert!(table.contains("ok"));
+
+        let slo_text = render_slo(reports.iter().find(|r| r.dataset == "hot").unwrap());
+        assert!(slo_text.starts_with("dataset hot: healthy"));
+        assert!(slo_text.contains("hit_rate"));
     }
 
     #[test]

@@ -11,7 +11,10 @@ use diesel_meta::recovery::{
     chunk_object_key, recover_from_timestamp, recover_full, RecoveryReport,
 };
 use diesel_meta::{DirEntry, FileMeta, MetaService, MetaSnapshot};
-use diesel_obs::{trace, Counter, Registry, RegistrySnapshot, Tracer};
+use diesel_obs::{
+    trace, Counter, FlightRecorder, RecorderConfig, RecorderDriver, Registry, RegistrySnapshot,
+    SloMonitor, SloTarget, Tracer,
+};
 use diesel_store::{Bytes, ObjectStore};
 use diesel_util::Mutex;
 
@@ -84,6 +87,9 @@ pub struct DieselServer<K, S> {
     pool: WorkPool,
     tracer: Tracer,
     admission: Option<AdmissionController>,
+    recorder: Option<Arc<FlightRecorder>>,
+    slo: Option<Arc<SloMonitor>>,
+    telemetry_driver: Option<RecorderDriver>,
 }
 
 impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
@@ -107,6 +113,9 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
             pool: diesel_exec::global().clone(),
             tracer,
             admission: None,
+            recorder: None,
+            slo: None,
+            telemetry_driver: None,
         }
     }
 
@@ -133,6 +142,69 @@ impl<K: KvStore, S: ObjectStore> DieselServer<K, S> {
     /// if one is installed.
     pub fn admission(&self) -> Option<&AdmissionController> {
         self.admission.as_ref()
+    }
+
+    /// Attach a caller-built flight recorder (it must sample this
+    /// server's registry). Nothing drives it yet — deterministic
+    /// harnesses tick it themselves; live deployments follow with
+    /// [`DieselServer::start_telemetry`].
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attach a flight recorder over this server's registry with the
+    /// given caps/interval (use [`RecorderConfig::from_env`] for the
+    /// `DIESEL_RECORDER_*` knobs).
+    pub fn with_recorder_config(self, cfg: RecorderConfig) -> Self {
+        let recorder = Arc::new(FlightRecorder::new(Arc::clone(&self.registry), cfg));
+        self.with_recorder(recorder)
+    }
+
+    /// Declare per-tenant SLO targets, evaluated against the flight
+    /// recorder on every telemetry tick. Attaches an env-configured
+    /// recorder first if none is present.
+    pub fn with_slo_targets(mut self, targets: Vec<SloTarget>) -> Self {
+        if self.recorder.is_none() {
+            self = self.with_recorder_config(RecorderConfig::from_env());
+        }
+        if let Some(recorder) = &self.recorder {
+            self.slo = Some(Arc::new(SloMonitor::new(
+                Arc::clone(&self.registry),
+                Arc::clone(recorder),
+                targets,
+            )));
+        }
+        self
+    }
+
+    /// Spawn the background telemetry driver: one recorder tick per
+    /// interval on the registry's clock, each followed by an SLO
+    /// evaluation when targets are declared. The driver stops (and its
+    /// thread joins) when the server drops. No-op without a recorder;
+    /// don't call under `MockClock` (virtual sleeps return instantly —
+    /// tick deterministically instead).
+    pub fn start_telemetry(mut self) -> Self {
+        if let Some(rec) = &self.recorder {
+            let slo = self.slo.clone();
+            self.telemetry_driver = Some(rec.spawn_with(move || {
+                if let Some(monitor) = &slo {
+                    monitor.evaluate();
+                }
+            }));
+        }
+        self
+    }
+
+    /// The attached flight recorder, if any — what `dlcmd top` and the
+    /// SLO monitor query.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The SLO monitor evaluating this server's tenants, if configured.
+    pub fn slo_monitor(&self) -> Option<&Arc<SloMonitor>> {
+        self.slo.as_ref()
     }
 
     /// Deterministic ID generation for compaction (tests/simulations).

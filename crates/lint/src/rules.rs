@@ -247,6 +247,13 @@ pub const LOCK_RANKS: &[(&str, u32)] = &[
     // gauges (obs registry `inner`) while held, so it ranks below the
     // registry.
     ("lanes", 5),
+    // telemetry plane: the flight recorder's frame ring and the SLO
+    // monitor's state map are designed to never hold a registry lock —
+    // tick() snapshots *before* taking `frames`, evaluate() emits
+    // events *after* dropping `slo_states` — so they rank below the
+    // registry's gate and any nesting the other way is a finding.
+    ("frames", 6),
+    ("slo_states", 7),
     // tenant cache map: the tenant table is consulted before any
     // per-tenant cache work, so it ranks below the cache's membership
     // plane and the registry.

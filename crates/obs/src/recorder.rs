@@ -1,0 +1,564 @@
+//! Flight recorder: fixed-interval registry sampling into a bounded,
+//! delta-encoded ring of frames.
+//!
+//! A [`Registry`] snapshot is a single frame — it can say *how many*
+//! cache hits have ever happened, but not whether the hit rate cratered
+//! for thirty seconds during a rebalance. The [`FlightRecorder`] closes
+//! that gap: a Clock-driven sampler scrapes the registry at a fixed
+//! interval and appends one [`Frame`] per tick, keeping a bounded
+//! window of recent history inside the process itself (the "black box"
+//! a post-incident `dlcmd` can still read).
+//!
+//! # Frame format
+//!
+//! Frames are delta-encoded against the previous tick, so a steady
+//! process records almost nothing:
+//!
+//! * **counters** — stored as the per-tick delta; zero deltas omitted.
+//! * **gauges** — stored as the absolute value; unchanged gauges
+//!   omitted (the latest value is always available from the baseline).
+//! * **histograms** — stored as per-bucket count deltas (sparse
+//!   `(bucket, +n)` pairs), so a window of frames sums back into an
+//!   exact [`Histogram`] via [`Histogram::from_bucket_counts`].
+//!
+//! Memory is hard-capped twice over: at most [`RecorderConfig::max_frames`]
+//! frames and at most [`RecorderConfig::max_bytes`] of estimated frame
+//! payload; the oldest frames are evicted first. Everything is driven
+//! by the registry's injected [`Clock`], so a recording produced under
+//! `MockClock` is byte-identical across runs ([`FlightRecorder::encode`]
+//! is the canonical serialization CI asserts on).
+//!
+//! # Window queries
+//!
+//! [`delta`](FlightRecorder::delta) / [`rate`](FlightRecorder::rate) /
+//! [`percentile_over`](FlightRecorder::percentile_over) answer "over
+//! the last W of recorder time" questions for any full metric id
+//! (`name{k=v,…}`). Windows are anchored at the newest frame, so the
+//! queries are deterministic functions of the recording alone.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use diesel_util::{Clock, Mutex};
+
+use crate::histogram::{Histogram, NBUCKETS};
+use crate::registry::Registry;
+
+/// Default sampling interval: 1 s of clock time.
+pub const DEFAULT_INTERVAL_NS: u64 = 1_000_000_000;
+/// Default frame bound: 10 min of history at the default interval.
+pub const DEFAULT_MAX_FRAMES: usize = 600;
+/// Default memory hard-cap on buffered frames (estimated payload).
+pub const DEFAULT_MAX_BYTES: usize = 4 << 20;
+
+/// Recorder tuning, normally read from `DIESEL_RECORDER_*`.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Sampling interval in nanoseconds of clock time.
+    pub interval_ns: u64,
+    /// Maximum frames retained (oldest evicted).
+    pub max_frames: usize,
+    /// Maximum estimated bytes across retained frames (oldest evicted).
+    pub max_bytes: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            interval_ns: DEFAULT_INTERVAL_NS,
+            max_frames: DEFAULT_MAX_FRAMES,
+            max_bytes: DEFAULT_MAX_BYTES,
+        }
+    }
+}
+
+impl RecorderConfig {
+    /// Read `DIESEL_RECORDER_INTERVAL_MS`, `DIESEL_RECORDER_FRAMES`,
+    /// and `DIESEL_RECORDER_MAX_BYTES`, defaulting each knob
+    /// independently.
+    pub fn from_env() -> Self {
+        fn parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
+            std::env::var(key).ok().and_then(|v| v.trim().parse::<T>().ok())
+        }
+        let mut cfg = RecorderConfig::default();
+        if let Some(ms) = parsed::<u64>("DIESEL_RECORDER_INTERVAL_MS") {
+            cfg.interval_ns = ms.max(1).saturating_mul(1_000_000);
+        }
+        if let Some(frames) = parsed::<usize>("DIESEL_RECORDER_FRAMES") {
+            cfg.max_frames = frames.max(1);
+        }
+        if let Some(bytes) = parsed::<usize>("DIESEL_RECORDER_MAX_BYTES") {
+            cfg.max_bytes = bytes.max(1024);
+        }
+        cfg
+    }
+}
+
+/// One recorded tick: what changed since the previous tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Clock reading (`now_ns`) when the tick was sampled.
+    pub t_ns: u64,
+    /// Non-zero counter deltas, sorted by metric id.
+    pub counters: Vec<(String, u64)>,
+    /// Changed gauge values (absolute), sorted by metric id.
+    pub gauges: Vec<(String, u64)>,
+    /// Sparse histogram bucket deltas, sorted by metric id.
+    pub hists: Vec<(String, Vec<(u32, u64)>)>,
+    /// Estimated payload size used for the memory cap.
+    bytes: usize,
+}
+
+impl Frame {
+    fn estimate_bytes(&self) -> usize {
+        let mut n = 24;
+        for (id, _) in &self.counters {
+            n += id.len() + 16;
+        }
+        for (id, _) in &self.gauges {
+            n += id.len() + 16;
+        }
+        for (id, buckets) in &self.hists {
+            n += id.len() + 16 + buckets.len() * 12;
+        }
+        n
+    }
+}
+
+/// Absolute values as of the newest frame — the delta baseline.
+struct Baseline {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Vec<u64>>,
+}
+
+struct Ring {
+    frames: VecDeque<Frame>,
+    base: Baseline,
+    bytes: usize,
+    evicted: u64,
+    ticks: u64,
+}
+
+/// The flight recorder. Cheap to share behind an `Arc`; one per
+/// registry (a server pool runs one per node and merges at scrape
+/// time, exactly like `stats`).
+pub struct FlightRecorder {
+    registry: Arc<Registry>,
+    clock: Arc<dyn Clock>,
+    cfg: RecorderConfig,
+    frames: Mutex<Ring>,
+    stop: AtomicBool,
+}
+
+impl FlightRecorder {
+    /// A recorder sampling `registry` on its own injected clock.
+    pub fn new(registry: Arc<Registry>, cfg: RecorderConfig) -> Self {
+        let clock = Arc::clone(registry.clock());
+        FlightRecorder {
+            registry,
+            clock,
+            cfg,
+            frames: Mutex::named(
+                "obs.recorder_frames",
+                Ring {
+                    frames: VecDeque::new(),
+                    base: Baseline {
+                        counters: BTreeMap::new(),
+                        gauges: BTreeMap::new(),
+                        hists: BTreeMap::new(),
+                    },
+                    bytes: 0,
+                    evicted: 0,
+                    ticks: 0,
+                },
+            ),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The configuration this recorder runs with.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.cfg
+    }
+
+    /// Sample the registry once: append one delta frame and advance the
+    /// baseline. Called by the background driver on live clocks, or
+    /// directly by deterministic harnesses (simnet, CI) under
+    /// `MockClock`.
+    pub fn tick(&self) {
+        let t_ns = self.clock.now_ns();
+        // Snapshot before touching the ring lock: snapshot() nests
+        // gate → inner → events internally and must never sit inside
+        // the recorder's own mutex.
+        let snap = self.registry.snapshot();
+        let mut ring = self.frames.lock();
+        let mut frame =
+            Frame { t_ns, counters: Vec::new(), gauges: Vec::new(), hists: Vec::new(), bytes: 0 };
+        for (id, &v) in &snap.counters {
+            let prev = ring.base.counters.get(id).copied().unwrap_or(0);
+            let delta = v.saturating_sub(prev);
+            if delta > 0 {
+                frame.counters.push((id.clone(), delta));
+            }
+            ring.base.counters.insert(id.clone(), v);
+        }
+        for (id, &v) in &snap.gauges {
+            if ring.base.gauges.get(id).copied() != Some(v) {
+                frame.gauges.push((id.clone(), v));
+                ring.base.gauges.insert(id.clone(), v);
+            }
+        }
+        for (id, h) in &snap.histograms {
+            let counts = h.bucket_counts();
+            let deltas: Vec<(u32, u64)> = match ring.base.hists.get(id) {
+                Some(prev) => counts
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &c)| {
+                        let d = c.saturating_sub(prev.get(i).copied().unwrap_or(0));
+                        (d > 0).then_some((i as u32, d))
+                    })
+                    .collect(),
+                None => counts
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &c)| (c > 0).then_some((i as u32, c)))
+                    .collect(),
+            };
+            if !deltas.is_empty() {
+                frame.hists.push((id.clone(), deltas));
+            }
+            // diesel-lint: allow(R6) u64 bucket counts for delta baselines, not payload bytes
+            ring.base.hists.insert(id.clone(), counts.to_vec());
+        }
+        frame.bytes = frame.estimate_bytes();
+        ring.bytes += frame.bytes;
+        ring.frames.push_back(frame);
+        ring.ticks += 1;
+        while ring.frames.len() > 1
+            && (ring.frames.len() > self.cfg.max_frames || ring.bytes > self.cfg.max_bytes)
+        {
+            if let Some(old) = ring.frames.pop_front() {
+                ring.bytes -= old.bytes;
+                ring.evicted += 1;
+            }
+        }
+    }
+
+    /// Frames currently retained.
+    pub fn frame_count(&self) -> usize {
+        self.frames.lock().frames.len()
+    }
+
+    /// Estimated bytes across retained frames.
+    pub fn bytes(&self) -> usize {
+        self.frames.lock().bytes
+    }
+
+    /// Frames evicted by the caps since the recorder was built.
+    pub fn frames_evicted(&self) -> u64 {
+        self.frames.lock().evicted
+    }
+
+    /// Ticks sampled since the recorder was built.
+    pub fn ticks(&self) -> u64 {
+        self.frames.lock().ticks
+    }
+
+    /// Clock reading of the newest frame (`None` before the first tick).
+    pub fn latest_t_ns(&self) -> Option<u64> {
+        self.frames.lock().frames.back().map(|f| f.t_ns)
+    }
+
+    /// Sum of a counter's deltas over the trailing `window_ns` of
+    /// recorder time (anchored at the newest frame). `id` is the full
+    /// metric id, e.g. `server.file_reads{dataset=imagenet}`.
+    pub fn delta(&self, id: &str, window_ns: u64) -> u64 {
+        let ring = self.frames.lock();
+        let Some(end) = ring.frames.back().map(|f| f.t_ns) else {
+            return 0;
+        };
+        let start = end.saturating_sub(window_ns);
+        ring.frames
+            .iter()
+            .filter(|f| f.t_ns > start)
+            .flat_map(|f| f.counters.iter())
+            .filter(|(fid, _)| fid == id)
+            .map(|(_, d)| d)
+            .sum()
+    }
+
+    /// Per-second rate of a counter over the trailing window.
+    pub fn rate(&self, id: &str, window_ns: u64) -> f64 {
+        if window_ns == 0 {
+            return 0.0;
+        }
+        self.delta(id, window_ns) as f64 * 1e9 / window_ns as f64
+    }
+
+    /// Exact histogram of the observations that landed in the trailing
+    /// window (bucket deltas summed across frames).
+    pub fn histogram_over(&self, id: &str, window_ns: u64) -> Histogram {
+        let ring = self.frames.lock();
+        let Some(end) = ring.frames.back().map(|f| f.t_ns) else {
+            return Histogram::new();
+        };
+        let start = end.saturating_sub(window_ns);
+        let mut counts = [0u64; NBUCKETS];
+        for frame in ring.frames.iter().filter(|f| f.t_ns > start) {
+            for (fid, deltas) in &frame.hists {
+                if fid == id {
+                    for &(bucket, d) in deltas {
+                        if let Some(slot) = counts.get_mut(bucket as usize) {
+                            *slot += d;
+                        }
+                    }
+                }
+            }
+        }
+        drop(ring);
+        Histogram::from_bucket_counts(&counts)
+    }
+
+    /// Quantile (in nanoseconds) of a histogram series over the
+    /// trailing window; 0 when no observation landed in it.
+    pub fn percentile_over(&self, id: &str, q: f64, window_ns: u64) -> u64 {
+        self.histogram_over(id, window_ns).quantile_ns(q)
+    }
+
+    /// Latest absolute gauge value the recorder has seen (baseline, so
+    /// it survives frame eviction). `None` before the gauge existed.
+    pub fn gauge_last(&self, id: &str) -> Option<u64> {
+        self.frames.lock().base.gauges.get(id).copied()
+    }
+
+    /// Canonical text serialization of the retained frames — the byte
+    /// string CI asserts is identical across identical `MockClock`
+    /// runs. One `frame t_ns=…` header per tick, entries sorted by
+    /// metric id within each section.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let ring = self.frames.lock();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "diesel-recorder v1 frames={} evicted={}",
+            ring.frames.len(),
+            ring.evicted
+        );
+        for frame in &ring.frames {
+            let _ = writeln!(out, "frame t_ns={}", frame.t_ns);
+            for (id, d) in &frame.counters {
+                let _ = writeln!(out, "  c {id} +{d}");
+            }
+            for (id, v) in &frame.gauges {
+                let _ = writeln!(out, "  g {id} ={v}");
+            }
+            for (id, deltas) in &frame.hists {
+                let cells: Vec<String> = deltas.iter().map(|(b, d)| format!("{b}:+{d}")).collect();
+                let _ = writeln!(out, "  h {id} {}", cells.join(","));
+            }
+        }
+        out
+    }
+
+    /// Ask a running driver to stop after its current sleep.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Spawn the background driver: sleep one interval on the
+    /// registry's clock, then [`tick`](Self::tick), until stopped.
+    /// Intended for live clocks — deterministic harnesses call `tick`
+    /// themselves (under `MockClock`, `sleep_ns` returns instantly and
+    /// the loop would spin).
+    pub fn spawn(self: &Arc<Self>) -> RecorderDriver {
+        self.spawn_with(|| {})
+    }
+
+    /// Like [`spawn`](Self::spawn), but run `after_tick` after every
+    /// sample — the hook a server uses to evaluate its SLO monitor on
+    /// each recorder tick.
+    pub fn spawn_with(self: &Arc<Self>, after_tick: impl Fn() + Send + 'static) -> RecorderDriver {
+        self.stop.store(false, Ordering::Relaxed);
+        let rec = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            while !rec.stop.load(Ordering::Relaxed) {
+                rec.clock.sleep_ns(rec.cfg.interval_ns);
+                if rec.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                rec.tick();
+                after_tick();
+            }
+        });
+        RecorderDriver { rec: Arc::clone(self), handle: Some(handle) }
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ring = self.frames.lock();
+        f.debug_struct("FlightRecorder")
+            .field("frames", &ring.frames.len())
+            .field("bytes", &ring.bytes)
+            .field("evicted", &ring.evicted)
+            .field("interval_ns", &self.cfg.interval_ns)
+            .finish()
+    }
+}
+
+/// Join guard for the background sampling thread; stops and joins the
+/// driver on drop (or explicitly via [`stop`](RecorderDriver::stop)).
+pub struct RecorderDriver {
+    rec: Arc<FlightRecorder>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RecorderDriver {
+    /// Stop the driver and wait for its thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.rec.request_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RecorderDriver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diesel_util::MockClock;
+
+    fn recorder(cfg: RecorderConfig) -> (Arc<MockClock>, Arc<Registry>, FlightRecorder) {
+        let clock = Arc::new(MockClock::new());
+        let reg = Arc::new(Registry::new(clock.clone() as Arc<dyn Clock>));
+        let rec = FlightRecorder::new(Arc::clone(&reg), cfg);
+        (clock, reg, rec)
+    }
+
+    #[test]
+    fn frames_are_delta_encoded_and_windows_query_back() {
+        let (clock, reg, rec) = recorder(RecorderConfig::default());
+        let reads = reg.counter("server.file_reads", &[("dataset", "a")]);
+        let lat = reg.histogram("server.read_latency", &[("dataset", "a")]);
+        let depth = reg.gauge("server.queue_depth", &[]);
+
+        reads.add(5);
+        lat.record_ns(1_000);
+        depth.set(3);
+        clock.advance(1_000_000_000);
+        rec.tick();
+
+        reads.add(7);
+        lat.record_ns(1_000_000);
+        clock.advance(1_000_000_000);
+        rec.tick();
+
+        // Unchanged gauge is omitted from the second frame.
+        let text = rec.encode();
+        assert_eq!(text.matches("g server.queue_depth =3").count(), 1, "{text}");
+        assert_eq!(rec.frame_count(), 2);
+
+        // Window spanning both frames sums both deltas; a 1 s window
+        // anchored at the newest frame sees only the second.
+        let id = "server.file_reads{dataset=a}";
+        assert_eq!(rec.delta(id, 3_000_000_000), 12);
+        assert_eq!(rec.delta(id, 1_000_000_000), 7);
+        assert!((rec.rate(id, 1_000_000_000) - 7.0).abs() < 1e-9);
+
+        let hid = "server.read_latency{dataset=a}";
+        let h = rec.histogram_over(hid, 3_000_000_000);
+        assert_eq!(h.summary().count, 2);
+        assert_eq!(rec.percentile_over(hid, 0.99, 1_000_000_000), 1_000_000);
+        assert_eq!(rec.gauge_last("server.queue_depth"), Some(3));
+    }
+
+    #[test]
+    fn caps_evict_oldest_frames() {
+        let cfg = RecorderConfig { max_frames: 3, ..RecorderConfig::default() };
+        let (clock, reg, rec) = recorder(cfg);
+        let c = reg.counter("x.ops", &[]);
+        for i in 0..5u64 {
+            c.add(i + 1);
+            clock.advance(1_000_000_000);
+            rec.tick();
+        }
+        assert_eq!(rec.frame_count(), 3);
+        assert_eq!(rec.frames_evicted(), 2);
+        assert_eq!(rec.ticks(), 5);
+        // Only the last three deltas (3+4+5) remain queryable.
+        assert_eq!(rec.delta("x.ops", u64::MAX), 12);
+
+        let tight = RecorderConfig { max_bytes: 1024, ..RecorderConfig::default() };
+        let (clock, reg, rec) = recorder(tight);
+        for i in 0..64u64 {
+            reg.counter("series.with.a.rather.long.metric.name", &[("n", &i.to_string())]).inc();
+            clock.advance(1_000_000_000);
+            rec.tick();
+        }
+        assert!(rec.bytes() <= 1024, "bytes={}", rec.bytes());
+        assert!(rec.frames_evicted() > 0);
+    }
+
+    #[test]
+    fn identical_mock_runs_encode_identically() {
+        let run = || {
+            let (clock, reg, rec) = recorder(RecorderConfig::default());
+            for i in 1..=4u64 {
+                reg.counter("kv.gets", &[("instance", "0")]).add(i);
+                reg.histogram("kv.get_latency", &[]).record_ns(i * 500);
+                reg.gauge("cache.bytes_resident", &[]).set(i * 4096);
+                clock.advance(250_000_000);
+                rec.tick();
+            }
+            rec.encode()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.starts_with("diesel-recorder v1 frames=4 evicted=0\n"), "{a}");
+    }
+
+    #[test]
+    fn env_config_parses_each_knob_independently() {
+        // Serialize env mutation within this test only.
+        std::env::set_var("DIESEL_RECORDER_INTERVAL_MS", "250");
+        std::env::set_var("DIESEL_RECORDER_FRAMES", "42");
+        std::env::remove_var("DIESEL_RECORDER_MAX_BYTES");
+        let cfg = RecorderConfig::from_env();
+        assert_eq!(cfg.interval_ns, 250_000_000);
+        assert_eq!(cfg.max_frames, 42);
+        assert_eq!(cfg.max_bytes, DEFAULT_MAX_BYTES);
+        std::env::remove_var("DIESEL_RECORDER_INTERVAL_MS");
+        std::env::remove_var("DIESEL_RECORDER_FRAMES");
+    }
+
+    #[test]
+    fn background_driver_ticks_and_stops() {
+        let clock = Arc::new(diesel_util::SystemClock::new());
+        let reg = Arc::new(Registry::new(Arc::clone(&clock) as Arc<dyn Clock>));
+        let cfg = RecorderConfig { interval_ns: 1_000_000, ..RecorderConfig::default() };
+        let rec = Arc::new(FlightRecorder::new(Arc::clone(&reg), cfg));
+        let driver = rec.spawn();
+        let deadline = clock.now_ns() + 5_000_000_000;
+        while rec.ticks() == 0 && clock.now_ns() < deadline {
+            std::thread::yield_now();
+        }
+        driver.stop();
+        assert!(rec.ticks() > 0);
+    }
+}

@@ -225,7 +225,10 @@ impl Registry {
 
     /// Append one event to the bounded ring, stamped with the
     /// registry clock's epoch reading. Overflow evicts the oldest
-    /// event and counts into the `obs.events_dropped` counter.
+    /// event and counts into `obs.events_dropped{ring=event}` (the
+    /// tracer's span buffer reports into the `ring=trace` cell of the
+    /// same name, so `sum_counter("obs.events_dropped")` is the total
+    /// across rings while neither ring's drops can mask the other's).
     pub fn event(&self, scope: &str, kv: &[(&str, &str)]) {
         let ev = Event {
             ts_ms: self.clock.epoch_ms(),
@@ -251,7 +254,7 @@ impl Registry {
         // lock, and snapshot() holds inner before events.
         drop(ring);
         if evicted {
-            self.counter("obs.events_dropped", &[]).inc();
+            self.counter("obs.events_dropped", &[("ring", "event")]).inc();
         }
     }
 
@@ -554,7 +557,7 @@ mod tests {
         let snap = reg.snapshot();
         assert!(snap.events.is_empty());
         assert_eq!(snap.dropped_events, 1);
-        assert_eq!(snap.counter("obs.events_dropped"), 1);
+        assert_eq!(snap.counter("obs.events_dropped{ring=event}"), 1);
     }
 
     #[test]
@@ -563,13 +566,15 @@ mod tests {
         reg.event("a", &[]);
         reg.event("b", &[]);
         // No drops yet: the counter must not even exist.
-        assert!(!reg.snapshot().counters.contains_key("obs.events_dropped"));
+        assert_eq!(reg.snapshot().sum_counter("obs.events_dropped"), 0);
         for _ in 0..3 {
             reg.event("c", &[]);
         }
         let snap = reg.snapshot();
         assert_eq!(snap.dropped_events, 3);
-        assert_eq!(snap.counter("obs.events_dropped"), 3);
+        // Ring-labelled cell, and the cross-ring total stays compatible.
+        assert_eq!(snap.counter("obs.events_dropped{ring=event}"), 3);
+        assert_eq!(snap.sum_counter("obs.events_dropped"), 3);
         let text = snap.render();
         assert!(text.contains("[obs]"), "{text}");
         assert!(text.contains("obs.events_dropped"), "{text}");

@@ -1,0 +1,429 @@
+//! Per-tenant SLO monitor: declarative targets evaluated over flight
+//! recorder windows.
+//!
+//! PR 9's admission plane *enforces* per-tenant ceilings; nothing so
+//! far *judges* the outcome against a service-level objective. The
+//! [`SloMonitor`] closes the loop: each tenant declares an
+//! [`SloTarget`] (read p99, error ratio, hit-rate floor, throttle
+//! ratio), and on every recorder tick the monitor computes **burn
+//! rates** — how fast the tenant is consuming its error budget — over
+//! two windows of recorder time:
+//!
+//! * **fast** (default 1 min): catches an incident while it happens.
+//! * **slow** (default 10 min): filters one-tick blips — a breach
+//!   needs *both* windows burning, the standard multi-window guard
+//!   against flapping alerts.
+//!
+//! A burn rate of 1.0 means "exactly at target"; above it the budget
+//! is burning. Transitions emit typed events into the registry's
+//! existing event ring — `slo.breach{dataset,slo,window}` when both
+//! windows burn at or above 1, `slo.recovered{dataset,slo,window}`
+//! once the fast window drops back under 1 — and every evaluation
+//! refreshes an `slo.health{dataset}` gauge (1 = all objectives in
+//! SLO) that `dlcmd top` and the simnet scenario read. Everything is a
+//! deterministic function of the recording, so MockClock runs produce
+//! exact breach/recover sequences CI asserts on.
+//!
+//! # Metric bindings
+//!
+//! Objectives read the workspace's conventional per-tenant series:
+//! `server.read_latency{dataset=…}` (p99 + request count),
+//! `server.request_errors{dataset=…}`, `cache.chunk_hits` /
+//! `cache.file_reads{dataset=…}` (hit rate), and
+//! `server.tenant.admitted`/`throttled{dataset=…}` (throttle ratio).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use diesel_util::Mutex;
+
+use crate::recorder::FlightRecorder;
+use crate::registry::Registry;
+
+/// Default fast burn window: 1 min of recorder time.
+pub const DEFAULT_FAST_WINDOW_NS: u64 = 60_000_000_000;
+/// Default slow burn window: 10 min of recorder time.
+pub const DEFAULT_SLOW_WINDOW_NS: u64 = 600_000_000_000;
+
+/// Declarative per-tenant objectives. Unset objectives are not
+/// evaluated.
+#[derive(Debug, Clone, Default)]
+pub struct SloTarget {
+    /// The tenant (dataset id) the objectives apply to.
+    pub dataset: String,
+    /// Read p99 latency must stay at or under this.
+    pub read_p99_ns: Option<u64>,
+    /// Failed requests / total requests must stay at or under this.
+    pub max_error_ratio: Option<f64>,
+    /// Cache chunk hits / file reads must stay at or above this.
+    pub min_hit_rate: Option<f64>,
+    /// Throttled / (admitted + throttled) must stay at or under this.
+    pub max_throttle_ratio: Option<f64>,
+}
+
+impl SloTarget {
+    /// A target with every objective unset.
+    pub fn new(dataset: &str) -> Self {
+        SloTarget { dataset: dataset.to_owned(), ..SloTarget::default() }
+    }
+}
+
+/// Where one objective currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloState {
+    /// Within target (or no traffic to judge).
+    Ok,
+    /// Both burn windows at or above 1 until the fast window recovers.
+    Breached,
+}
+
+/// One objective's evaluation: burn rates plus the sticky state.
+#[derive(Debug, Clone)]
+pub struct SloObjective {
+    /// Objective kind: `read_p99` | `error_ratio` | `hit_rate` |
+    /// `throttle_ratio`.
+    pub slo: &'static str,
+    /// Budget consumption rate over the fast window (1.0 = at target).
+    pub fast_burn: f64,
+    /// Budget consumption rate over the slow window.
+    pub slow_burn: f64,
+    /// State after this evaluation.
+    pub state: SloState,
+}
+
+/// One tenant's evaluation across its declared objectives.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// The tenant.
+    pub dataset: String,
+    /// Evaluated objectives, in declaration order.
+    pub objectives: Vec<SloObjective>,
+}
+
+impl SloReport {
+    /// True when no objective is breached.
+    pub fn healthy(&self) -> bool {
+        self.objectives.iter().all(|o| o.state == SloState::Ok)
+    }
+}
+
+/// The monitor: targets + sticky per-objective state, evaluated
+/// against a [`FlightRecorder`] on demand (typically once per tick).
+pub struct SloMonitor {
+    registry: Arc<Registry>,
+    recorder: Arc<FlightRecorder>,
+    targets: Vec<SloTarget>,
+    fast_ns: u64,
+    slow_ns: u64,
+    /// (dataset, slo) → sticky state; rank below the registry locks —
+    /// evaluation never holds this while emitting.
+    slo_states: Mutex<BTreeMap<(String, &'static str), SloState>>,
+}
+
+impl SloMonitor {
+    /// A monitor with the default 1 min / 10 min windows.
+    pub fn new(
+        registry: Arc<Registry>,
+        recorder: Arc<FlightRecorder>,
+        targets: Vec<SloTarget>,
+    ) -> Self {
+        SloMonitor::with_windows(
+            registry,
+            recorder,
+            targets,
+            DEFAULT_FAST_WINDOW_NS,
+            DEFAULT_SLOW_WINDOW_NS,
+        )
+    }
+
+    /// A monitor with explicit fast/slow windows (tests, simnet).
+    pub fn with_windows(
+        registry: Arc<Registry>,
+        recorder: Arc<FlightRecorder>,
+        targets: Vec<SloTarget>,
+        fast_ns: u64,
+        slow_ns: u64,
+    ) -> Self {
+        SloMonitor {
+            registry,
+            recorder,
+            targets,
+            fast_ns,
+            slow_ns,
+            slo_states: Mutex::named("obs.slo_states", BTreeMap::new()),
+        }
+    }
+
+    /// The declared targets.
+    pub fn targets(&self) -> &[SloTarget] {
+        &self.targets
+    }
+
+    /// Evaluate every target against the recorder's current window,
+    /// emit breach/recover events for state transitions, refresh the
+    /// `slo.health{dataset}` gauges, and return the per-tenant
+    /// reports. Deterministic: targets in declaration order,
+    /// objectives in fixed kind order.
+    pub fn evaluate(&self) -> Vec<SloReport> {
+        let mut reports = Vec::with_capacity(self.targets.len());
+        let mut transitions: Vec<(String, &'static str, SloState)> = Vec::new();
+        for target in &self.targets {
+            let burns = self.burns_for(target);
+            let mut objectives = Vec::with_capacity(burns.len());
+            {
+                let mut states = self.slo_states.lock();
+                for (slo, fast_burn, slow_burn) in burns {
+                    let key = (target.dataset.clone(), slo);
+                    let prev = states.get(&key).copied().unwrap_or(SloState::Ok);
+                    let next = match prev {
+                        SloState::Ok if fast_burn >= 1.0 && slow_burn >= 1.0 => SloState::Breached,
+                        SloState::Breached if fast_burn < 1.0 => SloState::Ok,
+                        same => same,
+                    };
+                    if next != prev {
+                        transitions.push((target.dataset.clone(), slo, next));
+                    }
+                    states.insert(key, next);
+                    objectives.push(SloObjective { slo, fast_burn, slow_burn, state: next });
+                }
+            }
+            reports.push(SloReport { dataset: target.dataset.clone(), objectives });
+        }
+        // Emissions happen with no monitor lock held (the registry
+        // nests its own locks internally).
+        for (dataset, slo, next) in &transitions {
+            let scope = match next {
+                SloState::Breached => "slo.breach",
+                SloState::Ok => "slo.recovered",
+            };
+            let window = match next {
+                SloState::Breached => "fast+slow",
+                SloState::Ok => "fast",
+            };
+            self.registry.event(scope, &[("dataset", dataset), ("slo", slo), ("window", window)]);
+        }
+        for report in &reports {
+            let health = if report.healthy() { 1 } else { 0 };
+            self.registry.gauge("slo.health", &[("dataset", &report.dataset)]).set(health);
+        }
+        reports
+    }
+
+    /// `(kind, fast_burn, slow_burn)` for each declared objective of
+    /// one target, in fixed order.
+    fn burns_for(&self, t: &SloTarget) -> Vec<(&'static str, f64, f64)> {
+        let d = &t.dataset;
+        let mut out = Vec::new();
+        if let Some(p99_target) = t.read_p99_ns {
+            let id = format!("server.read_latency{{dataset={d}}}");
+            let burn = |win: u64| {
+                let h = self.recorder.histogram_over(&id, win);
+                if h.count() == 0 || p99_target == 0 {
+                    return 0.0;
+                }
+                h.quantile_ns(0.99) as f64 / p99_target as f64
+            };
+            out.push(("read_p99", burn(self.fast_ns), burn(self.slow_ns)));
+        }
+        if let Some(budget) = t.max_error_ratio {
+            let errs = format!("server.request_errors{{dataset={d}}}");
+            let reqs = format!("server.read_latency{{dataset={d}}}");
+            let burn = |win: u64| {
+                let total = self.recorder.histogram_over(&reqs, win).count()
+                    + self.recorder.delta(&errs, win);
+                ratio_burn(self.recorder.delta(&errs, win), total, budget)
+            };
+            out.push(("error_ratio", burn(self.fast_ns), burn(self.slow_ns)));
+        }
+        if let Some(floor) = t.min_hit_rate {
+            let hits = format!("cache.chunk_hits{{dataset={d}}}");
+            let reads = format!("cache.file_reads{{dataset={d}}}");
+            // The budget is the allowed *miss* rate; burning it means
+            // missing more often than the floor allows.
+            let budget = (1.0 - floor).max(0.0);
+            let burn = |win: u64| {
+                let reads = self.recorder.delta(&reads, win);
+                let misses = reads.saturating_sub(self.recorder.delta(&hits, win));
+                ratio_burn(misses, reads, budget)
+            };
+            out.push(("hit_rate", burn(self.fast_ns), burn(self.slow_ns)));
+        }
+        if let Some(budget) = t.max_throttle_ratio {
+            let throttled = format!("server.tenant.throttled{{dataset={d}}}");
+            let admitted = format!("server.tenant.admitted{{dataset={d}}}");
+            let burn = |win: u64| {
+                let throttled = self.recorder.delta(&throttled, win);
+                let total = throttled + self.recorder.delta(&admitted, win);
+                ratio_burn(throttled, total, budget)
+            };
+            out.push(("throttle_ratio", burn(self.fast_ns), burn(self.slow_ns)));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for SloMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloMonitor")
+            .field("targets", &self.targets.len())
+            .field("fast_ns", &self.fast_ns)
+            .field("slow_ns", &self.slow_ns)
+            .finish()
+    }
+}
+
+/// Burn rate of a bad/total ratio against its budget. No traffic means
+/// nothing to judge (0.0); a zero budget burns infinitely fast the
+/// moment anything bad happens.
+fn ratio_burn(bad: u64, total: u64, budget: f64) -> f64 {
+    if total == 0 || bad == 0 {
+        return 0.0;
+    }
+    let measured = bad as f64 / total as f64;
+    if budget <= 0.0 {
+        return f64::INFINITY;
+    }
+    measured / budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderConfig;
+    use diesel_util::{Clock, MockClock};
+
+    struct Rig {
+        clock: Arc<MockClock>,
+        reg: Arc<Registry>,
+        rec: Arc<FlightRecorder>,
+        monitor: SloMonitor,
+    }
+
+    /// 1 s ticks; 2 s fast window, 6 s slow window.
+    fn rig(target: SloTarget) -> Rig {
+        let clock = Arc::new(MockClock::new());
+        let reg = Arc::new(Registry::new(Arc::clone(&clock) as Arc<dyn Clock>));
+        let rec = Arc::new(FlightRecorder::new(Arc::clone(&reg), RecorderConfig::default()));
+        let monitor = SloMonitor::with_windows(
+            Arc::clone(&reg),
+            Arc::clone(&rec),
+            vec![target],
+            2_000_000_000,
+            6_000_000_000,
+        );
+        Rig { clock, reg, rec, monitor }
+    }
+
+    fn tick(rig: &Rig) -> Vec<SloReport> {
+        rig.clock.advance(1_000_000_000);
+        rig.rec.tick();
+        rig.monitor.evaluate()
+    }
+
+    #[test]
+    fn latency_breach_needs_both_windows_and_recovers_on_fast() {
+        let mut target = SloTarget::new("a");
+        target.read_p99_ns = Some(1_000_000);
+        let r = rig(target);
+        let lat = r.reg.histogram("server.read_latency", &[("dataset", "a")]);
+
+        // Healthy traffic for a while: well under target.
+        for _ in 0..6 {
+            for _ in 0..50 {
+                lat.record_ns(100_000);
+            }
+            let reports = tick(&r);
+            assert!(reports[0].healthy());
+        }
+        // One slow tick trips the fast window but not the slow one.
+        for _ in 0..50 {
+            lat.record_ns(50_000_000);
+        }
+        let reports = tick(&r);
+        let o = &reports[0].objectives[0];
+        assert!(o.fast_burn >= 1.0, "fast={}", o.fast_burn);
+        // Slow window still dominated by fast samples at p99? With 6 s
+        // of 50-sample ticks, one bad tick is ~14% of samples — above
+        // the 1% tail, so p99 lands in the slow bucket and the slow
+        // window breaches too once the bad tick is inside it.
+        assert_eq!(o.state, SloState::Breached);
+        assert_eq!(r.reg.snapshot().gauge("slo.health{dataset=a}"), 0);
+
+        // Fast traffic resumes; once the bad tick ages out of the fast
+        // window the objective recovers.
+        let mut recovered = false;
+        for _ in 0..4 {
+            for _ in 0..50 {
+                lat.record_ns(100_000);
+            }
+            let reports = tick(&r);
+            if reports[0].objectives[0].state == SloState::Ok {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered);
+        assert_eq!(r.reg.snapshot().gauge("slo.health{dataset=a}"), 1);
+
+        // Event sequence is exactly breach then recover.
+        let scopes: Vec<String> = r
+            .reg
+            .snapshot()
+            .events
+            .iter()
+            .filter(|e| e.scope.starts_with("slo."))
+            .map(|e| e.scope.clone())
+            .collect();
+        assert_eq!(scopes, vec!["slo.breach", "slo.recovered"]);
+    }
+
+    #[test]
+    fn hit_rate_floor_burns_on_misses() {
+        let mut target = SloTarget::new("a");
+        target.min_hit_rate = Some(0.8);
+        let r = rig(target);
+        let hits = r.reg.counter("cache.chunk_hits", &[("dataset", "a")]);
+        let reads = r.reg.counter("cache.file_reads", &[("dataset", "a")]);
+
+        // 95% hit rate: burn 0.25 of the 20% miss budget.
+        hits.add(95);
+        reads.add(100);
+        let reports = tick(&r);
+        let o = &reports[0].objectives[0];
+        assert!((o.fast_burn - 0.25).abs() < 1e-9, "{}", o.fast_burn);
+        assert_eq!(o.state, SloState::Ok);
+
+        // 50% hit rate: 2.5× the budget, sustained → breach.
+        for _ in 0..6 {
+            hits.add(50);
+            reads.add(100);
+            tick(&r);
+        }
+        let reports = tick(&r);
+        assert_eq!(reports[0].objectives[0].state, SloState::Breached);
+    }
+
+    #[test]
+    fn throttle_and_error_ratios_judge_no_traffic_as_ok() {
+        let mut target = SloTarget::new("quiet");
+        target.max_error_ratio = Some(0.01);
+        target.max_throttle_ratio = Some(0.1);
+        let r = rig(target);
+        for _ in 0..3 {
+            let reports = tick(&r);
+            assert!(reports[0].healthy());
+            for o in &reports[0].objectives {
+                assert_eq!(o.fast_burn, 0.0);
+            }
+        }
+        assert_eq!(r.reg.snapshot().gauge("slo.health{dataset=quiet}"), 1);
+    }
+
+    #[test]
+    fn zero_budget_burns_infinitely_on_first_bad_event() {
+        assert_eq!(ratio_burn(0, 100, 0.0), 0.0);
+        assert_eq!(ratio_burn(1, 100, 0.0), f64::INFINITY);
+        assert_eq!(ratio_burn(5, 0, 0.5), 0.0);
+        assert!((ratio_burn(5, 100, 0.1) - 0.5).abs() < 1e-12);
+    }
+}

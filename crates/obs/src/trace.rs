@@ -187,7 +187,7 @@ impl Tracer {
         } else {
             (
                 registry.counter("obs.spans_recorded", &[]),
-                registry.counter("obs.spans_dropped", &[]),
+                registry.counter("obs.events_dropped", &[("ring", "trace")]),
             )
         };
         let slow_default_ns = std::env::var("DIESEL_SLOW_MS")

@@ -29,15 +29,20 @@ pub mod net;
 pub mod openloop;
 pub mod resource;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use driver::{run_actors, SimActor, SimReport};
 pub use multitenant::{
-    kv_closed_loop_qps, run_multi_tenant, MultiTenantConfig, MultiTenantReport, OpMix,
-    ServiceModel, SimAdmission, TenantReport, TenantSpec,
+    kv_closed_loop_qps, run_multi_tenant, run_multi_tenant_observed, MultiTenantConfig,
+    MultiTenantReport, OpClass, OpMix, OpOutcome, ServiceModel, SimAdmission, TenantReport,
+    TenantSpec,
 };
 pub use net::{Fabric, NetworkModel, NodeNet};
 pub use openloop::{run_open_loop, OpenLoopReport};
 pub use resource::{Grant, Resource};
 pub use stats::{Histogram, Summary};
+pub use telemetry::{
+    noisy_neighbour_config, run_telemetry, SloTransition, TelemetryConfig, TelemetryOutcome,
+};
 pub use time::SimTime;

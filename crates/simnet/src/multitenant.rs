@@ -198,11 +198,34 @@ impl MultiTenantReport {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum OpClass {
+/// Operation class of one simulated arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Chunk/file read.
     Read,
+    /// Write (ingest).
     Write,
+    /// Metadata lookup.
     Meta,
+}
+
+/// One simulated operation's outcome, streamed to the observer of
+/// [`run_multi_tenant_observed`] in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOutcome<'a> {
+    /// Tenant that issued the operation.
+    pub tenant: &'a str,
+    /// Index of the tenant in the config's `tenants` list.
+    pub tenant_index: usize,
+    /// Operation class.
+    pub class: OpClass,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// False when the admission token bucket rejected the arrival.
+    pub admitted: bool,
+    /// Response time (queueing + service) of an admitted op;
+    /// [`SimTime::ZERO`] when throttled.
+    pub response: SimTime,
 }
 
 struct Bucket {
@@ -216,6 +239,18 @@ struct Bucket {
 /// tenant index, then op index, so runs are deterministic given
 /// `cfg.seed`) and executed FIFO against one shared pool.
 pub fn run_multi_tenant(cfg: &MultiTenantConfig) -> MultiTenantReport {
+    run_multi_tenant_observed(cfg, |_| {})
+}
+
+/// [`run_multi_tenant`] with an observer hook: `observe` is called once
+/// per arrival, in arrival order, with the op's admission decision and
+/// response time. This is how the telemetry plane ([`crate::telemetry`])
+/// replays a simulation into a metric registry without the simulation
+/// knowing about metrics.
+pub fn run_multi_tenant_observed(
+    cfg: &MultiTenantConfig,
+    mut observe: impl FnMut(&OpOutcome<'_>),
+) -> MultiTenantReport {
     assert!(!cfg.tenants.is_empty(), "need at least one tenant");
     assert!(cfg.servers >= 1, "need at least one server");
 
@@ -299,6 +334,14 @@ pub fn run_multi_tenant(cfg: &MultiTenantConfig) -> MultiTenantReport {
         let report = &mut reports[t];
         if !admitted {
             report.throttled += 1;
+            observe(&OpOutcome {
+                tenant: &cfg.tenants[t].name,
+                tenant_index: t,
+                class,
+                arrival,
+                admitted: false,
+                response: SimTime::ZERO,
+            });
             continue;
         }
         report.admitted += 1;
@@ -315,6 +358,14 @@ pub fn run_multi_tenant(cfg: &MultiTenantConfig) -> MultiTenantReport {
         }
         report.last_completion = report.last_completion.max_of(grant.end);
         makespan = makespan.max_of(grant.end);
+        observe(&OpOutcome {
+            tenant: &cfg.tenants[t].name,
+            tenant_index: t,
+            class,
+            arrival,
+            admitted: true,
+            response,
+        });
     }
 
     MultiTenantReport { tenants: reports, makespan }

@@ -8,6 +8,11 @@
 #   mixed_tenants -> BENCH_9.json  (multi-tenant isolation: slowdown
 #                                   under a skewed neighbour, fairness,
 #                                   simulated KV QPS ceiling)
+#   obs_plane     -> BENCH_10.json (telemetry plane: recorder tick /
+#                                   Prometheus render / SLO eval cost,
+#                                   <=5% hot-path overhead contract,
+#                                   deterministic SLO health scenario;
+#                                   also archives results/scrape.prom)
 # The first ever run of each suite seeds its `baseline` section (kept
 # verbatim forever); every later run rewrites `current`. Pass `--check`
 # to fail if any key regresses past `--tolerance`× baseline — this is
@@ -20,7 +25,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build -q --release -p diesel-bench --bin payload_bench --bin elastic_bench --bin mixed_tenants
+cargo build -q --release -p diesel-bench \
+  --bin payload_bench --bin elastic_bench --bin mixed_tenants --bin obs_plane
 target/release/payload_bench "$@"
 target/release/elastic_bench "$@"
 target/release/mixed_tenants "$@"
+target/release/obs_plane "$@"

@@ -62,16 +62,31 @@ trace_out="$(mktemp /tmp/diesel-trace.XXXXXX.json)"
 cargo run -q --release -p diesel-bench --bin loader_pipeline -- --trace "$trace_out"
 rm -f "$trace_out"
 
-echo "== bench gates (payload + elastic + mixed tenants) =="
-# Perf ratchets (DESIGN.md §11, §13, §14): rerun the fixed suites and
-# fail if any key drifts past tolerance× the recorded baselines in
+echo "== telemetry plane: deterministic recorder + SLO under lockdep =="
+# The §15 acceptance scenario, with the lock-order witness armed: two
+# MockClock'd multi-tenant replays must produce byte-identical flight
+# recordings, the induced overload must emit the exact breach→recover
+# event sequence, and ServerRequest::Scrape must round-trip through the
+# Prometheus parser — all deterministic, so any diff is a real bug.
+DIESEL_LOCKDEP=fail cargo test -q --test telemetry
+
+echo "== bench gates (payload + elastic + mixed tenants + obs plane) =="
+# Perf ratchets (DESIGN.md §11, §13, §14, §15): rerun the fixed suites
+# and fail if any key drifts past tolerance× the recorded baselines in
 # BENCH_6.json (zero-copy payload plane), BENCH_8.json (ring lookup,
-# 4→8→4 rebalance wall time, store read amplification) and BENCH_9.json
+# 4→8→4 rebalance wall time, store read amplification), BENCH_9.json
 # (multi-tenant isolation: light-tenant slowdown under a 10× neighbour,
-# fairness ratio, simulated KV QPS ceiling). The tolerance is wide
-# because CI machines are noisy; the point is catching accidental
-# copies and store re-reads (2×+ jumps), not 5% jitter.
+# fairness ratio, simulated KV QPS ceiling) and BENCH_10.json (telemetry
+# plane: recorder tick / Prometheus render / SLO eval cost, plus the
+# hard <=5% hot-path overhead and SLO-health contracts asserted inside
+# the suite itself). The tolerance is wide because CI machines are
+# noisy; the point is catching accidental copies and store re-reads
+# (2×+ jumps), not 5% jitter.
 scripts/bench.sh --check --tolerance 2.5
+
+# obs_plane archives the deterministic scenario's Prometheus scrape and
+# already re-parsed it; keep the artifact honest here too.
+test -s results/scrape.prom || { echo "missing results/scrape.prom"; exit 1; }
 
 echo "== rustfmt =="
 cargo fmt --check
